@@ -1,0 +1,48 @@
+# resilex — build / test / reproduce targets.
+
+GO ?= go
+
+.PHONY: all build vet test race cover fuzz bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Short fuzz session over every fuzz target.
+fuzz:
+	$(GO) test -fuzz=FuzzParse$$ -fuzztime=10s ./internal/rx/
+	$(GO) test -fuzz=FuzzParseMarked -fuzztime=10s ./internal/rx/
+	$(GO) test -fuzz=FuzzScan -fuzztime=10s ./internal/htmltok/
+
+# Every experiment series (E1..E13) plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The EXPERIMENTS.md tables.
+experiments:
+	$(GO) run ./cmd/resilience
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/shopbot
+	$(GO) run ./examples/resilience
+	$(GO) run ./examples/catalog
+	$(GO) run ./examples/tuples
+	$(GO) run ./examples/maintenance
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,86 @@
+// Command extract runs a trained wrapper (see wrapgen) over HTML pages and
+// prints the extracted element of each.
+//
+// Usage:
+//
+//	extract -w wrapper.json page1.html page2.html ...
+//
+// For every page the tool prints the byte span and source text of the
+// extracted element, or an error when the wrapper does not parse the page.
+// The exit status is the number of pages that failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"resilex"
+)
+
+func main() {
+	wpath := flag.String("w", "wrapper.json", "wrapper JSON produced by wrapgen")
+	budget := flag.Int("budget", 0, "state budget for automaton constructions (0 = default)")
+	quiet := flag.Bool("q", false, "print only the extracted source text")
+	flag.Parse()
+	pages := flag.Args()
+	if len(pages) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: extract -w wrapper.json page.html ...")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*wpath)
+	if err != nil {
+		fatal(err)
+	}
+	opt := resilex.Options{MaxStates: *budget}
+	// Dispatch on payload kind: single-slot or tuple wrapper.
+	var run func(html string) ([]resilex.Region, error)
+	if resilex.IsTuplePayload(data) {
+		w, err := resilex.LoadTupleWrapper(data, opt)
+		if err != nil {
+			fatal(err)
+		}
+		run = w.Extract
+	} else {
+		w, err := resilex.LoadWrapper(data, opt)
+		if err != nil {
+			fatal(err)
+		}
+		run = func(html string) ([]resilex.Region, error) {
+			r, err := w.Extract(html)
+			if err != nil {
+				return nil, err
+			}
+			return []resilex.Region{r}, nil
+		}
+	}
+	failures := 0
+	for _, page := range pages {
+		html, err := os.ReadFile(page)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "extract: %s: %v\n", page, err)
+			failures++
+			continue
+		}
+		regions, err := run(string(html))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "extract: %s: %v\n", page, err)
+			failures++
+			continue
+		}
+		for _, r := range regions {
+			if *quiet {
+				fmt.Println(r.Source)
+			} else {
+				fmt.Printf("%s: token %d, bytes [%d,%d): %s\n",
+					page, r.TokenIndex, r.Span.Start, r.Span.End, r.Source)
+			}
+		}
+	}
+	os.Exit(failures)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "extract:", err)
+	os.Exit(1)
+}

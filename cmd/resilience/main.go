@@ -1,0 +1,94 @@
+// Command resilience regenerates the experiment tables of EXPERIMENTS.md:
+// the empirical validation of every formal claim in "Computational Aspects
+// of Resilient Data Extraction from Semistructured Sources" (PODS 2000).
+//
+// Usage:
+//
+//	resilience            # run every experiment at the standard scale
+//	resilience -quick     # smaller sweeps (seconds, for CI)
+//	resilience -run E4,E8 # a subset
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"resilex/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced sweeps")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	seed := flag.Int64("seed", 1, "random seed for generated workloads")
+	asJSON := flag.Bool("json", false, "emit tables as JSON instead of text")
+	flag.Parse()
+
+	type experiment struct {
+		id string
+		fn func() bench.Table
+	}
+	trials := 20
+	if *quick {
+		trials = 5
+	}
+	sizes := []int{4, 8, 16, 32, 64, 128}
+	e4ns := []int{2, 4, 6, 8, 10, 12, 14, 16}
+	e6ns := []int{0, 1, 2, 4, 8, 12, 16}
+	e7ks := []int{1, 2, 3, 4, 5, 6}
+	edits := []int{1, 2, 4, 6, 8}
+	depths := []int{2, 3, 4, 5, 6}
+	perEdit := 500
+	if *quick {
+		sizes = sizes[:4]
+		e4ns = e4ns[:5]
+		e6ns = e6ns[:5]
+		e7ks = e7ks[:4]
+		edits = edits[:3]
+		depths = depths[:4]
+		perEdit = 100
+	}
+	experiments := []experiment{
+		{"E3", func() bench.Table { return bench.E3Ambiguity(sizes, trials, *seed) }},
+		{"E4", func() bench.Table { return bench.E4Maximality(e4ns) }},
+		{"E5", func() bench.Table { return bench.E5Nonunique() }},
+		{"E6", func() bench.Table { return bench.E6LeftFilter(e6ns) }},
+		{"E7", func() bench.Table { return bench.E7Pivot(e7ks) }},
+		{"E8", func() bench.Table { return bench.E8Resilience(edits, perEdit, *seed) }},
+		{"E8H", func() bench.Table { return bench.E8HTML(3, perEdit/2, *seed) }},
+		{"E10", func() bench.Table { return bench.E10Factoring(depths, trials, *seed) }},
+		{"E11", func() bench.Table { return bench.E11MiddleRow(2, []int{3, 5, 7, 9, 11}) }},
+		{"E13", func() bench.Table { return bench.E13Tuple(perEdit, *seed) }},
+		{"E14", func() bench.Table { return bench.E14Alphabet([]int{2, 3, 4, 6}, perEdit/2, *seed) }},
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+	ran := 0
+	enc := json.NewEncoder(os.Stdout)
+	for _, ex := range experiments {
+		if len(want) > 0 && !want[ex.id] {
+			continue
+		}
+		table := ex.fn()
+		if *asJSON {
+			if err := enc.Encode(table); err != nil {
+				fmt.Fprintln(os.Stderr, "resilience:", err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Println(table.Format())
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "resilience: no experiment matched -run (valid: E3 E4 E5 E6 E7 E8 E8H E10 E11 E13 E14)")
+		os.Exit(2)
+	}
+}

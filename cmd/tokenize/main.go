@@ -1,0 +1,73 @@
+// Command tokenize prints the tag-sequence abstraction of HTML pages — the
+// document representation all extraction expressions run over — one line
+// per page. Useful for authoring expressions by hand and for debugging
+// tokenizer configuration.
+//
+// Usage:
+//
+//	tokenize [-text] [-end=false] [-attrs type,name] [-skip BR,HR] page.html ...
+//	cat page.html | tokenize -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"resilex/internal/htmltok"
+	"resilex/internal/symtab"
+)
+
+func main() {
+	keepText := flag.Bool("text", false, "emit a #text token for text runs")
+	keepEnd := flag.Bool("end", true, "emit /TAG tokens for end tags")
+	attrs := flag.String("attrs", "", "comma-separated attribute keys refining tag symbols")
+	skip := flag.String("skip", "", "comma-separated tags to drop")
+	spans := flag.Bool("spans", false, "print one token per line with its byte span")
+	flag.Parse()
+	files := flag.Args()
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tokenize [flags] page.html ... (or '-' for stdin)")
+		os.Exit(2)
+	}
+	tab := symtab.NewTable()
+	m := htmltok.NewMapper(tab)
+	m.KeepText = *keepText
+	m.KeepEndTags = *keepEnd
+	if *attrs != "" {
+		m.AttrKeys = strings.Split(*attrs, ",")
+	}
+	if *skip != "" {
+		m.Skip = map[string]bool{}
+		for _, s := range strings.Split(*skip, ",") {
+			m.Skip[strings.ToUpper(strings.TrimSpace(s))] = true
+		}
+	}
+	exit := 0
+	for _, f := range files {
+		var data []byte
+		var err error
+		if f == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(f)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tokenize:", err)
+			exit = 1
+			continue
+		}
+		doc := m.Map(string(data))
+		if *spans {
+			for i, sym := range doc.Syms {
+				sp := doc.SpanOf(i)
+				fmt.Printf("%4d  %-24s [%d,%d)\n", i, tab.Name(sym), sp.Start, sp.End)
+			}
+			continue
+		}
+		fmt.Println(tab.String(doc.Syms))
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,117 @@
+// Command wrapgen induces a resilient extraction wrapper from sample HTML
+// pages. In each sample the target element carries a data-target attribute:
+//
+//	<input type="text" name="q" data-target>
+//
+// The tool tokenizes the samples, induces an unambiguous extraction
+// expression with the merging heuristic, maximizes it for resilience, and
+// writes the wrapper as JSON.
+//
+// Usage:
+//
+//	wrapgen -o wrapper.json [-skip BR,HR] [-attrs type] [-extra DIV,/DIV] \
+//	        [-no-maximize] sample1.html sample2.html ...
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"resilex"
+)
+
+func main() {
+	out := flag.String("o", "wrapper.json", "output file for the wrapper JSON")
+	skip := flag.String("skip", "", "comma-separated tags to drop during tokenization (e.g. BR,HR)")
+	attrs := flag.String("attrs", "", "comma-separated attribute keys refining tag symbols (e.g. type)")
+	extra := flag.String("extra", "", "comma-separated extra tags to include in the alphabet")
+	noMax := flag.Bool("no-maximize", false, "keep the merged expression without maximizing")
+	budget := flag.Int("budget", 0, "state budget for automaton constructions (0 = default)")
+	tuple := flag.Bool("tuple", false, "train a multi-slot tuple wrapper (every data-target in a sample is one slot)")
+	dtdPath := flag.String("dtd", "", "DTD file whose declared elements extend the wrapper's alphabet")
+	flag.Parse()
+	files := flag.Args()
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: wrapgen [flags] sample.html ...")
+		os.Exit(2)
+	}
+	var samples []resilex.Sample
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		samples = append(samples, resilex.Sample{HTML: string(data), Target: resilex.TargetMarker()})
+	}
+	extraTags := split(*extra)
+	if *dtdPath != "" {
+		data, err := os.ReadFile(*dtdPath)
+		if err != nil {
+			fatal(err)
+		}
+		dtd, err := resilex.ParseDTD(string(data))
+		if err != nil {
+			fatal(err)
+		}
+		extraTags = append(extraTags, dtd.Vocabulary()...)
+	}
+	cfg := resilex.Config{
+		Skip:         split(*skip),
+		AttrKeys:     split(*attrs),
+		ExtraTags:    extraTags,
+		SkipMaximize: *noMax,
+		Options:      resilex.Options{MaxStates: *budget},
+	}
+	var data []byte
+	var strategy, expr string
+	if *tuple {
+		w, err := resilex.TrainTuple(samples, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		data, err = json.MarshalIndent(w, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		strategy = fmt.Sprintf("tuple (%d slots)", w.Arity())
+		expr = w.String()
+	} else {
+		w, err := resilex.Train(samples, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		data, err = json.MarshalIndent(w, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		strategy = w.Strategy()
+		expr = w.String()
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrapper written to %s\n", *out)
+	fmt.Printf("strategy:   %s\n", strategy)
+	fmt.Printf("expression: %s\n", expr)
+}
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wrapgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+package resilex_test
+
+import (
+	"fmt"
+
+	"resilex"
+)
+
+// The full lifecycle on abstract tokens: parse, check, maximize, extract.
+func ExampleMaximize() {
+	tab := resilex.NewTable()
+	x, err := resilex.ParseExpr("q p <p> .*", tab, resilex.Alphabet{}, resilex.Options{})
+	if err != nil {
+		panic(err)
+	}
+	unamb, _ := x.Unambiguous()
+	maximal, _ := x.Maximal()
+	fmt.Println("unambiguous:", unamb, "maximal:", maximal)
+
+	y, err := resilex.Maximize(x)
+	if err != nil {
+		panic(err)
+	}
+	maximal, _ = y.Maximal()
+	fmt.Println("after Maximize, maximal:", maximal)
+
+	doc, _ := resilex.ParseTokens("q q q p p q", tab)
+	pos, ok := y.Extract(doc)
+	fmt.Println("extracted position:", pos, ok)
+	// Output:
+	// unambiguous: true maximal: false
+	// after Maximize, maximal: true
+	// extracted position: 4 true
+}
+
+// Training an HTML wrapper from marked samples and running it on a page
+// the wrapper never saw.
+func ExampleTrain() {
+	sample1 := `<h1>Shop</h1><form><input type="image"><input type="text" data-target></form>`
+	sample2 := `<table><tr><td><h1>Shop</h1></td></tr><tr><td>` +
+		`<form><input type="image"><input type="text" data-target></form></td></tr></table>`
+	w, err := resilex.Train([]resilex.Sample{
+		{HTML: sample1, Target: resilex.TargetMarker()},
+		{HTML: sample2, Target: resilex.TargetMarker()},
+	}, resilex.Config{})
+	if err != nil {
+		panic(err)
+	}
+	novel := `<table><tr><td><h1>Shop</h1></td></tr><tr><td>SALE</td></tr><tr><td>` +
+		`<form><input type="image"><input type="text"></form></td></tr></table>`
+	r, err := w.Extract(novel)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(r.Source)
+	// Output:
+	// <input type="text">
+}
+
+// Ambiguity diagnostics: the witness shows a concrete page the robot would
+// be confused by.
+func ExampleExpr_AmbiguityWitness() {
+	tab := resilex.NewTable()
+	x, err := resilex.ParseExpr("p* <p> p*", tab, resilex.Alphabet{}, resilex.Options{})
+	if err != nil {
+		panic(err)
+	}
+	w, ok, err := x.AmbiguityWitness()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("ambiguous:", ok)
+	fmt.Println("witness has", len(x.Splits(w)), "valid extraction positions")
+	// Output:
+	// ambiguous: true
+	// witness has 2 valid extraction positions
+}
+
+// Tuple wrappers extract whole records.
+func ExampleTrainTuple() {
+	sample := `<table><tr><td data-target>bolt M4</td><td data-target>$0.10</td></tr></table>`
+	w, err := resilex.TrainTuple([]resilex.Sample{{HTML: sample}}, resilex.Config{KeepText: true})
+	if err != nil {
+		panic(err)
+	}
+	live := `<table><tr><td>nut M5</td><td>$0.07</td></tr></table>`
+	regions, err := w.Extract(live)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(regions), "slots")
+	// Output:
+	// 2 slots
+}

@@ -1,0 +1,124 @@
+// Catalog harvesting: one wrapper per vendor across a small fleet of
+// synthetic catalog sites, each with its own layout conventions. The
+// example shows two production features beyond the basic pipeline:
+// attribute-refined token symbols (INPUT[type=text] vs INPUT[type=radio]),
+// which let the wrapper target "the text input" regardless of how many
+// radio buttons surround it, and per-vendor alphabets widened with
+// ExtraTags for anticipated redesign vocabulary.
+//
+//	go run ./examples/catalog
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"resilex"
+)
+
+type vendor struct {
+	name    string
+	samples []string // training pages, target marked with data-target
+	live    string   // today's page, unseen at training time
+}
+
+var vendors = []vendor{
+	{
+		name: "acme-parts",
+		samples: []string{
+			`<h1>ACME Parts</h1><form action="q.cgi">
+			   <input type="hidden" name="sid">
+			   <input type="text" name="q" data-target>
+			   <input type="radio" name="cat"></form>`,
+			`<table><tr><td><h1>ACME Parts</h1></td></tr><tr><td>
+			   <form action="q.cgi"><input type="hidden" name="sid">
+			   <input type="text" name="q" data-target>
+			   <input type="radio" name="cat"></form></td></tr></table>`,
+		},
+		live: `<table><tr><td><a href="sale.html">SALE</a></td></tr>
+			 <tr><td><h1>ACME Parts</h1></td></tr><tr><td>
+			 <form action="q.cgi"><input type="hidden" name="sid">
+			 <input type="text" name="q">
+			 <input type="radio" name="cat"><input type="radio" name="brand"></form>
+			 </td></tr></table>`,
+	},
+	{
+		name: "widget-world",
+		samples: []string{
+			`<div><img src="logo.gif"></div><form action="find.pl">
+			   <input type="text" name="term" data-target>
+			   <input type="checkbox" name="instock"></form><hr>`,
+			`<div><img src="logo.gif"><h2>Widget World</h2></div>
+			   <form action="find.pl"><input type="text" name="term" data-target>
+			   <input type="checkbox" name="instock"></form>`,
+		},
+		live: `<div><h2>Widget World</h2><img src="logo.gif"></div>
+			 <p>Now with free shipping!</p>
+			 <form action="find.pl"><input type="text" name="term">
+			 <input type="checkbox" name="instock"><input type="checkbox" name="used"></form>`,
+	},
+	{
+		name: "bolt-bazaar",
+		samples: []string{
+			`<h1>Bolt Bazaar</h1><hr><form action="s">
+			   <input type="image" src="go.gif"><input type="text" name="s" data-target></form>`,
+			`<table><tr><th>Bolt Bazaar</th></tr><tr><td><form action="s">
+			   <input type="image" src="go.gif"><input type="text" name="s" data-target>
+			   </form></td></tr></table>`,
+		},
+		live: `<table><tr><th>Bolt Bazaar</th></tr>
+			 <tr><td><a href="bulk.html">bulk orders</a></td></tr>
+			 <tr><td><form action="s"><input type="image" src="go.gif">
+			 <input type="text" name="s"></form></td></tr></table>`,
+	},
+}
+
+func main() {
+	cfg := resilex.Config{
+		// Refine INPUT symbols by their type attribute: the target token
+		// becomes INPUT[type=text], distinct from radios and checkboxes.
+		AttrKeys: []string{"type"},
+		Skip:     []string{"BR"},
+		// Vocabulary a redesign might introduce.
+		ExtraTags: []string{"DIV", "/DIV", "P", "/P", "A", "/A", "HR", "TABLE", "/TABLE",
+			"TR", "/TR", "TD", "/TD", "TH", "/TH", "H1", "/H1", "H2", "/H2", "IMG"},
+	}
+	// Train one wrapper per vendor and register them in a fleet — the
+	// operating unit of a multi-vendor shopbot.
+	fleet := resilex.NewFleet()
+	for _, v := range vendors {
+		var samples []resilex.Sample
+		for _, s := range v.samples {
+			samples = append(samples, resilex.Sample{HTML: s, Target: resilex.TargetMarker()})
+		}
+		w, err := resilex.Train(samples, cfg)
+		if err != nil {
+			log.Fatalf("%s: training: %v", v.name, err)
+		}
+		fleet.Add(v.name, w)
+	}
+	// Persist and reload the whole fleet, as a deployed robot would.
+	data, err := fleet.MarshalJSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	robot, err := resilex.LoadFleet(data, resilex.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-14s %-24s %s\n", "vendor", "strategy", "live-page extraction")
+	for _, v := range vendors {
+		r, err := robot.ExtractFrom(v.name, v.live)
+		if err != nil {
+			log.Fatalf("%s: live extraction: %v", v.name, err)
+		}
+		if !strings.Contains(r.Source, `type="text"`) {
+			log.Fatalf("%s: extracted the wrong element: %s", v.name, r.Source)
+		}
+		fmt.Printf("%-14s %-24s %s\n", v.name, robot.Get(v.name).Strategy(), strings.TrimSpace(r.Source))
+	}
+	fmt.Printf("\nfleet of %d wrappers persisted in %d bytes; every vendor's search box found on an unseen layout\n",
+		robot.Len(), len(data))
+}

@@ -1,0 +1,85 @@
+// Maintenance: the lifecycle of a deployed wrapper. The robot extracts for
+// months; one day the vendor ships a redesign radical enough that even the
+// maximized wrapper cannot parse it. An operator marks the target once on
+// the new page and Refresh widens the wrapper *within the resilience order*
+// — every page it used to handle keeps extracting identically (the ⪯
+// guarantee), and the new layout family is learned and re-maximized.
+//
+//	go run ./examples/maintenance
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"resilex"
+)
+
+const gen1 = `<h1>MegaParts</h1>
+<form action="q.cgi"><input type="hidden" name="sid">
+<input type="text" name="q" data-target></form>`
+
+const gen2 = `<table><tr><td><h1>MegaParts</h1></td></tr><tr><td>
+<form action="q.cgi"><input type="hidden" name="sid">
+<input type="text" name="q" data-target></form></td></tr></table>`
+
+// The year-three redesign: everything is DIVs and SPANs now.
+const gen3 = `<div id="hdr"><span>MegaParts</span></div>
+<div class="searchbox">
+<form action="q.cgi"><input type="hidden" name="sid">
+<input type="text" name="q" data-target></form>
+</div>`
+
+// A later variant of the gen-3 family the robot must also survive.
+const gen3b = `<div id="hdr"><span>MegaParts</span><span>since 1999</span></div>
+<p>free shipping!</p>
+<div class="searchbox">
+<form action="q.cgi"><input type="hidden" name="sid">
+<input type="text" name="q"></form>
+</div>`
+
+func main() {
+	w, err := resilex.Train([]resilex.Sample{
+		{HTML: gen1, Target: resilex.TargetMarker()},
+		{HTML: gen2, Target: resilex.TargetMarker()},
+	}, resilex.Config{
+		Skip: []string{"BR"},
+		// Redesign vocabulary the robot should tolerate without retraining.
+		ExtraTags: []string{"P", "/P", "DIV", "/DIV", "SPAN", "/SPAN"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deployed wrapper:", w.String())
+
+	// Year three: the redesign breaks it.
+	_, err = w.Extract(gen3)
+	fmt.Println("gen-3 redesign parsed:", !errors.Is(err, resilex.ErrNotExtracted))
+
+	// One marked sample refreshes the wrapper in place.
+	w2, err := w.Refresh(resilex.Sample{HTML: gen3, Target: resilex.TargetMarker()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("refreshed wrapper:", w2.String())
+	fmt.Println("strategy:         ", w2.Strategy())
+
+	// It handles the new family, including variants it never saw…
+	for _, page := range []string{gen3, gen3b} {
+		r, err := w2.Extract(page)
+		if err != nil {
+			log.Fatalf("gen-3 family: %v", err)
+		}
+		fmt.Printf("gen-3 family  → %s\n", r.Source)
+	}
+	// …and the old generations still extract identically (the ⪯ guarantee).
+	for i, page := range []string{gen1, gen2} {
+		r1, err1 := w.Extract(page)
+		r2, err2 := w2.Extract(page)
+		if err1 != nil || err2 != nil || r1.Span != r2.Span {
+			log.Fatalf("generation %d regressed after refresh", i+1)
+		}
+	}
+	fmt.Println("older generations: unchanged extraction (monotone in ⪯)")
+}

@@ -1,0 +1,86 @@
+// Quickstart: the resilient-extraction lifecycle — rigid expression breaks
+// on a redesign; merging two samples and maximizing produces an expression
+// that provably cannot be generalized further and survives novel layouts.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"resilex"
+)
+
+func main() {
+	tab := resilex.NewTable()
+	opt := resilex.Options{}
+
+	// Σ: the tag vocabulary our pages may use. Expressions are always
+	// relative to an explicit finite alphabet — '.*' means Σ*, so tags
+	// outside Σ make a page unparseable by design.
+	sigmaTokens, err := resilex.ParseTokens(
+		"P H1 /H1 FORM /FORM INPUT TABLE /TABLE TR /TR TD /TD A /A", tab)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sigma := resilex.NewAlphabet(sigmaTokens...)
+
+	doc := func(s string) []resilex.Symbol {
+		w, err := resilex.ParseTokens(s, tab)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return w
+	}
+	// Two variants of the same catalog page; the target is the second INPUT
+	// of the search form (index 6 and 9).
+	page1 := doc("P H1 /H1 P FORM INPUT INPUT INPUT /FORM")
+	page2 := doc("TABLE TR TD H1 /H1 /TD /TR TR TD FORM INPUT INPUT INPUT /FORM /TD /TR /TABLE")
+
+	// 1. A rigid expression from page1 alone.
+	rigid, err := resilex.ParseExpr("P H1 /H1 P FORM INPUT <INPUT> .*", tab, sigma, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rigid:     ", rigid.String(tab))
+	_, ok := rigid.Extract(page2)
+	fmt.Printf("            parses the redesigned page: %v  (brittle)\n", ok)
+
+	// 2. Induce from both examples: the merging heuristic keeps the shared
+	//    anchors and unions the rest (paper, Section 7).
+	merged, err := resilex.Induce([]resilex.Example{
+		{Doc: page1, Target: 6},
+		{Doc: page2, Target: 11},
+	}, sigma, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("merged:    ", merged.String(tab))
+	unamb, err := merged.Unambiguous()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("            unambiguous:", unamb)
+
+	// 3. Maximize: the most general unambiguous expression above it in the
+	//    resilience order (Algorithm 6.2 via the pivot framework).
+	maxed, err := resilex.Maximize(merged)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("maximized: ", maxed.String(tab))
+	m, err := maxed.Maximal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("            provably maximal:", m)
+
+	// 4. A third layout neither expression ever saw.
+	novel := doc("TABLE TR TD A /A /TD /TR TR TD H1 /H1 /TD /TR TR TD P FORM INPUT INPUT /FORM /TD /TR /TABLE")
+	pos, ok := maxed.Extract(novel)
+	fmt.Printf("novel page: extracted token %d (ok=%v) — the second INPUT, resilient\n", pos, ok)
+	if !ok || novel[pos] != tab.Lookup("INPUT") {
+		log.Fatal("extraction failed on the novel page")
+	}
+}

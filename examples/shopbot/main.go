@@ -1,0 +1,103 @@
+// Shopbot: the paper's motivating scenario (Figure 1 / Section 7) end to
+// end at the HTML level. A price-comparison robot is trained on the
+// "Virtual Supplier" search page; the site is then redesigned — the form
+// moves into a table, rows are added — and the robot still finds the query
+// input. The trained wrapper is persisted to JSON and reloaded, as a real
+// shopbot fleet would distribute it.
+//
+//	go run ./examples/shopbot
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"resilex"
+)
+
+// The original page (Figure 1, top). The robot's target — the text input
+// where the search keywords go — is marked with data-target for training.
+const originalPage = `<P>
+<H1>Virtual Supplier, Inc.</H1>
+<P>
+<form method="post" action="search.cgi">
+<input type="image" align="left" src="search.gif" />
+<input type="text" size="15" name="value" data-target />
+<br />
+<input type="radio" name="attr" value="1" checked> Keywords<br />
+<input type="radio" name="attr" value="2"> Manufacturer Part#
+</form>`
+
+// The redesigned page (Figure 1, bottom): the form is embedded in a table
+// and a customer-service row was added.
+const redesignedPage = `<table>
+<tr><th><img src="supplier.gif"></th></tr>
+<tr><td><h1>Virtual Supplier, Inc.</h1></td></tr>
+<tr><td><a href="cust.html">Customer Service</a></td></tr>
+<tr><td><form method="post" action="search.cgi">
+<input type="image" src="search.gif" />
+<input type="text" size="15" name="value" data-target />
+<input type="radio" name="attr" value="1" checked> Keywords<br />
+<input type="radio" name="attr" value="2"> Manufacturer Part#
+</form></td></tr>
+</table>`
+
+// A third redesign the robot never saw: extra promotional rows, a footer.
+const futurePage = `<table>
+<tr><td><h1>Virtual Supplier, Inc.</h1></td></tr>
+<tr><td><a href="deals.html">Hot Deals!</a></td></tr>
+<tr><td><a href="cust.html">Customer Service</a></td></tr>
+<tr><td><form method="post" action="search.cgi">
+<input type="image" src="search.gif" />
+<input type="text" size="15" name="value" />
+<input type="radio" name="attr" value="1"> Keywords
+</form></td></tr>
+<tr><td><a href="legal.html">fine print</a></td></tr>
+</table>`
+
+func main() {
+	// Train on the two Figure 1 variants. BR is presentation noise.
+	w, err := resilex.Train([]resilex.Sample{
+		{HTML: originalPage, Target: resilex.TargetMarker()},
+		{HTML: redesignedPage, Target: resilex.TargetMarker()},
+	}, resilex.Config{Skip: []string{"BR"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training strategy: ", w.Strategy())
+	fmt.Println("wrapper expression:", w.String())
+	fmt.Println()
+
+	// Persist and reload, as a deployed robot would.
+	data, err := json.MarshalIndent(w, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(os.TempDir(), "virtual-supplier-wrapper.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrapper persisted to %s (%d bytes)\n\n", path, len(data))
+	robot, err := resilex.LoadWrapper(data, resilex.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The robot visits all three page generations.
+	pages := []struct{ name, html string }{
+		{"original page   ", originalPage},
+		{"redesigned page ", redesignedPage},
+		{"future redesign ", futurePage},
+	}
+	for _, p := range pages {
+		r, err := robot.Extract(p.html)
+		if err != nil {
+			log.Fatalf("%s: %v", p.name, err)
+		}
+		fmt.Printf("%s → bytes [%4d,%4d): %s\n", p.name, r.Span.Start, r.Span.End, r.Source)
+	}
+	fmt.Println("\nthe robot filled the same search box on every generation of the site")
+}

@@ -1,0 +1,59 @@
+// Tuples: harvesting (part-name, price) pairs from a vendor's price table.
+// Real shopbots extract records, not single cells; this example trains a
+// two-slot tuple wrapper — the library's lift of the paper's single-mark
+// model — and runs it against a page the wrapper never saw, where extra
+// header rows and decoration were added.
+//
+//	go run ./examples/tuples
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"resilex"
+)
+
+// Training samples: the first data row's name and price cells are marked.
+const priceList1 = `<h1>Bolt Bazaar — Price List</h1>
+<table>
+<tr><td data-target>hex bolt M4</td><td data-target>$0.10</td></tr>
+<tr><td>hex bolt M5</td><td>$0.12</td></tr>
+</table>`
+
+const priceList2 = `<p>Prices updated daily.</p>
+<table>
+<tr><th>part</th><th>price</th></tr>
+<tr><td data-target>hex bolt M4</td><td data-target>$0.11</td></tr>
+<tr><td>hex bolt M5</td><td>$0.13</td></tr>
+</table>`
+
+// Today's page: new banner, reordered decorations, new parts.
+const livePage = `<h1>Bolt Bazaar — Price List</h1>
+<p>SALE! Prices updated daily.</p>
+<table>
+<tr><th>part</th><th>price</th></tr>
+<tr><td>locknut M4</td><td>$0.07</td></tr>
+<tr><td>washer M4</td><td>$0.02</td></tr>
+</table>`
+
+func main() {
+	w, err := resilex.TrainTuple([]resilex.Sample{
+		{HTML: priceList1},
+		{HTML: priceList2},
+	}, resilex.Config{KeepText: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained a %d-slot tuple wrapper:\n  %s\n\n", w.Arity(), w.String())
+
+	regions, err := w.Extract(livePage)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("first data row of today's page:")
+	labels := []string{"part ", "price"}
+	for j, r := range regions {
+		fmt.Printf("  %s → bytes [%3d,%3d): %s\n", labels[j], r.Span.Start, r.Span.End, r.Source)
+	}
+}

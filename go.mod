@@ -1,0 +1,3 @@
+module resilex
+
+go 1.22

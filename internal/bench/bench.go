@@ -1,0 +1,294 @@
+// Package bench provides the parameterized workload generators behind the
+// experiment harness (EXPERIMENTS.md): random extraction expressions for the
+// complexity sweeps, the PSPACE witness family of Lemma 5.9, bounded-p
+// families for Algorithm 6.2, pivot families, and a synthetic catalog-site
+// generator standing in for the paper's live shopbot pages.
+//
+// Every generator is seeded and deterministic, so benchmark rows are
+// reproducible.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"resilex/internal/extract"
+	"resilex/internal/htmltok"
+	"resilex/internal/learn"
+	"resilex/internal/machine"
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+// Env bundles a symbol table with a small abstract alphabet {p, q, r}.
+type Env struct {
+	Tab     *symtab.Table
+	P, Q, R symtab.Symbol
+	Sigma   symtab.Alphabet
+}
+
+// NewEnv builds the standard abstract environment.
+func NewEnv() Env {
+	tab := symtab.NewTable()
+	p, q, r := tab.Intern("p"), tab.Intern("q"), tab.Intern("r")
+	return Env{Tab: tab, P: p, Q: q, R: r, Sigma: symtab.NewAlphabet(p, q, r)}
+}
+
+// UnambiguousExpr generates a random extraction expression of roughly the
+// requested AST size that is unambiguous by construction: a prefix of the
+// form w₀·p·w₁·p·…·wₖ over (Σ−p)-words wᵢ with optional-q decorations, which
+// keeps (E·p)\E empty, followed by Σ*. Used by the ambiguity-testing and
+// maximization sweeps (E3, E6).
+func (e Env) UnambiguousExpr(size int, rng *rand.Rand) extract.Expr {
+	noP := []symtab.Symbol{e.Q, e.R}
+	var parts []*rx.Node
+	cur := 0
+	for cur < size {
+		switch rng.Intn(4) {
+		case 0: // literal (Σ−p) symbol
+			parts = append(parts, rx.Sym(noP[rng.Intn(len(noP))]))
+			cur++
+		case 1: // optional (Σ−p) symbol
+			parts = append(parts, rx.Opt(rx.Sym(noP[rng.Intn(len(noP))])))
+			cur += 2
+		case 2: // a (Σ−p)-star block
+			parts = append(parts, rx.Star(rx.AnyOf(noP...)))
+			cur += 2
+		case 3: // a p occurrence separated by mandatory q
+			parts = append(parts, rx.Sym(e.P), rx.Sym(e.Q))
+			cur += 2
+		}
+	}
+	left := rx.Concat(parts...)
+	x, err := extract.FromAST(left, e.P, rx.Star(rx.Class(e.Sigma)), e.Sigma, machine.Options{})
+	if err != nil {
+		panic(err) // plain operators cannot fail over a fixed small Σ
+	}
+	return x
+}
+
+// AmbiguousExpr generates an ambiguous expression of roughly the requested
+// size: p*-padding on both sides of the mark guarantees multiple splits.
+func (e Env) AmbiguousExpr(size int, rng *rand.Rand) extract.Expr {
+	var parts []*rx.Node
+	parts = append(parts, rx.Star(rx.Sym(e.P)))
+	for cur := 2; cur < size; cur += 2 {
+		if rng.Intn(2) == 0 {
+			parts = append(parts, rx.Opt(rx.Sym(e.Q)))
+		} else {
+			parts = append(parts, rx.Star(rx.AnyOf(e.Q, e.R)))
+		}
+	}
+	left := rx.Concat(parts...)
+	x, err := extract.FromAST(left, e.P, rx.Star(rx.Class(e.Sigma)), e.Sigma, machine.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return x
+}
+
+// BoundedPExpr generates an unambiguous expression whose prefix matches
+// exactly n p's (each fenced by q's), the family Algorithm 6.2 is built for:
+// the loop runs n+1 times (E6).
+func (e Env) BoundedPExpr(n int) extract.Expr {
+	var parts []*rx.Node
+	parts = append(parts, rx.Star(rx.AnyOf(e.Q, e.R)))
+	for i := 0; i < n; i++ {
+		parts = append(parts, rx.Sym(e.P), rx.Sym(e.Q), rx.Star(rx.AnyOf(e.Q, e.R)))
+	}
+	left := rx.Concat(parts...)
+	x, err := extract.FromAST(left, e.P, rx.Star(rx.Class(e.Sigma)), e.Sigma, machine.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return x
+}
+
+// PivotExpr generates the pivot family of experiment E7: k repetitions of
+// an unbounded-p block (p q)* fenced by r pivots, ending in a bounded tail.
+// Plain left-filtering fails on every member; pivot maximization succeeds.
+func (e Env) PivotExpr(k int) extract.Expr {
+	var parts []*rx.Node
+	for i := 0; i < k; i++ {
+		parts = append(parts, rx.Star(rx.Concat(rx.Sym(e.P), rx.Sym(e.Q))), rx.Sym(e.R))
+	}
+	parts = append(parts, rx.Sym(e.Q))
+	left := rx.Concat(parts...)
+	x, err := extract.FromAST(left, e.P, rx.Star(rx.Class(e.Sigma)), e.Sigma, machine.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return x
+}
+
+// PSPACEWitness builds the Lemma 5.9 / Theorem 5.12 hardness family over
+// {p, q}: (p|q)*·p·(p|q)ⁿ, whose minimal DFA has 2^(n+1) states. Returned as
+// a bare regex for universality-blowup measurements (E4).
+func (e Env) PSPACEWitness(n int) (*rx.Node, symtab.Alphabet) {
+	two := symtab.NewAlphabet(e.P, e.Q)
+	parts := []*rx.Node{rx.Star(rx.Class(two)), rx.Sym(e.P)}
+	for i := 0; i < n; i++ {
+		parts = append(parts, rx.Class(two))
+	}
+	return rx.Concat(parts...), two
+}
+
+// RandomRegex draws a random plain regex of bounded depth for the factoring
+// sweep (E10).
+func (e Env) RandomRegex(depth int, rng *rand.Rand) *rx.Node {
+	syms := []symtab.Symbol{e.P, e.Q, e.R}
+	var gen func(d int) *rx.Node
+	gen = func(d int) *rx.Node {
+		if d <= 0 {
+			return rx.Sym(syms[rng.Intn(len(syms))])
+		}
+		switch rng.Intn(6) {
+		case 0, 1:
+			return rx.Concat(gen(d-1), gen(d-1))
+		case 2:
+			return rx.Union(gen(d-1), gen(d-1))
+		case 3:
+			return rx.Star(gen(d - 1))
+		case 4:
+			return rx.Opt(gen(d - 1))
+		default:
+			return rx.Sym(syms[rng.Intn(len(syms))])
+		}
+	}
+	return gen(depth)
+}
+
+// Site is one synthetic catalog page with ground truth, produced by
+// SiteGenerator.
+type Site struct {
+	HTML   string
+	Tokens []symtab.Symbol
+	Target int // token index of the target element (the form's n-th input)
+}
+
+// SiteGenerator produces synthetic "Virtual Supplier" catalog pages in the
+// shape of the paper's Figure 1: a header area, optional navigation tables,
+// one search form whose k-th input is the object of interest, and trailing
+// content. It substitutes for the live vendor pages of the authors' system.
+type SiteGenerator struct {
+	Tab *symtab.Table
+	rng *rand.Rand
+	// TargetInput is the 0-based input of the form to mark (default 1 = the
+	// second input, as in the paper).
+	TargetInput int
+}
+
+// NewSiteGenerator returns a seeded generator over the table.
+func NewSiteGenerator(tab *symtab.Table, seed int64) *SiteGenerator {
+	return &SiteGenerator{Tab: tab, rng: rand.New(rand.NewSource(seed)), TargetInput: 1}
+}
+
+// Alphabet returns every tag symbol the generator can emit.
+func (g *SiteGenerator) Alphabet() symtab.Alphabet {
+	return symtab.NewAlphabet(g.Tab.InternAll(
+		"HTML", "/HTML", "BODY", "/BODY", "P", "H1", "/H1", "H2", "/H2",
+		"A", "/A", "IMG", "HR", "DIV", "/DIV",
+		"TABLE", "/TABLE", "TR", "/TR", "TD", "/TD", "TH", "/TH",
+		"FORM", "/FORM", "INPUT", "SELECT", "/SELECT", "OPTION", "/OPTION",
+	)...)
+}
+
+// Generate produces one page. `inputs` is the number of inputs in the form
+// (must exceed TargetInput); layout variation is driven by the seed.
+func (g *SiteGenerator) Generate(inputs int) Site {
+	if inputs <= g.TargetInput {
+		panic(fmt.Sprintf("bench: form needs > %d inputs, got %d", g.TargetInput, inputs))
+	}
+	var b strings.Builder
+	b.WriteString("<html><body>")
+	// Header block.
+	switch g.rng.Intn(3) {
+	case 0:
+		b.WriteString("<p><h1>Virtual Supplier, Inc.</h1><p>")
+	case 1:
+		b.WriteString("<h1>Virtual Supplier, Inc.</h1><hr>")
+	case 2:
+		b.WriteString("<div><img src=\"logo.gif\"><h2>Catalog</h2></div>")
+	}
+	// Navigation rows.
+	nav := g.rng.Intn(4)
+	if nav > 0 {
+		b.WriteString("<table>")
+		for i := 0; i < nav; i++ {
+			b.WriteString("<tr><td><a href=\"x.html\">nav</a></td></tr>")
+		}
+		b.WriteString("</table>")
+	}
+	// The search form.
+	inTable := g.rng.Intn(2) == 1
+	if inTable {
+		b.WriteString("<table><tr><td>")
+	}
+	b.WriteString(`<form method="post" action="search.cgi">`)
+	for i := 0; i < inputs; i++ {
+		kind := "text"
+		if i > 0 {
+			kind = []string{"radio", "checkbox", "hidden"}[g.rng.Intn(3)]
+		}
+		fmt.Fprintf(&b, `<input type=%q name="f%d">`, kind, i)
+	}
+	b.WriteString("</form>")
+	if inTable {
+		b.WriteString("</td></tr></table>")
+	}
+	// Trailing content.
+	for i := g.rng.Intn(3); i > 0; i-- {
+		b.WriteString("<p><a href=\"more.html\">more</a>")
+	}
+	b.WriteString("</body></html>")
+	return g.finish(b.String())
+}
+
+func (g *SiteGenerator) finish(html string) Site {
+	mapper := mapperFor(g.Tab)
+	doc := mapper.Map(html)
+	form := g.Tab.Intern("FORM")
+	input := g.Tab.Intern("INPUT")
+	// Target = TargetInput-th INPUT after the first FORM.
+	target := -1
+	seen := -1
+	started := false
+	for i, s := range doc.Syms {
+		if s == form {
+			started = true
+		}
+		if started && s == input {
+			seen++
+			if seen == g.TargetInput {
+				target = i
+				break
+			}
+		}
+	}
+	if target < 0 {
+		panic("bench: generated page lacks the target input")
+	}
+	return Site{HTML: html, Tokens: doc.Syms, Target: target}
+}
+
+// TrainingSet generates n sites and returns them as learn examples plus the
+// combined alphabet.
+func (g *SiteGenerator) TrainingSet(n, inputs int) ([]learn.Example, symtab.Alphabet) {
+	var out []learn.Example
+	sigma := g.Alphabet()
+	for i := 0; i < n; i++ {
+		s := g.Generate(inputs)
+		out = append(out, learn.Example{Doc: s.Tokens, Target: s.Target})
+		sigma = sigma.Union(symtab.NewAlphabet(s.Tokens...))
+	}
+	return out, sigma
+}
+
+// mapperFor builds the standard tokenizer configuration used throughout the
+// experiments (end tags kept, BR noise dropped).
+func mapperFor(tab *symtab.Table) *htmltok.Mapper {
+	m := htmltok.NewMapper(tab)
+	m.Skip = map[string]bool{"BR": true}
+	return m
+}

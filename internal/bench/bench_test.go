@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"resilex/internal/extract"
+	"resilex/internal/machine"
+	"resilex/internal/wrapper"
+)
+
+func TestUnambiguousExprIsUnambiguous(t *testing.T) {
+	e := NewEnv()
+	rng := rand.New(rand.NewSource(5))
+	for _, size := range []int{4, 8, 16, 32} {
+		for i := 0; i < 10; i++ {
+			x := e.UnambiguousExpr(size, rng)
+			unamb, err := x.Unambiguous()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !unamb {
+				t.Fatalf("generated expression (size %d) ambiguous: %s", size, x.String(e.Tab))
+			}
+		}
+	}
+}
+
+func TestAmbiguousExprIsAmbiguous(t *testing.T) {
+	e := NewEnv()
+	rng := rand.New(rand.NewSource(5))
+	for _, size := range []int{4, 8, 16} {
+		for i := 0; i < 10; i++ {
+			x := e.AmbiguousExpr(size, rng)
+			unamb, err := x.Unambiguous()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if unamb {
+				t.Fatalf("generated expression (size %d) unambiguous: %s", size, x.String(e.Tab))
+			}
+		}
+	}
+}
+
+func TestBoundedPExprFamily(t *testing.T) {
+	e := NewEnv()
+	for _, n := range []int{0, 1, 2, 4, 8} {
+		x := e.BoundedPExpr(n)
+		bound, bounded := x.Left().MaxOccurrences(e.P)
+		if !bounded || bound != n {
+			t.Fatalf("n=%d: MaxOccurrences = (%d, %v)", n, bound, bounded)
+		}
+		out, err := extract.LeftFilter(x)
+		if err != nil {
+			t.Fatalf("n=%d: LeftFilter: %v", n, err)
+		}
+		if m, err := out.Maximal(); err != nil || !m {
+			t.Fatalf("n=%d: output not maximal (%v, %v)", n, m, err)
+		}
+	}
+}
+
+func TestPivotExprFamily(t *testing.T) {
+	e := NewEnv()
+	for _, k := range []int{1, 2, 3} {
+		x := e.PivotExpr(k)
+		if unamb, err := x.Unambiguous(); err != nil || !unamb {
+			t.Fatalf("k=%d: family member not unambiguous (%v, %v)", k, unamb, err)
+		}
+		if _, bounded := x.Left().MaxOccurrences(e.P); bounded {
+			t.Fatalf("k=%d: family member has bounded p — not the intended family", k)
+		}
+		out, err := extract.Pivot(x)
+		if err != nil {
+			t.Fatalf("k=%d: Pivot: %v", k, err)
+		}
+		if m, err := out.Maximal(); err != nil || !m {
+			t.Fatalf("k=%d: not maximal (%v, %v)", k, m, err)
+		}
+	}
+}
+
+func TestPSPACEWitnessStates(t *testing.T) {
+	e := NewEnv()
+	for _, n := range []int{1, 3, 5} {
+		expr, sigma := e.PSPACEWitness(n)
+		nfa, err := machine.Compile(expr, sigma, machine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := machine.Determinize(nfa, machine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := machine.Minimize(d).NumStates(), 1<<(n+1); got != want {
+			t.Errorf("n=%d: %d states, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRandomRegexCompiles(t *testing.T) {
+	e := NewEnv()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		n := e.RandomRegex(4, rng)
+		if _, err := machine.Compile(n, e.Sigma, machine.Options{}); err != nil {
+			t.Fatalf("compile failed: %v", err)
+		}
+	}
+}
+
+func TestSiteGenerator(t *testing.T) {
+	e := NewEnv()
+	g := NewSiteGenerator(e.Tab, 3)
+	input := e.Tab.Intern("INPUT")
+	for i := 0; i < 30; i++ {
+		s := g.Generate(2 + i%3)
+		if s.Tokens[s.Target] != input {
+			t.Fatalf("site %d: target token is %s", i, e.Tab.Name(s.Tokens[s.Target]))
+		}
+		if len(s.HTML) == 0 || len(s.Tokens) < 5 {
+			t.Fatalf("site %d degenerate: %d tokens", i, len(s.Tokens))
+		}
+	}
+	// Determinism.
+	a := NewSiteGenerator(e.Tab, 42).Generate(3)
+	b := NewSiteGenerator(e.Tab, 42).Generate(3)
+	if a.HTML != b.HTML || a.Target != b.Target {
+		t.Error("same seed, different site")
+	}
+}
+
+// End-to-end: sites from the generator train a working maximized wrapper.
+func TestSiteGeneratorTrainsWrapper(t *testing.T) {
+	e := NewEnv()
+	g := NewSiteGenerator(e.Tab, 17)
+	examples, sigma := g.TrainingSet(3, 4)
+	w, err := wrapper.TrainTokens(e.Tab, examples, sigma, wrapper.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Score on fresh pages from the same generator.
+	hits := 0
+	const total = 50
+	for i := 0; i < total; i++ {
+		s := g.Generate(4)
+		if pos, ok := w.ExtractTokens(s.Tokens); ok && pos == s.Target {
+			hits++
+		}
+	}
+	if hits < total*9/10 {
+		t.Errorf("wrapper hit %d/%d fresh pages (strategy %s, expr %s)",
+			hits, total, w.Strategy(), w.String())
+	}
+}
+
+// Full-HTML integration: Train (not TrainTokens) on generated pages using
+// index targets, then extract byte regions from fresh pages.
+func TestSiteGeneratorHTMLTrain(t *testing.T) {
+	e := NewEnv()
+	g := NewSiteGenerator(e.Tab, 23)
+	var samples []wrapper.Sample
+	for i := 0; i < 3; i++ {
+		s := g.Generate(4)
+		samples = append(samples, wrapper.Sample{HTML: s.HTML, Target: wrapper.TargetIndex(s.Target)})
+	}
+	// Σ must cover the generator's full tag vocabulary, or fresh pages using
+	// tags absent from the three samples would be unparseable by design.
+	var extra []string
+	for _, sym := range g.Alphabet().Symbols() {
+		extra = append(extra, e.Tab.Name(sym))
+	}
+	w, err := wrapper.Train(samples, wrapper.Config{Skip: []string{"BR"}, ExtraTags: extra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	const total = 30
+	for i := 0; i < total; i++ {
+		s := g.Generate(4)
+		r, err := w.Extract(s.HTML)
+		if err != nil {
+			continue
+		}
+		// The region must be the generator's target input tag.
+		want := s.HTML[r.Span.Start:r.Span.End]
+		if r.Source == want && r.Source != "" && r.Span.Start > 0 {
+			// Confirm it is the second input of the form by name attribute.
+			if strings.Contains(r.Source, `name="f1"`) {
+				hits++
+			}
+		}
+	}
+	if hits < total*8/10 {
+		t.Errorf("HTML-level wrapper hit %d/%d", hits, total)
+	}
+}

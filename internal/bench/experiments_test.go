@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestE3Shape(t *testing.T) {
+	tab := E3Ambiguity([]int{4, 8}, 3, 1)
+	if len(tab.Rows) != 2 || len(tab.Header) != 4 {
+		t.Fatalf("table shape: %+v", tab)
+	}
+	if !strings.Contains(tab.Format(), "E3") {
+		t.Error("Format missing id")
+	}
+}
+
+func TestE4BlowupIsExponential(t *testing.T) {
+	tab := E4Maximality([]int{2, 4, 6})
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r[2] != r[3] {
+			t.Errorf("n=%s: min-dfa %s != predicted %s", r[0], r[2], r[3])
+		}
+	}
+}
+
+func TestE5TwoMaximals(t *testing.T) {
+	tab := E5Nonunique()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r[1] != "true" || r[2] != "true" {
+			t.Errorf("row %v not maximal+unambiguous", r)
+		}
+	}
+	if tab.Rows[1][3] != "true" {
+		t.Error("the two maximizations should be distinct")
+	}
+}
+
+func TestE6AllMaximal(t *testing.T) {
+	tab := E6LeftFilter([]int{0, 1, 3})
+	for _, r := range tab.Rows {
+		if r[3] != "true" {
+			t.Errorf("n=%s output not maximal", r[0])
+		}
+	}
+}
+
+func TestE7LeftFilterFailsPivotSucceeds(t *testing.T) {
+	tab := E7Pivot([]int{1, 2})
+	for _, r := range tab.Rows {
+		if r[1] != "unbounded" {
+			t.Errorf("k=%s: left-filter = %s, want unbounded", r[0], r[1])
+		}
+		if r[2] != "ok" {
+			t.Errorf("k=%s: pivot = %s", r[0], r[2])
+		}
+	}
+}
+
+func TestE8Ordering(t *testing.T) {
+	tab := E8Resilience([]int{1, 3}, 60, 5)
+	for _, r := range tab.Rows {
+		rigid, _ := strconv.ParseFloat(r[1], 64)
+		merged, _ := strconv.ParseFloat(r[2], 64)
+		maxed, _ := strconv.ParseFloat(r[3], 64)
+		if !(rigid <= merged && merged <= maxed) {
+			t.Errorf("edits=%s: ordering violated: %v ≤ %v ≤ %v", r[0], rigid, merged, maxed)
+		}
+		if maxed < 90 {
+			t.Errorf("edits=%s: maximized too fragile: %v%%", r[0], maxed)
+		}
+	}
+}
+
+func TestE10Rows(t *testing.T) {
+	tab := E10Factoring([]int{2, 3}, 5, 2)
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestE11FailsBeyondTraining(t *testing.T) {
+	tab := E11MiddleRow(2, []int{3, 5, 7, 9})
+	if len(tab.Rows) == 1 && strings.Contains(tab.Rows[0][2], "induction failed") {
+		// Acceptable outcome: the training set is inherently ambiguous.
+		return
+	}
+	sawFailure := false
+	for _, r := range tab.Rows {
+		rows, _ := strconv.Atoi(r[0])
+		if rows > 2*2+1 && r[1] == "false" {
+			sawFailure = true
+		}
+	}
+	if !sawFailure {
+		t.Error("wrapper tracked the middle of arbitrarily large tables — impossible for a regular device")
+	}
+}
+
+func TestE8HTMLOrdering(t *testing.T) {
+	tab := E8HTML(3, 40, 9)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	rate := func(i int) float64 {
+		f, err := strconv.ParseFloat(tab.Rows[i][3], 64)
+		if err != nil {
+			t.Fatalf("row %d: %v (%v)", i, err, tab.Rows[i])
+		}
+		return f
+	}
+	if !(rate(0) <= rate(2) && rate(1) <= rate(2)) {
+		t.Errorf("maximized should dominate: %v %v %v", rate(0), rate(1), rate(2))
+	}
+	if rate(2) < 80 {
+		t.Errorf("maximized wrapper too weak on fresh layouts: %v%%", rate(2))
+	}
+}
+
+func TestE13TupleRows(t *testing.T) {
+	tab := E13Tuple(60, 4)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r[1] != "true" {
+			t.Errorf("%s not unambiguous", r[0])
+		}
+	}
+	ind, _ := strconv.ParseFloat(tab.Rows[0][3], 64)
+	maxed, _ := strconv.ParseFloat(tab.Rows[1][3], 64)
+	if maxed < ind {
+		t.Errorf("maximized tuple (%v%%) below induced (%v%%)", maxed, ind)
+	}
+	if maxed < 60 {
+		t.Errorf("maximized tuple too fragile: %v%%", maxed)
+	}
+}
+
+func TestE14DeclaredBeatsSamplesOnly(t *testing.T) {
+	tab := E14Alphabet([]int{2, 4}, 80, 12)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		samplesOnly, _ := strconv.ParseFloat(r[1], 64)
+		declared, _ := strconv.ParseFloat(r[2], 64)
+		if declared < samplesOnly {
+			t.Errorf("train=%s: declared Σ (%v%%) below samples-only (%v%%)", r[0], declared, samplesOnly)
+		}
+	}
+	// At the largest training size both configurations converge high.
+	last := tab.Rows[len(tab.Rows)-1]
+	declared, _ := strconv.ParseFloat(last[2], 64)
+	if declared < 90 {
+		t.Errorf("declared-Σ wrapper too weak at train=%s: %v%%", last[0], declared)
+	}
+}

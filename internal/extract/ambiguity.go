@@ -1,0 +1,164 @@
+package extract
+
+import (
+	"fmt"
+
+	"resilex/internal/lang"
+	"resilex/internal/symtab"
+)
+
+// gapLanguage computes the two "gap" languages of Lemma 5.3. A string γ is a
+// gap witness iff some α·p·γ·p·β parses with both the first and second p as
+// the marked occurrence:
+//
+//	gL = (E1·p)\E1 — the γ with α, α·p·γ ∈ L(E1) for some α
+//	gR = E2/(p·E2) — the γ with β, γ·p·β ∈ L(E2) for some β
+//
+// The expression is ambiguous iff gL ∩ gR ≠ ∅ (Proposition 5.4).
+func (e Expr) gapLanguages() (gL, gR lang.Language, err error) {
+	pOnly, err := lang.Single([]symtab.Symbol{e.p}, e.sigma, e.opt)
+	if err != nil {
+		return gL, gR, err
+	}
+	e1p, err := e.left.Concat(pOnly)
+	if err != nil {
+		return gL, gR, err
+	}
+	gL, err = e.left.LeftFactor(e1p)
+	if err != nil {
+		return gL, gR, err
+	}
+	pe2, err := pOnly.Concat(e.right)
+	if err != nil {
+		return gL, gR, err
+	}
+	gR, err = e.right.RightFactor(pe2)
+	return gL, gR, err
+}
+
+// Unambiguous decides Definition 4.2 via the factoring characterization of
+// Proposition 5.4: E1⟨p⟩E2 is unambiguous iff (E1·p)\E1 ∩ E2/(p·E2) = ∅.
+// The procedure is polynomial in the component automata (Theorem 5.6).
+func (e Expr) Unambiguous() (bool, error) {
+	gL, gR, err := e.gapLanguages()
+	if err != nil {
+		return false, err
+	}
+	g, err := gL.Intersect(gR)
+	if err != nil {
+		return false, err
+	}
+	return g.IsEmpty(), nil
+}
+
+// UnambiguousMarker decides unambiguity via the marker characterization of
+// Proposition 5.5: with a fresh symbol c ∉ Σ, E1⟨p⟩E2 is unambiguous iff
+//
+//	(E1·c·E2) ∩ (E1·p·M(E2)) = ∅
+//
+// where M(E2) = { γ·c·β | γ·p·β ∈ L(E2) } is E2 with exactly one p replaced
+// by the marker. The marker symbol must not belong to Σ.
+//
+// This is an independent decision procedure; the test suite requires it to
+// agree with Unambiguous everywhere (experiment E9).
+func (e Expr) UnambiguousMarker(marker symtab.Symbol) (bool, error) {
+	if e.sigma.Contains(marker) {
+		return false, fmt.Errorf("extract: marker symbol is in Σ")
+	}
+	wide := e.sigma.With(marker)
+	cOnly, err := lang.Single([]symtab.Symbol{marker}, wide, e.opt)
+	if err != nil {
+		return false, err
+	}
+	pOnly, err := lang.Single([]symtab.Symbol{e.p}, wide, e.opt)
+	if err != nil {
+		return false, err
+	}
+	// E1·c·E2 over Σ∪{c}.
+	a, err := e.left.Concat(cOnly)
+	if err != nil {
+		return false, err
+	}
+	a, err = a.Concat(e.right)
+	if err != nil {
+		return false, err
+	}
+	// E1·p·M(E2).
+	m, err := e.right.ReplaceOne(e.p, marker)
+	if err != nil {
+		return false, err
+	}
+	b, err := e.left.Concat(pOnly)
+	if err != nil {
+		return false, err
+	}
+	b, err = b.Concat(m)
+	if err != nil {
+		return false, err
+	}
+	x, err := a.Intersect(b)
+	if err != nil {
+		return false, err
+	}
+	return x.IsEmpty(), nil
+}
+
+// AmbiguityWitness returns a shortest-by-construction string that the
+// expression parses in at least two distinct ways, or ok=false when the
+// expression is unambiguous. The witness is assembled from Lemma 5.3:
+// a gap γ ∈ (E1·p)\E1 ∩ E2/(p·E2), an α with α, α·p·γ ∈ L(E1) and a β with
+// β, γ·p·β ∈ L(E2); the returned word is α·p·γ·p·β.
+func (e Expr) AmbiguityWitness() (word []symtab.Symbol, ok bool, err error) {
+	gL, gR, err := e.gapLanguages()
+	if err != nil {
+		return nil, false, err
+	}
+	g, err := gL.Intersect(gR)
+	if err != nil {
+		return nil, false, err
+	}
+	gamma, found := g.Witness()
+	if !found {
+		return nil, false, nil
+	}
+	// α ∈ L(E1) with α·p·γ ∈ L(E1): α ∈ E1 ∩ E1/{p·γ}.
+	pGamma, err := lang.Single(append([]symtab.Symbol{e.p}, gamma...), e.sigma, e.opt)
+	if err != nil {
+		return nil, false, err
+	}
+	alphaSet, err := e.left.RightFactor(pGamma)
+	if err != nil {
+		return nil, false, err
+	}
+	alphaSet, err = alphaSet.Intersect(e.left)
+	if err != nil {
+		return nil, false, err
+	}
+	alpha, found := alphaSet.Witness()
+	if !found {
+		return nil, false, fmt.Errorf("extract: internal: gap γ has no α (factoring inconsistency)")
+	}
+	// β ∈ L(E2) with γ·p·β ∈ L(E2): β ∈ E2 ∩ {γ·p}\E2.
+	gammaP, err := lang.Single(append(append([]symtab.Symbol(nil), gamma...), e.p), e.sigma, e.opt)
+	if err != nil {
+		return nil, false, err
+	}
+	betaSet, err := e.right.LeftFactor(gammaP)
+	if err != nil {
+		return nil, false, err
+	}
+	betaSet, err = betaSet.Intersect(e.right)
+	if err != nil {
+		return nil, false, err
+	}
+	beta, found := betaSet.Witness()
+	if !found {
+		return nil, false, fmt.Errorf("extract: internal: gap γ has no β (factoring inconsistency)")
+	}
+	word = append(word, alpha...)
+	word = append(word, e.p)
+	word = append(word, gamma...)
+	word = append(word, e.p)
+	word = append(word, beta...)
+	return word, true, nil
+}

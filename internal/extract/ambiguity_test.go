@@ -1,0 +1,170 @@
+package extract
+
+import (
+	"testing"
+
+	"resilex/internal/symtab"
+)
+
+// ambiguityCatalog pairs expressions with their expected ambiguity status.
+// The first entries are the paper's own examples (Example 4.3, Section 3).
+var ambiguityCatalog = []struct {
+	src       string
+	ambiguous bool
+}{
+	// Example 4.3: (pq)*⟨p⟩Σ* parses pqpq as ε·p·qpq and pq·p·q.
+	{"(p q)* <p> .*", true},
+	// Example 4.3: the (qp)* variant is unambiguous.
+	{"(q p)* <p> .*", false},
+	// Example 4.3: (p|pp)⟨p⟩(p|pp) parses pppp two ways.
+	{"(p | p p) <p> (p | p p)", true},
+	// Section 4: p*⟨p⟩q — any of the p's before the final q... only the last
+	// p works because the suffix must be exactly q: unambiguous.
+	{"p* <p> q", false},
+	// Section 4 (text above Definition 4.2): p*⟨p⟩p* is ambiguous.
+	{"p* <p> p*", true},
+	// Section 3's generalized shopbot expression shape.
+	{"[^ p]* <p> .*", false},
+	// Degenerate components.
+	{"<p>", false},
+	{"#empty <p> .*", false}, // empty left: nothing ever parses, vacuously unambiguous
+	{".* <p> .*", true},
+	{"q <p> q", false},
+	{"(q p)* q <p> q*", false},
+	{"q? <p> p*", false},
+	{"p? <p> p*", true},
+	{"(p p)* <p> (p p)*", true},
+	// Unambiguous despite the p-heavy components: the suffix must be exactly
+	// one p, pinning the split to position |w|−1 with an even prefix.
+	{"(p p)* <p> p", false},
+	{"(p q | q) <p> (q p)*", false},
+}
+
+func TestUnambiguousCatalog(t *testing.T) {
+	e := newTenv()
+	for _, c := range ambiguityCatalog {
+		x := e.expr(t, c.src, e.sigma2)
+		got, err := x.Unambiguous()
+		if err != nil {
+			t.Fatalf("Unambiguous(%q): %v", c.src, err)
+		}
+		if got == c.ambiguous {
+			t.Errorf("Unambiguous(%q) = %v, want %v", c.src, got, !c.ambiguous)
+		}
+	}
+}
+
+// Experiment E9: the two independent decision procedures (Propositions 5.4
+// and 5.5) and a brute-force split-counting oracle must agree everywhere.
+func TestUnambiguityAgreement(t *testing.T) {
+	e := newTenv()
+	marker := e.tab.Intern("MARK")
+	words := allWords(e.sigma2, 6)
+	for _, c := range ambiguityCatalog {
+		x := e.expr(t, c.src, e.sigma2)
+		factoring, err := x.Unambiguous()
+		if err != nil {
+			t.Fatal(err)
+		}
+		markerBased, err := x.UnambiguousMarker(marker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if factoring != markerBased {
+			t.Errorf("%q: Prop 5.4 says %v, Prop 5.5 says %v", c.src, factoring, markerBased)
+		}
+		// Brute force: ambiguous iff some short word has ≥ 2 splits. (The
+		// catalog is chosen so that ambiguity, when present, shows up within
+		// length 6.)
+		bruteAmbiguous := false
+		for _, w := range words {
+			if len(oracleSplits(x, w)) >= 2 {
+				bruteAmbiguous = true
+				break
+			}
+		}
+		if bruteAmbiguous == factoring {
+			t.Errorf("%q: oracle ambiguous=%v, Unambiguous=%v", c.src, bruteAmbiguous, factoring)
+		}
+	}
+}
+
+func TestUnambiguousMarkerRejectsInAlphabet(t *testing.T) {
+	e := newTenv()
+	x := e.expr(t, "q <p> q", e.sigma2)
+	if _, err := x.UnambiguousMarker(e.q); err == nil {
+		t.Error("marker inside Σ accepted")
+	}
+}
+
+func TestAmbiguityWitness(t *testing.T) {
+	e := newTenv()
+	for _, c := range ambiguityCatalog {
+		x := e.expr(t, c.src, e.sigma2)
+		w, ok, err := x.AmbiguityWitness()
+		if err != nil {
+			t.Fatalf("AmbiguityWitness(%q): %v", c.src, err)
+		}
+		if ok != c.ambiguous {
+			t.Errorf("AmbiguityWitness(%q) ok = %v, want %v", c.src, ok, c.ambiguous)
+			continue
+		}
+		if ok {
+			if splits := x.Splits(w); len(splits) < 2 {
+				t.Errorf("witness %q for %q has %d splits, want ≥ 2",
+					e.tab.String(w), c.src, len(splits))
+			}
+		}
+	}
+}
+
+// The paper's Section 3 example: the witness for (pq)*⟨p⟩Σ* ambiguity is a
+// string like pqpq, whose marked p can fall on position 0 or 2.
+func TestSection3AmbiguityShape(t *testing.T) {
+	e := newTenv()
+	x := e.expr(t, "(p q)* <p> .*", e.sigma2)
+	w := e.word(t, "p q p q")
+	splits := x.Splits(w)
+	if len(splits) != 2 || splits[0] != 0 || splits[1] != 2 {
+		t.Errorf("splits of pqpq = %v, want [0 2]", splits)
+	}
+}
+
+// Lemma 6.4(1): for expressions of the form E⟨p⟩Σ*, unambiguity coincides
+// with emptiness of (E·p)\E and with E/(p·Σ*) ∩ E = ∅.
+func TestLemma64Part1(t *testing.T) {
+	e := newTenv()
+	for _, src := range []string{"q p", "(q p)*", "p*", "q* p", "(p | p p)", "(q | q q)"} {
+		x := e.expr(t, src+" <p> .*", e.sigma2)
+		unamb, err := x.Unambiguous()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gL, gR, err := x.gapLanguages()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gR.IsUniversal() {
+			t.Fatalf("%q: E2/(p·E2) should be Σ* when E2 = Σ*", src)
+		}
+		if gL.IsEmpty() != unamb {
+			t.Errorf("%q: (E·p)\\E empty = %v, unambiguous = %v", src, gL.IsEmpty(), unamb)
+		}
+	}
+}
+
+func TestGapLanguagesShape(t *testing.T) {
+	e := newTenv()
+	// For E1 = p|pp, the left gap is {ε}: α = p, α·p·ε = pp ∈ E1.
+	x := e.expr(t, "(p | p p) <p> q", e.sigma2)
+	gL, _, err := x.gapLanguages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gL.Contains(nil) {
+		t.Error("left gap should contain ε")
+	}
+	if gL.Contains([]symtab.Symbol{e.p}) {
+		t.Error("left gap should not contain p")
+	}
+}

@@ -1,0 +1,140 @@
+package extract
+
+import (
+	"fmt"
+
+	"resilex/internal/lang"
+	"resilex/internal/symtab"
+)
+
+// Disambiguate shrinks an ambiguous expression into an unambiguous one that
+// still extracts correctly from every word in keep — a concrete realization
+// of the "disambiguation procedure … along with a number of counterexamples"
+// the paper leaves as future work (Section 8).
+//
+// Each round eliminates the shortest ambiguity gap γ (Lemma 5.3) by
+// removing, from one component, exactly the words that realize it:
+//
+//	right repair: E2 := E2 − G·p·Σ*   (kills every γ ∈ G in E2/(p·E2))
+//	left  repair: E1 := E1 − Σ*·p·G   (kills every γ ∈ G in (E1·p)\E1)
+//
+// The repair that keeps every word of keep extractable at its original
+// position is chosen (right first). Rounds are bounded by maxRounds since
+// some expressions have infinitely many independent gaps; exhaustion, or a
+// gap neither repair can remove without breaking keep, returns
+// ErrNotApplicable.
+func Disambiguate(e Expr, keep [][]symtab.Symbol, maxRounds int) (Expr, error) {
+	// Record the required extraction positions up front.
+	type anchor struct {
+		word []symtab.Symbol
+		pos  int
+	}
+	var anchors []anchor
+	for _, w := range keep {
+		pos, ok := e.Extract(w)
+		if !ok {
+			return Expr{}, fmt.Errorf("extract: keep word %v is not parsed by the input expression", w)
+		}
+		anchors = append(anchors, anchor{w, pos})
+	}
+	preserved := func(x Expr) bool {
+		for _, a := range anchors {
+			if pos, ok := x.Extract(a.word); !ok || pos != a.pos {
+				return false
+			}
+		}
+		return true
+	}
+	for round := 0; round < maxRounds; round++ {
+		unamb, err := e.Unambiguous()
+		if err != nil {
+			return Expr{}, err
+		}
+		if unamb {
+			return e, nil
+		}
+		gL, gR, err := e.gapLanguages()
+		if err != nil {
+			return Expr{}, err
+		}
+		gaps, err := gL.Intersect(gR)
+		if err != nil {
+			return Expr{}, err
+		}
+		gamma, ok := gaps.Witness()
+		if !ok {
+			return Expr{}, fmt.Errorf("extract: internal: ambiguous but no gap witness")
+		}
+		// Candidate repairs, most aggressive first: remove the entire gap
+		// language from one side (terminates in one round when it sticks),
+		// else just the shortest gap word.
+		single, err := lang.Single(gamma, e.sigma, e.opt)
+		if err != nil {
+			return Expr{}, err
+		}
+		repaired := false
+		for _, cand := range []struct {
+			g    lang.Language
+			side string
+		}{
+			{gaps, "right"}, {gaps, "left"}, {single, "right"}, {single, "left"},
+		} {
+			x, err := e.repairGap(cand.g, cand.side)
+			if err != nil {
+				return Expr{}, err
+			}
+			if preserved(x) {
+				e = x
+				repaired = true
+				break
+			}
+		}
+		if !repaired {
+			return Expr{}, fmt.Errorf("%w: gap %v cannot be removed without breaking a keep word", ErrNotApplicable, gamma)
+		}
+	}
+	return Expr{}, fmt.Errorf("%w: still ambiguous after %d repair rounds", ErrNotApplicable, maxRounds)
+}
+
+// repairGap removes the words realizing the gap set G from one component.
+func (e Expr) repairGap(gammaL lang.Language, side string) (Expr, error) {
+	pOnly, err := lang.Single([]symtab.Symbol{e.p}, e.sigma, e.opt)
+	if err != nil {
+		return Expr{}, err
+	}
+	univ := lang.Universal(e.sigma, e.opt)
+	if side == "right" {
+		// E2 − G·p·Σ*
+		bad, err := gammaL.Concat(pOnly)
+		if err != nil {
+			return Expr{}, err
+		}
+		bad, err = bad.Concat(univ)
+		if err != nil {
+			return Expr{}, err
+		}
+		r, err := e.right.Minus(bad)
+		if err != nil {
+			return Expr{}, err
+		}
+		out := New(e.left, e.p, r)
+		out.opt = e.opt
+		return out, nil
+	}
+	// E1 − Σ*·p·G
+	bad, err := univ.Concat(pOnly)
+	if err != nil {
+		return Expr{}, err
+	}
+	bad, err = bad.Concat(gammaL)
+	if err != nil {
+		return Expr{}, err
+	}
+	l, err := e.left.Minus(bad)
+	if err != nil {
+		return Expr{}, err
+	}
+	out := New(l, e.p, e.right)
+	out.opt = e.opt
+	return out, nil
+}

@@ -1,0 +1,160 @@
+package extract
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"resilex/internal/symtab"
+)
+
+func TestDisambiguateSimple(t *testing.T) {
+	e := newTenv()
+	// p*⟨p⟩p* is the canonical ambiguous expression; anchoring the
+	// extraction of "p p p" at position 0 should force a repair toward
+	// "first p" semantics.
+	in := e.expr(t, "p* <p> p*", e.sigma2)
+	keep := [][]symtab.Symbol{e.word(t, "p p p")}
+	// Extract on ambiguous expressions returns the leftmost split (0).
+	out, err := Disambiguate(in, keep, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unamb, err := out.Unambiguous()
+	if err != nil || !unamb {
+		t.Fatalf("output not unambiguous: %v %v", unamb, err)
+	}
+	for _, w := range [][]symtab.Symbol{
+		e.word(t, "p"), e.word(t, "p p"), e.word(t, "p p p"),
+	} {
+		pos, ok := out.Extract(w)
+		if !ok || pos != 0 {
+			t.Errorf("extraction of %q = (%d, %v), want first p", e.tab.String(w), pos, ok)
+		}
+	}
+}
+
+func TestDisambiguateSection3(t *testing.T) {
+	e := newTenv()
+	// The over-generalized Section 3 expression Tags*⟨p⟩Tags* confuses the
+	// robot; anchored on a sample, disambiguation recovers a usable one.
+	in := e.expr(t, ".* <p> .*", e.sigma2)
+	keep := [][]symtab.Symbol{e.word(t, "q q p q")}
+	out, err := Disambiguate(in, keep, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unamb, _ := out.Unambiguous()
+	if !unamb {
+		t.Fatal("still ambiguous")
+	}
+	if pos, ok := out.Extract(e.word(t, "q q p q")); !ok || pos != 2 {
+		t.Errorf("sample extraction = (%d, %v)", pos, ok)
+	}
+}
+
+func TestDisambiguateAlreadyUnambiguous(t *testing.T) {
+	e := newTenv()
+	in := e.expr(t, "q p <p> .*", e.sigma2)
+	out, err := Disambiguate(in, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(in) {
+		t.Error("unambiguous input should be returned unchanged")
+	}
+}
+
+func TestDisambiguateConflictingKeep(t *testing.T) {
+	e := newTenv()
+	in := e.expr(t, "p* <p> p*", e.sigma2)
+	// A keep word the input does not parse.
+	if _, err := Disambiguate(in, [][]symtab.Symbol{e.word(t, "q")}, 5); err == nil {
+		t.Error("unparseable keep word accepted")
+	}
+}
+
+func TestDisambiguateExhaustion(t *testing.T) {
+	e := newTenv()
+	in := e.expr(t, "p* <p> p*", e.sigma2)
+	// Zero rounds cannot fix an ambiguous expression.
+	if _, err := Disambiguate(in, nil, 0); !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// Disambiguate feeds Maximize: the paper's closing pipeline sketch —
+// generate (possibly ambiguous) → disambiguate with counterexamples →
+// maximize.
+func TestDisambiguateThenMaximize(t *testing.T) {
+	e := newTenv()
+	in := e.expr(t, "q* <p> .*", e.sigma2) // unambiguous already
+	amb := e.expr(t, ".* <p> .*", e.sigma2)
+	keep := [][]symtab.Symbol{e.word(t, "q p q"), e.word(t, "q q p")}
+	fixed, err := Disambiguate(amb, keep, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxed, err := Maximize(fixed)
+	if err != nil {
+		t.Skipf("maximization not applicable to the repaired form: %v", err)
+	}
+	if m, err := maxed.Maximal(); err != nil || !m {
+		t.Fatalf("not maximal: %v %v", m, err)
+	}
+	for _, w := range keep {
+		pi, _ := fixed.Extract(w)
+		po, ok := maxed.Extract(w)
+		if !ok || pi != po {
+			t.Errorf("pipeline drifted on %q", e.tab.String(w))
+		}
+	}
+	_ = in
+}
+
+// Property: whenever Disambiguate succeeds on a random ambiguous
+// expression, the output is unambiguous and every keep word still extracts
+// at its original (leftmost) position.
+func TestQuickDisambiguate(t *testing.T) {
+	e, cfg := quickEnv()
+	prop := func(v randomExprValue) bool {
+		x, err := FromAST(v.left, e.p, v.right, e.sigma2, machineOpts())
+		if err != nil {
+			return true
+		}
+		unamb, err := x.Unambiguous()
+		if err != nil || unamb {
+			return true
+		}
+		// Keep: up to two short parsed words.
+		var keep [][]symtab.Symbol
+		for _, w := range allWords(e.sigma2, 4) {
+			if x.Parses(w) {
+				keep = append(keep, w)
+				if len(keep) == 2 {
+					break
+				}
+			}
+		}
+		out, err := Disambiguate(x, keep, 8)
+		if err != nil {
+			return true // not always repairable; fine
+		}
+		if ok, err := out.Unambiguous(); err != nil || !ok {
+			t.Logf("Disambiguate output ambiguous for %s", x.String(e.tab))
+			return false
+		}
+		for _, w := range keep {
+			want, _ := x.Extract(w)
+			got, ok := out.Extract(w)
+			if !ok || got != want {
+				t.Logf("keep word %s drifted: %d -> (%d,%v)", e.tab.String(w), want, got, ok)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

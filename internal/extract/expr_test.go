@@ -1,0 +1,328 @@
+package extract
+
+import (
+	"testing"
+
+	"resilex/internal/lang"
+	"resilex/internal/machine"
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+// tenv is the shared two/three-symbol test environment.
+type tenv struct {
+	tab     *symtab.Table
+	p, q, r symtab.Symbol
+	sigma2  symtab.Alphabet // {p, q}
+	sigma3  symtab.Alphabet // {p, q, r}
+}
+
+func newTenv() tenv {
+	tab := symtab.NewTable()
+	p, q, r := tab.Intern("p"), tab.Intern("q"), tab.Intern("r")
+	return tenv{tab, p, q, r, symtab.NewAlphabet(p, q), symtab.NewAlphabet(p, q, r)}
+}
+
+func (e tenv) expr(t *testing.T, src string, sigma symtab.Alphabet) Expr {
+	t.Helper()
+	x, err := Parse(src, e.tab, sigma, machine.Options{})
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return x
+}
+
+func (e tenv) word(t *testing.T, src string) []symtab.Symbol {
+	t.Helper()
+	w, err := rx.ParseWord(src, e.tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// oracleSplits computes valid split positions directly from the definition.
+func oracleSplits(x Expr, w []symtab.Symbol) []int {
+	var out []int
+	for i := range w {
+		if w[i] == x.P() && x.Left().Contains(w[:i]) && x.Right().Contains(w[i+1:]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func allWords(sigma symtab.Alphabet, maxLen int) [][]symtab.Symbol {
+	syms := sigma.Symbols()
+	out := [][]symtab.Symbol{nil}
+	prev := [][]symtab.Symbol{nil}
+	for l := 0; l < maxLen; l++ {
+		var next [][]symtab.Symbol
+		for _, w := range prev {
+			for _, s := range syms {
+				next = append(next, append(append([]symtab.Symbol(nil), w...), s))
+			}
+		}
+		out = append(out, next...)
+		prev = next
+	}
+	return out
+}
+
+func TestParseAndAccessors(t *testing.T) {
+	e := newTenv()
+	x := e.expr(t, "q* <p> .*", e.sigma2)
+	if x.P() != e.p {
+		t.Errorf("P = %v", x.P())
+	}
+	if !x.Sigma().Equal(e.sigma2) {
+		t.Errorf("Sigma = %v", x.Sigma().Symbols())
+	}
+	if x.LeftAST() == nil || x.RightAST() == nil {
+		t.Error("ASTs not retained from Parse")
+	}
+	if !x.Left().Contains(nil) || !x.Left().Contains(e.word(t, "q q")) {
+		t.Error("Left language wrong")
+	}
+	if !x.Right().IsUniversal() {
+		t.Error("Right should be Σ*")
+	}
+}
+
+func TestSplitsAgainstOracle(t *testing.T) {
+	e := newTenv()
+	exprs := []string{
+		"q* <p> .*",
+		"<p> p*",
+		"p* <p> p*",
+		"(p q)* <p> .*",
+		"(q p)* <p> .*",
+		"(p | p p) <p> (p | p p)",
+		". . <p> q",
+		"[^ p]* <p> .*",
+	}
+	words := allWords(e.sigma2, 6)
+	for _, src := range exprs {
+		x := e.expr(t, src, e.sigma2)
+		for _, w := range words {
+			want := oracleSplits(x, w)
+			got := x.Splits(w)
+			if len(got) != len(want) {
+				t.Fatalf("%q on %q: Splits = %v, oracle %v", src, e.tab.String(w), got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%q on %q: Splits = %v, oracle %v", src, e.tab.String(w), got, want)
+				}
+			}
+			pos, ok := x.Extract(w)
+			if ok != (len(want) > 0) || (ok && pos != want[0]) {
+				t.Fatalf("%q on %q: Extract = (%d,%v), oracle %v", src, e.tab.String(w), pos, ok, want)
+			}
+			if x.Parses(w) != (len(want) > 0) {
+				t.Fatalf("%q on %q: Parses disagrees with oracle", src, e.tab.String(w))
+			}
+		}
+	}
+}
+
+func TestExtractForeignSymbols(t *testing.T) {
+	e := newTenv()
+	x := e.expr(t, "q* <p> .*", e.sigma2)
+	// r is outside this expression's Σ; words containing it never parse.
+	w := []symtab.Symbol{e.q, e.r, e.p}
+	if x.Parses(w) {
+		t.Error("parsed word with foreign symbol")
+	}
+	if got := x.Splits(w); len(got) != 0 {
+		t.Errorf("Splits = %v", got)
+	}
+}
+
+func TestLanguageOfExpr(t *testing.T) {
+	e := newTenv()
+	x := e.expr(t, "q <p> q", e.sigma2)
+	l, err := x.Language()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Contains(e.word(t, "q p q")) || l.Contains(e.word(t, "q q")) {
+		t.Error("Language() wrong")
+	}
+}
+
+// The paper's note under Definition 4.4: p⟨p⟩ppp and pp⟨p⟩pp parse exactly
+// the same language but extract different objects; neither generalizes the
+// other, and they are not Equal.
+func TestSameLanguageDifferentExtraction(t *testing.T) {
+	e := newTenv()
+	a := e.expr(t, "p <p> p p p", e.sigma2)
+	b := e.expr(t, "p p <p> p p", e.sigma2)
+	la, err := a.Language()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := b.Language()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !la.Equal(lb) {
+		t.Fatal("parsed languages should coincide")
+	}
+	w := e.word(t, "p p p p p")
+	pa, _ := a.Extract(w)
+	pb, _ := b.Extract(w)
+	if pa != 1 || pb != 2 {
+		t.Errorf("extractions = %d, %d; want 1, 2", pa, pb)
+	}
+	if a.Equal(b) {
+		t.Error("Equal despite different components")
+	}
+	if g, err := a.Generalizes(b); err != nil || g {
+		t.Errorf("a ⪰ b = %v, %v", g, err)
+	}
+	if g, err := b.Generalizes(a); err != nil || g {
+		t.Errorf("b ⪰ a = %v, %v", g, err)
+	}
+}
+
+func TestPartialOrder(t *testing.T) {
+	e := newTenv()
+	small := e.expr(t, "q p <p> q*", e.sigma2)
+	big := e.expr(t, "q p <p> .*", e.sigma2)
+	bigger := e.expr(t, "[^ p]* p <p> .*", e.sigma2)
+	// Reflexivity.
+	if g, _ := small.Generalizes(small); !g {
+		t.Error("⪯ not reflexive")
+	}
+	// small ⪯ big ⪯ bigger (transitivity checked by direct comparison).
+	if g, _ := big.Generalizes(small); !g {
+		t.Error("big should generalize small")
+	}
+	if g, _ := bigger.Generalizes(big); !g {
+		t.Error("bigger should generalize big")
+	}
+	if g, _ := bigger.Generalizes(small); !g {
+		t.Error("⪯ not transitive")
+	}
+	if g, _ := small.Generalizes(big); g {
+		t.Error("⪯ not antisymmetric-strict")
+	}
+	// Distinct marked symbols are incomparable.
+	other := e.expr(t, "q p <q> .*", e.sigma2)
+	if g, _ := other.Generalizes(small); g {
+		t.Error("expressions with different marks compared")
+	}
+}
+
+func TestNewFromLanguages(t *testing.T) {
+	e := newTenv()
+	left, err := lang.Parse("q*", e.tab, e.sigma2, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	right := lang.Universal(e.sigma2, machine.Options{})
+	x := New(left, e.p, right)
+	if x.LeftAST() != nil {
+		t.Error("synthesized expression should have no AST")
+	}
+	if pos, ok := x.Extract(e.word(t, "q q p p")); !ok || pos != 2 {
+		t.Errorf("Extract = %d, %v", pos, ok)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := newTenv()
+	x := e.expr(t, "q* <p> .*", e.sigma2)
+	s := x.String(e.tab)
+	if s != "q* <p> .*" {
+		t.Errorf("String = %q", s)
+	}
+	// A reparse of the rendering denotes the same expression.
+	y := e.expr(t, s, e.sigma2)
+	if !x.Equal(y) {
+		t.Errorf("String round trip changed the expression: %q", s)
+	}
+	// Epsilon components are elided.
+	x = e.expr(t, "<p>", e.sigma2)
+	if got := x.String(e.tab); got != "<p>" {
+		t.Errorf("bare mark String = %q", got)
+	}
+	// Synthesized expressions render from their DFAs.
+	left, _ := lang.Parse("q | q q", e.tab, e.sigma2, machine.Options{})
+	z := New(left, e.p, lang.Universal(e.sigma2, machine.Options{}))
+	zs := z.String(e.tab)
+	y, err := Parse(zs, e.tab, e.sigma2, machine.Options{})
+	if err != nil {
+		t.Fatalf("reparse of synthesized rendering %q: %v", zs, err)
+	}
+	if !z.Equal(y) {
+		t.Errorf("synthesized rendering %q does not round trip", zs)
+	}
+}
+
+func TestSizeMeasure(t *testing.T) {
+	e := newTenv()
+	a := e.expr(t, "<p>", e.sigma2)
+	b := e.expr(t, "(q p)* q <p> q*", e.sigma2)
+	if a.Size() >= b.Size() {
+		t.Errorf("Size ordering wrong: %d vs %d", a.Size(), b.Size())
+	}
+}
+
+func TestMatcherReuse(t *testing.T) {
+	e := newTenv()
+	x := e.expr(t, "[^ p]* <p> .*", e.sigma3)
+	m, err := x.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.P() != e.p {
+		t.Error("Matcher.P wrong")
+	}
+	for _, w := range allWords(e.sigma3, 4) {
+		want := oracleSplits(x, w)
+		got := m.All(w)
+		if len(got) != len(want) {
+			t.Fatalf("Matcher.All(%q) = %v, oracle %v", e.tab.String(w), got, want)
+		}
+	}
+}
+
+func TestMustParseAndOptions(t *testing.T) {
+	e := newTenv()
+	x := MustParse("q <p> .*", e.tab, e.sigma2)
+	if x.Options().MaxStates != 0 {
+		t.Errorf("Options = %+v", x.Options())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on bad input did not panic")
+		}
+	}()
+	MustParse("(((", e.tab, e.sigma2)
+}
+
+func TestExtendSides(t *testing.T) {
+	e := newTenv()
+	x := e.expr(t, "q <p> q", e.sigma2)
+	l, err := x.Extend(e.word(t, "q q"), "left")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Left().Contains(e.word(t, "q q")) || l.Right().Contains(e.word(t, "q q")) {
+		t.Error("left extension wrong")
+	}
+	// Any other side string extends the right.
+	r, err := x.Extend(e.word(t, "q q"), "right")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Right().Contains(e.word(t, "q q")) || r.Left().Contains(e.word(t, "q q")) {
+		t.Error("right extension wrong")
+	}
+	// Words with foreign symbols are rejected.
+	if _, err := x.Extend([]symtab.Symbol{99}, "left"); err == nil {
+		t.Error("foreign extension accepted")
+	}
+}

@@ -1,0 +1,195 @@
+package extract
+
+import (
+	"resilex/internal/machine"
+	"resilex/internal/symtab"
+)
+
+// Matcher is a compiled extractor for one expression. Extraction over a
+// document of n tokens costs O(n·|Σ|) after an O(n·states) backward
+// precomputation — no determinization happens at match time, so a Matcher
+// never fails, regardless of the expression.
+//
+// The strategy is the standard two-scan split search: a forward run of the
+// minimal DFA of E1 marks every prefix in L(E1); a backward predecessor
+// sweep of the minimal DFA of E2 marks every suffix in L(E2); valid
+// extraction positions are the p-positions where both marks meet. For
+// unambiguous expressions (Definition 4.2) at most one position survives.
+type Matcher struct {
+	p     symtab.Symbol
+	fwd   *machine.DFA
+	bwd   *machine.DFA
+	binv  [][][]int32 // binv[symIndex][state] = predecessor states in bwd
+	sigma symtab.Alphabet
+}
+
+// Compile builds the matcher. The error return is reserved for future
+// construction limits; the current implementation always succeeds.
+func (e Expr) Compile() (*Matcher, error) {
+	fwd := e.left.DFA()
+	bwd := e.right.DFA()
+	binv := make([][][]int32, len(bwd.Symbols()))
+	for k := range bwd.Symbols() {
+		binv[k] = make([][]int32, bwd.NumStates())
+	}
+	for s := 0; s < bwd.NumStates(); s++ {
+		for k := range bwd.Symbols() {
+			t := bwd.Trans[s][k]
+			binv[k][t] = append(binv[k][t], int32(s))
+		}
+	}
+	return &Matcher{p: e.p, fwd: fwd, bwd: bwd, binv: binv, sigma: e.sigma}, nil
+}
+
+// P returns the marked symbol the matcher extracts.
+func (m *Matcher) P() symtab.Symbol { return m.p }
+
+// All returns every valid extraction position in the word, ascending.
+func (m *Matcher) All(word []symtab.Symbol) []int {
+	n := len(word)
+	// suffixOK[i]: word[i:] ∈ L(E2). Backward predecessor sweep over two
+	// reused state buffers.
+	suffixOK := make([]bool, n+1)
+	states := m.bwd.NumStates()
+	cur := make([]bool, states)
+	next := make([]bool, states)
+	for s := range cur {
+		cur[s] = m.bwd.Accept[s]
+	}
+	suffixOK[n] = cur[m.bwd.Start]
+	for i := n - 1; i >= 0; i-- {
+		k := symIndexOf(m.bwd, word[i])
+		for s := range next {
+			next[s] = false
+		}
+		if k >= 0 {
+			for t, in := range cur {
+				if !in {
+					continue
+				}
+				for _, s := range m.binv[k][t] {
+					next[s] = true
+				}
+			}
+		}
+		cur, next = next, cur
+		suffixOK[i] = cur[m.bwd.Start]
+	}
+	// Forward scan of E1's DFA, collecting positions.
+	var out []int
+	state := m.fwd.Start
+	for i := 0; i < n; i++ {
+		if state >= 0 && word[i] == m.p && m.fwd.Accept[state] && suffixOK[i+1] {
+			out = append(out, i)
+		}
+		if state >= 0 {
+			state = m.fwd.Step(state, word[i])
+		}
+	}
+	return out
+}
+
+// Find returns the leftmost valid extraction position, or ok=false when the
+// expression does not parse the word. For unambiguous expressions the
+// leftmost position is the only one.
+func (m *Matcher) Find(word []symtab.Symbol) (pos int, ok bool) {
+	// Same scans as All but short-circuiting on the first hit.
+	all := m.All(word)
+	if len(all) == 0 {
+		return -1, false
+	}
+	return all[0], true
+}
+
+// Stream returns a constant-memory, single-pass extractor, available
+// exactly when the expression's suffix component is Σ* — the form every
+// output of the maximization algorithms has. For such expressions a
+// position is valid iff the prefix is in L(E1) and the symbol is p, so the
+// match can be emitted the moment it is seen, without ever holding the
+// document. ok=false when the suffix component is not universal.
+func (m *Matcher) Stream() (*Stream, bool) {
+	if !m.bwd.IsUniversal() {
+		return nil, false
+	}
+	return &Stream{m: m, state: m.fwd.Start}, true
+}
+
+// Stream consumes a document token-by-token; see Matcher.Stream.
+type Stream struct {
+	m     *Matcher
+	state int // current E1-DFA state; -1 after an out-of-Σ token
+	pos   int // tokens consumed
+	found int // extraction position, -1 until found
+	init  bool
+}
+
+// Feed consumes one token and reports whether the extraction position has
+// just been determined. After the first hit further tokens are ignored
+// (unambiguity guarantees there is no second one; defensively, none is
+// reported).
+func (s *Stream) Feed(sym symtab.Symbol) (pos int, found bool) {
+	if !s.init {
+		s.found = -1
+		s.init = true
+	}
+	if s.found < 0 && s.state >= 0 && sym == s.m.p && s.m.fwd.Accept[s.state] {
+		s.found = s.pos
+		s.pos++
+		return s.found, true
+	}
+	if s.state >= 0 {
+		s.state = s.m.fwd.Step(s.state, sym)
+	}
+	s.pos++
+	return -1, false
+}
+
+// Result returns the extraction position found so far, or ok=false.
+func (s *Stream) Result() (pos int, ok bool) {
+	if !s.init || s.found < 0 {
+		return -1, false
+	}
+	return s.found, true
+}
+
+// allNaive is the obvious O(n²) matcher — rerun the suffix DFA from scratch
+// at every candidate position. It exists as the ablation baseline for the
+// two-scan design (BenchmarkMatcherAblation) and as an independent oracle in
+// tests; All must agree with it everywhere.
+func (m *Matcher) allNaive(word []symtab.Symbol) []int {
+	var out []int
+	state := m.fwd.Start
+	for i := 0; i < len(word); i++ {
+		if state >= 0 && word[i] == m.p && m.fwd.Accept[state] {
+			// Run the suffix DFA over word[i+1:].
+			s := m.bwd.Start
+			for j := i + 1; j < len(word) && s >= 0; j++ {
+				s = m.bwd.Step(s, word[j])
+			}
+			if s >= 0 && m.bwd.Accept[s] {
+				out = append(out, i)
+			}
+		}
+		if state >= 0 {
+			state = m.fwd.Step(state, word[i])
+		}
+	}
+	return out
+}
+
+func symIndexOf(d *machine.DFA, sym symtab.Symbol) int {
+	syms := d.Symbols()
+	lo, hi := 0, len(syms)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if syms[mid] < sym {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(syms) && syms[lo] == sym {
+		return lo
+	}
+	return -1
+}

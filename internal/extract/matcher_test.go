@@ -1,0 +1,158 @@
+package extract
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"resilex/internal/symtab"
+)
+
+func TestMatcherTwoScanAgreesWithNaive(t *testing.T) {
+	e := newTenv()
+	exprs := []string{
+		"q* <p> .*",
+		"[^ p]* <p> .*",
+		"(q p)* <p> .*",
+		"p* <p> p*",
+		". . <p> q",
+		"(p | p p) <p> (p | p p)",
+	}
+	words := allWords(e.sigma2, 7)
+	for _, src := range exprs {
+		x := e.expr(t, src, e.sigma2)
+		m, err := x.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range words {
+			fast := m.All(w)
+			slow := m.allNaive(w)
+			if len(fast) != len(slow) {
+				t.Fatalf("%q on %q: two-scan %v, naive %v", src, e.tab.String(w), fast, slow)
+			}
+			for i := range fast {
+				if fast[i] != slow[i] {
+					t.Fatalf("%q on %q: two-scan %v, naive %v", src, e.tab.String(w), fast, slow)
+				}
+			}
+		}
+	}
+}
+
+// The ablation: the two-scan matcher is linear in the document, the naive
+// one quadratic around dense mark regions.
+func BenchmarkMatcherAblation(b *testing.B) {
+	tab := symtab.NewTable()
+	p, q := tab.Intern("p"), tab.Intern("q")
+	sigma := symtab.NewAlphabet(p, q)
+	x := MustParse("[^ p]* <p> .*", tab, sigma)
+	m, err := x.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Dense regime: every position passes the prefix test and the suffix
+	// check cannot short-circuit, so the naive matcher is quadratic. The
+	// sparse expression above lets naive short-circuit (included for
+	// honesty: the two-scan wins only asymptotically / in dense regimes).
+	dense := MustParse(".* <p> .*", tab, sigma)
+	md, err := dense.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{100, 1000, 10000} {
+		word := make([]symtab.Symbol, n)
+		for i := range word {
+			if rng.Intn(4) == 0 {
+				word[i] = p
+			} else {
+				word[i] = q
+			}
+		}
+		for _, mode := range []struct {
+			name string
+			m    *Matcher
+		}{{"sparse", m}, {"dense", md}} {
+			b.Run(fmt.Sprintf("%s/two-scan/n=%d", mode.name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					mode.m.All(word)
+				}
+			})
+			b.Run(fmt.Sprintf("%s/naive/n=%d", mode.name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					mode.m.allNaive(word)
+				}
+			})
+		}
+	}
+}
+
+func TestStreamMatchesBatch(t *testing.T) {
+	e := newTenv()
+	// Σ*-right expressions stream; results must equal the batch matcher.
+	exprs := []string{
+		"[^ p]* <p> .*",
+		"(q p)* <p> .*",
+		"q* p q* <p> .*",
+	}
+	words := allWords(e.sigma2, 7)
+	for _, src := range exprs {
+		x := e.expr(t, src, e.sigma2)
+		m, err := x.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range words {
+			s, ok := m.Stream()
+			if !ok {
+				t.Fatalf("%q: Stream unavailable despite Σ* suffix", src)
+			}
+			streamPos := -1
+			for _, sym := range w {
+				if pos, found := s.Feed(sym); found {
+					streamPos = pos
+				}
+			}
+			if rp, rok := s.Result(); (rok && rp != streamPos) || (!rok && streamPos != -1) {
+				t.Fatalf("%q: Result inconsistent with Feed", src)
+			}
+			batchPos, batchOK := m.Find(w)
+			if batchOK != (streamPos >= 0) || (batchOK && batchPos != streamPos) {
+				t.Fatalf("%q on %q: stream %d, batch (%d, %v)",
+					src, e.tab.String(w), streamPos, batchPos, batchOK)
+			}
+		}
+	}
+	// Non-universal suffix: streaming refused.
+	x := e.expr(t, "q* <p> q", e.sigma2)
+	m, err := x.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Stream(); ok {
+		t.Error("Stream available for non-Σ* suffix")
+	}
+}
+
+func TestStreamForeignSymbol(t *testing.T) {
+	e := newTenv()
+	x := e.expr(t, "q* <p> .*", e.sigma2)
+	m, err := x.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := m.Stream()
+	if !ok {
+		t.Fatal("no stream")
+	}
+	// An out-of-Σ token kills the prefix; later p's must not match.
+	for _, sym := range []symtab.Symbol{e.q, e.r, e.p} {
+		if _, found := s.Feed(sym); found {
+			t.Fatal("matched through a foreign symbol")
+		}
+	}
+	if _, ok := s.Result(); ok {
+		t.Error("Result ok after dead prefix")
+	}
+}

@@ -1,0 +1,132 @@
+package extract
+
+import (
+	"resilex/internal/lang"
+	"resilex/internal/symtab"
+)
+
+// Maximal decides Definition 4.5 via Corollary 5.8: an unambiguous
+// E1⟨p⟩E2 is maximal iff
+//
+//	(E1·p·E2)/(p·E2) = Σ*   and   (E1·p)\(E1·p·E2) = Σ*
+//
+// The two universality checks make this PSPACE-complete in general
+// (Theorem 5.12); on the expressions this library synthesizes the automata
+// stay small, and adversarial inputs fail fast with a budget error.
+//
+// Calling Maximal on an ambiguous expression returns ErrAmbiguous:
+// maximality is defined within the unambiguous order only.
+func (e Expr) Maximal() (bool, error) {
+	unamb, err := e.Unambiguous()
+	if err != nil {
+		return false, err
+	}
+	if !unamb {
+		return false, ErrAmbiguous
+	}
+	pOnly, err := lang.Single([]symtab.Symbol{e.p}, e.sigma, e.opt)
+	if err != nil {
+		return false, err
+	}
+	// full = E1·p·E2
+	e1p, err := e.left.Concat(pOnly)
+	if err != nil {
+		return false, err
+	}
+	full, err := e1p.Concat(e.right)
+	if err != nil {
+		return false, err
+	}
+	// Left side: (E1·p·E2)/(p·E2) must be Σ*.
+	pe2, err := pOnly.Concat(e.right)
+	if err != nil {
+		return false, err
+	}
+	leftCover, err := full.RightFactor(pe2)
+	if err != nil {
+		return false, err
+	}
+	if !leftCover.IsUniversal() {
+		return false, nil
+	}
+	// Right side: (E1·p)\(E1·p·E2) must be Σ*.
+	rightCover, err := full.LeftFactor(e1p)
+	if err != nil {
+		return false, err
+	}
+	return rightCover.IsUniversal(), nil
+}
+
+// MaximalityDefect reports why an unambiguous expression is not maximal: a
+// shortest string ρ missing from (E1·p·E2)/(p·E2) (then (ρ|E1)⟨p⟩E2 is a
+// strict unambiguous generalization, per the proof of Proposition 5.7), or
+// one missing from (E1·p)\(E1·p·E2) (then E1⟨p⟩(ρ|E2) is). side is "left"
+// or "right"; ok=false when the expression is already maximal.
+func (e Expr) MaximalityDefect() (rho []symtab.Symbol, side string, ok bool, err error) {
+	unamb, err := e.Unambiguous()
+	if err != nil {
+		return nil, "", false, err
+	}
+	if !unamb {
+		return nil, "", false, ErrAmbiguous
+	}
+	pOnly, err := lang.Single([]symtab.Symbol{e.p}, e.sigma, e.opt)
+	if err != nil {
+		return nil, "", false, err
+	}
+	e1p, err := e.left.Concat(pOnly)
+	if err != nil {
+		return nil, "", false, err
+	}
+	full, err := e1p.Concat(e.right)
+	if err != nil {
+		return nil, "", false, err
+	}
+	pe2, err := pOnly.Concat(e.right)
+	if err != nil {
+		return nil, "", false, err
+	}
+	leftCover, err := full.RightFactor(pe2)
+	if err != nil {
+		return nil, "", false, err
+	}
+	if w, found := leftCover.Complement().Witness(); found {
+		return w, "left", true, nil
+	}
+	rightCover, err := full.LeftFactor(e1p)
+	if err != nil {
+		return nil, "", false, err
+	}
+	if w, found := rightCover.Complement().Witness(); found {
+		return w, "right", true, nil
+	}
+	return nil, "", false, nil
+}
+
+// Extend returns the expression with ρ adjoined to the given side
+// ((ρ|E1)⟨p⟩E2 or E1⟨p⟩(ρ|E2)) — the one-step strict generalization used in
+// the proof of Proposition 5.7. It does not check unambiguity of the result.
+func (e Expr) Extend(rho []symtab.Symbol, side string) (Expr, error) {
+	single, err := lang.Single(rho, e.sigma, e.opt)
+	if err != nil {
+		return Expr{}, err
+	}
+	switch side {
+	case "left":
+		l, err := e.left.Union(single)
+		if err != nil {
+			return Expr{}, err
+		}
+		out := New(l, e.p, e.right)
+		out.opt = e.opt
+		return out, nil
+	default:
+		r, err := e.right.Union(single)
+		if err != nil {
+			return Expr{}, err
+		}
+		out := New(e.left, e.p, r)
+		out.opt = e.opt
+		return out, nil
+	}
+}

@@ -1,0 +1,145 @@
+package extract
+
+import (
+	"fmt"
+
+	"resilex/internal/lang"
+	"resilex/internal/machine"
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+// LeftFilter runs Algorithm 6.2 (left-filtering maximization). Input: an
+// unambiguous E⟨p⟩E2 whose prefix component matches a bounded number of p's
+// and whose right side can be widened to Σ* — i.e. (E·p)\E = ∅, which holds
+// automatically when E2 = Σ* (Lemma 6.4(1)). Output: a maximal unambiguous
+// E'⟨p⟩Σ* generalizing E⟨p⟩Σ* (Proposition 6.5), where
+//
+//	F   = E/(p·Σ*)                      (p-prefixes of E)
+//	R₀  = (Σ−p)* − F‖p,0
+//	Rᵢ  = F‖p,i−1 · p · (Σ−p)* − F‖p,i   (i ≥ 1, while F‖p,i−1 ≠ ∅)
+//	E'  = E + ΣRᵢ
+//
+// Errors: ErrAmbiguous, ErrUnbounded (E matches unboundedly many p's, the
+// loop would not terminate), ErrNotApplicable ((E·p)\E ≠ ∅ so E⟨p⟩Σ* itself
+// would be ambiguous), or a budget error from the automata layer.
+func LeftFilter(e Expr) (Expr, error) {
+	if unamb, err := e.Unambiguous(); err != nil {
+		return Expr{}, err
+	} else if !unamb {
+		return Expr{}, ErrAmbiguous
+	}
+	E := e.left
+	p := e.p
+	sigma := e.sigma
+	opt := e.opt
+
+	pOnly, err := lang.Single([]symtab.Symbol{p}, sigma, opt)
+	if err != nil {
+		return Expr{}, err
+	}
+	// Widening precondition: (E·p)\E = ∅ (Section 6, first paragraph).
+	ep, err := E.Concat(pOnly)
+	if err != nil {
+		return Expr{}, err
+	}
+	gap, err := E.LeftFactor(ep)
+	if err != nil {
+		return Expr{}, err
+	}
+	if !gap.IsEmpty() {
+		return Expr{}, fmt.Errorf("%w: (E·p)\\E ≠ ∅, widening the right side to Σ* would be ambiguous", ErrNotApplicable)
+	}
+	// Termination precondition: E‖p,n = ∅ for some n (Lemma 6.4(4,5)).
+	if _, bounded := E.MaxOccurrences(p); !bounded {
+		return Expr{}, ErrUnbounded
+	}
+	// F = E/(p·Σ*): the proper prefixes of E-words ending just before a p.
+	univ := lang.Universal(sigma, opt)
+	F, err := E.MarkedPrefixes(p)
+	if err != nil {
+		return Expr{}, err
+	}
+	noP := sigmaMinusPStar(sigma, p, opt)
+	// S := (Σ−p)* − F‖p,0
+	f0, err := F.FilterCount(p, 0)
+	if err != nil {
+		return Expr{}, err
+	}
+	S, err := noP.Minus(f0)
+	if err != nil {
+		return Expr{}, err
+	}
+	// while F‖p,n ≠ ∅: S += F‖p,n · p · (Σ−p)* − F‖p,n+1
+	fn := f0
+	for n := 0; !fn.IsEmpty(); n++ {
+		fnext, err := F.FilterCount(p, n+1)
+		if err != nil {
+			return Expr{}, err
+		}
+		grown, err := fn.Concat(pOnly)
+		if err != nil {
+			return Expr{}, err
+		}
+		grown, err = grown.Concat(noP)
+		if err != nil {
+			return Expr{}, err
+		}
+		ri, err := grown.Minus(fnext)
+		if err != nil {
+			return Expr{}, err
+		}
+		S, err = S.Union(ri)
+		if err != nil {
+			return Expr{}, err
+		}
+		fn = fnext
+	}
+	Eprime, err := E.Union(S)
+	if err != nil {
+		return Expr{}, err
+	}
+	out := New(Eprime, p, univ)
+	out.opt = opt
+	return out, nil
+}
+
+// RightFilter is the mirror image of Algorithm 6.2: it widens the *left*
+// side to Σ* (precondition E2\(p·E2) = ∅) and maximizes the suffix
+// component. It is implemented by reversal — every definition in the paper
+// is mirror-symmetric — and returns a maximal unambiguous Σ*⟨p⟩E2'.
+func RightFilter(e Expr) (Expr, error) {
+	rev, err := e.reverse()
+	if err != nil {
+		return Expr{}, err
+	}
+	maxRev, err := LeftFilter(rev)
+	if err != nil {
+		return Expr{}, err
+	}
+	return maxRev.reverse()
+}
+
+// reverse returns E2ᴿ⟨p⟩E1ᴿ, the mirror image of the expression.
+func (e Expr) reverse() (Expr, error) {
+	lrev, err := e.left.Reverse()
+	if err != nil {
+		return Expr{}, err
+	}
+	rrev, err := e.right.Reverse()
+	if err != nil {
+		return Expr{}, err
+	}
+	out := New(rrev, e.p, lrev)
+	out.opt = e.opt
+	return out, nil
+}
+
+// sigmaMinusPStar returns (Σ−p)*.
+func sigmaMinusPStar(sigma symtab.Alphabet, p symtab.Symbol, opt machine.Options) lang.Language {
+	l, err := lang.FromRegex(rx.Star(rx.Class(sigma.Without(p))), sigma, opt)
+	if err != nil {
+		panic(err) // two-state automaton; cannot exceed any budget
+	}
+	return l
+}

@@ -1,0 +1,251 @@
+package extract
+
+import (
+	"errors"
+	"testing"
+
+	"resilex/internal/machine"
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+// htmlEnv builds the tag alphabet of the Figure 1 / Section 7 example.
+type htmlEnv struct {
+	tab   *symtab.Table
+	sigma symtab.Alphabet
+	input symtab.Symbol
+}
+
+func newHTMLEnv() htmlEnv {
+	tab := symtab.NewTable()
+	syms := tab.InternAll(
+		"P", "H1", "/H1", "FORM", "/FORM", "INPUT", "BR",
+		"TABLE", "/TABLE", "TR", "/TR", "TD", "/TD", "TH", "/TH", "IMG", "A", "/A",
+	)
+	return htmlEnv{tab: tab, sigma: symtab.NewAlphabet(syms...), input: tab.Lookup("INPUT")}
+}
+
+// The two Figure 1 documents in the tag-sequence abstraction of Section 3.
+const (
+	fig1Doc1 = "P H1 /H1 P FORM INPUT INPUT P INPUT INPUT /FORM"
+	fig1Doc2 = "TABLE TR TH IMG /TH /TR TR TD H1 /H1 /TD /TR TR TD A /A /TD /TR " +
+		"TR TD FORM INPUT INPUT INPUT INPUT /FORM /TD /TR /TABLE"
+)
+
+// The target is the second INPUT element of the form: index 6 in doc1.
+func (h htmlEnv) doc(t *testing.T, s string) []symtab.Symbol {
+	t.Helper()
+	w, err := rx.ParseWord(s, h.tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestFigure1Generalization reproduces the Section 3 story: the generalized
+// expression (Tags−FORM)*·FORM·(Tags−INPUT)*·INPUT·(Tags−INPUT)*⟨INPUT⟩Tags*
+// matches both the original and the rearranged page and identifies the
+// second INPUT of the form in each. (Experiment E1.)
+func TestFigure1Generalization(t *testing.T) {
+	h := newHTMLEnv()
+	x, err := Parse("[^ FORM]* FORM [^ INPUT]* INPUT [^ INPUT]* <INPUT> .*",
+		h.tab, h.sigma, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unamb, err := x.Unambiguous()
+	if err != nil || !unamb {
+		t.Fatalf("Section 3 expression should be unambiguous (%v, %v)", unamb, err)
+	}
+	m, err := x.Maximal()
+	if err != nil || !m {
+		t.Fatalf("Section 3 expression should be maximal (%v, %v)", m, err)
+	}
+
+	doc1 := h.doc(t, fig1Doc1)
+	pos, ok := x.Extract(doc1)
+	if !ok || h.tab.Name(doc1[pos]) != "INPUT" || pos != 6 {
+		t.Errorf("doc1 extraction = (%d, %v), want the second INPUT at 6", pos, ok)
+	}
+	doc2 := h.doc(t, fig1Doc2)
+	pos2, ok := x.Extract(doc2)
+	if !ok || pos2 != 22 {
+		t.Errorf("doc2 extraction = (%d, %v), want the second INPUT at 22", pos2, ok)
+	}
+
+	// The rigid single-document expressions fail on the other document —
+	// this is the brittleness the paper motivates with.
+	rigid1, err := Parse("P H1 /H1 P FORM INPUT <INPUT> P INPUT INPUT /FORM",
+		h.tab, h.sigma, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rigid1.Extract(doc1); !ok {
+		t.Error("rigid expression must match its own document")
+	}
+	if _, ok := rigid1.Extract(doc2); ok {
+		t.Error("rigid expression unexpectedly survived the redesign")
+	}
+}
+
+// The merge heuristic of Section 7 aligns the common FORM INPUT ... INPUT
+// anchors; the faithful Expression (10) with optional in-between segments:
+const section7Expr10 = "((P H1 /H1 P) | (TABLE TR TH IMG /TH /TR TR TD H1 /H1 /TD /TR TR TD A /A /TD /TR TR TD)) " +
+	"FORM INPUT <INPUT> .*"
+
+// TestSection7Pipeline reproduces the Section 7 worked example end to end
+// (experiment E2): Expression (10) is unambiguous but not maximal; pivot
+// maximization with FORM and INPUT as pivots yields the maximal Expression
+// (11) — (Tags−FORM)*·FORM·(Tags−INPUT)*·INPUT·(Tags−INPUT)*⟨INPUT⟩Tags* —
+// which still extracts the right element from both documents.
+func TestSection7Pipeline(t *testing.T) {
+	h := newHTMLEnv()
+	expr10, err := Parse(section7Expr10, h.tab, h.sigma, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unamb, err := expr10.Unambiguous()
+	if err != nil || !unamb {
+		t.Fatalf("Expression (10) should be unambiguous (%v, %v)", unamb, err)
+	}
+	m, err := expr10.Maximal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m {
+		t.Fatal("Expression (10) should NOT be maximal yet")
+	}
+	// It parses both documents and finds the right INPUT.
+	doc1, doc2 := h.doc(t, fig1Doc1), h.doc(t, fig1Doc2)
+	if pos, ok := expr10.Extract(doc1); !ok || pos != 6 {
+		t.Fatalf("expr10 on doc1 = (%d, %v)", pos, ok)
+	}
+	if pos, ok := expr10.Extract(doc2); !ok || pos != 22 {
+		t.Fatalf("expr10 on doc2 = (%d, %v)", pos, ok)
+	}
+
+	// Pivot maximization discovers FORM and INPUT as pivots.
+	dec, err := PivotDecomposition(expr10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Pivots) != 2 ||
+		h.tab.Name(dec.Pivots[0]) != "FORM" || h.tab.Name(dec.Pivots[1]) != "INPUT" {
+		names := make([]string, len(dec.Pivots))
+		for i, p := range dec.Pivots {
+			names[i] = h.tab.Name(p)
+		}
+		t.Fatalf("pivots = %v, want [FORM INPUT]", names)
+	}
+	expr11, err := Pivot(expr10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireMaximizedProperly(t, expr10, expr11, "Expression (11)")
+
+	// Expression (11) equals the Section 3 closed form.
+	closed, err := Parse("[^ FORM]* FORM [^ INPUT]* INPUT [^ INPUT]* <INPUT> .*",
+		h.tab, h.sigma, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !expr11.Equal(closed) {
+		t.Errorf("Expression (11) = %s,\nwant the Section 3 closed form", expr11.String(h.tab))
+	}
+
+	// It still extracts correctly from both documents…
+	if pos, ok := expr11.Extract(doc1); !ok || pos != 6 {
+		t.Errorf("expr11 on doc1 = (%d, %v)", pos, ok)
+	}
+	if pos, ok := expr11.Extract(doc2); !ok || pos != 22 {
+		t.Errorf("expr11 on doc2 = (%d, %v)", pos, ok)
+	}
+	// …and survives further perturbations: extra rows before/after the form
+	// and an extra leading table — the resilience requirement of Section 3.
+	perturbed := h.doc(t, "TABLE TR TD A /A /TD /TR TR TD /TD /TR TR TD /TD /TR TR TD "+
+		"FORM INPUT INPUT INPUT INPUT /FORM /TD /TR TR TD A /A /TD /TR /TABLE")
+	pos, ok := expr11.Extract(perturbed)
+	if !ok || h.tab.Name(perturbed[pos]) != "INPUT" || pos != 19 {
+		t.Errorf("perturbed extraction = (%d, %v), want the second INPUT at 19", pos, ok)
+	}
+
+	// Section 7's closing remark: a direct application of Algorithm 6.2 to
+	// Expression (10) also maximizes it, but to a different (larger)
+	// expression with different extraction semantics.
+	direct, err := LeftFilter(expr10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireMaximizedProperly(t, expr10, direct, "direct Algorithm 6.2")
+	if direct.Equal(expr11) {
+		t.Error("direct Algorithm 6.2 output should differ from the pivot output")
+	}
+	if direct.Left().States() <= expr11.Left().States() {
+		t.Errorf("direct output (%d states) should be larger than pivot output (%d states)",
+			direct.Left().States(), expr11.Left().States())
+	}
+}
+
+// TestSection8Limitation demonstrates the closing limitation: the middle-row
+// pattern TRⁿ⟨TR⟩TRⁿ is not regular, so any fixed extraction expression
+// trained on bounded examples extracts the wrong row for larger tables.
+// (Experiment E11.)
+func TestSection8Limitation(t *testing.T) {
+	h := newHTMLEnv()
+	tr := h.tab.Lookup("TR")
+	// An expression handling the middle row for n ≤ 2 exactly:
+	x, err := Parse("(TR | TR TR) <TR> (TR | TR TR)", h.tab, h.sigma, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// It is ambiguous — TR TR ⟨TR⟩ TR TR vs TR ⟨TR⟩ TR on the 5-row table
+	// coincide, but the 4-row table TRTR⟨TR⟩TR vs TR⟨TR⟩TRTR collides.
+	unamb, err := x.Unambiguous()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unamb {
+		t.Fatal("the naive middle-row expression should be ambiguous")
+	}
+	// Semantic check: a single unambiguous expression correct for tables of
+	// 3 and 5 rows cannot also be correct for 7 rows. Exhaustive search over
+	// expressions is infeasible; we verify the canonical candidate family
+	// TRᵏ⟨TR⟩TR* mis-extracts the middle for large tables.
+	for _, rows := range []int{3, 5, 7, 9} {
+		table := make([]symtab.Symbol, rows)
+		for i := range table {
+			table[i] = tr
+		}
+		fixed, err := Parse("TR <TR> TR*", h.tab, h.sigma, machine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos, ok := fixed.Extract(table)
+		if !ok {
+			t.Fatalf("fixed expression failed to parse %d-row table", rows)
+		}
+		if rows > 3 && pos == rows/2 {
+			t.Errorf("fixed expression accidentally found the middle of %d rows", rows)
+		}
+	}
+}
+
+// Maximality testing on the PSPACE witness family must respect budgets
+// rather than hang (Theorem 5.12 made operational).
+func TestMaximalityBudget(t *testing.T) {
+	e := newTenv()
+	src := "(p | q)* p"
+	for i := 0; i < 14; i++ {
+		src += " (p | q)"
+	}
+	x, err := Parse(src+" <p> .*", e.tab, e.sigma2, machine.Options{MaxStates: 2000})
+	if err != nil {
+		if errors.Is(err, machine.ErrBudget) {
+			return // surfaced at construction; acceptable
+		}
+		t.Fatal(err)
+	}
+	if _, err := x.Maximal(); err != nil && !errors.Is(err, machine.ErrBudget) && !errors.Is(err, ErrAmbiguous) {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

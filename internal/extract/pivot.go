@@ -1,0 +1,327 @@
+package extract
+
+import (
+	"errors"
+	"fmt"
+
+	"resilex/internal/lang"
+	"resilex/internal/machine"
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+// Compose implements Proposition 6.7: given maximal unambiguous a = E1⟨q⟩Σ*
+// and b = E2⟨p⟩Σ*, the expression (E1·q·E2)⟨p⟩Σ* is maximal and unambiguous.
+// The same construction on merely-unambiguous inputs preserves unambiguity
+// (Proposition 6.6); Compose does not itself verify its inputs.
+func Compose(a, b Expr) (Expr, error) {
+	qOnly, err := lang.Single([]symtab.Symbol{a.p}, a.sigma.Union(b.sigma), a.opt)
+	if err != nil {
+		return Expr{}, err
+	}
+	left, err := a.left.Concat(qOnly)
+	if err != nil {
+		return Expr{}, err
+	}
+	left, err = left.Concat(b.left)
+	if err != nil {
+		return Expr{}, err
+	}
+	out := New(left, b.p, b.right)
+	out.opt = a.opt
+	return out, nil
+}
+
+// Decomposition is a pivot factoring of a prefix expression E into
+// E₁·q₁·E₂·q₂·…·Eₙ·qₙ·E_{n+1} (Section 6, Expression (4)): Segments has
+// n+1 entries and Pivots has n.
+type Decomposition struct {
+	Segments []*rx.Node
+	Pivots   []symtab.Symbol
+}
+
+// String renders the decomposition for diagnostics.
+func (d Decomposition) String(tab *symtab.Table) string {
+	out := ""
+	for i, seg := range d.Segments {
+		if i > 0 {
+			out += " ⟨" + tab.Name(d.Pivots[i-1]) + "⟩ "
+		}
+		out += "(" + rx.Print(seg, tab) + ")"
+	}
+	return out
+}
+
+// Pivot runs the pivot maximization framework (Proposition 6.8) on an
+// expression E⟨p⟩E2 built from syntax: it discovers a pivot decomposition of
+// the left AST, left-filter-maximizes every segment against its following
+// pivot (the last segment against p), and composes the results with
+// Proposition 6.7 into a maximal unambiguous expression.
+//
+// Pivot is strictly more powerful than plain left-filtering: E itself may
+// match unboundedly many p's as long as the final segment does not.
+//
+// The expression must satisfy the widening precondition (E·p)\E = ∅ (or
+// already have E2 = Σ*). Expressions without syntax (LeftAST() == nil)
+// cannot be decomposed and fail with ErrNotApplicable.
+func Pivot(e Expr) (Expr, error) {
+	dec, result, err := pivotWithDecomposition(e)
+	_ = dec
+	return result, err
+}
+
+// PivotDecomposition returns the decomposition Pivot would use, for
+// inspection and for the experiment tables.
+func PivotDecomposition(e Expr) (Decomposition, error) {
+	dec, _, err := pivotWithDecomposition(e)
+	return dec, err
+}
+
+func pivotWithDecomposition(e Expr) (Decomposition, Expr, error) {
+	if unamb, err := e.Unambiguous(); err != nil {
+		return Decomposition{}, Expr{}, err
+	} else if !unamb {
+		return Decomposition{}, Expr{}, ErrAmbiguous
+	}
+	if e.leftAST == nil {
+		return Decomposition{}, Expr{}, fmt.Errorf("%w: expression has no syntactic form to decompose", ErrNotApplicable)
+	}
+	// Widening precondition, as in LeftFilter.
+	pOnly, err := lang.Single([]symtab.Symbol{e.p}, e.sigma, e.opt)
+	if err != nil {
+		return Decomposition{}, Expr{}, err
+	}
+	ep, err := e.left.Concat(pOnly)
+	if err != nil {
+		return Decomposition{}, Expr{}, err
+	}
+	gap, err := e.left.LeftFactor(ep)
+	if err != nil {
+		return Decomposition{}, Expr{}, err
+	}
+	if !gap.IsEmpty() {
+		return Decomposition{}, Expr{}, fmt.Errorf("%w: (E·p)\\E ≠ ∅, widening the right side to Σ* would be ambiguous", ErrNotApplicable)
+	}
+	dec, err := discoverPivots(e.leftAST, e.p, e.sigma, e.opt)
+	if err != nil {
+		return Decomposition{}, Expr{}, err
+	}
+	// Maximize each segment against its following pivot with Algorithm 6.2,
+	// then fold with Proposition 6.7. The fold is left-to-right: acc after
+	// step i is (E'₁·q₁·…·E'ᵢ₊₁)⟨qᵢ₊₁-or-p⟩Σ*, maximal by induction.
+	var acc Expr
+	for i, seg := range dec.Segments {
+		next := e.p
+		if i < len(dec.Pivots) {
+			next = dec.Pivots[i]
+		}
+		segExpr, err := FromAST(seg, next, rx.Star(rx.Class(e.sigma)), e.sigma, e.opt)
+		if err != nil {
+			return dec, Expr{}, err
+		}
+		segMax, err := LeftFilter(segExpr)
+		if err != nil {
+			return dec, Expr{}, fmt.Errorf("extract: pivot segment %d: %w", i, err)
+		}
+		if i == 0 {
+			acc = segMax
+			continue
+		}
+		// acc currently marks dec.Pivots[i-1]; compose with the new segment.
+		acc, err = Compose(acc, segMax)
+		if err != nil {
+			return dec, Expr{}, err
+		}
+	}
+	return dec, acc, nil
+}
+
+// discoverPivots flattens the top-level concatenation of the AST and
+// greedily selects literal factors as pivots, dropping any candidate whose
+// Proposition 6.8 side conditions fail (segment unambiguous w.r.t. the
+// pivot, segment bounded in the pivot symbol) by merging it into the
+// following segment. It errs with ErrUnbounded/ErrNotApplicable only when
+// even the no-pivot decomposition (plain left-filtering) is inapplicable.
+func discoverPivots(ast *rx.Node, p symtab.Symbol, sigma symtab.Alphabet, opt machine.Options) (Decomposition, error) {
+	var factors []*rx.Node
+	if ast.Op == rx.OpConcat {
+		factors = ast.Subs
+	} else {
+		factors = []*rx.Node{ast}
+	}
+	// Candidate pivot positions: singleton-class factors.
+	isPivot := make([]bool, len(factors))
+	for i, f := range factors {
+		if f.Op == rx.OpClass && f.Class.Len() == 1 {
+			isPivot[i] = true
+		}
+	}
+	for {
+		dec := assemble(factors, isPivot)
+		bad, err := firstViolation(dec, p, sigma, opt)
+		if err != nil {
+			return Decomposition{}, err
+		}
+		if bad < 0 {
+			return dec, nil
+		}
+		if bad == len(dec.Pivots) {
+			// The final ⟨p⟩ segment fails: drop the last remaining pivot to
+			// enlarge it; with no pivots left, the expression is beyond this
+			// strategy.
+			if !dropLastPivot(factors, isPivot) {
+				return Decomposition{}, ErrUnbounded
+			}
+			continue
+		}
+		// Segment `bad` fails against pivot `bad`: demote that pivot.
+		demotePivot(factors, isPivot, bad)
+	}
+}
+
+// assemble splits factors into a Decomposition given the pivot mask.
+func assemble(factors []*rx.Node, isPivot []bool) Decomposition {
+	var dec Decomposition
+	var cur []*rx.Node
+	for i, f := range factors {
+		if isPivot[i] {
+			dec.Segments = append(dec.Segments, rx.Concat(cur...))
+			dec.Pivots = append(dec.Pivots, f.Class.Symbols()[0])
+			cur = nil
+			continue
+		}
+		cur = append(cur, f)
+	}
+	dec.Segments = append(dec.Segments, rx.Concat(cur...))
+	return dec
+}
+
+// firstViolation returns the index of the first segment whose side
+// conditions fail (index == len(Pivots) refers to the final ⟨p⟩ segment),
+// or -1 when the decomposition is valid.
+func firstViolation(dec Decomposition, p symtab.Symbol, sigma symtab.Alphabet, opt machine.Options) (int, error) {
+	for i, seg := range dec.Segments {
+		mark := p
+		if i < len(dec.Pivots) {
+			mark = dec.Pivots[i]
+		}
+		segLang, err := lang.FromRegex(seg, sigma, opt)
+		if err != nil {
+			return 0, err
+		}
+		if _, bounded := segLang.MaxOccurrences(mark); !bounded {
+			return i, nil
+		}
+		segExpr, err := FromAST(seg, mark, rx.Star(rx.Class(sigma)), sigma, opt)
+		if err != nil {
+			return 0, err
+		}
+		if unamb, err := segExpr.Unambiguous(); err != nil {
+			return 0, err
+		} else if !unamb {
+			return i, nil
+		}
+	}
+	return -1, nil
+}
+
+// demotePivot clears the pivot at ordinal `ord` (0-based among pivots).
+func demotePivot(factors []*rx.Node, isPivot []bool, ord int) {
+	seen := 0
+	for i := range factors {
+		if isPivot[i] {
+			if seen == ord {
+				isPivot[i] = false
+				return
+			}
+			seen++
+		}
+	}
+}
+
+// dropLastPivot clears the last pivot; returns false when none remain.
+func dropLastPivot(factors []*rx.Node, isPivot []bool) bool {
+	for i := len(factors) - 1; i >= 0; i-- {
+		if isPivot[i] {
+			isPivot[i] = false
+			return true
+		}
+	}
+	return false
+}
+
+// PivotRight is the mirror image of the pivot framework: it decomposes the
+// *suffix* component at literal anchors and maximizes toward Σ*⟨p⟩E2'. The
+// construction runs Pivot on the syntactically reversed expression
+// (rx.ReverseNode) and reverses the result — every definition in the paper
+// is mirror-symmetric. Requires the expression to carry syntax for the
+// right component.
+func PivotRight(e Expr) (Expr, error) {
+	if e.rightAST == nil {
+		return Expr{}, fmt.Errorf("%w: expression has no syntactic right component to decompose", ErrNotApplicable)
+	}
+	leftRev := e.leftAST
+	if leftRev != nil {
+		leftRev = rx.ReverseNode(leftRev)
+	} else {
+		leftRev = rx.Star(rx.Class(e.sigma)) // only used when E1 already Σ*
+		if !e.left.IsUniversal() {
+			// Reconstruct syntax from the canonical DFA.
+			leftRev = rx.ReverseNode(e.left.Regex())
+		}
+	}
+	mirror, err := FromAST(rx.ReverseNode(e.rightAST), e.p, leftRev, e.sigma, e.opt)
+	if err != nil {
+		return Expr{}, err
+	}
+	out, err := Pivot(mirror)
+	if err != nil {
+		return Expr{}, err
+	}
+	return out.reverse()
+}
+
+// Maximize synthesizes a maximal unambiguous generalization of e using the
+// paper's toolkit, in order of preference: pivot maximization (subsumes
+// plain left-filtering, Section 6), its mirror image on the suffix side,
+// then the plain filters. It returns ErrAmbiguous for ambiguous inputs and
+// ErrNotApplicable when no strategy's side conditions hold — the open
+// problem of Section 8 is whether such inputs are always maximizable at all.
+func Maximize(e Expr) (Expr, error) {
+	if unamb, err := e.Unambiguous(); err != nil {
+		return Expr{}, err
+	} else if !unamb {
+		return Expr{}, ErrAmbiguous
+	}
+	var firstErr error
+	try := func(f func(Expr) (Expr, error)) (Expr, bool) {
+		out, err := f(e)
+		if err == nil {
+			return out, true
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		return Expr{}, false
+	}
+	if e.leftAST != nil {
+		if out, ok := try(Pivot); ok {
+			return out, nil
+		}
+	}
+	if out, ok := try(LeftFilter); ok {
+		return out, nil
+	}
+	if e.rightAST != nil {
+		if out, ok := try(PivotRight); ok {
+			return out, nil
+		}
+	}
+	if out, ok := try(RightFilter); ok {
+		return out, nil
+	}
+	if errors.Is(firstErr, ErrNotApplicable) || errors.Is(firstErr, ErrUnbounded) {
+		return Expr{}, fmt.Errorf("%w (first failure: %v)", ErrNotApplicable, firstErr)
+	}
+	return Expr{}, firstErr
+}

@@ -1,0 +1,247 @@
+package extract
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestComposePropositions66And67(t *testing.T) {
+	e := newTenv()
+	// Maximal pieces: (Σ−q)*⟨q⟩Σ* and (Σ−p)*⟨p⟩Σ*.
+	a := e.expr(t, "[^ q]* <q> .*", e.sigma2)
+	b := e.expr(t, "[^ p]* <p> .*", e.sigma2)
+	for _, x := range []Expr{a, b} {
+		if m, err := x.Maximal(); err != nil || !m {
+			t.Fatalf("piece not maximal: %v %v", m, err)
+		}
+	}
+	c, err := Compose(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proposition 6.7: the composite is maximal and unambiguous.
+	if m, err := c.Maximal(); err != nil || !m {
+		t.Fatalf("composite not maximal: %v %v", m, err)
+	}
+	// Composite left = (Σ−q)*·q·(Σ−p)*.
+	want := e.expr(t, "[^ q]* q [^ p]* <p> .*", e.sigma2)
+	if !c.Equal(want) {
+		t.Errorf("composite = %s", c.String(e.tab))
+	}
+
+	// Proposition 6.6 (q = p case allowed): compose two p-marked pieces.
+	d, err := Compose(b, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unamb, err := d.Unambiguous(); err != nil || !unamb {
+		t.Fatalf("q=p composite not unambiguous: %v %v", unamb, err)
+	}
+	if m, err := d.Maximal(); err != nil || !m {
+		t.Fatalf("q=p composite not maximal: %v %v", m, err)
+	}
+}
+
+// Merely-unambiguous (non-maximal) pieces still compose to an unambiguous
+// expression (Proposition 6.6).
+func TestComposeUnambiguousOnly(t *testing.T) {
+	e := newTenv()
+	a := e.expr(t, "q <q> .*", e.sigma2) // unambiguous, not maximal
+	b := e.expr(t, "q p <p> .*", e.sigma2)
+	c, err := Compose(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unamb, err := c.Unambiguous(); err != nil || !unamb {
+		t.Errorf("composite not unambiguous: %v %v", unamb, err)
+	}
+	if m, _ := c.Maximal(); m {
+		t.Error("composite of non-maximal pieces should not be maximal here")
+	}
+}
+
+// Experiment E7: pivot maximization is strictly more powerful than plain
+// left-filtering — this input has unboundedly many p's in E, so Algorithm
+// 6.2 alone fails, while the pivot framework succeeds.
+func TestPivotStrictlyMorePowerful(t *testing.T) {
+	e := newTenv()
+	in := e.expr(t, "(p q)* r q <p> .*", e.sigma3)
+	if unamb, _ := in.Unambiguous(); !unamb {
+		t.Fatal("test input should be unambiguous")
+	}
+	if _, err := LeftFilter(in); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("LeftFilter should fail with ErrUnbounded, got %v", err)
+	}
+	out, err := Pivot(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireMaximizedProperly(t, in, out, "(pq)*rq⟨p⟩Σ*")
+	// Expected shape: (Σ−r)*·r·(Σ−q)*·q·(Σ−p)* ⟨p⟩ Σ*.
+	want := e.expr(t, "[^ r]* r [^ q]* q [^ p]* <p> .*", e.sigma3)
+	if !out.Equal(want) {
+		t.Errorf("pivot output = %s, want %s", out.String(e.tab), want.String(e.tab))
+	}
+}
+
+func TestPivotDecompositionInspection(t *testing.T) {
+	e := newTenv()
+	in := e.expr(t, "(p q)* r q <p> .*", e.sigma3)
+	dec, err := PivotDecomposition(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Pivots) != 2 || dec.Pivots[0] != e.r || dec.Pivots[1] != e.q {
+		t.Fatalf("pivots = %v, want [r q]", dec.Pivots)
+	}
+	if len(dec.Segments) != 3 {
+		t.Fatalf("segments = %d, want 3", len(dec.Segments))
+	}
+	s := dec.String(e.tab)
+	if s == "" {
+		t.Error("empty decomposition rendering")
+	}
+}
+
+// When a candidate pivot violates the side conditions, it is demoted and the
+// decomposition still succeeds with fewer pivots.
+func TestPivotDemotion(t *testing.T) {
+	e := newTenv()
+	// Factors: q* q r q* — the first literal q is a bad pivot (q* before it
+	// is ambiguous w.r.t. q), but r still works.
+	in := e.expr(t, "q* q r q <p> .*", e.sigma3)
+	if unamb, _ := in.Unambiguous(); !unamb {
+		t.Fatal("input should be unambiguous")
+	}
+	dec, err := PivotDecomposition(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The q right after q* must be demoted (q*⟨q⟩Σ* is ambiguous); r and the
+	// final q survive as pivots.
+	if len(dec.Pivots) != 2 || dec.Pivots[0] != e.r || dec.Pivots[1] != e.q {
+		t.Fatalf("pivots = %v, want [r q] after demotion", dec.Pivots)
+	}
+	out, err := Pivot(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireMaximizedProperly(t, in, out, "q*qrq⟨p⟩Σ*")
+}
+
+func TestPivotOnSyntaxlessExpression(t *testing.T) {
+	e := newTenv()
+	base := e.expr(t, "q p <p> .*", e.sigma2)
+	synthesized := New(base.Left(), base.P(), base.Right()) // drops ASTs
+	if _, err := Pivot(synthesized); !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("Pivot without syntax: err = %v", err)
+	}
+	// Maximize still succeeds via the left-filter fallback.
+	out, err := Maximize(synthesized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireMaximizedProperly(t, synthesized, out, "syntaxless")
+}
+
+func TestPivotAmbiguousRejected(t *testing.T) {
+	e := newTenv()
+	if _, err := Pivot(e.expr(t, "(p q)* <p> .*", e.sigma2)); !errors.Is(err, ErrAmbiguous) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPivotGapRejected(t *testing.T) {
+	e := newTenv()
+	// (p|pp)⟨p⟩q: widening precondition fails.
+	if _, err := Pivot(e.expr(t, "(p | p p) <p> q", e.sigma2)); !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPivotTotallyUnbounded(t *testing.T) {
+	e := newTenv()
+	// (qp)*⟨p⟩Σ* is unambiguous but unbounded with no usable pivot at all:
+	// the only literal factors sit inside the star.
+	if _, err := Pivot(e.expr(t, "(q p)* <p> .*", e.sigma2)); !errors.Is(err, ErrUnbounded) {
+		t.Errorf("err = %v", err)
+	}
+	// Maximize reports not-applicable overall.
+	if _, err := Maximize(e.expr(t, "(q p)* <p> .*", e.sigma2)); !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("Maximize err = %v", err)
+	}
+}
+
+// A deeper chain of pivots: a·b·c literal anchors with starred fillers.
+func TestPivotChain(t *testing.T) {
+	e := newTenv()
+	in := e.expr(t, "(q p)* r (q p)* r q <p> .*", e.sigma3)
+	if unamb, _ := in.Unambiguous(); !unamb {
+		t.Skip("chain input ambiguous — adjust")
+	}
+	out, err := Pivot(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireMaximizedProperly(t, in, out, "chain")
+}
+
+// When even the final segment is unbounded, candidates are dropped from the
+// right until none remain and the strategy reports ErrUnbounded.
+func TestPivotFinalSegmentUnbounded(t *testing.T) {
+	e := newTenv()
+	// Factors: q, r, (q p)* — the starred block with unbounded p sits last,
+	// so the final ⟨p⟩ segment is unbounded for every pivot choice.
+	in := e.expr(t, "q r (q p)* <p> .*", e.sigma3)
+	if unamb, _ := in.Unambiguous(); !unamb {
+		t.Fatal("input should be unambiguous")
+	}
+	if _, err := Pivot(in); !errors.Is(err, ErrUnbounded) {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+// PivotRight handles right-side context with unboundedly many marks — the
+// mirror of TestPivotStrictlyMorePowerful.
+func TestPivotRight(t *testing.T) {
+	e := newTenv()
+	in := e.expr(t, ".* <p> q r (q p)*", e.sigma3)
+	if unamb, _ := in.Unambiguous(); !unamb {
+		t.Fatal("input should be unambiguous")
+	}
+	// Plain right-filtering fails: the reversed suffix has unbounded p.
+	if _, err := RightFilter(in); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("RightFilter: %v, want ErrUnbounded", err)
+	}
+	out, err := PivotRight(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireMaximizedProperly(t, in, out, "Σ*⟨p⟩qr(qp)*")
+	if !out.Left().IsUniversal() {
+		t.Error("PivotRight output should have Σ* on the left")
+	}
+	// Expected mirror shape: Σ* ⟨p⟩ (Σ−q)*ᴿ… — verify against the reversed
+	// closed form: ((Σ−r)* r (Σ−q)* q (Σ−p)*)ᴿ = (Σ−p)* q (Σ−q)* r (Σ−r)*.
+	want := e.expr(t, ".* <p> [^ p]* q [^ q]* r [^ r]*", e.sigma3)
+	if !out.Equal(want) {
+		t.Errorf("PivotRight output = %s,\nwant %s", out.String(e.tab), want.String(e.tab))
+	}
+	// Maximize dispatch reaches it too.
+	viaDispatch, err := Maximize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := viaDispatch.Maximal(); !m {
+		t.Error("Maximize dispatch output not maximal")
+	}
+}
+
+func TestPivotRightNoSyntax(t *testing.T) {
+	e := newTenv()
+	base := e.expr(t, ".* <p> q", e.sigma2)
+	synthesized := New(base.Left(), base.P(), base.Right())
+	if _, err := PivotRight(synthesized); !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("err = %v", err)
+	}
+}

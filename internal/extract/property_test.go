@@ -1,0 +1,324 @@
+package extract
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"resilex/internal/lang"
+	"resilex/internal/machine"
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+// genNode draws a random plain regular expression of bounded depth over the
+// symbols; biased toward the concatenation-with-stars shapes extraction
+// expressions take in practice.
+func genNode(rng *rand.Rand, syms []symtab.Symbol, depth int) *rx.Node {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return rx.Epsilon()
+		default:
+			return rx.Sym(syms[rng.Intn(len(syms))])
+		}
+	}
+	switch rng.Intn(10) {
+	case 0, 1, 2, 3:
+		n := 2 + rng.Intn(2)
+		subs := make([]*rx.Node, n)
+		for i := range subs {
+			subs[i] = genNode(rng, syms, depth-1)
+		}
+		return rx.Concat(subs...)
+	case 4, 5:
+		n := 2 + rng.Intn(2)
+		subs := make([]*rx.Node, n)
+		for i := range subs {
+			subs[i] = genNode(rng, syms, depth-1)
+		}
+		return rx.Union(subs...)
+	case 6, 7:
+		return rx.Star(genNode(rng, syms, depth-1))
+	case 8:
+		return rx.Opt(genNode(rng, syms, depth-1))
+	default:
+		return rx.Sym(syms[rng.Intn(len(syms))])
+	}
+}
+
+// randomExprValue adapts genNode to testing/quick.
+type randomExprValue struct {
+	left, right *rx.Node
+}
+
+func (randomExprValue) Generate(rng *rand.Rand, size int) reflect.Value {
+	tab := symtab.NewTable()
+	syms := tab.InternAll("p", "q")
+	depth := 2 + rng.Intn(2)
+	return reflect.ValueOf(randomExprValue{
+		left:  genNode(rng, syms, depth),
+		right: genNode(rng, syms, depth),
+	})
+}
+
+func quickEnv() (tenv, *quick.Config) {
+	e := newTenv()
+	return e, &quick.Config{MaxCount: 60}
+}
+
+// machineOpts bounds the state budget so degenerate random expressions fail
+// fast instead of dominating the property run.
+func machineOpts() machine.Options { return machine.Options{MaxStates: 4096} }
+
+// Property: the factoring-based and marker-based unambiguity deciders agree
+// with each other and with the brute-force split-counting oracle.
+func TestQuickUnambiguityAgreement(t *testing.T) {
+	e, cfg := quickEnv()
+	marker := e.tab.Intern("MARKSYM")
+	words := allWords(e.sigma2, 6)
+	prop := func(v randomExprValue) bool {
+		x, err := FromAST(v.left, e.p, v.right, e.sigma2, machineOpts())
+		if err != nil {
+			return true // budget exhaustion is acceptable, not a bug
+		}
+		byFactoring, err := x.Unambiguous()
+		if err != nil {
+			return true
+		}
+		byMarker, err := x.UnambiguousMarker(marker)
+		if err != nil {
+			return true
+		}
+		if byFactoring != byMarker {
+			t.Logf("disagreement on %s", x.String(e.tab))
+			return false
+		}
+		for _, w := range words {
+			if len(oracleSplits(x, w)) >= 2 {
+				if byFactoring {
+					t.Logf("oracle found ambiguity missed on %s at %s",
+						x.String(e.tab), e.tab.String(w))
+					return false
+				}
+				return true
+			}
+		}
+		// No short witness: the deciders may still correctly say ambiguous
+		// (longer witnesses exist); but if they say ambiguous, the generated
+		// witness must be valid.
+		if !byFactoring {
+			w, ok, err := x.AmbiguityWitness()
+			if err != nil || !ok {
+				t.Logf("ambiguous per decider but no witness: %v %v", ok, err)
+				return false
+			}
+			if len(x.Splits(w)) < 2 {
+				t.Logf("invalid witness %s for %s", e.tab.String(w), x.String(e.tab))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: whenever Maximize succeeds, its output generalizes the input,
+// is unambiguous, is maximal, and preserves extraction positions on all
+// short words the input parses.
+func TestQuickMaximizeContract(t *testing.T) {
+	e, cfg := quickEnv()
+	words := allWords(e.sigma2, 5)
+	prop := func(v randomExprValue) bool {
+		x, err := FromAST(v.left, e.p, v.right, e.sigma2, machineOpts())
+		if err != nil {
+			return true
+		}
+		if unamb, err := x.Unambiguous(); err != nil || !unamb {
+			return true
+		}
+		out, err := Maximize(x)
+		if err != nil {
+			return true // not applicable / unbounded inputs are fine
+		}
+		if g, err := out.Generalizes(x); err != nil || !g {
+			t.Logf("no generalization: %s → %s", x.String(e.tab), out.String(e.tab))
+			return false
+		}
+		if unamb, err := out.Unambiguous(); err != nil || !unamb {
+			t.Logf("ambiguous output for %s", x.String(e.tab))
+			return false
+		}
+		if m, err := out.Maximal(); err != nil || !m {
+			t.Logf("non-maximal output %s for %s", out.String(e.tab), x.String(e.tab))
+			return false
+		}
+		for _, w := range words {
+			if pi, ok := x.Extract(w); ok {
+				po, ok2 := out.Extract(w)
+				if !ok2 || po != pi {
+					t.Logf("extraction drifted on %s", e.tab.String(w))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the partial order ⪯ is consistent with language containment of
+// the parsed languages (Definition 4.4 remark): f ⪯ e ⇒ L(f) ⊆ L(e).
+func TestQuickOrderImpliesContainment(t *testing.T) {
+	e, cfg := quickEnv()
+	prop := func(v randomExprValue, w randomExprValue) bool {
+		f, err := FromAST(v.left, e.p, v.right, e.sigma2, machineOpts())
+		if err != nil {
+			return true
+		}
+		g, err := FromAST(w.left, e.p, w.right, e.sigma2, machineOpts())
+		if err != nil {
+			return true
+		}
+		ge, err := g.Generalizes(f)
+		if err != nil || !ge {
+			return true
+		}
+		lf, err := f.Language()
+		if err != nil {
+			return true
+		}
+		lg, err := g.Language()
+		if err != nil {
+			return true
+		}
+		sub, err := lf.SubsetOf(lg)
+		if err != nil {
+			return true
+		}
+		if !sub {
+			t.Logf("f ⪯ g but L(f) ⊄ L(g): %s vs %s", f.String(e.tab), g.String(e.tab))
+		}
+		return sub
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Splits agrees with the definitional oracle on random
+// expressions and every short word.
+func TestQuickMatcherOracle(t *testing.T) {
+	e, cfg := quickEnv()
+	words := allWords(e.sigma2, 5)
+	prop := func(v randomExprValue) bool {
+		x, err := FromAST(v.left, e.p, v.right, e.sigma2, machineOpts())
+		if err != nil {
+			return true
+		}
+		for _, w := range words {
+			want := oracleSplits(x, w)
+			got := x.Splits(w)
+			if len(want) != len(got) {
+				t.Logf("splits mismatch on %s: %v vs %v", e.tab.String(w), got, want)
+				return false
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Invariant: w ∈ L(E1·p·E2) ⟺ the matcher finds at least one split.
+func TestQuickLanguageMatchesSplits(t *testing.T) {
+	e, cfg := quickEnv()
+	words := allWords(e.sigma2, 5)
+	prop := func(v randomExprValue) bool {
+		x, err := FromAST(v.left, e.p, v.right, e.sigma2, machineOpts())
+		if err != nil {
+			return true
+		}
+		l, err := x.Language()
+		if err != nil {
+			return true
+		}
+		for _, w := range words {
+			if l.Contains(w) != x.Parses(w) {
+				t.Logf("Language/Splits disagree on %s for %s", e.tab.String(w), x.String(e.tab))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Definition 4.4's remark: if f ⪯ g, the two expressions parse the words of
+// L(f) *the same way* — extraction positions agree wherever f parses.
+func TestQuickOrderPreservesExtraction(t *testing.T) {
+	e, cfg := quickEnv()
+	words := allWords(e.sigma2, 5)
+	prop := func(v, w randomExprValue) bool {
+		f, err := FromAST(v.left, e.p, v.right, e.sigma2, machineOpts())
+		if err != nil {
+			return true
+		}
+		// Make g ⪰ f by unioning the components.
+		gl, err := f.Left().Union(mustLang(t, w.left, e))
+		if err != nil {
+			return true
+		}
+		gr, err := f.Right().Union(mustLang(t, w.right, e))
+		if err != nil {
+			return true
+		}
+		g := New(gl, e.p, gr)
+		if ok, err := g.Generalizes(f); err != nil || !ok {
+			t.Log("construction failed to produce f ⪯ g")
+			return false
+		}
+		// Only meaningful when g is unambiguous (the order is defined within
+		// unambiguous expressions).
+		if unamb, err := g.Unambiguous(); err != nil || !unamb {
+			return true
+		}
+		for _, word := range words {
+			if pf, ok := f.Extract(word); ok {
+				// f unambiguous? f ⪯ g with g unambiguous forces f unambiguous
+				// on parsed words; extraction must agree.
+				pg, ok2 := g.Extract(word)
+				if !ok2 || pg != pf {
+					t.Logf("parse drifted on %s: f=%d g=(%d,%v)", e.tab.String(word), pf, pg, ok2)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustLang(t *testing.T, n *rx.Node, e tenv) lang.Language {
+	t.Helper()
+	l, err := lang.FromRegex(n, e.sigma2, machineOpts())
+	if err != nil {
+		t.Skip("budget")
+	}
+	return l
+}

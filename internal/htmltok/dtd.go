@@ -1,0 +1,153 @@
+package htmltok
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DTD support — the paper's §8 closing direction: "One interesting issue
+// here is using DTDs to guide the learning algorithms." The recurring
+// operational problem a DTD solves is alphabet coverage: an extraction
+// expression's Σ must include every tag a future page might use, or those
+// pages become unparseable by construction. A document type definition
+// declares the site's full element vocabulary up front, so wrappers trained
+// against it never fall off Σ when a redesign shuffles known elements.
+
+// DTDElement is one <!ELEMENT …> declaration.
+type DTDElement struct {
+	Name string // upper-cased element name
+	// Empty reports an EMPTY content model (no end tag is expected, e.g.
+	// input, br, img).
+	Empty bool
+	// Children lists the element names referenced by the content model
+	// (flat: grouping, ordering and repetition operators are not retained —
+	// only the vocabulary matters for alphabet derivation).
+	Children []string
+}
+
+// DTD is a parsed document type definition (the ELEMENT declarations; ATTLIST
+// and ENTITY declarations are skipped).
+type DTD struct {
+	Elements []DTDElement
+}
+
+// ParseDTD reads <!ELEMENT name (model)> declarations from DTD source text.
+// It is permissive in the spirit of the HTML scanner: unknown declaration
+// kinds and comments are skipped; malformed ELEMENT declarations are
+// reported.
+func ParseDTD(src string) (*DTD, error) {
+	out := &DTD{}
+	i := 0
+	n := len(src)
+	for i < n {
+		if src[i] != '<' {
+			i++
+			continue
+		}
+		if strings.HasPrefix(src[i:], "<!--") {
+			end := strings.Index(src[i+4:], "-->")
+			if end < 0 {
+				break
+			}
+			i += 4 + end + 3
+			continue
+		}
+		if !strings.HasPrefix(src[i:], "<!") {
+			i++
+			continue
+		}
+		stop := strings.IndexByte(src[i:], '>')
+		if stop < 0 {
+			return nil, fmt.Errorf("htmltok: unterminated declaration at offset %d", i)
+		}
+		decl := src[i+2 : i+stop]
+		i += stop + 1
+		fields := strings.Fields(decl)
+		if len(fields) < 2 || !strings.EqualFold(fields[0], "ELEMENT") {
+			continue // ATTLIST, ENTITY, DOCTYPE… — vocabulary-irrelevant
+		}
+		name := strings.ToUpper(strings.TrimSpace(fields[1]))
+		if name == "" {
+			return nil, fmt.Errorf("htmltok: ELEMENT declaration without a name")
+		}
+		model := strings.Join(fields[2:], " ")
+		el := DTDElement{Name: name}
+		if strings.EqualFold(strings.TrimSpace(model), "EMPTY") {
+			el.Empty = true
+		} else {
+			el.Children = modelNames(model)
+		}
+		out.Elements = append(out.Elements, el)
+	}
+	if len(out.Elements) == 0 {
+		return nil, fmt.Errorf("htmltok: no ELEMENT declarations found")
+	}
+	return out, nil
+}
+
+// modelNames extracts the element names referenced in a content model such
+// as "(tr+, caption?)" or "(#PCDATA | em)*".
+func modelNames(model string) []string {
+	var out []string
+	seen := map[string]bool{}
+	cur := strings.Builder{}
+	flush := func() {
+		if cur.Len() == 0 {
+			return
+		}
+		name := strings.ToUpper(cur.String())
+		cur.Reset()
+		if name == "" || strings.HasPrefix(name, "#") || name == "EMPTY" || name == "ANY" {
+			return
+		}
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	for i := 0; i < len(model); i++ {
+		c := model[i]
+		if c == '_' || c == '#' || c == '.' || c == '-' ||
+			'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9' {
+			cur.WriteByte(c)
+			continue
+		}
+		flush()
+	}
+	flush()
+	return out
+}
+
+// Vocabulary returns the token names the DTD's documents can produce under
+// this library's tag-sequence abstraction: every declared or referenced
+// element name plus "/NAME" end-tag tokens for non-EMPTY elements. Feed the
+// result to wrapper Config.ExtraTags (or intern it into an Alphabet) so that
+// Σ covers the whole site vocabulary.
+func (d *DTD) Vocabulary() []string {
+	empty := map[string]bool{}
+	declared := map[string]bool{}
+	var order []string
+	add := func(name string) {
+		if !declared[name] {
+			declared[name] = true
+			order = append(order, name)
+		}
+	}
+	for _, el := range d.Elements {
+		add(el.Name)
+		if el.Empty {
+			empty[el.Name] = true
+		}
+		for _, c := range el.Children {
+			add(c)
+		}
+	}
+	var out []string
+	for _, name := range order {
+		out = append(out, name)
+		if !empty[name] {
+			out = append(out, "/"+name)
+		}
+	}
+	return out
+}

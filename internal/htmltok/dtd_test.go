@@ -1,0 +1,93 @@
+package htmltok
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+const catalogDTD = `<!-- a catalog site's vocabulary -->
+<!ELEMENT page (header, nav?, form, footer*)>
+<!ELEMENT header (h1 | img)+>
+<!ELEMENT nav (a*)>
+<!ELEMENT form (input+)>
+<!ELEMENT input EMPTY>
+<!ELEMENT img EMPTY>
+<!ATTLIST input type CDATA #IMPLIED>
+<!ELEMENT h1 (#PCDATA)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT footer (#PCDATA | a)*>`
+
+func TestParseDTD(t *testing.T) {
+	d, err := ParseDTD(catalogDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Elements) != 9 {
+		t.Fatalf("elements = %d, want 9", len(d.Elements))
+	}
+	byName := map[string]DTDElement{}
+	for _, el := range d.Elements {
+		byName[el.Name] = el
+	}
+	if !byName["INPUT"].Empty || !byName["IMG"].Empty {
+		t.Error("EMPTY content models not detected")
+	}
+	if byName["FORM"].Empty {
+		t.Error("FORM wrongly EMPTY")
+	}
+	kids := byName["PAGE"].Children
+	sort.Strings(kids)
+	if strings.Join(kids, " ") != "FOOTER FORM HEADER NAV" {
+		t.Errorf("PAGE children = %v", kids)
+	}
+	// #PCDATA never becomes a child.
+	for _, c := range byName["H1"].Children {
+		if strings.HasPrefix(c, "#") {
+			t.Errorf("H1 children include %q", c)
+		}
+	}
+}
+
+func TestDTDVocabulary(t *testing.T) {
+	d, err := ParseDTD(catalogDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vocab := d.Vocabulary()
+	have := map[string]bool{}
+	for _, v := range vocab {
+		have[v] = true
+	}
+	for _, want := range []string{"PAGE", "/PAGE", "FORM", "/FORM", "INPUT", "IMG", "A", "/A"} {
+		if !have[want] {
+			t.Errorf("vocabulary missing %s (got %v)", want, vocab)
+		}
+	}
+	// EMPTY elements have no end-tag tokens.
+	if have["/INPUT"] || have["/IMG"] {
+		t.Errorf("EMPTY elements grew end tags: %v", vocab)
+	}
+	// No duplicates.
+	if len(have) != len(vocab) {
+		t.Errorf("vocabulary has duplicates: %v", vocab)
+	}
+}
+
+func TestParseDTDErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"<p>just html</p>",
+		"<!ELEMENT unterminated (a",
+		"<!ATTLIST only attlist here>",
+	} {
+		if _, err := ParseDTD(src); err == nil {
+			t.Errorf("ParseDTD(%q) succeeded", src)
+		}
+	}
+	// Comments and unknown declarations are skipped gracefully.
+	d, err := ParseDTD(`<!-- c --><!ENTITY x "y"><!ELEMENT p EMPTY>`)
+	if err != nil || len(d.Elements) != 1 {
+		t.Errorf("mixed DTD: %v, %v", d, err)
+	}
+}

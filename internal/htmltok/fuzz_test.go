@@ -1,0 +1,44 @@
+package htmltok
+
+import (
+	"testing"
+
+	"resilex/internal/symtab"
+)
+
+// FuzzScan asserts the tokenizer never panics on arbitrary bytes and always
+// produces tokens with sane, in-bounds, non-decreasing spans.
+func FuzzScan(f *testing.F) {
+	seeds := []string{
+		"<p>x</p>",
+		"<input type=\"text\" name='q' checked>",
+		"<!-- comment --><!DOCTYPE html>",
+		"<script>if (a<b) {}</script>",
+		"< p", "<<>>", "</", "<a b=c d>", "\x00<\xff>", "<style>",
+		"<p", "a<b>c</b", "<input type=\">",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks := Scan(src)
+		last := 0
+		for _, tok := range toks {
+			if tok.Start < 0 || tok.End > len(src) || tok.Start > tok.End {
+				t.Fatalf("bad span %+v for input %q", tok, src)
+			}
+			if tok.Start < last {
+				t.Fatalf("tokens out of order at %+v for input %q", tok, src)
+			}
+			last = tok.Start
+		}
+		// Mapping never panics either and yields parallel arrays.
+		tab := symtab.NewTable()
+		m := NewMapper(tab)
+		m.KeepText = true
+		doc := m.Map(src)
+		if len(doc.Syms) != len(doc.Spans) {
+			t.Fatal("Syms and Spans length mismatch")
+		}
+	})
+}

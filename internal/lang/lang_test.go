@@ -1,0 +1,477 @@
+package lang
+
+import (
+	"math/rand"
+	"testing"
+
+	"resilex/internal/machine"
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+type env struct {
+	tab   *symtab.Table
+	p, q  symtab.Symbol
+	r     symtab.Symbol
+	sigma symtab.Alphabet
+}
+
+func newEnv() env {
+	tab := symtab.NewTable()
+	p, q, r := tab.Intern("p"), tab.Intern("q"), tab.Intern("r")
+	return env{tab, p, q, r, symtab.NewAlphabet(p, q, r)}
+}
+
+func (e env) lang(t *testing.T, src string) Language {
+	t.Helper()
+	l, err := Parse(src, e.tab, e.sigma, machine.Options{})
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return l
+}
+
+func (e env) word(t *testing.T, src string) []symtab.Symbol {
+	t.Helper()
+	w, err := rx.ParseWord(src, e.tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestBasicAlgebra(t *testing.T) {
+	e := newEnv()
+	a := e.lang(t, "p* q")
+	b := e.lang(t, "q | p q")
+
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"q", "p q", "p p q"} {
+		if !u.Contains(e.word(t, w)) {
+			t.Errorf("union missing %q", w)
+		}
+	}
+	i, err := a.Intersect(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !i.Equal(b) {
+		t.Error("a ∩ b should equal b (b ⊆ a)")
+	}
+	m, err := a.Minus(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Contains(e.word(t, "q")) || m.Contains(e.word(t, "p q")) || !m.Contains(e.word(t, "p p q")) {
+		t.Error("minus wrong")
+	}
+	c := a.Complement()
+	if c.Contains(e.word(t, "q")) || !c.Contains(e.word(t, "r")) || !c.Contains(nil) {
+		t.Error("complement wrong")
+	}
+	if !a.Complement().Complement().Equal(a) {
+		t.Error("double complement")
+	}
+}
+
+func TestConcatStar(t *testing.T) {
+	e := newEnv()
+	a := e.lang(t, "p | p q")
+	b := e.lang(t, "r")
+	c, err := a.Concat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(e.lang(t, "p r | p q r")) {
+		t.Error("concat wrong")
+	}
+	s, err := a.Star()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(e.lang(t, "(p | p q)*")) {
+		t.Error("star wrong")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	e := newEnv()
+	if !e.lang(t, "#empty").IsEmpty() || e.lang(t, "#eps").IsEmpty() {
+		t.Error("IsEmpty")
+	}
+	if !e.lang(t, ".*").IsUniversal() || e.lang(t, "p*").IsUniversal() {
+		t.Error("IsUniversal")
+	}
+	if !e.lang(t, "p?").ContainsEpsilon() || e.lang(t, "p").ContainsEpsilon() {
+		t.Error("ContainsEpsilon")
+	}
+	sub, err := e.lang(t, "p q").SubsetOf(e.lang(t, "p .*"))
+	if err != nil || !sub {
+		t.Error("SubsetOf")
+	}
+	w, ok := e.lang(t, "p p | q").Witness()
+	if !ok || e.tab.String(w) != "q" {
+		t.Errorf("Witness = %q", e.tab.String(w))
+	}
+	cex, ok, err := e.lang(t, "p*").CounterExample(e.lang(t, "p* | q"))
+	if err != nil || !ok || e.tab.String(cex) != "q" {
+		t.Errorf("CounterExample = %q %v %v", e.tab.String(cex), ok, err)
+	}
+}
+
+func TestAlphabetPromotion(t *testing.T) {
+	tab := symtab.NewTable()
+	p, q := tab.Intern("p"), tab.Intern("q")
+	a, err := Parse("p*", tab, symtab.NewAlphabet(p), machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("q", tab, symtab.NewAlphabet(q), machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Sigma().Equal(symtab.NewAlphabet(p, q)) {
+		t.Errorf("promoted sigma = %v", u.Sigma().Symbols())
+	}
+	if !u.Contains([]symtab.Symbol{q}) || !u.Contains([]symtab.Symbol{p, p}) {
+		t.Error("promoted union wrong")
+	}
+	// Complement after promotion is relative to the larger alphabet.
+	if c := a.withSigma(symtab.NewAlphabet(p, q)).Complement(); !c.Contains([]symtab.Symbol{q}) {
+		t.Error("promotion lost alphabet")
+	}
+}
+
+func TestFactoringDefinition51(t *testing.T) {
+	e := newEnv()
+	// Worked example: (p q r) left-factored by (p q) = {r}.
+	l := e.lang(t, "p q r")
+	by := e.lang(t, "p q")
+	f, err := l.LeftFactor(by)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(e.lang(t, "r")) {
+		t.Errorf("left factor = %v", f.Words(4))
+	}
+	// Right: (p q r)/(q r) = {p}.
+	f, err = l.RightFactor(e.lang(t, "q r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(e.lang(t, "p")) {
+		t.Errorf("right factor = %v", f.Words(4))
+	}
+	// Factoring by a disjoint language is empty.
+	f, err = l.LeftFactor(e.lang(t, "r r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.IsEmpty() {
+		t.Error("factor by non-prefix not empty")
+	}
+	// (E·p)\E for E = q p: strings γ with (some α∈E) α·p·γ ∈ E — empty here.
+	E := e.lang(t, "q p")
+	Ep, err := E.Concat(e.lang(t, "p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err = E.LeftFactor(Ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.IsEmpty() {
+		t.Error("(E·p)\\E for unambiguous-style E should be empty")
+	}
+}
+
+// TestLemma63Identities validates the factoring algebra the correctness
+// proofs lean on (experiment E12), over a grid of small random languages.
+func TestLemma63Identities(t *testing.T) {
+	e := newEnv()
+	exprs := []string{
+		"p*", "q p*", "(p | q)*", "p q | r", "p* q p*", ".* p", "#eps", "(q p)*",
+	}
+	langs := make([]Language, len(exprs))
+	for i, s := range exprs {
+		langs[i] = e.lang(t, s)
+	}
+	pSigmaStar := e.lang(t, "p .*")
+	for _, E := range langs {
+		for _, E1 := range langs {
+			for _, E2 := range langs {
+				// (1) (E1 + E2)/E = E1/E + E2/E
+				u, _ := E1.Union(E2)
+				lhs, _ := u.RightFactor(E)
+				a, _ := E1.RightFactor(E)
+				b, _ := E2.RightFactor(E)
+				rhs, _ := a.Union(b)
+				if !lhs.Equal(rhs) {
+					t.Fatalf("identity (1) failed")
+				}
+				// (2) E\(E1 + E2) = E\E1 + E\E2
+				lhs, _ = u.LeftFactor(E)
+				a, _ = E1.LeftFactor(E)
+				b, _ = E2.LeftFactor(E)
+				rhs, _ = a.Union(b)
+				if !lhs.Equal(rhs) {
+					t.Fatalf("identity (2) failed")
+				}
+				// (5) (E1·E2)/(p·Σ*) = E1/(p·Σ*) + E1·(E2/(p·Σ*))
+				cat, _ := E1.Concat(E2)
+				lhs, _ = cat.RightFactor(pSigmaStar)
+				a, _ = E1.RightFactor(pSigmaStar)
+				b2, _ := E2.RightFactor(pSigmaStar)
+				b, _ = E1.Concat(b2)
+				rhs, _ = a.Union(b)
+				if !lhs.Equal(rhs) {
+					t.Fatalf("identity (5) failed for %v, %v", E1.Regex(), E2.Regex())
+				}
+			}
+		}
+	}
+}
+
+// Lemma 6.3(7): if E1 ⊆ E2/(p·Σ*)… — we test the monotonicity form: if
+// L1 ⊆ L2 then L1/F ⊆ L2/F and F\L1 ⊆ F\L2.
+func TestFactoringMonotone(t *testing.T) {
+	e := newEnv()
+	small := e.lang(t, "q p")
+	big := e.lang(t, "q p | q p p | r")
+	f := e.lang(t, "p | #eps")
+	a, _ := small.RightFactor(f)
+	b, _ := big.RightFactor(f)
+	if sub, _ := a.SubsetOf(b); !sub {
+		t.Error("right factor not monotone")
+	}
+	a, _ = small.LeftFactor(f)
+	b, _ = big.LeftFactor(f)
+	if sub, _ := a.SubsetOf(b); !sub {
+		t.Error("left factor not monotone")
+	}
+}
+
+func TestFilterCount(t *testing.T) {
+	e := newEnv()
+	l := e.lang(t, "(p | q)*")
+	for n := 0; n <= 3; n++ {
+		f, err := l.FilterCount(e.p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range f.Words(5) {
+			count := 0
+			for _, s := range w {
+				if s == e.p {
+					count++
+				}
+			}
+			if count != n {
+				t.Errorf("FilterCount(%d) contains %q", n, e.tab.String(w))
+			}
+		}
+		if f.IsEmpty() {
+			t.Errorf("FilterCount(%d) of (p|q)* empty", n)
+		}
+	}
+	// Exactly-two-p language: filter at other counts is empty.
+	l = e.lang(t, "q* p q* p q*")
+	for n, wantEmpty := range map[int]bool{0: true, 1: true, 2: false, 3: true} {
+		f, err := l.FilterCount(e.p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.IsEmpty() != wantEmpty {
+			t.Errorf("FilterCount(%d).IsEmpty = %v, want %v", n, f.IsEmpty(), wantEmpty)
+		}
+	}
+	if _, err := l.FilterCount(e.p, -1); err == nil {
+		t.Error("negative filter count accepted")
+	}
+}
+
+func TestMaxOccurrences(t *testing.T) {
+	e := newEnv()
+	cases := []struct {
+		src     string
+		bound   int
+		bounded bool
+	}{
+		{"q*", 0, true},
+		{"p", 1, true},
+		{"q p q p q", 2, true},
+		{"p p p | p", 3, true},
+		{"p*", 0, false},
+		{"(q p)*", 0, false},
+		{"q* p q*", 1, true},
+		{"#empty", 0, true},
+		{"#eps", 0, true},
+		{"(p | q) (p | q) (p | q)", 3, true},
+		{"q* (p | #eps) q* (p | #eps)", 2, true},
+		{".* p .*", 0, false}, // dot includes p
+	}
+	for _, c := range cases {
+		l := e.lang(t, c.src)
+		got, bounded := l.MaxOccurrences(e.p)
+		if bounded != c.bounded || (bounded && got != c.bound) {
+			t.Errorf("MaxOccurrences(%q, p) = (%d, %v), want (%d, %v)",
+				c.src, got, bounded, c.bound, c.bounded)
+		}
+	}
+	// Symbol outside sigma: trivially bounded by 0.
+	l := e.lang(t, "q*")
+	if got, bounded := l.MaxOccurrences(symtab.Symbol(99)); got != 0 || !bounded {
+		t.Error("foreign symbol not trivially bounded")
+	}
+}
+
+// Cross-check MaxOccurrences against FilterCount emptiness (Lemma 6.4(4,5)).
+func TestBoundednessConsistency(t *testing.T) {
+	e := newEnv()
+	exprs := []string{
+		"q*", "p", "q p q p q", "p p p | p", "q* p q*", "#eps",
+		"(p | q) (p | q)", "q* (p | #eps) q* (p | #eps) q*",
+	}
+	for _, src := range exprs {
+		l := e.lang(t, src)
+		bound, bounded := l.MaxOccurrences(e.p)
+		if !bounded {
+			t.Fatalf("%q unexpectedly unbounded", src)
+		}
+		if !l.IsEmpty() {
+			f, err := l.FilterCount(e.p, bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.IsEmpty() {
+				t.Errorf("%q: FilterCount at bound %d empty", src, bound)
+			}
+		}
+		f, err := l.FilterCount(e.p, bound+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.IsEmpty() {
+			t.Errorf("%q: FilterCount above bound %d non-empty", src, bound)
+		}
+	}
+	// Unbounded cases: filters non-empty at every small n.
+	for _, src := range []string{"p*", "(q p)*", "(p p q)*"} {
+		l := e.lang(t, src)
+		if _, bounded := l.MaxOccurrences(e.p); bounded {
+			t.Fatalf("%q unexpectedly bounded", src)
+		}
+		for n := 0; n <= 4; n++ {
+			f, err := l.FilterCount(e.p, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = f
+		}
+	}
+}
+
+func TestRegexRoundTrip(t *testing.T) {
+	e := newEnv()
+	for _, src := range []string{"p* q | r", "(q p)*", "#empty", ".*", "p (q | r)* p"} {
+		l := e.lang(t, src)
+		back, err := FromRegex(l.Regex(), e.sigma, machine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(l) {
+			t.Errorf("Regex round trip of %q failed: got %s", src, rx.Print(l.Regex(), e.tab))
+		}
+	}
+}
+
+func TestSingleAndFromWords(t *testing.T) {
+	e := newEnv()
+	w := e.word(t, "p q p")
+	l, err := Single(w, e.sigma, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Contains(w) || l.Contains(e.word(t, "p q")) {
+		t.Error("Single wrong")
+	}
+	if _, err := Single([]symtab.Symbol{99}, e.sigma, machine.Options{}); err == nil {
+		t.Error("Single with foreign symbol accepted")
+	}
+	ws := [][]symtab.Symbol{e.word(t, "p"), e.word(t, "q q")}
+	l, err = FromWords(ws, e.sigma, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Contains(ws[0]) || !l.Contains(ws[1]) || l.Contains(e.word(t, "q")) {
+		t.Error("FromWords wrong")
+	}
+}
+
+func TestWordsSample(t *testing.T) {
+	e := newEnv()
+	l := e.lang(t, "p q*")
+	words := l.Words(3)
+	if len(words) != 3 {
+		t.Fatalf("Words = %d", len(words))
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		w, ok := l.DFA().Sample(6, rng)
+		if !ok || !l.Contains(w) {
+			t.Fatal("Sample not a member")
+		}
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	e := newEnv()
+	if !Empty(e.sigma, machine.Options{}).IsEmpty() {
+		t.Error("Empty")
+	}
+	eps := EpsilonOnly(e.sigma, machine.Options{})
+	if !eps.ContainsEpsilon() || eps.Contains(e.word(t, "p")) {
+		t.Error("EpsilonOnly")
+	}
+	if !Universal(e.sigma, machine.Options{}).IsUniversal() {
+		t.Error("Universal")
+	}
+}
+
+func TestStatesMeasure(t *testing.T) {
+	e := newEnv()
+	if e.lang(t, ".*").States() != 1 {
+		t.Error(".* should have 1 state")
+	}
+	if e.lang(t, "#empty").States() != 1 {
+		t.Error("#empty should have 1 state")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	e := newEnv()
+	// Foreign symbol in the AST relative to Σ.
+	foreign := rx.Sym(e.tab.Intern("outside"))
+	if _, err := FromRegex(foreign, e.sigma, machine.Options{}); err == nil {
+		t.Error("FromRegex with foreign symbol succeeded")
+	}
+	// Parse syntax errors propagate.
+	if _, err := Parse("(((", e.tab, e.sigma, machine.Options{}); err == nil {
+		t.Error("Parse of garbage succeeded")
+	}
+	// Budget exhaustion propagates from determinization.
+	src := "(p | q)* p"
+	for i := 0; i < 12; i++ {
+		src += " (p | q)"
+	}
+	if _, err := Parse(src, e.tab, symtab.NewAlphabet(e.p, e.q), machine.Options{MaxStates: 16}); err == nil {
+		t.Error("budget not enforced through Parse")
+	}
+}

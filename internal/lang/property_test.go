@@ -1,0 +1,158 @@
+package lang
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"resilex/internal/machine"
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+// randomLang draws a random small language for algebra property tests.
+type randomLang struct{ n *rx.Node }
+
+func (randomLang) Generate(rng *rand.Rand, size int) reflect.Value {
+	tab := symtab.NewTable()
+	syms := tab.InternAll("p", "q")
+	var gen func(d int) *rx.Node
+	gen = func(d int) *rx.Node {
+		if d <= 0 {
+			if rng.Intn(4) == 0 {
+				return rx.Epsilon()
+			}
+			return rx.Sym(syms[rng.Intn(len(syms))])
+		}
+		switch rng.Intn(7) {
+		case 0, 1:
+			return rx.Concat(gen(d-1), gen(d-1))
+		case 2, 3:
+			return rx.Union(gen(d-1), gen(d-1))
+		case 4:
+			return rx.Star(gen(d - 1))
+		case 5:
+			return rx.Opt(gen(d - 1))
+		default:
+			return rx.Sym(syms[rng.Intn(len(syms))])
+		}
+	}
+	return reflect.ValueOf(randomLang{gen(3)})
+}
+
+func langEnv() (symtab.Alphabet, *quick.Config) {
+	tab := symtab.NewTable()
+	sigma := symtab.NewAlphabet(tab.InternAll("p", "q")...)
+	return sigma, &quick.Config{MaxCount: 50}
+}
+
+func toLang(t *testing.T, v randomLang, sigma symtab.Alphabet) Language {
+	t.Helper()
+	l, err := FromRegex(v.n, sigma, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// Boolean algebra laws on the canonical Language representation.
+func TestQuickBooleanAlgebra(t *testing.T) {
+	sigma, cfg := langEnv()
+	prop := func(a, b, c randomLang) bool {
+		x, y, z := toLang(t, a, sigma), toLang(t, b, sigma), toLang(t, c, sigma)
+		// De Morgan: ¬(x ∪ y) = ¬x ∩ ¬y
+		u, _ := x.Union(y)
+		lhs := u.Complement()
+		i, _ := x.Complement().Intersect(y.Complement())
+		if !lhs.Equal(i) {
+			t.Log("De Morgan failed")
+			return false
+		}
+		// Distribution: x ∩ (y ∪ z) = (x∩y) ∪ (x∩z)
+		yz, _ := y.Union(z)
+		l2, _ := x.Intersect(yz)
+		xy, _ := x.Intersect(y)
+		xz, _ := x.Intersect(z)
+		r2, _ := xy.Union(xz)
+		if !l2.Equal(r2) {
+			t.Log("distribution failed")
+			return false
+		}
+		// Difference: x − y = x ∩ ¬y
+		d, _ := x.Minus(y)
+		viaC, _ := x.Intersect(y.Complement())
+		if !d.Equal(viaC) {
+			t.Log("difference identity failed")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Kleene algebra laws touching concatenation and star.
+func TestQuickKleeneLaws(t *testing.T) {
+	sigma, cfg := langEnv()
+	eps := EpsilonOnly(sigma, machine.Options{})
+	empty := Empty(sigma, machine.Options{})
+	prop := func(a, b randomLang) bool {
+		x, y := toLang(t, a, sigma), toLang(t, b, sigma)
+		// x·ε = x, x·∅ = ∅
+		xe, _ := x.Concat(eps)
+		if !xe.Equal(x) {
+			return false
+		}
+		x0, _ := x.Concat(empty)
+		if !x0.IsEmpty() {
+			return false
+		}
+		// (x ∪ y)·z distributes over union from the right: (x∪y)·y = xy ∪ yy
+		u, _ := x.Union(y)
+		uy, _ := u.Concat(y)
+		xy, _ := x.Concat(y)
+		yy, _ := y.Concat(y)
+		ry, _ := xy.Union(yy)
+		if !uy.Equal(ry) {
+			return false
+		}
+		// x* = ε ∪ x·x*
+		xs, _ := x.Star()
+		xxs, _ := x.Concat(xs)
+		unroll, _ := eps.Union(xxs)
+		return xs.Equal(unroll)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Factoring interacts with concatenation: (x·y)/y ⊇ x (not equality in
+// general), and y\(y·x) ⊇ x.
+func TestQuickFactoringContainment(t *testing.T) {
+	sigma, cfg := langEnv()
+	prop := func(a, b randomLang) bool {
+		x, y := toLang(t, a, sigma), toLang(t, b, sigma)
+		if y.IsEmpty() {
+			return true // factoring by ∅ yields ∅; containment vacuous only if x empty
+		}
+		xy, _ := x.Concat(y)
+		f, _ := xy.RightFactor(y)
+		if sub, _ := x.SubsetOf(f); !sub {
+			t.Log("(x·y)/y ⊉ x")
+			return false
+		}
+		yx, _ := y.Concat(x)
+		g, _ := yx.LeftFactor(y)
+		if sub, _ := x.SubsetOf(g); !sub {
+			t.Log("y\\(y·x) ⊉ x")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package lang
+
+import (
+	"fmt"
+
+	"resilex/internal/machine"
+	"resilex/internal/symtab"
+)
+
+// Reverse returns { reverse(w) | w ∈ L }. Every notion in the paper
+// (unambiguity, maximality, factoring) is mirror-symmetric under reversal,
+// which is how the right-filtering maximization is obtained from Algorithm
+// 6.2.
+func (l Language) Reverse() (Language, error) {
+	return FromNFA(machine.FromDFA(l.min).Reverse(), l.opt)
+}
+
+// Prefixes returns { α | ∃β, α·β ∈ L } = L/Σ*, the prefix closure.
+func (l Language) Prefixes() (Language, error) {
+	return l.RightFactor(Universal(l.sigma, l.opt))
+}
+
+// Suffixes returns { β | ∃α, α·β ∈ L } = Σ*\L, the suffix closure.
+func (l Language) Suffixes() (Language, error) {
+	return l.LeftFactor(Universal(l.sigma, l.opt))
+}
+
+// Infixes returns { γ | ∃α,β, α·γ·β ∈ L }, the factor (infix) closure.
+func (l Language) Infixes() (Language, error) {
+	p, err := l.Prefixes()
+	if err != nil {
+		return Language{}, err
+	}
+	return p.Suffixes()
+}
+
+// MarkedPrefixes returns F = L/(p·Σ*) — the prefixes of L-words that end
+// immediately before an occurrence of p. This is the F of Algorithm 6.2.
+func (l Language) MarkedPrefixes(p symtab.Symbol) (Language, error) {
+	pl, err := Single([]symtab.Symbol{p}, l.sigma.With(p), l.opt)
+	if err != nil {
+		return Language{}, err
+	}
+	by, err := pl.Concat(Universal(l.sigma.With(p), l.opt))
+	if err != nil {
+		return Language{}, err
+	}
+	return l.RightFactor(by)
+}
+
+// ReplaceOne returns { u·c·v | u·p·v ∈ L }, a language over Σ ∪ {c}: every
+// member of L with exactly one occurrence of p replaced by the fresh marker
+// c. This is the language-level form of the substitution in Proposition 5.5
+// (it agrees with the syntactic (p ↦ p|c) substitution once intersected with
+// the exactly-one-c language, and is well defined even for extended
+// operators where syntactic substitution is not).
+func (l Language) ReplaceOne(p, c symtab.Symbol) (Language, error) {
+	if l.sigma.Contains(c) {
+		return Language{}, fmt.Errorf("lang: marker symbol already in Σ")
+	}
+	if !l.sigma.Contains(p) {
+		// No occurrences of p to replace.
+		return Empty(l.sigma.With(c), l.opt), nil
+	}
+	d := l.min
+	n := d.NumStates()
+	sigma := l.sigma.With(c)
+	// Two copies of the DFA: states [0,n) have not crossed the marker,
+	// states [n,2n) have. A c-edge jumps from copy 1 following the p
+	// transition; p and the rest of Σ behave normally in both copies.
+	out := &machine.NFA{
+		Sigma:  sigma,
+		Start:  []int{d.Start},
+		Accept: make([]bool, 2*n),
+		Eps:    make([][]int, 2*n),
+		Edges:  make([][]machine.Edge, 2*n),
+	}
+	for s := 0; s < n; s++ {
+		for k, sym := range d.Symbols() {
+			t := d.Trans[s][k]
+			out.Edges[s] = append(out.Edges[s], machine.Edge{On: symtab.NewAlphabet(sym), To: t})
+			out.Edges[n+s] = append(out.Edges[n+s], machine.Edge{On: symtab.NewAlphabet(sym), To: n + t})
+			if sym == p {
+				out.Edges[s] = append(out.Edges[s], machine.Edge{On: symtab.NewAlphabet(c), To: n + t})
+			}
+		}
+		out.Accept[n+s] = d.Accept[s]
+	}
+	return FromNFA(out, l.opt)
+}

@@ -1,0 +1,242 @@
+// Package learn implements the "initial learning stage" of the paper's
+// framework (Sections 3 and 7): from a handful of example documents with the
+// target object marked, it builds rigid extraction expressions and
+// generalizes them with the left-to-right merging heuristic — find a
+// sequence of tokens common to the examples, take the union of everything
+// in-between — producing an unambiguous extraction expression suitable for
+// the maximization algorithms of internal/extract.
+//
+// When the merged expression is ambiguous the package runs a small
+// disambiguation ladder (right-context merging, then the rigid union), a
+// concrete take on the disambiguation procedure the paper leaves as future
+// work (Section 8).
+package learn
+
+import (
+	"errors"
+	"fmt"
+
+	"resilex/internal/extract"
+	"resilex/internal/machine"
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+// Example is one training document with the target token marked by index.
+type Example struct {
+	Doc    []symtab.Symbol
+	Target int // index into Doc of the marked occurrence
+}
+
+// Validate checks the example is internally consistent.
+func (ex Example) Validate() error {
+	if ex.Target < 0 || ex.Target >= len(ex.Doc) {
+		return fmt.Errorf("learn: target index %d out of range (document has %d tokens)", ex.Target, len(ex.Doc))
+	}
+	return nil
+}
+
+// P returns the marked symbol.
+func (ex Example) P() symtab.Symbol { return ex.Doc[ex.Target] }
+
+// ErrNoExamples is returned by Induce on an empty training set.
+var ErrNoExamples = errors.New("learn: no examples")
+
+// ErrMixedTargets is returned when examples mark different symbols — the
+// paper requires the object of interest to be "of the same kind" in every
+// perturbation.
+var ErrMixedTargets = errors.New("learn: examples mark different symbols")
+
+// ErrAmbiguousExamples is returned when every strategy in the
+// disambiguation ladder yields an ambiguous expression; per Section 7, "if
+// none of the heuristics succeeds in producing an unambiguous expression,
+// then the algorithm fails".
+var ErrAmbiguousExamples = errors.New("learn: could not induce an unambiguous expression")
+
+// Rigid builds the fully rigid single-document expression: the exact token
+// string with the target marked (the starting point of Section 3's
+// strategy).
+func Rigid(ex Example, sigma symtab.Alphabet, opt machine.Options) (extract.Expr, error) {
+	if err := ex.Validate(); err != nil {
+		return extract.Expr{}, err
+	}
+	left := rx.Word(ex.Doc[:ex.Target]...)
+	right := rx.Word(ex.Doc[ex.Target+1:]...)
+	return extract.FromAST(left, ex.P(), right, sigma, opt)
+}
+
+// Strategy names reported by Induce.
+const (
+	StrategyMergeOpenRight = "merge-prefixes"   // merged left, Σ* right
+	StrategyMergeBoth      = "merge-both-sides" // merged left and right
+	StrategyRigidUnion     = "rigid-union"      // union of the rigid examples
+)
+
+// Result is an induced expression plus the strategy that produced it.
+type Result struct {
+	Expr     extract.Expr
+	Strategy string
+}
+
+// Induce generalizes the examples into a single unambiguous extraction
+// expression. It tries, in order: the Section 7 merge with an open (Σ*)
+// right side — the shape the maximization algorithms want; the merge with a
+// merged right context; and the union of the rigid expressions. The first
+// unambiguous result wins. All examples must mark the same symbol.
+func Induce(examples []Example, sigma symtab.Alphabet, opt machine.Options) (Result, error) {
+	if len(examples) == 0 {
+		return Result{}, ErrNoExamples
+	}
+	for _, ex := range examples {
+		if err := ex.Validate(); err != nil {
+			return Result{}, err
+		}
+	}
+	p := examples[0].P()
+	var prefixes, suffixes [][]symtab.Symbol
+	for _, ex := range examples {
+		if ex.P() != p {
+			return Result{}, ErrMixedTargets
+		}
+		prefixes = append(prefixes, ex.Doc[:ex.Target])
+		suffixes = append(suffixes, ex.Doc[ex.Target+1:])
+		sigma = sigma.Union(symtab.NewAlphabet(ex.Doc...))
+	}
+	left := MergeWords(prefixes)
+	full := sigma.With(p)
+
+	try := func(right *rx.Node, strategy string) (Result, bool, error) {
+		x, err := extract.FromAST(left, p, right, full, opt)
+		if err != nil {
+			return Result{}, false, err
+		}
+		unamb, err := x.Unambiguous()
+		if err != nil {
+			return Result{}, false, err
+		}
+		if !unamb {
+			return Result{}, false, nil
+		}
+		return Result{Expr: x, Strategy: strategy}, true, nil
+	}
+
+	// Rung 1: open right side.
+	if res, ok, err := try(rx.Star(rx.Class(full)), StrategyMergeOpenRight); err != nil || ok {
+		return res, err
+	}
+	// Rung 2: merged right context disambiguates many p-dense layouts.
+	if res, ok, err := try(MergeWords(suffixes), StrategyMergeBoth); err != nil || ok {
+		return res, err
+	}
+	// Rung 3: rigid union — always parses exactly the training set.
+	var lws, rws []*rx.Node
+	for i := range prefixes {
+		lws = append(lws, rx.Word(prefixes[i]...))
+		rws = append(rws, rx.Word(suffixes[i]...))
+	}
+	x, err := extract.FromAST(rx.Union(lws...), p, rx.Union(rws...), full, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	unamb, err := x.Unambiguous()
+	if err != nil {
+		return Result{}, err
+	}
+	if unamb {
+		return Result{Expr: x, Strategy: StrategyRigidUnion}, nil
+	}
+	return Result{}, ErrAmbiguousExamples
+}
+
+// MergeWords implements the left-to-right merging heuristic on a set of
+// token strings: anchors are a common subsequence of all words (the fold of
+// pairwise longest common subsequences) and each between-anchor region
+// becomes the union of the literal chunks observed there.
+func MergeWords(words [][]symtab.Symbol) *rx.Node {
+	if len(words) == 0 {
+		return rx.Epsilon()
+	}
+	anchors := words[0]
+	for _, w := range words[1:] {
+		anchors = lcs(anchors, w)
+	}
+	// Collect gap alternatives by aligning each word against the anchors.
+	gaps := make([][][]symtab.Symbol, len(anchors)+1)
+	for _, w := range words {
+		chunks := alignGaps(w, anchors)
+		for i, c := range chunks {
+			gaps[i] = append(gaps[i], c)
+		}
+	}
+	var parts []*rx.Node
+	for i := range gaps {
+		if i > 0 {
+			parts = append(parts, rx.Sym(anchors[i-1]))
+		}
+		parts = append(parts, gapNode(gaps[i]))
+	}
+	return rx.Concat(parts...)
+}
+
+// gapNode renders a set of observed chunks as (c1 | c2 | …), collapsing
+// duplicates; an all-empty gap vanishes (rx constructors handle ε).
+func gapNode(chunks [][]symtab.Symbol) *rx.Node {
+	var alts []*rx.Node
+	for _, c := range chunks {
+		alts = append(alts, rx.Word(c...))
+	}
+	return rx.Union(alts...)
+}
+
+// lcs returns a longest common subsequence of a and b (classic O(len·len)
+// dynamic program; ties resolved toward earlier a-tokens).
+func lcs(a, b []symtab.Symbol) []symtab.Symbol {
+	n, m := len(a), len(b)
+	dp := make([][]int32, n+1)
+	for i := range dp {
+		dp[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	var out []symtab.Symbol
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case dp[i+1][j] >= dp[i][j+1]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// alignGaps splits w into len(anchors)+1 chunks around the leftmost
+// occurrence of the anchor subsequence. anchors must be a subsequence of w.
+func alignGaps(w, anchors []symtab.Symbol) [][]symtab.Symbol {
+	out := make([][]symtab.Symbol, 0, len(anchors)+1)
+	start := 0
+	for _, a := range anchors {
+		i := start
+		for w[i] != a {
+			i++
+		}
+		out = append(out, w[start:i])
+		start = i + 1
+	}
+	out = append(out, w[start:])
+	return out
+}

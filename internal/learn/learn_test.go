@@ -1,0 +1,253 @@
+package learn
+
+import (
+	"errors"
+	"testing"
+
+	"resilex/internal/extract"
+	"resilex/internal/machine"
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+type env struct {
+	tab   *symtab.Table
+	sigma symtab.Alphabet
+}
+
+func newEnv() env {
+	tab := symtab.NewTable()
+	syms := tab.InternAll(
+		"P", "H1", "/H1", "FORM", "/FORM", "INPUT",
+		"TABLE", "/TABLE", "TR", "/TR", "TD", "/TD", "TH", "/TH", "IMG", "A", "/A",
+	)
+	return env{tab, symtab.NewAlphabet(syms...)}
+}
+
+func (e env) word(t *testing.T, s string) []symtab.Symbol {
+	t.Helper()
+	w, err := rx.ParseWord(s, e.tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func (e env) example(t *testing.T, s string, target int) Example {
+	return Example{Doc: e.word(t, s), Target: target}
+}
+
+func TestExampleValidate(t *testing.T) {
+	e := newEnv()
+	if err := (Example{Doc: e.word(t, "P"), Target: 0}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Example{Doc: e.word(t, "P"), Target: 1}).Validate(); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	if err := (Example{Doc: nil, Target: 0}).Validate(); err == nil {
+		t.Error("empty doc accepted")
+	}
+}
+
+func TestRigid(t *testing.T) {
+	e := newEnv()
+	ex := e.example(t, "P FORM INPUT INPUT /FORM", 3)
+	x, err := Rigid(ex, e.sigma, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, ok := x.Extract(ex.Doc)
+	if !ok || pos != 3 {
+		t.Errorf("rigid extraction = (%d, %v)", pos, ok)
+	}
+	// Any change breaks it (brittleness).
+	changed := e.word(t, "P P FORM INPUT INPUT /FORM")
+	if _, ok := x.Extract(changed); ok {
+		t.Error("rigid expression survived an edit")
+	}
+}
+
+func TestLCS(t *testing.T) {
+	e := newEnv()
+	a := e.word(t, "P H1 /H1 P FORM INPUT")
+	b := e.word(t, "TABLE TR TD FORM INPUT")
+	got := lcs(a, b)
+	if e.tab.String(got) != "FORM INPUT" {
+		t.Errorf("lcs = %q", e.tab.String(got))
+	}
+	if got := lcs(nil, a); len(got) != 0 {
+		t.Errorf("lcs with empty = %v", got)
+	}
+	if got := lcs(a, a); e.tab.String(got) != e.tab.String(a) {
+		t.Errorf("lcs self = %q", e.tab.String(got))
+	}
+}
+
+func TestMergeWords(t *testing.T) {
+	e := newEnv()
+	words := [][]symtab.Symbol{
+		e.word(t, "P FORM"),
+		e.word(t, "TABLE TR FORM"),
+	}
+	n := MergeWords(words)
+	// Language must contain both words.
+	l, err := machineLang(t, n, e.sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range words {
+		if !l.Accepts(w) {
+			t.Errorf("merged pattern rejects %q", e.tab.String(w))
+		}
+	}
+	// Single word merges to itself.
+	n = MergeWords(words[:1])
+	if !rx.Equal(n, rx.Word(words[0]...)) {
+		t.Errorf("single-word merge = %s", rx.Print(n, e.tab))
+	}
+	if MergeWords(nil).Op != rx.OpEpsilon {
+		t.Error("empty merge should be ε")
+	}
+}
+
+func machineLang(t *testing.T, n *rx.Node, sigma symtab.Alphabet) (*machine.NFA, error) {
+	t.Helper()
+	return machine.Compile(n, sigma, machine.Options{})
+}
+
+// TestInduceFigure1 drives the full Section 7 story through the learner:
+// two marked documents → merged unambiguous expression that parses both and
+// feeds the pivot maximizer.
+func TestInduceFigure1(t *testing.T) {
+	e := newEnv()
+	ex1 := e.example(t, "P H1 /H1 P FORM INPUT INPUT P INPUT INPUT /FORM", 6)
+	ex2doc := "TABLE TR TH IMG /TH /TR TR TD H1 /H1 /TD /TR TR TD A /A /TD /TR " +
+		"TR TD FORM INPUT INPUT INPUT INPUT /FORM /TD /TR /TABLE"
+	ex2 := e.example(t, ex2doc, 22)
+	res, err := Induce([]Example{ex1, ex2}, e.sigma, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != StrategyMergeOpenRight {
+		t.Errorf("strategy = %s, want %s", res.Strategy, StrategyMergeOpenRight)
+	}
+	// The induced expression extracts the right INPUT from both examples.
+	for i, ex := range []Example{ex1, ex2} {
+		pos, ok := res.Expr.Extract(ex.Doc)
+		if !ok || pos != ex.Target {
+			t.Errorf("example %d: extraction = (%d, %v), want %d", i, pos, ok, ex.Target)
+		}
+	}
+	// It generalizes both rigid expressions (Definition 4.4).
+	for i, ex := range []Example{ex1, ex2} {
+		rig, err := Rigid(ex, e.sigma, machine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g, err := res.Expr.Generalizes(rig); err != nil || !g {
+			t.Errorf("example %d: induced does not generalize rigid (%v, %v)", i, g, err)
+		}
+	}
+	// And it feeds the maximizer: the final wrapper is maximal, unambiguous,
+	// and still extracts correctly.
+	maxed, err := extract.Maximize(res.Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := maxed.Maximal(); err != nil || !m {
+		t.Fatalf("maximized result not maximal: %v %v", m, err)
+	}
+	for i, ex := range []Example{ex1, ex2} {
+		pos, ok := maxed.Extract(ex.Doc)
+		if !ok || pos != ex.Target {
+			t.Errorf("example %d after maximize: (%d, %v), want %d", i, pos, ok, ex.Target)
+		}
+	}
+	// The maximized wrapper survives a novel page variant (resilience). The
+	// merge anchors on the H1 header both training pages share, so the
+	// variant keeps its header (as real redesigns of this site would).
+	novel := e.word(t, "TABLE TR TD H1 /H1 /TD /TR TR TD FORM INPUT INPUT /FORM /TD /TR /TABLE")
+	pos, ok := maxed.Extract(novel)
+	if !ok || e.tab.Name(novel[pos]) != "INPUT" || pos != 11 {
+		t.Errorf("novel page extraction = (%d, %v), want 11", pos, ok)
+	}
+}
+
+func TestInduceSingleExample(t *testing.T) {
+	e := newEnv()
+	ex := e.example(t, "P FORM INPUT INPUT /FORM", 3)
+	res, err := Induce([]Example{ex}, e.sigma, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, ok := res.Expr.Extract(ex.Doc)
+	if !ok || pos != ex.Target {
+		t.Errorf("extraction = (%d, %v)", pos, ok)
+	}
+}
+
+func TestInduceErrors(t *testing.T) {
+	e := newEnv()
+	if _, err := Induce(nil, e.sigma, machine.Options{}); !errors.Is(err, ErrNoExamples) {
+		t.Errorf("empty: %v", err)
+	}
+	ex1 := e.example(t, "P FORM", 1)
+	ex2 := e.example(t, "P FORM", 0)
+	if _, err := Induce([]Example{ex1, ex2}, e.sigma, machine.Options{}); !errors.Is(err, ErrMixedTargets) {
+		t.Errorf("mixed targets: %v", err)
+	}
+	bad := Example{Doc: e.word(t, "P"), Target: 5}
+	if _, err := Induce([]Example{bad}, e.sigma, machine.Options{}); err == nil {
+		t.Error("invalid example accepted")
+	}
+}
+
+// When the open-right merge is ambiguous, the ladder falls back to merging
+// the right context.
+func TestInduceDisambiguationLadder(t *testing.T) {
+	e := newEnv()
+	// Target is the FIRST INPUT of two: with Σ* on the right the merged
+	// prefix (… FORM) cannot tell the first INPUT from the second, because
+	// prefixes like "... FORM INPUT" also reach an INPUT — making the
+	// open-right merge of these examples ambiguous:
+	// doc: FORM INPUT INPUT; prefix anchor FORM, but the string
+	// FORM INPUT INPUT admits only one parse with left = FORM exactly…
+	// Use genuinely colliding examples instead: mark INPUT with examples
+	// whose prefixes differ by an INPUT.
+	ex1 := e.example(t, "FORM INPUT /FORM", 1)
+	ex2 := e.example(t, "FORM INPUT INPUT /FORM", 2)
+	// Merged prefix ⊇ {FORM, FORM INPUT}: with Σ* right side this is
+	// ambiguous on FORM INPUT INPUT … (positions 1 and 2 both valid).
+	res, err := Induce([]Example{ex1, ex2}, e.sigma, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy == StrategyMergeOpenRight {
+		t.Errorf("expected a fallback strategy, got %s", res.Strategy)
+	}
+	unamb, err := res.Expr.Unambiguous()
+	if err != nil || !unamb {
+		t.Fatalf("ladder returned ambiguous expression (%v, %v)", unamb, err)
+	}
+	for i, ex := range []Example{ex1, ex2} {
+		pos, ok := res.Expr.Extract(ex.Doc)
+		if !ok || pos != ex.Target {
+			t.Errorf("example %d: (%d, %v), want %d", i, pos, ok, ex.Target)
+		}
+	}
+}
+
+func TestInduceTrulyAmbiguous(t *testing.T) {
+	e := newEnv()
+	// Two marks of the same symbol at interchangeable positions in the same
+	// document shape defeat every rung: the training set itself is
+	// contradictory (same document, different positions are impossible here,
+	// so craft suffix/prefix collisions).
+	ex1 := e.example(t, "INPUT INPUT", 0)
+	ex2 := e.example(t, "INPUT INPUT", 1)
+	_, err := Induce([]Example{ex1, ex2}, e.sigma, machine.Options{})
+	if !errors.Is(err, ErrAmbiguousExamples) {
+		t.Errorf("err = %v, want ErrAmbiguousExamples", err)
+	}
+}

@@ -1,0 +1,159 @@
+package learn
+
+import (
+	"math/rand"
+	"testing"
+
+	"resilex/internal/extract"
+	"resilex/internal/machine"
+	"resilex/internal/symtab"
+)
+
+// genSite builds a random synthetic page: decoration, FORM, i inputs with
+// the target fixed as the second INPUT.
+func genSite(tab *symtab.Table, rng *rand.Rand) Example {
+	w := func(names ...string) []symtab.Symbol { return tab.InternAll(names...) }
+	var doc []symtab.Symbol
+	// Random header decoration.
+	decos := [][]symtab.Symbol{
+		w("P", "H1", "/H1"),
+		w("TABLE", "TR", "TD", "/TD", "/TR"),
+		w("DIV", "IMG", "/DIV"),
+		w("H1", "/H1", "HR"),
+		nil,
+	}
+	doc = append(doc, decos[rng.Intn(len(decos))]...)
+	if rng.Intn(2) == 0 {
+		doc = append(doc, decos[rng.Intn(len(decos))]...)
+	}
+	doc = append(doc, tab.Intern("FORM"))
+	inputs := 2 + rng.Intn(3)
+	target := -1
+	for i := 0; i < inputs; i++ {
+		doc = append(doc, tab.Intern("INPUT"))
+		if i == 1 {
+			target = len(doc) - 1
+		}
+	}
+	doc = append(doc, tab.Intern("/FORM"))
+	// Random footer.
+	if rng.Intn(2) == 0 {
+		doc = append(doc, w("P", "A", "/A")...)
+	}
+	return Example{Doc: doc, Target: target}
+}
+
+// Property: Induce's output always generalizes every rigid example
+// expression and extracts each example correctly; if maximization then
+// succeeds, those properties survive it.
+func TestInducePropertyRandomSites(t *testing.T) {
+	tab := symtab.NewTable()
+	rng := rand.New(rand.NewSource(88))
+	sigma := symtab.NewAlphabet(tab.InternAll(
+		"P", "H1", "/H1", "TABLE", "/TABLE", "TR", "/TR", "TD", "/TD",
+		"DIV", "/DIV", "IMG", "HR", "A", "/A", "FORM", "/FORM", "INPUT")...)
+	for trial := 0; trial < 40; trial++ {
+		k := 1 + rng.Intn(4)
+		var examples []Example
+		for i := 0; i < k; i++ {
+			examples = append(examples, genSite(tab, rng))
+		}
+		res, err := Induce(examples, sigma, machine.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: Induce: %v", trial, err)
+		}
+		for i, ex := range examples {
+			pos, ok := res.Expr.Extract(ex.Doc)
+			if !ok || pos != ex.Target {
+				t.Fatalf("trial %d example %d: extraction (%d,%v), want %d [strategy %s]",
+					trial, i, pos, ok, ex.Target, res.Strategy)
+			}
+			rig, err := Rigid(ex, sigma, machine.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Rigid right side is the literal suffix; the induced expression
+			// generalizes it whenever induction used the open/merged right.
+			// Component-wise: rigid left ⊆ induced left always.
+			sub, err := rig.Left().SubsetOf(res.Expr.Left())
+			if err != nil || !sub {
+				t.Fatalf("trial %d example %d: induced left does not cover rigid left (%v, %v)",
+					trial, i, sub, err)
+			}
+		}
+		maxed, err := extract.Maximize(res.Expr)
+		if err != nil {
+			continue // not all induced shapes are maximizable; fine
+		}
+		for i, ex := range examples {
+			pos, ok := maxed.Extract(ex.Doc)
+			if !ok || pos != ex.Target {
+				t.Fatalf("trial %d example %d after maximize: (%d,%v), want %d",
+					trial, i, pos, ok, ex.Target)
+			}
+		}
+	}
+}
+
+// The merge anchors are always a common subsequence of all inputs, and the
+// merged language contains every input word.
+func TestMergeWordsInvariants(t *testing.T) {
+	tab := symtab.NewTable()
+	rng := rand.New(rand.NewSource(7))
+	syms := tab.InternAll("a", "b", "c", "d")
+	sigma := symtab.NewAlphabet(syms...)
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(4)
+		var words [][]symtab.Symbol
+		for i := 0; i < k; i++ {
+			n := rng.Intn(8)
+			w := make([]symtab.Symbol, n)
+			for j := range w {
+				w[j] = syms[rng.Intn(len(syms))]
+			}
+			words = append(words, w)
+		}
+		merged := MergeWords(words)
+		nfa, err := machine.Compile(merged, sigma, machine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, w := range words {
+			if !nfa.Accepts(w) {
+				t.Fatalf("trial %d: merged pattern rejects input word %d (%s)",
+					trial, i, tab.String(w))
+			}
+		}
+	}
+}
+
+func TestInduceManyExamples(t *testing.T) {
+	tab := symtab.NewTable()
+	rng := rand.New(rand.NewSource(3))
+	sigma := symtab.NewAlphabet(tab.InternAll(
+		"P", "H1", "/H1", "TABLE", "/TABLE", "TR", "/TR", "TD", "/TD",
+		"DIV", "/DIV", "IMG", "HR", "A", "/A", "FORM", "/FORM", "INPUT")...)
+	var examples []Example
+	for i := 0; i < 8; i++ {
+		examples = append(examples, genSite(tab, rng))
+	}
+	res, err := Induce(examples, sigma, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxed, err := extract.Maximize(res.Expr)
+	if err != nil {
+		t.Fatalf("maximize after 8 examples: %v", err)
+	}
+	// The maximized wrapper handles fresh sites from the same generator.
+	hits := 0
+	for i := 0; i < 50; i++ {
+		s := genSite(tab, rng)
+		if pos, ok := maxed.Extract(s.Doc); ok && pos == s.Target {
+			hits++
+		}
+	}
+	if hits < 45 {
+		t.Errorf("maximized wrapper hit %d/50 fresh sites", hits)
+	}
+}

@@ -1,0 +1,129 @@
+package learn
+
+import (
+	"errors"
+	"fmt"
+
+	"resilex/internal/extract"
+	"resilex/internal/machine"
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+// TupleExample is a training document with k marked targets in ascending
+// order — the tuple analogue of Example.
+type TupleExample struct {
+	Doc     []symtab.Symbol
+	Targets []int
+}
+
+// Validate checks indices are in range, strictly ascending, and non-empty.
+func (ex TupleExample) Validate() error {
+	if len(ex.Targets) == 0 {
+		return errors.New("learn: tuple example has no targets")
+	}
+	prev := -1
+	for _, t := range ex.Targets {
+		if t < 0 || t >= len(ex.Doc) {
+			return fmt.Errorf("learn: target index %d out of range (document has %d tokens)", t, len(ex.Doc))
+		}
+		if t <= prev {
+			return fmt.Errorf("learn: targets not strictly ascending at %d", t)
+		}
+		prev = t
+	}
+	return nil
+}
+
+// Marks returns the marked symbols in order.
+func (ex TupleExample) Marks() []symtab.Symbol {
+	out := make([]symtab.Symbol, len(ex.Targets))
+	for i, t := range ex.Targets {
+		out[i] = ex.Doc[t]
+	}
+	return out
+}
+
+// InduceTuple generalizes tuple examples into an unambiguous tuple
+// expression: each between-marks segment is merged independently with the
+// Section 7 heuristic; the tail is first widened to Σ* and, if that makes
+// the tuple ambiguous, kept merged (the tuple analogue of Induce's ladder).
+// All examples must mark the same symbol sequence.
+func InduceTuple(examples []TupleExample, sigma symtab.Alphabet, opt machine.Options) (*extract.Tuple, error) {
+	if len(examples) == 0 {
+		return nil, ErrNoExamples
+	}
+	for _, ex := range examples {
+		if err := ex.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	marks := examples[0].Marks()
+	k := len(marks)
+	segChunks := make([][][]symtab.Symbol, k+1)
+	for _, ex := range examples {
+		m := ex.Marks()
+		if len(m) != k {
+			return nil, ErrMixedTargets
+		}
+		for j := range m {
+			if m[j] != marks[j] {
+				return nil, ErrMixedTargets
+			}
+		}
+		prev := 0
+		for j, t := range ex.Targets {
+			segChunks[j] = append(segChunks[j], ex.Doc[prev:t])
+			prev = t + 1
+		}
+		segChunks[k] = append(segChunks[k], ex.Doc[prev:])
+		sigma = sigma.Union(symtab.NewAlphabet(ex.Doc...))
+	}
+	for _, m := range marks {
+		sigma = sigma.With(m)
+	}
+	segs := make([]*rx.Node, k+1)
+	for j := 0; j <= k; j++ {
+		segs[j] = MergeWords(segChunks[j])
+	}
+	// Rung 1: open tail.
+	withOpenTail := append(append([]*rx.Node(nil), segs[:k]...), rx.Star(rx.Class(sigma)))
+	t, err := extract.NewTupleFromASTs(withOpenTail, marks, sigma, opt)
+	if err != nil {
+		return nil, err
+	}
+	if unamb, err := t.Unambiguous(); err != nil {
+		return nil, err
+	} else if unamb {
+		return t, nil
+	}
+	// Rung 2: merged tail.
+	t, err = extract.NewTupleFromASTs(segs, marks, sigma, opt)
+	if err != nil {
+		return nil, err
+	}
+	if unamb, err := t.Unambiguous(); err != nil {
+		return nil, err
+	} else if unamb {
+		return t, nil
+	}
+	// Rung 3: rigid union per segment.
+	rigid := make([]*rx.Node, k+1)
+	for j := 0; j <= k; j++ {
+		var alts []*rx.Node
+		for _, c := range segChunks[j] {
+			alts = append(alts, rx.Word(c...))
+		}
+		rigid[j] = rx.Union(alts...)
+	}
+	t, err = extract.NewTupleFromASTs(rigid, marks, sigma, opt)
+	if err != nil {
+		return nil, err
+	}
+	if unamb, err := t.Unambiguous(); err != nil {
+		return nil, err
+	} else if unamb {
+		return t, nil
+	}
+	return nil, ErrAmbiguousExamples
+}

@@ -1,0 +1,26 @@
+package machine
+
+// MinimizeBrzozowski minimizes by double reversal: determinizing the
+// reversal of a DFA yields the minimal DFA of the reverse language
+// (Brzozowski's theorem), so doing it twice minimizes the original. It is
+// worst-case exponential in the middle step — unlike Hopcroft's algorithm —
+// and exists here as an independent oracle for cross-checking Minimize in
+// the test suite.
+func MinimizeBrzozowski(d *DFA, opt Options) (*DFA, error) {
+	rev := FromDFA(d).Reverse()
+	mid, err := Determinize(rev, opt)
+	if err != nil {
+		return nil, err
+	}
+	back := FromDFA(mid).Reverse()
+	out, err := Determinize(back, opt)
+	if err != nil {
+		return nil, err
+	}
+	// Determinize can leave a dead sink plus non-canonical numbering; trim
+	// and renumber so results are comparable to Minimize's output.
+	// Brzozowski guarantees the reachable part is minimal already, so this
+	// is relabeling, not state merging — asserting that is exactly what the
+	// cross-check tests do (via StructurallyEqual against Minimize).
+	return out.trim().canonicalize(), nil
+}

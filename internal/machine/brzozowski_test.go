@@ -1,0 +1,126 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"resilex/internal/rx"
+)
+
+// Hopcroft and Brzozowski must agree everywhere: two independent
+// minimization algorithms over the same canonical numbering.
+func TestBrzozowskiAgreesWithHopcroft(t *testing.T) {
+	e := env3()
+	exprs := []string{
+		"p", "p*", "#eps", "#empty", ".*",
+		"p | q r", "(p q)* r?", "p+ (q | r)*",
+		"(p | q)* p (p | q)", "[^ p]* p .*",
+		"(q p)* ([^ p] | #eps)", "(p p)* | q",
+	}
+	for _, src := range exprs {
+		nfa := MustCompile(e.parse(t, src), e.sigma)
+		d, err := Determinize(nfa, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hop := Minimize(d)
+		brz, err := MinimizeBrzozowski(d, Options{})
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if !StructurallyEqual(hop, brz) {
+			t.Errorf("%q: Hopcroft (%d states) and Brzozowski (%d states) disagree",
+				src, hop.NumStates(), brz.NumStates())
+		}
+	}
+}
+
+func TestBrzozowskiRandom(t *testing.T) {
+	e := env3()
+	rng := rand.New(rand.NewSource(77))
+	syms := e.sigma.Symbols()
+	var gen func(d int) *rx.Node
+	gen = func(d int) *rx.Node {
+		if d <= 0 {
+			return rx.Sym(syms[rng.Intn(len(syms))])
+		}
+		switch rng.Intn(6) {
+		case 0, 1:
+			return rx.Concat(gen(d-1), gen(d-1))
+		case 2:
+			return rx.Union(gen(d-1), gen(d-1))
+		case 3:
+			return rx.Star(gen(d - 1))
+		case 4:
+			return rx.Opt(gen(d - 1))
+		default:
+			return rx.Sym(syms[rng.Intn(len(syms))])
+		}
+	}
+	for i := 0; i < 100; i++ {
+		n := gen(4)
+		nfa := MustCompile(n, e.sigma)
+		d, err := Determinize(nfa, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hop := Minimize(d)
+		brz, err := MinimizeBrzozowski(d, Options{MaxStates: 1 << 16})
+		if err != nil {
+			continue // Brzozowski's middle step may blow up; that's expected
+		}
+		if !StructurallyEqual(hop, brz) {
+			t.Fatalf("disagreement on random expression #%d (%d vs %d states)",
+				i, hop.NumStates(), brz.NumStates())
+		}
+	}
+}
+
+// Simplify must preserve the language exactly (it lives in rx, which cannot
+// depend on this package, so the semantic check happens here).
+func TestSimplifyPreservesLanguage(t *testing.T) {
+	e := env3()
+	rng := rand.New(rand.NewSource(13))
+	syms := e.sigma.Symbols()
+	var gen func(d int) *rx.Node
+	gen = func(d int) *rx.Node {
+		if d <= 0 {
+			if rng.Intn(4) == 0 {
+				return rx.Epsilon()
+			}
+			return rx.Sym(syms[rng.Intn(len(syms))])
+		}
+		switch rng.Intn(8) {
+		case 0, 1, 2:
+			return rx.Concat(gen(d-1), gen(d-1), gen(d-1))
+		case 3, 4:
+			return rx.Union(gen(d-1), gen(d-1))
+		case 5:
+			return rx.Star(gen(d - 1))
+		case 6:
+			return rx.Opt(gen(d - 1))
+		default:
+			return rx.Sym(syms[rng.Intn(len(syms))])
+		}
+	}
+	for i := 0; i < 400; i++ {
+		n := gen(4)
+		s := rx.Simplify(n)
+		a, err := Determinize(MustCompile(n, e.sigma), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Determinize(MustCompile(s, e.sigma), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, err := Equivalent(a, b, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("Simplify changed the language of %s (became %s)",
+				rx.Print(n, e.tab), rx.Print(s, e.tab))
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"resilex/internal/symtab"
+)
+
+// DOT renders the DFA in Graphviz dot format for debugging and
+// documentation. Parallel edges between the same pair of states are merged
+// into one arrow labeled with the symbol set; an all-rejecting sink is
+// rendered dashed to keep diagrams readable.
+func (d *DFA) DOT(tab *symtab.Table, name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	live := d.liveStates()
+	for s := 0; s < d.NumStates(); s++ {
+		attrs := []string{}
+		if d.Accept[s] {
+			attrs = append(attrs, "shape=doublecircle")
+		}
+		if !live[s] {
+			attrs = append(attrs, "style=dashed")
+		}
+		if len(attrs) > 0 {
+			fmt.Fprintf(&b, "  %d [%s];\n", s, strings.Join(attrs, ","))
+		}
+	}
+	fmt.Fprintf(&b, "  start [shape=point];\n  start -> %d;\n", d.Start)
+	for s := 0; s < d.NumStates(); s++ {
+		byTarget := map[int][]string{}
+		for k, sym := range d.syms {
+			t := d.Trans[s][k]
+			byTarget[t] = append(byTarget[t], tab.Name(sym))
+		}
+		targets := make([]int, 0, len(byTarget))
+		for t := range byTarget {
+			targets = append(targets, t)
+		}
+		sort.Ints(targets)
+		for _, t := range targets {
+			if !live[t] && !live[s] {
+				continue // dead-to-dead noise
+			}
+			fmt.Fprintf(&b, "  %d -> %d [label=%q];\n", s, t, strings.Join(byTarget[t], " "))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// DOT renders the NFA in Graphviz dot format; ε-transitions are labeled ε.
+func (n *NFA) DOT(tab *symtab.Table, name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	for s := 0; s < n.NumStates(); s++ {
+		if n.Accept[s] {
+			fmt.Fprintf(&b, "  %d [shape=doublecircle];\n", s)
+		}
+	}
+	b.WriteString("  start [shape=point];\n")
+	for _, s := range n.Start {
+		fmt.Fprintf(&b, "  start -> %d;\n", s)
+	}
+	for s := 0; s < n.NumStates(); s++ {
+		for _, t := range n.Eps[s] {
+			fmt.Fprintf(&b, "  %d -> %d [label=\"ε\"];\n", s, t)
+		}
+		for _, e := range n.Edges[s] {
+			names := make([]string, 0, e.On.Len())
+			for _, sym := range e.On.Symbols() {
+				names = append(names, tab.Name(sym))
+			}
+			fmt.Fprintf(&b, "  %d -> %d [label=%q];\n", s, e.To, strings.Join(names, " "))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,30 @@
+package machine
+
+import (
+	"testing"
+
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+func TestEmptyAlphabet(t *testing.T) {
+	empty := symtab.NewAlphabet()
+	for _, n := range []*rx.Node{rx.Epsilon(), rx.Empty(), rx.Star(rx.Empty())} {
+		nfa, err := Compile(n, empty, Options{})
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		d, err := Determinize(nfa, Options{})
+		if err != nil {
+			t.Fatalf("determinize: %v", err)
+		}
+		m := Minimize(d)
+		_ = m.IsEmpty()
+		_ = m.IsUniversal()
+		_, _ = m.Witness()
+		_ = m.Enumerate(3)
+		if got := m.Accepts(nil); got != rx.Nullable(n) {
+			t.Errorf("Accepts(ε) = %v, Nullable = %v", got, rx.Nullable(n))
+		}
+	}
+}

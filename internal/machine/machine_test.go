@@ -1,0 +1,608 @@
+package machine
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+// testEnv bundles a table, three symbols and their alphabet.
+type testEnv struct {
+	tab     *symtab.Table
+	p, q, r symtab.Symbol
+	sigma   symtab.Alphabet
+}
+
+func env3() testEnv {
+	tab := symtab.NewTable()
+	p, q, r := tab.Intern("p"), tab.Intern("q"), tab.Intern("r")
+	return testEnv{tab, p, q, r, symtab.NewAlphabet(p, q, r)}
+}
+
+func (e testEnv) parse(t *testing.T, src string) *rx.Node {
+	t.Helper()
+	n, err := rx.Parse(src, e.tab, e.sigma)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return n
+}
+
+func (e testEnv) dfa(t *testing.T, src string) *DFA {
+	t.Helper()
+	n := e.parse(t, src)
+	nfa, err := Compile(n, e.sigma, Options{})
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	d, err := Determinize(nfa, Options{})
+	if err != nil {
+		t.Fatalf("determinize %q: %v", src, err)
+	}
+	return Minimize(d)
+}
+
+func (e testEnv) word(t *testing.T, src string) []symtab.Symbol {
+	t.Helper()
+	w, err := rx.ParseWord(src, e.tab)
+	if err != nil {
+		t.Fatalf("word %q: %v", src, err)
+	}
+	return w
+}
+
+func TestNFAAccepts(t *testing.T) {
+	e := env3()
+	cases := []struct {
+		expr   string
+		accept []string
+		reject []string
+	}{
+		{"p", []string{"p"}, []string{"", "q", "p p"}},
+		{"p*", []string{"", "p", "p p p"}, []string{"q", "p q"}},
+		{"p | q", []string{"p", "q"}, []string{"", "r", "p q"}},
+		{"(p q)*", []string{"", "p q", "p q p q"}, []string{"p", "q p"}},
+		{"p+ q?", []string{"p", "p q", "p p"}, []string{"", "q", "p q q"}},
+		{"#eps", []string{""}, []string{"p"}},
+		{"#empty", nil, []string{"", "p"}},
+		{"[^ p]*", []string{"", "q r q"}, []string{"p", "q p"}},
+		{". . .", []string{"p q r", "r r r"}, []string{"", "p q"}},
+	}
+	for _, c := range cases {
+		nfa := MustCompile(e.parse(t, c.expr), e.sigma)
+		for _, w := range c.accept {
+			if !nfa.Accepts(e.word(t, w)) {
+				t.Errorf("%q should accept %q", c.expr, w)
+			}
+		}
+		for _, w := range c.reject {
+			if nfa.Accepts(e.word(t, w)) {
+				t.Errorf("%q should reject %q", c.expr, w)
+			}
+		}
+	}
+}
+
+func TestDFAMatchesNFA(t *testing.T) {
+	e := env3()
+	exprs := []string{
+		"p", "p*", "p | q r", "(p q)* r?", "p+ (q | r)*", "#eps", "#empty",
+		"(p | q)* p (p | q)", "[^ p]* p [^ p]*",
+	}
+	for _, src := range exprs {
+		nfa := MustCompile(e.parse(t, src), e.sigma)
+		d, err := Determinize(nfa, Options{})
+		if err != nil {
+			t.Fatalf("determinize %q: %v", src, err)
+		}
+		m := Minimize(d)
+		for _, w := range allWords(e.sigma, 4) {
+			want := nfa.Accepts(w)
+			if got := d.Accepts(w); got != want {
+				t.Errorf("%q: DFA(%v) = %v, NFA = %v", src, e.tab.String(w), got, want)
+			}
+			if got := m.Accepts(w); got != want {
+				t.Errorf("%q: minDFA(%v) = %v, NFA = %v", src, e.tab.String(w), got, want)
+			}
+		}
+	}
+}
+
+// allWords enumerates Σ^≤maxLen.
+func allWords(sigma symtab.Alphabet, maxLen int) [][]symtab.Symbol {
+	syms := sigma.Symbols()
+	out := [][]symtab.Symbol{nil}
+	prev := [][]symtab.Symbol{nil}
+	for l := 0; l < maxLen; l++ {
+		var next [][]symtab.Symbol
+		for _, w := range prev {
+			for _, s := range syms {
+				nw := append(append([]symtab.Symbol(nil), w...), s)
+				next = append(next, nw)
+			}
+		}
+		out = append(out, next...)
+		prev = next
+	}
+	return out
+}
+
+func TestExtendedOps(t *testing.T) {
+	e := env3()
+	cases := []struct {
+		expr   string
+		accept []string
+		reject []string
+	}{
+		{"(p | q)* & (q | r)*", []string{"", "q q"}, []string{"p", "r"}},
+		{".* - p*", []string{"q", "p q"}, []string{"", "p", "p p"}},
+		{"!p*", []string{"q", "p q"}, []string{"", "p p"}},
+		{"!(#empty)", []string{"", "p", "q r"}, nil},
+		{"p* - #eps", []string{"p", "p p"}, []string{"", "q"}},
+	}
+	for _, c := range cases {
+		nfa, err := Compile(e.parse(t, c.expr), e.sigma, Options{})
+		if err != nil {
+			t.Fatalf("compile %q: %v", c.expr, err)
+		}
+		for _, w := range c.accept {
+			if !nfa.Accepts(e.word(t, w)) {
+				t.Errorf("%q should accept %q", c.expr, w)
+			}
+		}
+		for _, w := range c.reject {
+			if nfa.Accepts(e.word(t, w)) {
+				t.Errorf("%q should reject %q", c.expr, w)
+			}
+		}
+	}
+}
+
+func TestCompileRejectsForeignSymbols(t *testing.T) {
+	e := env3()
+	s := e.tab.Intern("outside")
+	if _, err := Compile(rx.Sym(s), e.sigma, Options{}); err == nil {
+		t.Error("Compile with symbol outside Σ succeeded")
+	}
+}
+
+func TestMinimizeCanonical(t *testing.T) {
+	e := env3()
+	// Two syntactically different expressions of the same language must
+	// minimize to structurally identical DFAs.
+	pairs := [][2]string{
+		{"p | p p", "p p?"},
+		{"(p | q)*", "(p* q*)*"},
+		{"p* p*", "p*"},
+		{"(p q | p r)", "p (q | r)"},
+	}
+	for _, pr := range pairs {
+		a, b := e.dfa(t, pr[0]), e.dfa(t, pr[1])
+		if !StructurallyEqual(a, b) {
+			t.Errorf("canonical minimal DFAs differ for %q vs %q (%d vs %d states)",
+				pr[0], pr[1], a.NumStates(), b.NumStates())
+		}
+	}
+}
+
+func TestMinimizeStateCounts(t *testing.T) {
+	e := env3()
+	cases := []struct {
+		expr string
+		want int
+	}{
+		{".*", 1},
+		{"#empty", 1},
+		{"#eps", 2},
+		{"p", 3}, // start, accept, dead
+		{"p*", 2},
+	}
+	for _, c := range cases {
+		d := e.dfa(t, c.expr)
+		if d.NumStates() != c.want {
+			t.Errorf("minimal states of %q = %d, want %d", c.expr, d.NumStates(), c.want)
+		}
+	}
+}
+
+func TestEmptinessUniversality(t *testing.T) {
+	e := env3()
+	if !e.dfa(t, "#empty").IsEmpty() {
+		t.Error("#empty not empty")
+	}
+	if e.dfa(t, "#eps").IsEmpty() {
+		t.Error("#eps empty")
+	}
+	if !e.dfa(t, ".*").IsUniversal() {
+		t.Error(".* not universal")
+	}
+	if e.dfa(t, "[^ p]*").IsUniversal() {
+		t.Error("[^ p]* universal")
+	}
+	if !e.dfa(t, "p* | !p*").IsUniversal() {
+		t.Error("p* | !p* not universal")
+	}
+}
+
+func TestEquivalenceAndSubset(t *testing.T) {
+	e := env3()
+	a := e.dfa(t, "(p | q)*")
+	b := e.dfa(t, "(p* q*)*")
+	c := e.dfa(t, "p*")
+	eq, err := Equivalent(a, b, Options{})
+	if err != nil || !eq {
+		t.Errorf("Equivalent = %v, %v", eq, err)
+	}
+	eq, err = Equivalent(a, c, Options{})
+	if err != nil || eq {
+		t.Errorf("Equivalent(a,c) = %v, %v", eq, err)
+	}
+	sub, err := Subset(c, a, Options{})
+	if err != nil || !sub {
+		t.Errorf("Subset(p*, (p|q)*) = %v, %v", sub, err)
+	}
+	sub, err = Subset(a, c, Options{})
+	if err != nil || sub {
+		t.Errorf("Subset((p|q)*, p*) = %v, %v", sub, err)
+	}
+}
+
+func TestWitnessAndCounterExample(t *testing.T) {
+	e := env3()
+	d := e.dfa(t, "p p q | p q")
+	w, ok := d.Witness()
+	if !ok || e.tab.String(w) != "p q" {
+		t.Errorf("Witness = %q, %v; want shortest 'p q'", e.tab.String(w), ok)
+	}
+	if _, ok := e.dfa(t, "#empty").Witness(); ok {
+		t.Error("empty language has witness")
+	}
+	a, b := e.dfa(t, "p*"), e.dfa(t, "p* | q")
+	cw, ok, err := CounterExample(a, b, Options{})
+	if err != nil || !ok || e.tab.String(cw) != "q" {
+		t.Errorf("CounterExample = %q, %v, %v", e.tab.String(cw), ok, err)
+	}
+	if _, ok, _ := CounterExample(a, a, Options{}); ok {
+		t.Error("CounterExample for equal languages")
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	e := env3()
+	d := e.dfa(t, "p q*")
+	got := d.Enumerate(3)
+	want := []string{"p", "p q", "p q q"}
+	if len(got) != len(want) {
+		t.Fatalf("Enumerate = %d words, want %d", len(got), len(want))
+	}
+	for i, w := range got {
+		if e.tab.String(w) != want[i] {
+			t.Errorf("Enumerate[%d] = %q, want %q", i, e.tab.String(w), want[i])
+		}
+	}
+	if n := len(e.dfa(t, ".*").Enumerate(2)); n != 1+3+9 {
+		t.Errorf("Enumerate .* len<=2 = %d, want 13", n)
+	}
+}
+
+func TestSample(t *testing.T) {
+	e := env3()
+	d := e.dfa(t, "p (q | r)* p")
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		w, ok := d.Sample(8, rng)
+		if !ok {
+			t.Fatal("Sample failed on nonempty language")
+		}
+		if !d.Accepts(w) {
+			t.Fatalf("Sample produced non-member %q", e.tab.String(w))
+		}
+	}
+	if _, ok := e.dfa(t, "#empty").Sample(5, rng); ok {
+		t.Error("Sample from empty language succeeded")
+	}
+	// Language whose shortest word exceeds maxLen.
+	if _, ok := e.dfa(t, "p p p p").Sample(3, rng); ok {
+		t.Error("Sample beyond maxLen succeeded")
+	}
+}
+
+func TestCountWords(t *testing.T) {
+	e := env3()
+	d := e.dfa(t, ".*")
+	if got := d.CountWords(3); got != 27 {
+		t.Errorf("CountWords(3) of .* = %v, want 27", got)
+	}
+	d = e.dfa(t, "p q*")
+	if got := d.CountWords(0); got != 0 {
+		t.Errorf("CountWords(0) = %v", got)
+	}
+	if got := d.CountWords(4); got != 1 {
+		t.Errorf("CountWords(4) = %v", got)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	e := env3()
+	nfa := MustCompile(e.parse(t, "p q r*"), e.sigma)
+	rev := nfa.Reverse()
+	for _, w := range allWords(e.sigma, 4) {
+		rw := make([]symtab.Symbol, len(w))
+		for i := range w {
+			rw[len(w)-1-i] = w[i]
+		}
+		if nfa.Accepts(w) != rev.Accepts(rw) {
+			t.Errorf("Reverse mismatch on %q", e.tab.String(w))
+		}
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	e := env3()
+	// (p|q)* p (p|q)^12 needs 2^13 DFA states.
+	src := "(p | q)* p"
+	for i := 0; i < 12; i++ {
+		src += " (p | q)"
+	}
+	nfa := MustCompile(e.parse(t, src), symtab.NewAlphabet(e.p, e.q))
+	_, err := Determinize(nfa, Options{MaxStates: 100})
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("Determinize err = %v, want ErrBudget", err)
+	}
+	if _, err := Determinize(nfa, Options{MaxStates: -1}); err != nil {
+		t.Errorf("unlimited Determinize failed: %v", err)
+	}
+}
+
+// TestPSPACEWitnessBlowup pins the exponential lower-bound family used by
+// experiment E4: the minimal DFA of (p|q)* p (p|q)^n has 2^(n+1) states.
+func TestPSPACEWitnessBlowup(t *testing.T) {
+	e := env3()
+	two := symtab.NewAlphabet(e.p, e.q)
+	for n := 1; n <= 8; n++ {
+		src := "(p | q)* p"
+		for i := 0; i < n; i++ {
+			src += " (p | q)"
+		}
+		nfa := MustCompile(e.parse(t, src), two)
+		d, err := Determinize(nfa, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := Minimize(d)
+		if want := 1 << (n + 1); m.NumStates() != want {
+			t.Errorf("n=%d: minimal DFA has %d states, want %d", n, m.NumStates(), want)
+		}
+	}
+}
+
+func TestQuotientsAgainstDefinition(t *testing.T) {
+	e := env3()
+	cases := []struct{ a, by string }{
+		{"p q r", "p"},
+		{"p q r", "p q"},
+		{"(p q)*", "p"},
+		{"(p q)* r", "(p q)*"},
+		{"p* q p*", "p*"},
+		{".* p .*", ".* p"},
+		{"p | p p | q", "#eps"},
+		{"p q", "r"}, // empty factor
+	}
+	for _, c := range cases {
+		na := MustCompile(e.parse(t, c.a), e.sigma)
+		nby := MustCompile(e.parse(t, c.by), e.sigma)
+		left := LeftQuotient(na, nby)
+		right := RightQuotient(na, nby)
+		// Definitional oracle over short words.
+		for _, alpha := range allWords(e.sigma, 3) {
+			wantLeft, wantRight := false, false
+			for _, beta := range allWords(e.sigma, 4) {
+				if nby.Accepts(beta) {
+					if na.Accepts(append(append([]symtab.Symbol(nil), beta...), alpha...)) {
+						wantLeft = true
+					}
+					if na.Accepts(append(append([]symtab.Symbol(nil), alpha...), beta...)) {
+						wantRight = true
+					}
+				}
+			}
+			if got := left.Accepts(alpha); got != wantLeft {
+				t.Errorf("(%q \\ %q) on %q = %v, oracle %v", c.by, c.a, e.tab.String(alpha), got, wantLeft)
+			}
+			if got := right.Accepts(alpha); got != wantRight {
+				t.Errorf("(%q / %q) on %q = %v, oracle %v", c.a, c.by, e.tab.String(alpha), got, wantRight)
+			}
+		}
+	}
+}
+
+func TestToRegexRoundTrip(t *testing.T) {
+	e := env3()
+	exprs := []string{
+		"p", "p*", "p | q r", "(p q)* r?", "p+ (q | r)*",
+		"#eps", "#empty", "(p | q)* p", "[^ p]* p .*",
+		"(q p)* ([^ p] | #eps)",
+	}
+	for _, src := range exprs {
+		d := e.dfa(t, src)
+		back := ToRegex(d)
+		nfa, err := Compile(back, e.sigma, Options{})
+		if err != nil {
+			t.Fatalf("compile ToRegex(%q): %v", src, err)
+		}
+		d2, err := Determinize(nfa, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, err := Equivalent(d, Minimize(d2), Options{})
+		if err != nil || !eq {
+			t.Errorf("ToRegex(%q) = %q not equivalent (err=%v)", src, rx.Print(back, e.tab), err)
+		}
+	}
+}
+
+func TestFromWordAndWordsNFA(t *testing.T) {
+	e := env3()
+	w := e.word(t, "p q p")
+	nfa := FromWord(w, e.sigma)
+	if !nfa.Accepts(w) {
+		t.Error("FromWord rejects its word")
+	}
+	if nfa.Accepts(e.word(t, "p q")) || nfa.Accepts(e.word(t, "p q p p")) {
+		t.Error("FromWord accepts other words")
+	}
+	words := [][]symtab.Symbol{e.word(t, "p"), e.word(t, "q r"), nil}
+	m := WordsNFA(words, e.sigma)
+	for _, w := range words {
+		if !m.Accepts(w) {
+			t.Errorf("WordsNFA rejects %q", e.tab.String(w))
+		}
+	}
+	if m.Accepts(e.word(t, "q")) {
+		t.Error("WordsNFA accepts non-member")
+	}
+}
+
+func TestConcatUnionNFA(t *testing.T) {
+	e := env3()
+	a := MustCompile(e.parse(t, "p | p q"), e.sigma)
+	b := MustCompile(e.parse(t, "q*"), e.sigma)
+	cat := ConcatNFA(a, b)
+	for _, w := range allWords(e.sigma, 4) {
+		want := false
+		for cut := 0; cut <= len(w); cut++ {
+			if a.Accepts(w[:cut]) && b.Accepts(w[cut:]) {
+				want = true
+				break
+			}
+		}
+		if got := cat.Accepts(w); got != want {
+			t.Errorf("ConcatNFA on %q = %v, want %v", e.tab.String(w), got, want)
+		}
+	}
+	un := UnionNFA(a, b)
+	for _, w := range allWords(e.sigma, 4) {
+		want := a.Accepts(w) || b.Accepts(w)
+		if got := un.Accepts(w); got != want {
+			t.Errorf("UnionNFA on %q = %v, want %v", e.tab.String(w), got, want)
+		}
+	}
+}
+
+func TestFromDFA(t *testing.T) {
+	e := env3()
+	d := e.dfa(t, "(p q | r)* p?")
+	n := FromDFA(d)
+	for _, w := range allWords(e.sigma, 4) {
+		if d.Accepts(w) != n.Accepts(w) {
+			t.Errorf("FromDFA mismatch on %q", e.tab.String(w))
+		}
+	}
+}
+
+func TestProductAlphabetMismatch(t *testing.T) {
+	e := env3()
+	a := e.dfa(t, "p")
+	other := symtab.NewAlphabet(e.p, e.q)
+	nfa := MustCompile(rx.Sym(e.p), other)
+	b, err := Determinize(nfa, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Product(a, b, func(x, y bool) bool { return x && y }, Options{}); err == nil {
+		t.Error("Product over distinct alphabets succeeded")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	e := env3()
+	d := e.dfa(t, "q p")
+	dot := d.DOT(e.tab, "test")
+	for _, want := range []string{"digraph \"test\"", "doublecircle", "start ->", "label=\"q\""} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DFA DOT missing %q:\n%s", want, dot)
+		}
+	}
+	nfa := MustCompile(e.parse(t, "q p | r*"), e.sigma)
+	ndot := nfa.DOT(e.tab, "n")
+	for _, want := range []string{"digraph \"n\"", "ε"} {
+		if !strings.Contains(ndot, want) {
+			t.Errorf("NFA DOT missing %q", want)
+		}
+	}
+}
+
+// CountWords must agree with brute-force enumeration per length.
+func TestCountWordsMatchesEnumerate(t *testing.T) {
+	e := env3()
+	for _, src := range []string{"p q*", "(p | q)*", "p? q? r?", "#empty", ".* p"} {
+		d := e.dfa(t, src)
+		words := d.Enumerate(5)
+		perLen := map[int]int{}
+		for _, w := range words {
+			perLen[len(w)]++
+		}
+		for n := 0; n <= 5; n++ {
+			if got := int(d.CountWords(n)); got != perLen[n] {
+				t.Errorf("%q: CountWords(%d) = %d, enumerate says %d", src, n, got, perLen[n])
+			}
+		}
+	}
+}
+
+// Sample never exceeds maxLen and covers every feasible length eventually.
+func TestSampleLengths(t *testing.T) {
+	e := env3()
+	d := e.dfa(t, "p q* p")
+	rng := rand.New(rand.NewSource(99))
+	seen := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		w, ok := d.Sample(6, rng)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		if len(w) > 6 {
+			t.Fatalf("sample length %d > 6", len(w))
+		}
+		seen[len(w)] = true
+	}
+	// Feasible lengths are 2..6; all should appear in 500 draws.
+	for n := 2; n <= 6; n++ {
+		if !seen[n] {
+			t.Errorf("length %d never sampled", n)
+		}
+	}
+}
+
+// Witness returns a SHORTEST accepted word.
+func TestWitnessIsShortest(t *testing.T) {
+	e := env3()
+	for _, c := range []struct {
+		src string
+		n   int
+	}{
+		{"p p p | q q", 2},
+		{"(p q)+", 2},
+		{".* p .* p .*", 2},
+		{"#eps | p", 0},
+	} {
+		d := e.dfa(t, c.src)
+		w, ok := d.Witness()
+		if !ok || len(w) != c.n {
+			t.Errorf("%q: witness %q (len %d), want len %d", c.src, e.tab.String(w), len(w), c.n)
+		}
+	}
+}
+
+func TestProductBudget(t *testing.T) {
+	e := env3()
+	a := e.dfa(t, "(p | q)* p (p | q) (p | q) (p | q) (p | q)")
+	b := e.dfa(t, "(p | q) (p | q) (p | q) (p | q) p (p | q)*")
+	if _, err := Product(a, b, func(x, y bool) bool { return x && y }, Options{MaxStates: 4}); !errors.Is(err, ErrBudget) {
+		t.Errorf("Product budget not enforced: %v", err)
+	}
+}

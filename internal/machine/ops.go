@@ -1,0 +1,368 @@
+package machine
+
+import (
+	"math/rand"
+
+	"resilex/internal/symtab"
+)
+
+// IsEmpty reports whether L(d) = ∅ (no reachable accepting state).
+func (d *DFA) IsEmpty() bool {
+	seen := make([]bool, d.NumStates())
+	stack := []int{d.Start}
+	seen[d.Start] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.Accept[s] {
+			return false
+		}
+		for k := range d.syms {
+			t := d.Trans[s][k]
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return true
+}
+
+// IsUniversal reports whether L(d) = Σ* (every reachable state accepting).
+func (d *DFA) IsUniversal() bool {
+	seen := make([]bool, d.NumStates())
+	stack := []int{d.Start}
+	seen[d.Start] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !d.Accept[s] {
+			return false
+		}
+		for k := range d.syms {
+			t := d.Trans[s][k]
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return true
+}
+
+// Equivalent reports whether L(a) = L(b), via emptiness of the symmetric
+// difference product. Both must share Σ.
+func Equivalent(a, b *DFA, opt Options) (bool, error) {
+	x, err := Product(a, b, func(p, q bool) bool { return p != q }, opt)
+	if err != nil {
+		return false, err
+	}
+	return x.IsEmpty(), nil
+}
+
+// Subset reports whether L(a) ⊆ L(b), via emptiness of a ∩ ¬b.
+func Subset(a, b *DFA, opt Options) (bool, error) {
+	x, err := Product(a, b, func(p, q bool) bool { return p && !q }, opt)
+	if err != nil {
+		return false, err
+	}
+	return x.IsEmpty(), nil
+}
+
+// Witness returns a shortest accepted word, or ok=false if L(d) = ∅.
+func (d *DFA) Witness() (word []symtab.Symbol, ok bool) {
+	type crumb struct {
+		prev int
+		sym  symtab.Symbol
+	}
+	n := d.NumStates()
+	from := make([]crumb, n)
+	seen := make([]bool, n)
+	queue := []int{d.Start}
+	seen[d.Start] = true
+	from[d.Start] = crumb{prev: -1}
+	goal := -1
+	for qi := 0; qi < len(queue) && goal < 0; qi++ {
+		s := queue[qi]
+		if d.Accept[s] {
+			goal = s
+			break
+		}
+		for k, sym := range d.syms {
+			t := d.Trans[s][k]
+			if !seen[t] {
+				seen[t] = true
+				from[t] = crumb{prev: s, sym: sym}
+				queue = append(queue, t)
+			}
+		}
+	}
+	if goal < 0 {
+		return nil, false
+	}
+	var rev []symtab.Symbol
+	for s := goal; from[s].prev >= 0; s = from[s].prev {
+		rev = append(rev, from[s].sym)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+// CounterExample returns a shortest word in L(a) △ L(b), or ok=false when
+// the languages are equal.
+func CounterExample(a, b *DFA, opt Options) (word []symtab.Symbol, ok bool, err error) {
+	x, err := Product(a, b, func(p, q bool) bool { return p != q }, opt)
+	if err != nil {
+		return nil, false, err
+	}
+	w, ok := x.Witness()
+	return w, ok, nil
+}
+
+// Enumerate returns every accepted word of length ≤ maxLen, in length-then-
+// lexicographic(symbol id) order. Intended for brute-force oracles in tests;
+// output is exponential in maxLen.
+func (d *DFA) Enumerate(maxLen int) [][]symtab.Symbol {
+	var out [][]symtab.Symbol
+	live := d.liveStates()
+	var rec func(state int, word []symtab.Symbol)
+	rec = func(state int, word []symtab.Symbol) {
+		if d.Accept[state] {
+			out = append(out, append([]symtab.Symbol(nil), word...))
+		}
+		if len(word) == maxLen {
+			return
+		}
+		for k, sym := range d.syms {
+			t := d.Trans[state][k]
+			if live[t] {
+				rec(t, append(word, sym))
+			}
+		}
+	}
+	rec(d.Start, nil)
+	// Reorder: depth-first emission is prefix order; sort by length then lex.
+	sortWords(out)
+	return out
+}
+
+func sortWords(words [][]symtab.Symbol) {
+	less := func(a, b []symtab.Symbol) bool {
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return a[i] < b[i]
+			}
+		}
+		return false
+	}
+	// insertion-style sort via stdlib
+	for i := 1; i < len(words); i++ {
+		for j := i; j > 0 && less(words[j], words[j-1]); j-- {
+			words[j], words[j-1] = words[j-1], words[j]
+		}
+	}
+}
+
+// liveStates marks states from which an accepting state is reachable.
+func (d *DFA) liveStates() []bool {
+	n := d.NumStates()
+	// Build reverse adjacency.
+	radj := make([][]int, n)
+	for s := 0; s < n; s++ {
+		for k := range d.syms {
+			t := d.Trans[s][k]
+			radj[t] = append(radj[t], s)
+		}
+	}
+	live := make([]bool, n)
+	var stack []int
+	for s := 0; s < n; s++ {
+		if d.Accept[s] {
+			live[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range radj[s] {
+			if !live[p] {
+				live[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return live
+}
+
+// Sample returns a uniformly-shaped random member of L(d) with length ≤
+// maxLen (uniform over a random target length among the feasible lengths,
+// then uniform over words of that length), or ok=false when no member of
+// length ≤ maxLen exists. Deterministic given rng's state.
+func (d *DFA) Sample(maxLen int, rng *rand.Rand) (word []symtab.Symbol, ok bool) {
+	// count[l][s] = number of words of length exactly l accepted from s.
+	n := d.NumStates()
+	counts := make([][]float64, maxLen+1)
+	counts[0] = make([]float64, n)
+	for s := 0; s < n; s++ {
+		if d.Accept[s] {
+			counts[0][s] = 1
+		}
+	}
+	for l := 1; l <= maxLen; l++ {
+		counts[l] = make([]float64, n)
+		for s := 0; s < n; s++ {
+			var c float64
+			for k := range d.syms {
+				c += counts[l-1][d.Trans[s][k]]
+			}
+			counts[l][s] = c
+		}
+	}
+	var feasible []int
+	for l := 0; l <= maxLen; l++ {
+		if counts[l][d.Start] > 0 {
+			feasible = append(feasible, l)
+		}
+	}
+	if len(feasible) == 0 {
+		return nil, false
+	}
+	length := feasible[rng.Intn(len(feasible))]
+	state := d.Start
+	for rem := length; rem > 0; rem-- {
+		// Choose the next symbol weighted by downstream counts.
+		total := counts[rem][state]
+		x := rng.Float64() * total
+		for k, sym := range d.syms {
+			c := counts[rem-1][d.Trans[state][k]]
+			if x < c || k == len(d.syms)-1 && c > 0 {
+				word = append(word, sym)
+				state = d.Trans[state][k]
+				break
+			}
+			x -= c
+		}
+	}
+	return word, true
+}
+
+// CountWords returns the number of accepted words of length exactly n
+// (as float64; exact for counts below 2^53).
+func (d *DFA) CountWords(n int) float64 {
+	cur := make([]float64, d.NumStates())
+	for s := range cur {
+		if d.Accept[s] {
+			cur[s] = 1
+		}
+	}
+	for l := 0; l < n; l++ {
+		next := make([]float64, d.NumStates())
+		for s := 0; s < d.NumStates(); s++ {
+			var c float64
+			for k := range d.syms {
+				c += cur[d.Trans[s][k]]
+			}
+			next[s] = c
+		}
+		cur = next
+	}
+	return cur[d.Start]
+}
+
+// pairEdge is one product-graph transition used by the quotient
+// constructions: ε-moves advance one side, symbol moves advance both.
+type pairState struct{ x, y int }
+
+// productReach runs a forward BFS over the ε-aware pair graph of a and b
+// from the given start pairs and returns the reached set.
+func productReach(a, b *NFA, starts []pairState) map[pairState]bool {
+	seen := make(map[pairState]bool, len(starts))
+	var queue []pairState
+	push := func(p pairState) {
+		if !seen[p] {
+			seen[p] = true
+			queue = append(queue, p)
+		}
+	}
+	for _, p := range starts {
+		push(p)
+	}
+	sigma := a.Sigma.Union(b.Sigma).Symbols()
+	for qi := 0; qi < len(queue); qi++ {
+		p := queue[qi]
+		for _, t := range a.Eps[p.x] {
+			push(pairState{t, p.y})
+		}
+		for _, t := range b.Eps[p.y] {
+			push(pairState{p.x, t})
+		}
+		for _, sym := range sigma {
+			for _, ea := range a.Edges[p.x] {
+				if !ea.On.Contains(sym) {
+					continue
+				}
+				for _, eb := range b.Edges[p.y] {
+					if eb.On.Contains(sym) {
+						push(pairState{ea.To, eb.To})
+					}
+				}
+			}
+		}
+	}
+	return seen
+}
+
+// LeftQuotient returns an NFA for by\a = { α | ∃β ∈ L(by), β·α ∈ L(a) }
+// (Definition 5.1, prefix factoring). The construction is polynomial: a
+// forward pair reachability marks every a-state reachable under some word of
+// L(by); those states become the start set.
+func LeftQuotient(a, by *NFA) *NFA {
+	var starts []pairState
+	for _, sb := range by.Start {
+		for _, sa := range a.Start {
+			starts = append(starts, pairState{sa, sb})
+		}
+	}
+	reached := productReach(a, by, starts)
+	out := a.Clone()
+	out.Start = nil
+	startSet := map[int]bool{}
+	for p := range reached {
+		if by.Accept[p.y] && !startSet[p.x] {
+			startSet[p.x] = true
+			out.Start = append(out.Start, p.x)
+		}
+	}
+	return out
+}
+
+// RightQuotient returns an NFA for a/by = { α | ∃β ∈ L(by), α·β ∈ L(a) }
+// (Definition 5.1, suffix factoring). Implemented as a backward pair
+// co-reachability: an a-state becomes accepting iff some word of L(by) leads
+// from it to an accepting a-state.
+func RightQuotient(a, by *NFA) *NFA {
+	ra, rby := a.Reverse(), by.Reverse()
+	var starts []pairState
+	for _, sb := range rby.Start {
+		for _, sa := range ra.Start {
+			starts = append(starts, pairState{sa, sb})
+		}
+	}
+	reached := productReach(ra, rby, starts)
+	out := a.Clone()
+	for s := range out.Accept {
+		out.Accept[s] = false
+	}
+	for p := range reached {
+		if rby.Accept[p.y] { // p.y accepting in reversed by ⇔ start of by reaches here
+			out.Accept[p.x] = true
+		}
+	}
+	return out
+}

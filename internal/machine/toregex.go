@@ -1,0 +1,144 @@
+package machine
+
+import (
+	"sort"
+
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+// ToRegex converts a DFA into an equivalent regular-expression AST via
+// state elimination (the GNFA construction of Brzozowski–McCluskey). Dead
+// states are dropped first and elimination order is chosen greedily by
+// in-degree × out-degree, which keeps the output small on the automata this
+// library produces. Parallel symbol edges merge into symbol classes through
+// the rx.Union constructor, recovering the paper's (Σ−p)-style classes.
+//
+// Minimizing the DFA before conversion generally yields much smaller
+// expressions.
+func ToRegex(d *DFA) *rx.Node {
+	live := d.liveStates()
+	if !live[d.Start] {
+		return rx.Empty()
+	}
+	// GNFA over live states plus super-start (-1) and super-accept (-2),
+	// with edge labels as regex ASTs. labels[from][to].
+	type key struct{ from, to int }
+	labels := map[key]*rx.Node{}
+	get := func(from, to int) *rx.Node {
+		if l, ok := labels[key{from, to}]; ok {
+			return l
+		}
+		return rx.Empty()
+	}
+	set := func(from, to int, l *rx.Node) {
+		if l.Op == rx.OpEmpty {
+			delete(labels, key{from, to})
+			return
+		}
+		labels[key{from, to}] = l
+	}
+	var states []int
+	for s := 0; s < d.NumStates(); s++ {
+		if !live[s] {
+			continue
+		}
+		states = append(states, s)
+		for k, sym := range d.syms {
+			t := d.Trans[s][k]
+			if live[t] {
+				set(s, t, rx.Union(get(s, t), rx.Sym(sym)))
+			}
+		}
+		if d.Accept[s] {
+			set(s, -2, rx.Epsilon())
+		}
+	}
+	set(-1, d.Start, rx.Epsilon())
+
+	remaining := map[int]bool{}
+	for _, s := range states {
+		remaining[s] = true
+	}
+	nodesOf := func() []int {
+		out := []int{-1, -2}
+		for s := range remaining {
+			out = append(out, s)
+		}
+		return out
+	}
+	for len(remaining) > 0 {
+		// Pick the state with the fewest in×out connections (self-loop
+		// excluded) to keep intermediate expressions small.
+		all := nodesOf()
+		var candidates []int
+		for s := range remaining {
+			candidates = append(candidates, s)
+		}
+		sort.Ints(candidates)
+		best, bestCost := -3, int(^uint(0)>>1)
+		for _, s := range candidates {
+			in, out := 0, 0
+			for _, o := range all {
+				if o == s {
+					continue
+				}
+				if _, ok := labels[key{o, s}]; ok {
+					in++
+				}
+				if _, ok := labels[key{s, o}]; ok {
+					out++
+				}
+			}
+			if cost := in * out; cost < bestCost {
+				best, bestCost = s, cost
+			}
+		}
+		s := best
+		delete(remaining, s)
+		loop := rx.Star(get(s, s))
+		delete(labels, key{s, s})
+		var ins, outs []key
+		for k := range labels {
+			if k.to == s && k.from != s {
+				ins = append(ins, k)
+			}
+			if k.from == s && k.to != s {
+				outs = append(outs, k)
+			}
+		}
+		// Deterministic output: map iteration order must not leak into the
+		// shape of the generated expression.
+		sort.Slice(ins, func(i, j int) bool { return ins[i].from < ins[j].from })
+		sort.Slice(outs, func(i, j int) bool { return outs[i].to < outs[j].to })
+		for _, ik := range ins {
+			for _, ok := range outs {
+				through := rx.Concat(labels[ik], loop, labels[ok])
+				set(ik.from, ok.to, rx.Union(get(ik.from, ok.to), through))
+			}
+		}
+		for _, ik := range ins {
+			delete(labels, ik)
+		}
+		for _, ok := range outs {
+			delete(labels, ok)
+		}
+	}
+	return get(-1, -2)
+}
+
+// WordsNFA builds an NFA accepting exactly the given finite set of words.
+func WordsNFA(words [][]symtab.Symbol, sigma symtab.Alphabet) *NFA {
+	out := newNFA(sigma, 1)
+	out.Start = []int{0}
+	for _, w := range words {
+		cur := 0
+		for _, sym := range w {
+			next := out.addState()
+			out.addEdge(cur, symtab.NewAlphabet(sym), next)
+			cur = next
+		}
+		out.Accept[cur] = true
+	}
+	return out
+}

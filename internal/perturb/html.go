@@ -1,0 +1,186 @@
+package perturb
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"resilex/internal/htmltok"
+)
+
+// HTMLPerturber applies the Section 3 change model directly to HTML source
+// text, tracking the target element by byte span. Unlike Perturber (token
+// level), this exercises the full wrapper stack — tokenizer, spans,
+// extraction — so end-to-end studies measure exactly what a deployed robot
+// would see.
+type HTMLPerturber struct {
+	rng *rand.Rand
+	// Snippets are benign HTML fragments for insertion; none may contain
+	// form/input markup (it would change the target's identity).
+	Snippets []string
+	// Wrappers are prefix/suffix pairs for embedding.
+	Wrappers [][2]string
+	// Siblings are fragments appended at document end; forms allowed.
+	Siblings []string
+}
+
+// NewHTML returns a seeded HTML perturber with the standard vocabulary.
+func NewHTML(seed int64) *HTMLPerturber {
+	return &HTMLPerturber{
+		rng: rand.New(rand.NewSource(seed)),
+		Snippets: []string{
+			`<p>`,
+			`<hr>`,
+			`<a href="x.html">more</a>`,
+			`<img src="banner.gif">`,
+			`<h2>Section</h2>`,
+			`<tr><td>filler</td></tr>`,
+			`<div><p>note</div>`,
+		},
+		Wrappers: [][2]string{
+			{`<table><tr><td>`, `</td></tr></table>`},
+			{`<div>`, `</div>`},
+			{`<tr><td>`, `</td></tr>`},
+		},
+		Siblings: []string{
+			`<form action="other.cgi"><input type="text" name="other"></form>`,
+			`<table><tr><td><a href="legal.html">fine print</a></td></tr></table>`,
+			`<p><a href="contact.html">contact</a>`,
+		},
+	}
+}
+
+// Apply performs n random edits on the page, returning the perturbed HTML
+// and the new byte span of the target element. The target is identified by
+// its byte span in the input and must be a single tag.
+func (p *HTMLPerturber) Apply(html string, target htmltok.Span, n int) (string, htmltok.Span) {
+	for i := 0; i < n; i++ {
+		html, target = p.one(html, target)
+	}
+	return html, target
+}
+
+func (p *HTMLPerturber) one(html string, target htmltok.Span) (string, htmltok.Span) {
+	// Candidate edit positions: tag boundaries outside the target.
+	toks := htmltok.Scan(html)
+	var cuts []int
+	for _, t := range toks {
+		if t.End <= target.Start || t.Start >= target.End {
+			cuts = append(cuts, t.Start, t.End)
+		}
+	}
+	cuts = append(cuts, 0, len(html))
+	sort.Ints(cuts)
+	cuts = dedupInts(cuts)
+	// Remove cut points inside the target tag.
+	var ok []int
+	for _, c := range cuts {
+		if c <= target.Start || c >= target.End {
+			ok = append(ok, c)
+		}
+	}
+	cuts = ok
+
+	switch p.rng.Intn(4) {
+	case 0: // insert a snippet at a random boundary
+		snip := p.Snippets[p.rng.Intn(len(p.Snippets))]
+		at := cuts[p.rng.Intn(len(cuts))]
+		return splice(html, at, snip, target)
+	case 1: // delete one benign element (never the target, never form/input)
+		var deletable []htmltok.Token
+		for _, t := range toks {
+			if t.Start >= target.Start && t.Start < target.End {
+				continue
+			}
+			switch t.Kind {
+			case htmltok.StartTag, htmltok.EndTag, htmltok.SelfClosingTag:
+				if t.Name == "FORM" || t.Name == "INPUT" {
+					continue
+				}
+				deletable = append(deletable, t)
+			}
+		}
+		if len(deletable) == 0 {
+			return html, target
+		}
+		d := deletable[p.rng.Intn(len(deletable))]
+		out := html[:d.Start] + html[d.End:]
+		shift := d.End - d.Start
+		if d.End <= target.Start {
+			return out, htmltok.Span{Start: target.Start - shift, End: target.End - shift}
+		}
+		return out, target
+	case 2: // wrap a region containing the target
+		wr := p.Wrappers[p.rng.Intn(len(p.Wrappers))]
+		lo := pickAtMost(cuts, target.Start, p.rng)
+		hi := pickAtLeast(cuts, target.End, p.rng)
+		out := html[:lo] + wr[0] + html[lo:hi] + wr[1] + html[hi:]
+		return out, htmltok.Span{Start: target.Start + len(wr[0]), End: target.End + len(wr[0])}
+	default: // append a sibling fragment
+		sib := p.Siblings[p.rng.Intn(len(p.Siblings))]
+		return html + sib, target
+	}
+}
+
+func splice(html string, at int, snip string, target htmltok.Span) (string, htmltok.Span) {
+	out := html[:at] + snip + html[at:]
+	if at <= target.Start {
+		return out, htmltok.Span{Start: target.Start + len(snip), End: target.End + len(snip)}
+	}
+	return out, target
+}
+
+func dedupInts(xs []int) []int {
+	w := 0
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			xs[w] = x
+			w++
+		}
+	}
+	return xs[:w]
+}
+
+// pickAtMost picks a random cut ≤ bound.
+func pickAtMost(cuts []int, bound int, rng *rand.Rand) int {
+	var c []int
+	for _, x := range cuts {
+		if x <= bound {
+			c = append(c, x)
+		}
+	}
+	if len(c) == 0 {
+		return 0
+	}
+	return c[rng.Intn(len(c))]
+}
+
+// pickAtLeast picks a random cut ≥ bound.
+func pickAtLeast(cuts []int, bound int, rng *rand.Rand) int {
+	var c []int
+	for _, x := range cuts {
+		if x >= bound {
+			c = append(c, x)
+		}
+	}
+	if len(c) == 0 {
+		return bound
+	}
+	return c[rng.Intn(len(c))]
+}
+
+// FindTag returns the byte span of the n-th (0-based) occurrence of the
+// upper-case tag in the page, for seeding Apply.
+func FindTag(html, tag string, n int) (htmltok.Span, bool) {
+	seen := 0
+	for _, t := range htmltok.Scan(html) {
+		if (t.Kind == htmltok.StartTag || t.Kind == htmltok.SelfClosingTag) &&
+			strings.EqualFold(t.Name, tag) {
+			if seen == n {
+				return htmltok.Span{Start: t.Start, End: t.End}, true
+			}
+			seen++
+		}
+	}
+	return htmltok.Span{}, false
+}

@@ -1,0 +1,92 @@
+package perturb
+
+import (
+	"strings"
+	"testing"
+
+	"resilex/internal/htmltok"
+)
+
+const basePage = `<p><h1>Virtual Supplier</h1><form action="s.cgi">` +
+	`<input type="image"><input type="text" name="q"><input type="radio"></form>`
+
+func targetSpan(t *testing.T) htmltok.Span {
+	t.Helper()
+	sp, ok := FindTag(basePage, "INPUT", 1)
+	if !ok {
+		t.Fatal("target not found")
+	}
+	return sp
+}
+
+func TestFindTag(t *testing.T) {
+	sp, ok := FindTag(basePage, "INPUT", 1)
+	if !ok || !strings.Contains(basePage[sp.Start:sp.End], `type="text"`) {
+		t.Fatalf("FindTag = %v %v (%q)", sp, ok, basePage[sp.Start:sp.End])
+	}
+	if _, ok := FindTag(basePage, "INPUT", 9); ok {
+		t.Error("found nonexistent occurrence")
+	}
+	if _, ok := FindTag(basePage, "ZZZ", 0); ok {
+		t.Error("found nonexistent tag")
+	}
+	// Case-insensitive.
+	if _, ok := FindTag(basePage, "input", 0); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+}
+
+// The tracked span must always point at the same element text.
+func TestHTMLApplyTracksTarget(t *testing.T) {
+	want := basePage[targetSpan(t).Start:targetSpan(t).End]
+	for seed := int64(0); seed < 60; seed++ {
+		p := NewHTML(seed)
+		for _, n := range []int{0, 1, 3, 6} {
+			out, sp := p.Apply(basePage, targetSpan(t), n)
+			if sp.Start < 0 || sp.End > len(out) || sp.Start >= sp.End {
+				t.Fatalf("seed %d n %d: bad span %v (len %d)", seed, n, sp, len(out))
+			}
+			if got := out[sp.Start:sp.End]; got != want {
+				t.Fatalf("seed %d n %d: span drifted to %q\npage: %s", seed, n, got, out)
+			}
+		}
+	}
+}
+
+// Identity preservation: the target stays the second INPUT of the first FORM.
+func TestHTMLApplyPreservesIdentity(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		p := NewHTML(seed)
+		out, sp := p.Apply(basePage, targetSpan(t), 4)
+		// Find the first FORM in the perturbed page, then its second INPUT.
+		toks := htmltok.Scan(out)
+		formAt := -1
+		inputs := 0
+		var second htmltok.Span
+		for _, tok := range toks {
+			if formAt < 0 && tok.Kind == htmltok.StartTag && tok.Name == "FORM" {
+				formAt = tok.Start
+				continue
+			}
+			if formAt >= 0 && (tok.Kind == htmltok.StartTag || tok.Kind == htmltok.SelfClosingTag) && tok.Name == "INPUT" {
+				inputs++
+				if inputs == 2 {
+					second = htmltok.Span{Start: tok.Start, End: tok.End}
+					break
+				}
+			}
+		}
+		if second != sp {
+			t.Fatalf("seed %d: identity drifted: tracked %v, actual second-input-of-first-form %v\npage: %s",
+				seed, sp, second, out)
+		}
+	}
+}
+
+func TestHTMLApplyDeterministic(t *testing.T) {
+	a1, s1 := NewHTML(5).Apply(basePage, targetSpan(t), 5)
+	a2, s2 := NewHTML(5).Apply(basePage, targetSpan(t), 5)
+	if a1 != a2 || s1 != s2 {
+		t.Error("same seed, different result")
+	}
+}

@@ -1,0 +1,219 @@
+// Package perturb implements the document change model of the paper's
+// Section 3: "the most typical changes are insertion or deletion of HTML
+// elements before or after the object of interest and embedding of the
+// object inside some other HTML element". It generates random, seeded,
+// reproducible variants of a tokenized page while tracking where the target
+// token moves, so the resilience experiments can score wrappers against
+// ground truth.
+//
+// The paper's own evaluation pages (a live "web-based information
+// harvesting system") are not available; this generator is the documented
+// substitution — it exercises exactly the failure mode the paper motivates.
+package perturb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"resilex/internal/symtab"
+)
+
+// Op is one kind of page edit.
+type Op int
+
+// Edit kinds, mirroring Section 3's list.
+const (
+	// InsertSnippet inserts a benign balanced fragment (a table row, a link,
+	// a paragraph…) at a random position.
+	InsertSnippet Op = iota
+	// DeleteToken removes one non-structural token that is not the target.
+	DeleteToken
+	// WrapTarget embeds the region around the target inside a new container
+	// element (the Figure 1 "form moved into a table" redesign).
+	WrapTarget
+	// AppendSibling adds a sibling fragment at the end of the document
+	// (e.g. a whole extra form after the one of interest).
+	AppendSibling
+	numOps
+)
+
+// String names the edit kind.
+func (o Op) String() string {
+	switch o {
+	case InsertSnippet:
+		return "insert-snippet"
+	case DeleteToken:
+		return "delete-token"
+	case WrapTarget:
+		return "wrap-target"
+	case AppendSibling:
+		return "append-sibling"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Edit records one applied perturbation for diagnostics.
+type Edit struct {
+	Op  Op
+	At  int // token index the edit applied at (document coordinates before the edit)
+	Len int // tokens inserted (positive) or removed (negative)
+}
+
+// Perturber generates perturbed variants. Construct with New; the zero
+// value is unusable.
+type Perturber struct {
+	rng *rand.Rand
+	tab *symtab.Table
+
+	// Snippets are the balanced fragments insertion draws from. They must
+	// not contain Reserved symbols or the identity of the target (e.g. "the
+	// second INPUT of the first FORM") would change, making the ground
+	// truth ill-defined rather than the wrapper wrong.
+	Snippets [][]symtab.Symbol
+	// Wrappers are (prefix, suffix) pairs used by WrapTarget.
+	Wrappers [][2][]symtab.Symbol
+	// Siblings are fragments AppendSibling draws from; unlike Snippets they
+	// may contain reserved symbols (a whole sibling form after the target's
+	// form is a change the paper explicitly hopes to survive).
+	Siblings [][]symtab.Symbol
+	// Reserved symbols are never deleted.
+	Reserved map[symtab.Symbol]bool
+}
+
+// New returns a Perturber over the standard HTML snippet vocabulary with
+// FORM/INPUT reserved, seeded deterministically.
+func New(tab *symtab.Table, seed int64) *Perturber {
+	w := func(names ...string) []symtab.Symbol { return tab.InternAll(names...) }
+	return &Perturber{
+		rng: rand.New(rand.NewSource(seed)),
+		tab: tab,
+		Snippets: [][]symtab.Symbol{
+			w("P"),
+			w("BR"),
+			w("HR"),
+			w("A", "/A"),
+			w("IMG"),
+			w("H1", "/H1"),
+			w("TR", "TD", "/TD", "/TR"),
+			w("TR", "TD", "A", "/A", "/TD", "/TR"),
+			w("DIV", "P", "/DIV"),
+			w("TABLE", "TR", "TD", "/TD", "/TR", "/TABLE"),
+		},
+		Wrappers: [][2][]symtab.Symbol{
+			{w("TABLE", "TR", "TD"), w("/TD", "/TR", "/TABLE")},
+			{w("DIV"), w("/DIV")},
+			{w("TR", "TD"), w("/TD", "/TR")},
+		},
+		Siblings: [][]symtab.Symbol{
+			w("FORM", "INPUT", "/FORM"),
+			w("TABLE", "TR", "TD", "/TD", "/TR", "/TABLE"),
+			w("FORM", "INPUT", "INPUT", "INPUT", "/FORM"),
+			w("P", "A", "/A"),
+		},
+		Reserved: map[symtab.Symbol]bool{
+			tab.Intern("FORM"):  true,
+			tab.Intern("/FORM"): true,
+			tab.Intern("INPUT"): true,
+		},
+	}
+}
+
+// Rand exposes the perturber's seeded source so callers can interleave
+// their own deterministic choices.
+func (p *Perturber) Rand() *rand.Rand { return p.rng }
+
+// Apply performs n random edits on doc, returning the perturbed document,
+// the new index of the target token, and the edit log. The input is not
+// modified. Inserts never land strictly between the target's FORM and the
+// target in a way that changes the target's identity: snippets contain no
+// reserved symbols, and the target index is tracked through every edit.
+func (p *Perturber) Apply(doc []symtab.Symbol, target int, n int) ([]symtab.Symbol, int, []Edit) {
+	out := append([]symtab.Symbol(nil), doc...)
+	var edits []Edit
+	for i := 0; i < n; i++ {
+		op := Op(p.rng.Intn(int(numOps)))
+		switch op {
+		case InsertSnippet:
+			snip := p.Snippets[p.rng.Intn(len(p.Snippets))]
+			at := p.rng.Intn(len(out) + 1)
+			out = insert(out, at, snip)
+			if at <= target {
+				target += len(snip)
+			}
+			edits = append(edits, Edit{Op: op, At: at, Len: len(snip)})
+		case DeleteToken:
+			at, ok := p.pickDeletable(out, target)
+			if !ok {
+				continue
+			}
+			out = append(out[:at], out[at+1:]...)
+			if at < target {
+				target--
+			}
+			edits = append(edits, Edit{Op: op, At: at, Len: -1})
+		case WrapTarget:
+			wr := p.Wrappers[p.rng.Intn(len(p.Wrappers))]
+			// Wrap a region [lo, hi) containing the target.
+			lo := 0
+			if target > 0 {
+				lo = p.rng.Intn(target + 1)
+			}
+			hi := target + 1 + p.rng.Intn(len(out)-target)
+			grown := make([]symtab.Symbol, 0, len(out)+len(wr[0])+len(wr[1]))
+			grown = append(grown, out[:lo]...)
+			grown = append(grown, wr[0]...)
+			grown = append(grown, out[lo:hi]...)
+			grown = append(grown, wr[1]...)
+			grown = append(grown, out[hi:]...)
+			out = grown
+			target += len(wr[0])
+			edits = append(edits, Edit{Op: op, At: lo, Len: len(wr[0]) + len(wr[1])})
+		case AppendSibling:
+			sib := p.Siblings[p.rng.Intn(len(p.Siblings))]
+			edits = append(edits, Edit{Op: op, At: len(out), Len: len(sib)})
+			out = append(out, sib...)
+		}
+	}
+	return out, target, edits
+}
+
+func insert(doc []symtab.Symbol, at int, snip []symtab.Symbol) []symtab.Symbol {
+	out := make([]symtab.Symbol, 0, len(doc)+len(snip))
+	out = append(out, doc[:at]...)
+	out = append(out, snip...)
+	out = append(out, doc[at:]...)
+	return out
+}
+
+// pickDeletable chooses a random index that is neither the target nor a
+// reserved symbol; ok=false when none exists.
+func (p *Perturber) pickDeletable(doc []symtab.Symbol, target int) (int, bool) {
+	var candidates []int
+	for i, s := range doc {
+		if i != target && !p.Reserved[s] {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, false
+	}
+	return candidates[p.rng.Intn(len(candidates))], true
+}
+
+// Alphabet returns every symbol the perturber can introduce — callers must
+// include it in the wrapper's Σ so that novel-but-known tags are "changes"
+// rather than out-of-alphabet noise.
+func (p *Perturber) Alphabet() symtab.Alphabet {
+	var syms []symtab.Symbol
+	for _, s := range p.Snippets {
+		syms = append(syms, s...)
+	}
+	for _, w := range p.Wrappers {
+		syms = append(syms, w[0]...)
+		syms = append(syms, w[1]...)
+	}
+	for _, s := range p.Siblings {
+		syms = append(syms, s...)
+	}
+	return symtab.NewAlphabet(syms...)
+}

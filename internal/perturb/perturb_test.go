@@ -1,0 +1,147 @@
+package perturb
+
+import (
+	"testing"
+
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+func setup(t *testing.T) (*symtab.Table, []symtab.Symbol, int) {
+	t.Helper()
+	tab := symtab.NewTable()
+	doc, err := rx.ParseWord("P H1 /H1 P FORM INPUT INPUT P INPUT INPUT /FORM", tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, doc, 6 // second INPUT
+}
+
+func TestApplyTracksTarget(t *testing.T) {
+	tab, doc, target := setup(t)
+	input := tab.Lookup("INPUT")
+	for seed := int64(0); seed < 50; seed++ {
+		p := New(tab, seed)
+		for _, n := range []int{0, 1, 3, 8} {
+			out, nt, edits := p.Apply(doc, target, n)
+			if nt < 0 || nt >= len(out) {
+				t.Fatalf("seed %d n %d: target %d out of range %d", seed, n, nt, len(out))
+			}
+			if out[nt] != input {
+				t.Fatalf("seed %d n %d: tracked target is %s, want INPUT (edits %v)",
+					seed, n, tab.Name(out[nt]), edits)
+			}
+			if n == 0 && (len(edits) != 0 || len(out) != len(doc)) {
+				t.Fatal("zero edits changed the document")
+			}
+		}
+	}
+}
+
+// The identity "second INPUT of the first FORM" must be preserved by every
+// edit: count INPUTs between the first FORM and the target.
+func TestApplyPreservesTargetIdentity(t *testing.T) {
+	tab, doc, target := setup(t)
+	form, input := tab.Lookup("FORM"), tab.Lookup("INPUT")
+	identity := func(d []symtab.Symbol, tgt int) (int, bool) {
+		firstForm := -1
+		for i, s := range d {
+			if s == form {
+				firstForm = i
+				break
+			}
+		}
+		if firstForm < 0 || tgt <= firstForm {
+			return 0, false
+		}
+		count := 0
+		for i := firstForm + 1; i <= tgt; i++ {
+			if d[i] == input {
+				count++
+			}
+		}
+		return count, true
+	}
+	wantOrd, ok := identity(doc, target)
+	if !ok || wantOrd != 2 {
+		t.Fatalf("baseline identity = %d, %v", wantOrd, ok)
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		p := New(tab, seed)
+		out, nt, edits := p.Apply(doc, target, 5)
+		ord, ok := identity(out, nt)
+		if !ok || ord != wantOrd {
+			t.Fatalf("seed %d: identity became %d (%v); edits %v\ndoc: %s",
+				seed, ord, ok, edits, tab.String(out))
+		}
+	}
+}
+
+func TestApplyDeterministic(t *testing.T) {
+	tab, doc, target := setup(t)
+	a1, t1, _ := New(tab, 7).Apply(doc, target, 6)
+	a2, t2, _ := New(tab, 7).Apply(doc, target, 6)
+	if t1 != t2 || tab.String(a1) != tab.String(a2) {
+		t.Error("same seed produced different perturbations")
+	}
+	b, _, _ := New(tab, 8).Apply(doc, target, 6)
+	if tab.String(a1) == tab.String(b) {
+		t.Error("different seeds produced identical perturbations (suspicious)")
+	}
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	tab, doc, target := setup(t)
+	orig := tab.String(doc)
+	p := New(tab, 3)
+	p.Apply(doc, target, 10)
+	if tab.String(doc) != orig {
+		t.Error("input document mutated")
+	}
+}
+
+func TestDeleteRespectsReserved(t *testing.T) {
+	tab := symtab.NewTable()
+	doc, err := rx.ParseWord("FORM INPUT INPUT /FORM", tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(tab, 1)
+	// Restrict to deletion only.
+	p.Snippets = p.Snippets[:1]
+	for i := 0; i < 20; i++ {
+		at, ok := p.pickDeletable(doc, 2)
+		if !ok {
+			// Every token is reserved or the target: correct.
+			continue
+		}
+		t.Fatalf("picked deletable %d in all-reserved document", at)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	names := map[Op]string{
+		InsertSnippet: "insert-snippet",
+		DeleteToken:   "delete-token",
+		WrapTarget:    "wrap-target",
+		AppendSibling: "append-sibling",
+		Op(99):        "op(99)",
+	}
+	for op, want := range names {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String = %q, want %q", int(op), got, want)
+		}
+	}
+}
+
+func TestAlphabetCoversVocabulary(t *testing.T) {
+	tab := symtab.NewTable()
+	p := New(tab, 0)
+	a := p.Alphabet()
+	for _, name := range []string{"P", "A", "/A", "TABLE", "DIV", "FORM", "INPUT"} {
+		s := tab.Lookup(name)
+		if s == symtab.None || !a.Contains(s) {
+			t.Errorf("alphabet missing %s", name)
+		}
+	}
+}

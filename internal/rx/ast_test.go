@@ -1,0 +1,247 @@
+package rx
+
+import (
+	"testing"
+
+	"resilex/internal/symtab"
+)
+
+func sym3() (*symtab.Table, symtab.Symbol, symtab.Symbol, symtab.Symbol) {
+	tab := symtab.NewTable()
+	return tab, tab.Intern("p"), tab.Intern("q"), tab.Intern("r")
+}
+
+func TestConcatSimplification(t *testing.T) {
+	_, p, q, _ := sym3()
+	a, b := Sym(p), Sym(q)
+	if got := Concat(); got.Op != OpEpsilon {
+		t.Errorf("Concat() = %#v, want epsilon", got)
+	}
+	if got := Concat(a); got != a {
+		t.Errorf("Concat(a) != a")
+	}
+	if got := Concat(a, Epsilon(), b); got.Op != OpConcat || len(got.Subs) != 2 {
+		t.Errorf("Concat drops epsilon: %#v", got)
+	}
+	if got := Concat(a, Empty(), b); got.Op != OpEmpty {
+		t.Errorf("Concat with empty = %#v, want empty", got)
+	}
+	// flattening
+	if got := Concat(Concat(a, b), a); len(got.Subs) != 3 {
+		t.Errorf("Concat flatten: %#v", got)
+	}
+}
+
+func TestUnionSimplification(t *testing.T) {
+	_, p, q, _ := sym3()
+	a, b := Sym(p), Sym(q)
+	if got := Union(); got.Op != OpEmpty {
+		t.Errorf("Union() = %#v, want empty", got)
+	}
+	if got := Union(a, Empty()); got.Op != OpClass || !got.Class.Contains(p) {
+		t.Errorf("Union(a, empty) = %#v, want a", got)
+	}
+	// sibling classes merge
+	if got := Union(a, b); got.Op != OpClass || got.Class.Len() != 2 {
+		t.Errorf("Union(p,q) = %#v, want class{p,q}", got)
+	}
+	// dedup of non-class operands
+	ab := Concat(a, b)
+	if got := Union(ab, Concat(a, b)); got.Op == OpUnion {
+		t.Errorf("Union dedup failed: %#v", got)
+	}
+	// flattening
+	u := Union(Concat(a, b), Union(Concat(b, a), Star(a)))
+	if u.Op != OpUnion || len(u.Subs) != 3 {
+		t.Errorf("Union flatten: %#v", u)
+	}
+}
+
+func TestStarPlusOpt(t *testing.T) {
+	_, p, _, _ := sym3()
+	a := Sym(p)
+	if got := Star(Star(a)); got.Op != OpStar || got.Subs[0] != a {
+		t.Errorf("(a*)* = %#v", got)
+	}
+	if got := Star(Empty()); got.Op != OpEpsilon {
+		t.Errorf("empty* = %#v", got)
+	}
+	if got := Star(Epsilon()); got.Op != OpEpsilon {
+		t.Errorf("eps* = %#v", got)
+	}
+	if got := Star(Plus(a)); got.Op != OpStar {
+		t.Errorf("(a+)* = %#v", got)
+	}
+	if got := Plus(Star(a)); got.Op != OpStar {
+		t.Errorf("(a*)+ = %#v", got)
+	}
+	if got := Plus(Empty()); got.Op != OpEmpty {
+		t.Errorf("empty+ = %#v", got)
+	}
+	if got := Opt(Plus(a)); got.Op != OpStar {
+		t.Errorf("(a+)? = %#v", got)
+	}
+	if got := Opt(Empty()); got.Op != OpEpsilon {
+		t.Errorf("empty? = %#v", got)
+	}
+}
+
+func TestExtendedConstructors(t *testing.T) {
+	_, p, q, _ := sym3()
+	a, b := Sym(p), Sym(q)
+	if got := Intersect(a, Empty()); got.Op != OpEmpty {
+		t.Errorf("a & empty = %#v", got)
+	}
+	if got := Intersect(a, a); got != a {
+		t.Errorf("a & a = %#v", got)
+	}
+	if got := Diff(a, Empty()); got != a {
+		t.Errorf("a - empty = %#v", got)
+	}
+	if got := Diff(Empty(), a); got.Op != OpEmpty {
+		t.Errorf("empty - a = %#v", got)
+	}
+	if got := Diff(Concat(a, b), Concat(a, b)); got.Op != OpEmpty {
+		t.Errorf("E - E = %#v", got)
+	}
+	if got := Complement(Complement(a)); got != a {
+		t.Errorf("!!a = %#v", got)
+	}
+}
+
+func TestRepeatAndWord(t *testing.T) {
+	_, p, q, _ := sym3()
+	if got := Repeat(Sym(p), 0); got.Op != OpEpsilon {
+		t.Errorf("p^0 = %#v", got)
+	}
+	if got := Repeat(Sym(p), 3); got.Op != OpConcat || len(got.Subs) != 3 {
+		t.Errorf("p^3 = %#v", got)
+	}
+	if got := Word(p, q, p); got.Op != OpConcat || len(got.Subs) != 3 {
+		t.Errorf("Word = %#v", got)
+	}
+	if got := Word(); got.Op != OpEpsilon {
+		t.Errorf("Word() = %#v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Repeat(-1) did not panic")
+		}
+	}()
+	Repeat(Sym(p), -1)
+}
+
+func TestEqual(t *testing.T) {
+	_, p, q, _ := sym3()
+	a, b := Sym(p), Sym(q)
+	cases := []struct {
+		x, y *Node
+		want bool
+	}{
+		{Concat(a, b), Concat(a, b), true},
+		{Concat(a, b), Concat(b, a), false},
+		{Star(a), Star(a), true},
+		{Star(a), Plus(a), false},
+		{AnyOf(p, q), AnyOf(q, p), true},
+		{Epsilon(), Epsilon(), true},
+		{Empty(), Epsilon(), false},
+	}
+	for i, c := range cases {
+		if got := Equal(c.x, c.y); got != c.want {
+			t.Errorf("case %d: Equal = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestSizeAndSymbols(t *testing.T) {
+	_, p, q, r := sym3()
+	e := Union(Concat(Sym(p), Sym(q)), Star(Sym(r)))
+	if got := e.Size(); got != 6 {
+		t.Errorf("Size = %d, want 6", got)
+	}
+	syms := e.Symbols()
+	if syms.Len() != 3 || !syms.Contains(p) || !syms.Contains(q) || !syms.Contains(r) {
+		t.Errorf("Symbols = %v", syms.Symbols())
+	}
+}
+
+func TestMatchesEpsilon(t *testing.T) {
+	_, p, q, _ := sym3()
+	cases := []struct {
+		e        *Node
+		want, ok bool
+	}{
+		{Epsilon(), true, true},
+		{Empty(), false, true},
+		{Sym(p), false, true},
+		{Star(Sym(p)), true, true},
+		{Plus(Sym(p)), false, true},
+		{Opt(Sym(p)), true, true},
+		{Concat(Star(Sym(p)), Star(Sym(q))), true, true},
+		{Concat(Star(Sym(p)), Sym(q)), false, true},
+		{Union(Sym(p), Epsilon()), true, true},
+		{Union(Sym(p), Sym(q)), false, true},
+		{Intersect(Star(Sym(p)), Star(Sym(q))), false, false}, // undecidable syntactically
+	}
+	for i, c := range cases {
+		got, ok := c.e.MatchesEpsilon()
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("case %d: MatchesEpsilon = (%v,%v), want (%v,%v)", i, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestHasExtendedOps(t *testing.T) {
+	_, p, q, _ := sym3()
+	if Concat(Sym(p), Star(Sym(q))).HasExtendedOps() {
+		t.Error("plain expression reported extended ops")
+	}
+	if !Concat(Sym(p), Diff(Star(Sym(q)), Sym(p))).HasExtendedOps() {
+		t.Error("diff not detected")
+	}
+	if !Complement(Sym(p)).HasExtendedOps() {
+		t.Error("complement not detected")
+	}
+}
+
+func TestWalk(t *testing.T) {
+	_, p, q, _ := sym3()
+	e := Concat(Sym(p), Star(Sym(q)))
+	count := 0
+	e.Walk(func(*Node) bool { count++; return true })
+	if count != e.Size() {
+		t.Errorf("Walk visited %d nodes, Size = %d", count, e.Size())
+	}
+	// pruning
+	count = 0
+	e.Walk(func(n *Node) bool { count++; return n.Op != OpStar })
+	if count != 3 { // concat, p, star (star's child pruned)
+		t.Errorf("pruned Walk visited %d", count)
+	}
+}
+
+func TestReverseNode(t *testing.T) {
+	tab := symtab.NewTable()
+	cases := []struct{ in, want string }{
+		{"p q r", "r q p"},
+		{"(p q)* r", "r (q p)*"},
+		{"p | q r", "p | r q"},
+		{"(p q)+ (r | p q)?", "(r | q p)? (q p)+"},
+		{"!(p q)", "!(q p)"},
+		{"(p q) - (q p)", "q p - p q"},
+		{"#eps", "#eps"},
+		{"#empty", "#empty"},
+	}
+	for _, c := range cases {
+		n := MustParse(c.in, tab, symtab.Alphabet{})
+		want := MustParse(c.want, tab, symtab.Alphabet{})
+		if got := ReverseNode(n); !Equal(got, want) {
+			t.Errorf("ReverseNode(%q) = %s, want %s", c.in, Print(got, tab), Print(want, tab))
+		}
+	}
+	// Involution.
+	n := MustParse("(p | q r)* p+ !q", tab, symtab.Alphabet{})
+	if !Equal(ReverseNode(ReverseNode(n)), n) {
+		t.Error("double reversal changed the AST")
+	}
+}

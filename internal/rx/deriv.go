@@ -1,0 +1,112 @@
+package rx
+
+import "resilex/internal/symtab"
+
+// Brzozowski derivatives: a third, fully syntactic semantics for the AST,
+// independent of the automata in internal/machine. Unlike Thompson
+// compilation, derivatives handle the extended operators (∩, −, ¬) without
+// any product construction, so they double as an oracle for the automata
+// engine (see machine's cross-check tests) and as a direct matcher for
+// one-off membership queries.
+//
+// Complement is interpreted relative to an explicit Σ, passed to Derive so
+// that ¬E behaves identically to the compiled form.
+
+// Nullable reports whether ε ∈ L(n). It is total — defined for every
+// operator — by structural recursion (ν in Brzozowski's notation).
+func Nullable(n *Node) bool {
+	switch n.Op {
+	case OpEpsilon, OpStar, OpOpt:
+		return true
+	case OpEmpty, OpClass:
+		return false
+	case OpPlus:
+		return Nullable(n.Subs[0])
+	case OpConcat:
+		for _, s := range n.Subs {
+			if !Nullable(s) {
+				return false
+			}
+		}
+		return true
+	case OpUnion:
+		for _, s := range n.Subs {
+			if Nullable(s) {
+				return true
+			}
+		}
+		return false
+	case OpIntersect:
+		return Nullable(n.Subs[0]) && Nullable(n.Subs[1])
+	case OpDiff:
+		return Nullable(n.Subs[0]) && !Nullable(n.Subs[1])
+	case OpComplement:
+		return !Nullable(n.Subs[0])
+	}
+	return false
+}
+
+// Derive returns the Brzozowski derivative ∂_sym(n): the expression whose
+// language is { w | sym·w ∈ L(n) }. sigma is the alphabet complements are
+// taken against.
+func Derive(n *Node, sym symtab.Symbol, sigma symtab.Alphabet) *Node {
+	switch n.Op {
+	case OpEmpty, OpEpsilon:
+		return Empty()
+	case OpClass:
+		if n.Class.Contains(sym) {
+			return Epsilon()
+		}
+		return Empty()
+	case OpConcat:
+		// ∂(E1·R) = ∂E1·R  |  ν(E1)·∂R, generalized to n-ary.
+		var alts []*Node
+		for i, s := range n.Subs {
+			d := Derive(s, sym, sigma)
+			rest := append([]*Node{d}, n.Subs[i+1:]...)
+			alts = append(alts, Concat(rest...))
+			if !Nullable(s) {
+				break
+			}
+		}
+		return Union(alts...)
+	case OpUnion:
+		alts := make([]*Node, len(n.Subs))
+		for i, s := range n.Subs {
+			alts[i] = Derive(s, sym, sigma)
+		}
+		return Union(alts...)
+	case OpStar:
+		return Concat(Derive(n.Subs[0], sym, sigma), n)
+	case OpPlus:
+		return Concat(Derive(n.Subs[0], sym, sigma), Star(n.Subs[0]))
+	case OpOpt:
+		return Derive(n.Subs[0], sym, sigma)
+	case OpIntersect:
+		return Intersect(Derive(n.Subs[0], sym, sigma), Derive(n.Subs[1], sym, sigma))
+	case OpDiff:
+		return Diff(Derive(n.Subs[0], sym, sigma), Derive(n.Subs[1], sym, sigma))
+	case OpComplement:
+		if !sigma.Contains(sym) {
+			// sym ∉ Σ: no word of Σ* starts with it, so the derivative of
+			// the complement (taken within Σ*) is empty.
+			return Empty()
+		}
+		return Complement(Derive(n.Subs[0], sym, sigma))
+	}
+	return Empty()
+}
+
+// Matches reports word ∈ L(n) by iterated derivation — no automaton is
+// built. Symbols outside sigma reject unless n itself can consume them
+// (classes never contain them when built from Parse, so in practice they
+// reject).
+func Matches(n *Node, word []symtab.Symbol, sigma symtab.Alphabet) bool {
+	for _, sym := range word {
+		n = Derive(n, sym, sigma)
+		if n.Op == OpEmpty {
+			return false
+		}
+	}
+	return Nullable(n)
+}

@@ -1,0 +1,112 @@
+package rx
+
+import (
+	"testing"
+
+	"resilex/internal/symtab"
+)
+
+func TestNullable(t *testing.T) {
+	tab := symtab.NewTable()
+	sigma := symtab.NewAlphabet(tab.InternAll("p", "q")...)
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"#eps", true},
+		{"#empty", false},
+		{"p", false},
+		{"p*", true},
+		{"p+", false},
+		{"p?", true},
+		{"p* q*", true},
+		{"p* q", false},
+		{"p | #eps", true},
+		{"p & p*", false},
+		{"p* & q*", true},
+		{"p* - #eps", false},
+		{"p* - q", true},
+		{"!p", true},
+		{"!(p*)", false},
+		{"!(p q)", true},
+	}
+	for _, c := range cases {
+		n := MustParse(c.src, tab, sigma)
+		if got := Nullable(n); got != c.want {
+			t.Errorf("Nullable(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestDeriveBasics(t *testing.T) {
+	tab := symtab.NewTable()
+	p, q := tab.Intern("p"), tab.Intern("q")
+	sigma := symtab.NewAlphabet(p, q)
+	word := func(s string) []symtab.Symbol {
+		w, err := ParseWord(s, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	cases := []struct {
+		src    string
+		accept []string
+		reject []string
+	}{
+		{"p q", []string{"p q"}, []string{"", "p", "q p", "p q q"}},
+		{"(p q)*", []string{"", "p q", "p q p q"}, []string{"p", "q"}},
+		{"p* q", []string{"q", "p q", "p p q"}, []string{"", "p"}},
+		{"p | q q", []string{"p", "q q"}, []string{"q", "p p"}},
+		{"(p | q)* & !(q .*)", []string{"", "p", "p q"}, []string{"q", "q p"}},
+		{".* - p*", []string{"q", "p q"}, []string{"", "p", "p p"}},
+		{"!(p* q)", []string{"", "p", "q q"}, []string{"q", "p q"}},
+	}
+	for _, c := range cases {
+		n := MustParse(c.src, tab, sigma)
+		for _, w := range c.accept {
+			if !Matches(n, word(w), sigma) {
+				t.Errorf("%q should match %q", c.src, w)
+			}
+		}
+		for _, w := range c.reject {
+			if Matches(n, word(w), sigma) {
+				t.Errorf("%q should reject %q", c.src, w)
+			}
+		}
+	}
+}
+
+func TestDeriveForeignSymbol(t *testing.T) {
+	tab := symtab.NewTable()
+	p := tab.Intern("p")
+	outside := tab.Intern("zzz")
+	sigma := symtab.NewAlphabet(p)
+	n := MustParse("!#empty", tab, sigma) // Σ*
+	if Matches(n, []symtab.Symbol{outside}, sigma) {
+		t.Error("complement accepted a word outside Σ*")
+	}
+	if !Matches(n, []symtab.Symbol{p}, sigma) {
+		t.Error("Σ* rejected p")
+	}
+}
+
+// ∂ and ν satisfy the fundamental identity: w ∈ L(E) ⟺ ν(∂_w E).
+// Checked for every prefix order along random words.
+func TestDeriveStepwise(t *testing.T) {
+	tab := symtab.NewTable()
+	p, q := tab.Intern("p"), tab.Intern("q")
+	sigma := symtab.NewAlphabet(p, q)
+	n := MustParse("(p q | q)* p?", tab, sigma)
+	w := []symtab.Symbol{p, q, q, p}
+	cur := n
+	for i, sym := range w {
+		cur = Derive(cur, sym, sigma)
+		// The derivative's language must contain exactly the suffixes.
+		wantFull := Matches(n, w, sigma)
+		gotSuffix := Matches(cur, w[i+1:], sigma)
+		if wantFull != gotSuffix {
+			t.Fatalf("step %d: suffix match %v, full match %v", i, gotSuffix, wantFull)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package rx
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fingerprint returns a stable, total serialization of the AST: two nodes
+// have equal fingerprints iff they are structurally Equal after
+// canonicalization of union operand order. Used as the state identity in
+// the derivative-based DFA construction, where termination rests on
+// derivatives being finite modulo associativity/commutativity/idempotence
+// of union (Brzozowski's theorem) — properties the constructors plus this
+// canonical ordering provide.
+func Fingerprint(n *Node) string {
+	var b strings.Builder
+	fingerprint(Canonicalize(n), &b)
+	return b.String()
+}
+
+func fingerprint(n *Node, b *strings.Builder) {
+	fmt.Fprintf(b, "%d", int(n.Op))
+	if n.Op == OpClass {
+		b.WriteByte('{')
+		for _, s := range n.Class.Symbols() {
+			fmt.Fprintf(b, "%d,", s)
+		}
+		b.WriteByte('}')
+	}
+	if len(n.Subs) > 0 {
+		b.WriteByte('(')
+		for _, s := range n.Subs {
+			fingerprint(s, b)
+			b.WriteByte(';')
+		}
+		b.WriteByte(')')
+	}
+}
+
+// Canonicalize returns an AST equal to n up to reordering of union
+// operands, with unions sorted by fingerprint. Shared subtrees may be
+// returned unchanged.
+func Canonicalize(n *Node) *Node {
+	subs := make([]*Node, len(n.Subs))
+	changed := false
+	for i, s := range n.Subs {
+		subs[i] = Canonicalize(s)
+		if subs[i] != s {
+			changed = true
+		}
+	}
+	if n.Op == OpUnion {
+		keys := make([]string, len(subs))
+		for i, s := range subs {
+			var b strings.Builder
+			fingerprint(s, &b)
+			keys[i] = b.String()
+		}
+		if !sort.StringsAreSorted(keys) {
+			idx := make([]int, len(subs))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+			sorted := make([]*Node, len(subs))
+			for i, j := range idx {
+				sorted[i] = subs[j]
+			}
+			subs = sorted
+			changed = true
+		}
+	}
+	if !changed {
+		return n
+	}
+	out := &Node{Op: n.Op, Class: n.Class, Subs: subs}
+	return out
+}

@@ -1,0 +1,60 @@
+package rx
+
+import (
+	"testing"
+
+	"resilex/internal/symtab"
+)
+
+// FuzzParse asserts the parser never panics and that successful parses
+// round-trip through Print.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"p", "p q | r*", "(p | q)+ [a b] [^ c] #eps #empty",
+		"p - q & r", "!(p q)*", "((((", "p |", "<p>", "# #x", "a<b>c",
+		"p* <p> .*", "] [ ^", "p?*+", "FORM /FORM INPUT",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tab := symtab.NewTable()
+		n, err := Parse(src, tab, symtab.Alphabet{})
+		if err != nil {
+			return
+		}
+		out := Print(n, tab)
+		n2, err := Parse(out, tab, symtab.Alphabet{})
+		if err != nil {
+			t.Fatalf("printed form %q of %q does not reparse: %v", out, src, err)
+		}
+		if !Equal(n, n2) {
+			t.Fatalf("round trip changed AST: %q -> %q", src, out)
+		}
+		// Simplify must not panic and must not grow the AST.
+		if s := Simplify(n); s.Size() > n.Size() {
+			t.Fatalf("Simplify grew %q", src)
+		}
+	})
+}
+
+// FuzzParseMarked asserts marked parsing never panics and enforces the
+// single-top-level-mark contract.
+func FuzzParseMarked(f *testing.F) {
+	for _, s := range []string{"q <p> .*", "<p>", "a | <p>", "(<p>)", "<p> <q>", "#empty <p>"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tab := symtab.NewTable()
+		m, err := ParseMarked(src, tab, symtab.Alphabet{})
+		if err != nil {
+			return
+		}
+		if m.Left == nil || m.Right == nil {
+			t.Fatal("nil component on success")
+		}
+		if !m.Sigma.Contains(m.P) {
+			t.Fatal("sigma missing the marked symbol")
+		}
+	})
+}

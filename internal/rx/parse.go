@@ -1,0 +1,571 @@
+package rx
+
+import (
+	"fmt"
+	"strings"
+
+	"resilex/internal/symtab"
+)
+
+// Concrete syntax
+//
+//	union    := diff ('|' diff)*
+//	diff     := isect ('-' isect)*
+//	isect    := concat ('&' concat)*
+//	concat   := postfix postfix …
+//	postfix  := atom ('*' | '+' | '?')*
+//	atom     := IDENT            a single token symbol, e.g. FORM, /FORM, H1
+//	          | '.'              any symbol of Σ (the paper's "Tags")
+//	          | '#eps'           ε
+//	          | '#empty'         ∅
+//	          | '[' IDENT… ']'   any of the listed symbols
+//	          | '[^' IDENT… ']'  any symbol of Σ except those listed (Σ−p)
+//	          | '!' atom         complement w.r.t. Σ*
+//	          | '(' union ')'
+//
+// IDENT is a maximal run of letters, digits, '_' and '/'. Tokens are
+// whitespace separated where ambiguity would otherwise arise (HTML tag names
+// never contain operator characters, so in practice whitespace between tags
+// suffices).
+//
+// The marked-occurrence form of the paper, E1⟨p⟩E2, is written with angle
+// brackets: "P H1 /H1 P FORM INPUT <INPUT> . *" marks the second INPUT.
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tDot
+	tEps
+	tEmpty
+	tStar
+	tPlus
+	tOpt
+	tBang
+	tPipe
+	tAmp
+	tMinus
+	tLParen
+	tRParen
+	tLBracket
+	tLBracketNeg
+	tRBracket
+	tLAngle
+	tRAngle
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// SyntaxError describes a parse failure with a byte offset into the source.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error formats the syntax error with its byte offset.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("rx: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	emit := func(k tokKind, text string, pos int) {
+		toks = append(toks, token{kind: k, text: text, pos: pos})
+	}
+	isIdentChar := func(c byte) bool {
+		return c == '_' || c == '/' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '.':
+			emit(tDot, ".", i)
+			i++
+		case c == '*':
+			emit(tStar, "*", i)
+			i++
+		case c == '+':
+			emit(tPlus, "+", i)
+			i++
+		case c == '?':
+			emit(tOpt, "?", i)
+			i++
+		case c == '!':
+			emit(tBang, "!", i)
+			i++
+		case c == '|':
+			emit(tPipe, "|", i)
+			i++
+		case c == '&':
+			emit(tAmp, "&", i)
+			i++
+		case c == '-':
+			emit(tMinus, "-", i)
+			i++
+		case c == '(':
+			emit(tLParen, "(", i)
+			i++
+		case c == ')':
+			emit(tRParen, ")", i)
+			i++
+		case c == '[':
+			if i+1 < len(src) && src[i+1] == '^' {
+				emit(tLBracketNeg, "[^", i)
+				i += 2
+			} else {
+				emit(tLBracket, "[", i)
+				i++
+			}
+		case c == ']':
+			emit(tRBracket, "]", i)
+			i++
+		case c == '<':
+			emit(tLAngle, "<", i)
+			i++
+		case c == '>':
+			emit(tRAngle, ">", i)
+			i++
+		case c == '\'':
+			// Quoted identifier: arbitrary token names ('' = literal quote).
+			// Needed for generated symbols like '#text' or
+			// 'INPUT[type=radio]' that contain operator characters.
+			var name strings.Builder
+			j := i + 1
+			closed := false
+			for j < len(src) {
+				if src[j] == '\'' {
+					if j+1 < len(src) && src[j+1] == '\'' {
+						name.WriteByte('\'')
+						j += 2
+						continue
+					}
+					closed = true
+					j++
+					break
+				}
+				name.WriteByte(src[j])
+				j++
+			}
+			if !closed {
+				return nil, &SyntaxError{Pos: i, Msg: "unterminated quoted identifier"}
+			}
+			if name.Len() == 0 {
+				return nil, &SyntaxError{Pos: i, Msg: "empty quoted identifier"}
+			}
+			emit(tIdent, name.String(), i)
+			i = j
+		case c == '#':
+			j := i + 1
+			for j < len(src) && isIdentChar(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			switch word {
+			case "#eps":
+				emit(tEps, word, i)
+			case "#empty":
+				emit(tEmpty, word, i)
+			default:
+				return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("unknown keyword %q (want #eps or #empty)", word)}
+			}
+			i = j
+		case isIdentChar(c):
+			j := i
+			for j < len(src) && isIdentChar(src[j]) {
+				j++
+			}
+			emit(tIdent, src[i:j], i)
+			i = j
+		default:
+			return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	emit(tEOF, "", len(src))
+	return toks, nil
+}
+
+type parser struct {
+	toks  []token
+	pos   int
+	tab   *symtab.Table
+	sigma symtab.Alphabet
+
+	// marked-symbol capture (ParseMarked / ParseMultiMarked)
+	allowMark  bool
+	allowMulti bool
+	markSym    symtab.Symbol
+	markSeen   bool
+	// left side accumulated up to (and excluding) the mark; valid only when
+	// the mark occurs at concat top level.
+	markDepth int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse parses src into an AST. Symbols are interned into tab. The semantic
+// alphabet used to resolve '.', negated classes and complements is the union
+// of sigma and every identifier mentioned in src; pass the zero Alphabet to
+// infer Σ purely from the expression.
+func Parse(src string, tab *symtab.Table, sigma symtab.Alphabet) (*Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	full := inferSigma(toks, tab, sigma)
+	p := &parser{toks: toks, tab: tab, sigma: full}
+	n, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tEOF {
+		return nil, p.errf(t.pos, "unexpected %q after expression", t.text)
+	}
+	return n, nil
+}
+
+// Sigma returns the alphabet Parse would use for src: sigma ∪ {identifiers
+// mentioned in src}.
+func Sigma(src string, tab *symtab.Table, sigma symtab.Alphabet) (symtab.Alphabet, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return symtab.Alphabet{}, err
+	}
+	return inferSigma(toks, tab, sigma), nil
+}
+
+func inferSigma(toks []token, tab *symtab.Table, sigma symtab.Alphabet) symtab.Alphabet {
+	syms := sigma.Symbols()
+	for _, t := range toks {
+		if t.kind == tIdent {
+			syms = append(syms, tab.Intern(t.text))
+		}
+	}
+	return symtab.NewAlphabet(syms...)
+}
+
+func (p *parser) parseUnion() (*Node, error) {
+	n, err := p.parseDiff()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Node{n}
+	for p.peek().kind == tPipe {
+		p.next()
+		m, err := p.parseDiff()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, m)
+	}
+	if len(subs) == 1 {
+		return n, nil
+	}
+	return Union(subs...), nil
+}
+
+func (p *parser) parseDiff() (*Node, error) {
+	n, err := p.parseIsect()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tMinus {
+		p.next()
+		m, err := p.parseIsect()
+		if err != nil {
+			return nil, err
+		}
+		n = Diff(n, m)
+	}
+	return n, nil
+}
+
+func (p *parser) parseIsect() (*Node, error) {
+	n, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tAmp {
+		p.next()
+		m, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		n = Intersect(n, m)
+	}
+	return n, nil
+}
+
+func startsAtom(k tokKind) bool {
+	switch k {
+	case tIdent, tDot, tEps, tEmpty, tBang, tLParen, tLBracket, tLBracketNeg, tLAngle:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseConcat() (*Node, error) {
+	var subs []*Node
+	for startsAtom(p.peek().kind) {
+		n, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, n)
+	}
+	if len(subs) == 0 {
+		return nil, p.errf(p.peek().pos, "expected expression, got %q", p.peek().text)
+	}
+	// A marked-symbol placeholder must survive to splitAtMark, so bypass the
+	// simplifying constructor (which would let ∅ absorb it) and keep a raw
+	// concatenation node.
+	for _, s := range subs {
+		if s.Op == opMark {
+			if len(subs) == 1 {
+				return s, nil
+			}
+			return &Node{Op: OpConcat, Subs: subs}, nil
+		}
+	}
+	return Concat(subs...), nil
+}
+
+func (p *parser) parsePostfix() (*Node, error) {
+	n, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().kind {
+		case tStar:
+			p.next()
+			n = Star(n)
+		case tPlus:
+			p.next()
+			n = Plus(n)
+		case tOpt:
+			p.next()
+			n = Opt(n)
+		default:
+			return n, nil
+		}
+	}
+}
+
+func (p *parser) parseAtom() (*Node, error) {
+	t := p.next()
+	switch t.kind {
+	case tIdent:
+		return Sym(p.tab.Intern(t.text)), nil
+	case tDot:
+		return Class(p.sigma), nil
+	case tEps:
+		return Epsilon(), nil
+	case tEmpty:
+		return Empty(), nil
+	case tBang:
+		sub, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		return Complement(sub), nil
+	case tLParen:
+		p.markDepth++
+		n, err := p.parseUnion()
+		p.markDepth--
+		if err != nil {
+			return nil, err
+		}
+		if tt := p.peek(); tt.kind != tRParen {
+			return nil, p.errf(tt.pos, "expected ')', got %q", tt.text)
+		}
+		p.next()
+		return n, nil
+	case tLBracket, tLBracketNeg:
+		var listed []symtab.Symbol
+		for p.peek().kind == tIdent {
+			listed = append(listed, p.tab.Intern(p.next().text))
+		}
+		if tt := p.peek(); tt.kind != tRBracket {
+			return nil, p.errf(tt.pos, "expected ']' or identifier, got %q", tt.text)
+		}
+		p.next()
+		set := symtab.NewAlphabet(listed...)
+		if t.kind == tLBracketNeg {
+			set = p.sigma.Minus(set)
+		}
+		return Class(set), nil
+	case tLAngle:
+		if !p.allowMark {
+			return nil, p.errf(t.pos, "marked symbol '<…>' is only valid in extraction expressions (use ParseMarked)")
+		}
+		if p.markSeen && !p.allowMulti {
+			return nil, p.errf(t.pos, "extraction expression has more than one marked symbol")
+		}
+		if p.markDepth != 0 {
+			return nil, p.errf(t.pos, "marked symbol must appear at the top level, not inside parentheses")
+		}
+		id := p.next()
+		if id.kind != tIdent {
+			return nil, p.errf(id.pos, "expected identifier inside '<…>', got %q", id.text)
+		}
+		if tt := p.peek(); tt.kind != tRAngle {
+			return nil, p.errf(tt.pos, "expected '>', got %q", tt.text)
+		}
+		p.next()
+		p.markSeen = true
+		p.markSym = p.tab.Intern(id.text)
+		// The placeholder carries its symbol so multi-mark splitting can
+		// recover the mark sequence in order.
+		return &Node{Op: opMark, Class: symtab.NewAlphabet(p.markSym)}, nil
+	}
+	return nil, p.errf(t.pos, "expected expression, got %q", t.text)
+}
+
+// opMark is a private placeholder used only during ParseMarked; it never
+// escapes this package.
+const opMark Op = -1
+
+// Marked is a parsed extraction expression E1⟨p⟩E2 in AST form. The extract
+// package converts it into its Expr type.
+type Marked struct {
+	Left  *Node
+	P     symtab.Symbol
+	Right *Node
+	Sigma symtab.Alphabet
+}
+
+// ParseMarked parses an extraction expression of the form "E1 <p> E2". The
+// marked symbol must occur exactly once, at the top level of the outermost
+// concatenation (the form the paper defines). Σ is inferred as in Parse and
+// always includes p.
+func ParseMarked(src string, tab *symtab.Table, sigma symtab.Alphabet) (*Marked, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	full := inferSigma(toks, tab, sigma)
+	p := &parser{toks: toks, tab: tab, sigma: full, allowMark: true}
+	n, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tEOF {
+		return nil, p.errf(t.pos, "unexpected %q after expression", t.text)
+	}
+	if !p.markSeen {
+		return nil, &SyntaxError{Pos: len(src), Msg: "extraction expression has no marked symbol '<…>'"}
+	}
+	left, right, err := splitAtMark(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Marked{Left: left, P: p.markSym, Right: right, Sigma: full.With(p.markSym)}, nil
+}
+
+func splitAtMark(n *Node) (left, right *Node, err error) {
+	if n.Op == opMark {
+		return Epsilon(), Epsilon(), nil
+	}
+	if n.Op != OpConcat {
+		return nil, nil, &SyntaxError{Msg: "marked symbol must split the expression into E1 <p> E2 at the top level"}
+	}
+	for i, s := range n.Subs {
+		if s.Op == opMark {
+			return Concat(n.Subs[:i]...), Concat(n.Subs[i+1:]...), nil
+		}
+	}
+	return nil, nil, &SyntaxError{Msg: "marked symbol must appear at the top level of the expression"}
+}
+
+// MultiMarked is a parsed tuple extraction expression
+// E0⟨p1⟩E1⟨p2⟩…⟨pk⟩Ek: len(Segments) = len(Marks)+1.
+type MultiMarked struct {
+	Segments []*Node
+	Marks    []symtab.Symbol
+	Sigma    symtab.Alphabet
+}
+
+// ParseMultiMarked parses a tuple extraction expression with one or more
+// marked symbols, e.g. "FORM <INPUT> [^ /FORM]* <INPUT> .*". Marks must
+// appear at the top level of the outermost concatenation.
+func ParseMultiMarked(src string, tab *symtab.Table, sigma symtab.Alphabet) (*MultiMarked, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	full := inferSigma(toks, tab, sigma)
+	p := &parser{toks: toks, tab: tab, sigma: full, allowMark: true, allowMulti: true}
+	n, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tEOF {
+		return nil, p.errf(t.pos, "unexpected %q after expression", t.text)
+	}
+	if !p.markSeen {
+		return nil, &SyntaxError{Pos: len(src), Msg: "tuple extraction expression has no marked symbol '<…>'"}
+	}
+	m := &MultiMarked{Sigma: full}
+	var factors []*Node
+	if n.Op == opMark {
+		factors = []*Node{n}
+	} else if n.Op == OpConcat {
+		factors = n.Subs
+	} else {
+		return nil, &SyntaxError{Msg: "marked symbols must appear at the top level of the expression"}
+	}
+	var cur []*Node
+	for _, f := range factors {
+		if f.Op != opMark {
+			cur = append(cur, f)
+			continue
+		}
+		m.Segments = append(m.Segments, Concat(cur...))
+		sym := f.Class.Symbols()[0]
+		m.Marks = append(m.Marks, sym)
+		m.Sigma = m.Sigma.With(sym)
+		cur = nil
+	}
+	m.Segments = append(m.Segments, Concat(cur...))
+	return m, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and examples.
+func MustParse(src string, tab *symtab.Table, sigma symtab.Alphabet) *Node {
+	n, err := Parse(src, tab, sigma)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// ParseWord interprets src as a plain whitespace-separated token string (no
+// operators) and returns the symbol sequence. This is the document-side
+// input format: pages are strings, not expressions.
+func ParseWord(src string, tab *symtab.Table) ([]symtab.Symbol, error) {
+	var out []symtab.Symbol
+	for _, f := range strings.Fields(src) {
+		for _, c := range []byte(f) {
+			isIdent := c == '_' || c == '/' ||
+				('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+			if !isIdent {
+				return nil, fmt.Errorf("rx: token %q contains non-identifier character %q", f, c)
+			}
+		}
+		out = append(out, tab.Intern(f))
+	}
+	return out, nil
+}

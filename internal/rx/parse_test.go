@@ -1,0 +1,437 @@
+package rx
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"resilex/internal/symtab"
+)
+
+func TestParseBasics(t *testing.T) {
+	tab := symtab.NewTable()
+	cases := []struct {
+		src  string
+		want string // via GoString shape
+	}{
+		{"p", "class"},
+		{"p q", "concat(class class)"},
+		{"p | q", "class"}, // classes merge
+		{"p q | q p", "union(concat(class class) concat(class class))"},
+		{"p*", "star(class)"},
+		{"p+", "plus(class)"},
+		{"p?", "opt(class)"},
+		{"(p q)*", "star(concat(class class))"},
+		{"#eps", "epsilon"},
+		{"#empty", "empty"},
+		{"#eps p", "class"},
+		{"[p q]", "class"},
+		{"p - q", "diff(class class)"},
+		{"p & q", "intersect(class class)"},
+		{"!p", "complement(class)"},
+		{"!p*", "complement(star(class))"},
+	}
+	for _, c := range cases {
+		n, err := Parse(c.src, tab, symtab.Alphabet{})
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		if got := n.GoString(); got != c.want {
+			t.Errorf("Parse(%q) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseDotAndNegClass(t *testing.T) {
+	tab := symtab.NewTable()
+	sigma := symtab.NewAlphabet(tab.InternAll("a", "b", "c")...)
+	n, err := Parse(". - b", tab, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Op != OpDiff || n.Subs[0].Op != OpClass || n.Subs[0].Class.Len() != 3 {
+		t.Errorf("dot did not expand to sigma: %#v", n)
+	}
+	n, err = Parse("[^ b]", tab, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Op != OpClass || n.Class.Len() != 2 || n.Class.Contains(tab.Lookup("b")) {
+		t.Errorf("[^ b] = %#v", n)
+	}
+	// Σ is inferred as union of provided sigma and mentioned idents.
+	n, err = Parse("d .", tab, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Subs[1].Class.Len() != 4 {
+		t.Errorf("inferred sigma = %v, want 4 symbols", n.Subs[1].Class.Symbols())
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	tab := symtab.NewTable()
+	// union is loosest: a b | c d & e - f groups as (a b) | (((c d) & e) - f)?
+	// precedence: | < - < & < concat, so "c d & e - f" = ((c d) & e) - f... no:
+	// diff binds looser than &: diff := isect (- isect)*, so c d & e - f = ((c d)&e) - f.
+	n, err := Parse("a b | c d & e - f", tab, symtab.Alphabet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Op != OpUnion {
+		t.Fatalf("top = %v", n.Op)
+	}
+	right := n.Subs[1]
+	if right.Op != OpDiff {
+		t.Fatalf("right = %#v", right)
+	}
+	if right.Subs[0].Op != OpIntersect {
+		t.Fatalf("right.left = %#v", right.Subs[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tab := symtab.NewTable()
+	bad := []string{
+		"",
+		"(p",
+		"p)",
+		"| p",
+		"p |",
+		"[p",
+		"#nope",
+		"p $ q",
+		"<p> q",   // mark outside ParseMarked
+		"p - - q", // missing operand
+		"*",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src, tab, symtab.Alphabet{}); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseMarked(t *testing.T) {
+	tab := symtab.NewTable()
+	m, err := ParseMarked("q p <p> .*", tab, symtab.Alphabet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name(m.P) != "p" {
+		t.Errorf("P = %q", tab.Name(m.P))
+	}
+	if m.Left.GoString() != "concat(class class)" {
+		t.Errorf("Left = %s", m.Left.GoString())
+	}
+	if m.Right.GoString() != "star(class)" {
+		t.Errorf("Right = %s", m.Right.GoString())
+	}
+	if !m.Sigma.Contains(m.P) {
+		t.Error("Sigma missing p")
+	}
+
+	// mark at start and end
+	m, err = ParseMarked("<p> q*", tab, symtab.Alphabet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Left.Op != OpEpsilon {
+		t.Errorf("Left = %#v, want epsilon", m.Left)
+	}
+	m, err = ParseMarked("q* <p>", tab, symtab.Alphabet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Right.Op != OpEpsilon {
+		t.Errorf("Right = %#v, want epsilon", m.Right)
+	}
+	// bare mark
+	m, err = ParseMarked("<p>", tab, symtab.Alphabet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Left.Op != OpEpsilon || m.Right.Op != OpEpsilon {
+		t.Errorf("bare mark: %#v %#v", m.Left, m.Right)
+	}
+}
+
+func TestParseMarkedErrors(t *testing.T) {
+	tab := symtab.NewTable()
+	bad := []string{
+		"p q",           // no mark
+		"<p> q <p>",     // two marks
+		"( <p> ) q",     // mark inside parens
+		"a | <p> b",     // mark under union
+		"<p q>",         // not a single identifier
+		"<>",            // empty mark
+		"< p > | <q> r", // two marks, one nested
+	}
+	for _, src := range bad {
+		if _, err := ParseMarked(src, tab, symtab.Alphabet{}); err == nil {
+			t.Errorf("ParseMarked(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseWord(t *testing.T) {
+	tab := symtab.NewTable()
+	w, err := ParseWord("P H1 /H1 P FORM", tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 5 {
+		t.Fatalf("len = %d", len(w))
+	}
+	if tab.String(w) != "P H1 /H1 P FORM" {
+		t.Errorf("roundtrip = %q", tab.String(w))
+	}
+	if _, err := ParseWord("a b*", tab); err == nil {
+		t.Error("ParseWord with operator char succeeded")
+	}
+	w, err = ParseWord("   ", tab)
+	if err != nil || len(w) != 0 {
+		t.Errorf("blank word: %v %v", w, err)
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	tab := symtab.NewTable()
+	_, err := Parse("p $ q", tab, symtab.Alphabet{})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if !strings.Contains(err.Error(), "offset 2") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	tab := symtab.NewTable()
+	srcs := []string{
+		"p",
+		"p q r",
+		"p q | q p | r",
+		"(p | q r)* p",
+		"p+ q? (r p)*",
+		"#eps | p",
+		"#empty",
+		"[p q r]",
+		"p - q r",
+		"(p - q) & r*",
+		"!(p q)*",
+		"((p | q) (r | p))+",
+	}
+	for _, src := range srcs {
+		n, err := Parse(src, tab, symtab.Alphabet{})
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		out := Print(n, tab)
+		n2, err := Parse(out, tab, symtab.Alphabet{})
+		if err != nil {
+			t.Fatalf("reparse of %q (printed from %q): %v", out, src, err)
+		}
+		if !Equal(n, n2) {
+			t.Errorf("roundtrip %q -> %q -> %s != %s", src, out, n2.GoString(), n.GoString())
+		}
+	}
+}
+
+func TestPrintSigmaAbbreviations(t *testing.T) {
+	tab := symtab.NewTable()
+	syms := tab.InternAll("a", "b", "c", "d", "p")
+	sigma := symtab.NewAlphabet(syms...)
+	full := Class(sigma)
+	if got := PrintSigma(full, tab, sigma); got != "." {
+		t.Errorf("full class = %q, want .", got)
+	}
+	noP := Class(sigma.Without(tab.Lookup("p")))
+	if got := PrintSigma(noP, tab, sigma); got != "[^ p ]" {
+		t.Errorf("sigma-p = %q", got)
+	}
+	small := AnyOf(tab.Lookup("a"), tab.Lookup("b"))
+	if got := PrintSigma(small, tab, sigma); got != "[a b]" {
+		t.Errorf("small class = %q", got)
+	}
+	// Plain Print never abbreviates.
+	if got := Print(full, tab); got != "[a b c d p]" {
+		t.Errorf("Print full = %q", got)
+	}
+}
+
+func TestSigmaHelper(t *testing.T) {
+	tab := symtab.NewTable()
+	base := symtab.NewAlphabet(tab.Intern("x"))
+	got, err := Sigma("a b* | c", tab, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 4 {
+		t.Errorf("Sigma = %v, want 4 symbols", got.Symbols())
+	}
+}
+
+func TestQuotedIdentifiers(t *testing.T) {
+	tab := symtab.NewTable()
+	n, err := Parse(`'#text' 'INPUT[type=radio]'*`, tab, symtab.Alphabet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Lookup("#text") == symtab.None || tab.Lookup("INPUT[type=radio]") == symtab.None {
+		t.Fatal("quoted names not interned verbatim")
+	}
+	// Printing re-quotes and the output reparses to the same AST.
+	out := Print(n, tab)
+	n2, err := Parse(out, tab, symtab.Alphabet{})
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", out, err)
+	}
+	if !Equal(n, n2) {
+		t.Errorf("quoted round trip: %q", out)
+	}
+	// Embedded quote via doubling.
+	n, err = Parse(`'don''t'`, tab, symtab.Alphabet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Lookup("don't") == symtab.None {
+		t.Error("doubled quote not unescaped")
+	}
+	if got := Print(n, tab); got != `'don''t'` {
+		t.Errorf("requoting = %q", got)
+	}
+	// Marked quoted symbol.
+	m, err := ParseMarked(`q <'#text'> .*`, tab, symtab.Alphabet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name(m.P) != "#text" {
+		t.Errorf("marked quoted symbol = %q", tab.Name(m.P))
+	}
+	// Errors.
+	for _, bad := range []string{`'unterminated`, `''`, `'a' <`} {
+		if _, err := Parse(bad, tab, symtab.Alphabet{}); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestQuoteName(t *testing.T) {
+	cases := map[string]string{
+		"FORM":             "FORM",
+		"/FORM":            "/FORM",
+		"h1":               "h1",
+		"#text":            "'#text'",
+		"INPUT[type=text]": "'INPUT[type=text]'",
+		"don't":            "'don''t'",
+		"":                 "''",
+		"a b":              "'a b'",
+	}
+	for in, want := range cases {
+		if got := QuoteName(in); got != want {
+			t.Errorf("QuoteName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Property: Print∘Parse is the identity on ASTs, for random ASTs including
+// classes and extended operators.
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	tab := symtab.NewTable()
+	syms := tab.InternAll("p", "q", "r")
+	rng := rand.New(rand.NewSource(4242))
+	var gen func(d int) *Node
+	gen = func(d int) *Node {
+		if d <= 0 {
+			switch rng.Intn(5) {
+			case 0:
+				return Epsilon()
+			case 1:
+				return AnyOf(syms[rng.Intn(3)], syms[rng.Intn(3)])
+			default:
+				return Sym(syms[rng.Intn(3)])
+			}
+		}
+		switch rng.Intn(11) {
+		case 0, 1, 2:
+			return Concat(gen(d-1), gen(d-1))
+		case 3, 4:
+			return Union(gen(d-1), gen(d-1))
+		case 5:
+			return Star(gen(d - 1))
+		case 6:
+			return Plus(gen(d - 1))
+		case 7:
+			return Opt(gen(d - 1))
+		case 8:
+			return Intersect(gen(d-1), gen(d-1))
+		case 9:
+			return Diff(gen(d-1), gen(d-1))
+		default:
+			return Complement(gen(d - 1))
+		}
+	}
+	for i := 0; i < 500; i++ {
+		n := gen(4)
+		out := Print(n, tab)
+		n2, err := Parse(out, tab, symtab.Alphabet{})
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", out, err)
+		}
+		if !Equal(n, n2) {
+			t.Fatalf("roundtrip changed AST:\n  printed %q\n  got %s\n  want %s",
+				out, n2.GoString(), n.GoString())
+		}
+	}
+}
+
+func TestParseMultiMarked(t *testing.T) {
+	tab := symtab.NewTable()
+	m, err := ParseMultiMarked("q <p> [^ p]* <r> .*", tab, symtab.Alphabet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Marks) != 2 || tab.Name(m.Marks[0]) != "p" || tab.Name(m.Marks[1]) != "r" {
+		t.Fatalf("marks = %v", m.Marks)
+	}
+	if len(m.Segments) != 3 {
+		t.Fatalf("segments = %d", len(m.Segments))
+	}
+	if m.Segments[0].GoString() != "class" || m.Segments[2].GoString() != "star(class)" {
+		t.Errorf("segments = %s / %s", m.Segments[0].GoString(), m.Segments[2].GoString())
+	}
+	for _, mk := range m.Marks {
+		if !m.Sigma.Contains(mk) {
+			t.Error("sigma missing a mark")
+		}
+	}
+	// Single mark still works through the multi parser.
+	m, err = ParseMultiMarked("<p>", tab, symtab.Alphabet{})
+	if err != nil || len(m.Marks) != 1 || len(m.Segments) != 2 {
+		t.Errorf("bare mark: %+v, %v", m, err)
+	}
+	// Adjacent marks: empty middle segment.
+	m, err = ParseMultiMarked("q <p> <r> q", tab, symtab.Alphabet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Segments[1].Op != OpEpsilon {
+		t.Errorf("middle segment = %s", m.Segments[1].GoString())
+	}
+}
+
+func TestParseMultiMarkedErrors(t *testing.T) {
+	tab := symtab.NewTable()
+	for _, src := range []string{
+		"p q",             // no marks
+		"(q <p>) r",       // nested
+		"a | <p> b",       // under union
+		"q (<p> | r) <s>", // one nested one top — nested rejected
+	} {
+		if _, err := ParseMultiMarked(src, tab, symtab.Alphabet{}); err == nil {
+			t.Errorf("ParseMultiMarked(%q) succeeded", src)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package rx
+
+import (
+	"strings"
+
+	"resilex/internal/symtab"
+)
+
+// Print renders the AST in the package's concrete syntax using names from
+// tab. The output reparses to a structurally equal AST (given the same Σ).
+func Print(n *Node, tab *symtab.Table) string {
+	var b strings.Builder
+	printer{tab: tab}.print(&b, n, precUnion)
+	return b.String()
+}
+
+// PrintSigma renders the AST like Print, but abbreviates symbol classes
+// against the alphabet sigma: a class equal to Σ prints as "." and a class
+// missing fewer than half of Σ prints in negated form "[^ …]". This matches
+// the paper's Tags / (Tags − FORM) notation.
+func PrintSigma(n *Node, tab *symtab.Table, sigma symtab.Alphabet) string {
+	var b strings.Builder
+	printer{tab: tab, sigma: sigma, useSigma: true}.print(&b, n, precUnion)
+	return b.String()
+}
+
+// Operator precedence, loosest to tightest. Diff and Intersect sit between
+// union and concatenation (see parse.go).
+const (
+	precUnion = iota
+	precDiff
+	precIsect
+	precConcat
+	precPostfix
+)
+
+type printer struct {
+	tab      *symtab.Table
+	sigma    symtab.Alphabet
+	useSigma bool
+}
+
+func (p printer) print(b *strings.Builder, n *Node, outer int) {
+	switch n.Op {
+	case OpEmpty:
+		b.WriteString("#empty")
+	case OpEpsilon:
+		b.WriteString("#eps")
+	case OpClass:
+		p.printClass(b, n.Class)
+	case OpConcat:
+		p.wrap(b, outer, precConcat, func() {
+			for i, s := range n.Subs {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				p.print(b, s, precConcat+1)
+			}
+		})
+	case OpUnion:
+		p.wrap(b, outer, precUnion, func() {
+			for i, s := range n.Subs {
+				if i > 0 {
+					b.WriteString(" | ")
+				}
+				p.print(b, s, precUnion+1)
+			}
+		})
+	case OpStar:
+		p.print(b, n.Subs[0], precPostfix)
+		b.WriteByte('*')
+	case OpPlus:
+		p.print(b, n.Subs[0], precPostfix)
+		b.WriteByte('+')
+	case OpOpt:
+		p.print(b, n.Subs[0], precPostfix)
+		b.WriteByte('?')
+	case OpIntersect:
+		p.wrap(b, outer, precIsect, func() {
+			p.print(b, n.Subs[0], precIsect)
+			b.WriteString(" & ")
+			p.print(b, n.Subs[1], precIsect+1)
+		})
+	case OpDiff:
+		p.wrap(b, outer, precDiff, func() {
+			p.print(b, n.Subs[0], precDiff)
+			b.WriteString(" - ")
+			p.print(b, n.Subs[1], precDiff+1)
+		})
+	case OpComplement:
+		// '!x' parses as an atom, but a postfix operator grabs the whole
+		// complement: '!e*' means !(e*). When a complement is itself the
+		// operand of a postfix operator it must be parenthesized.
+		if outer >= precPostfix {
+			b.WriteString("(!")
+			p.print(b, n.Subs[0], precPostfix+1)
+			b.WriteByte(')')
+			return
+		}
+		b.WriteByte('!')
+		p.print(b, n.Subs[0], precPostfix+1)
+	default:
+		b.WriteString("<?>")
+	}
+}
+
+// wrap emits parentheses when the node's precedence is looser than the
+// context requires. Postfix operands always need explicit grouping below
+// precPostfix, handled by callers passing precPostfix/precPostfix+1.
+func (p printer) wrap(b *strings.Builder, outer, inner int, body func()) {
+	if inner < outer {
+		b.WriteByte('(')
+		body()
+		b.WriteByte(')')
+		return
+	}
+	body()
+}
+
+func (p printer) printClass(b *strings.Builder, set symtab.Alphabet) {
+	if set.Len() == 1 {
+		b.WriteString(QuoteName(p.tab.Name(set.Symbols()[0])))
+		return
+	}
+	if p.useSigma && !p.sigma.IsEmpty() {
+		if set.Equal(p.sigma) {
+			b.WriteByte('.')
+			return
+		}
+		missing := p.sigma.Minus(set)
+		if set.SubsetOf(p.sigma) && missing.Len() > 0 && missing.Len() < set.Len() {
+			b.WriteString("[^")
+			for _, s := range missing.Symbols() {
+				b.WriteByte(' ')
+				b.WriteString(QuoteName(p.tab.Name(s)))
+			}
+			b.WriteString(" ]")
+			return
+		}
+	}
+	b.WriteByte('[')
+	for i, s := range set.Symbols() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(QuoteName(p.tab.Name(s)))
+	}
+	b.WriteByte(']')
+}
+
+// QuoteName renders a token name in the concrete syntax: plain identifiers
+// (letters, digits, '_', '/') pass through; anything else is single-quoted
+// with embedded quotes doubled, matching the lexer's quoted-identifier form.
+func QuoteName(name string) string {
+	plain := name != ""
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if !(c == '_' || c == '/' ||
+			'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9') {
+			plain = false
+			break
+		}
+	}
+	if plain {
+		return name
+	}
+	return "'" + strings.ReplaceAll(name, "'", "''") + "'"
+}

@@ -1,0 +1,227 @@
+package rx
+
+// Simplify rewrites the AST with language-preserving algebraic rules until
+// a fixpoint, shrinking the expressions produced by DFA→regex state
+// elimination into something a human can read. The rules are purely
+// syntactic (no automaton construction) and each preserves L(·) exactly:
+//
+//	ε | E        → E?                E? when ε ∈ L(E) → E
+//	E·E*         → E+                E*·E  → E+
+//	E*·E*        → E*                E+·E* → E+ (and mirror)
+//	(E | F···)?  class/ε merging     a | b → [a b]   (via Union ctor)
+//	common prefix/suffix factoring of unions: ab | ac → a(b|c)
+//	X? Y where L(Y) ⊆ L(X?Y) collapses are NOT attempted (needs automata)
+//
+// Simplify never grows the node count; it returns the input when no rule
+// applies.
+func Simplify(n *Node) *Node {
+	// Every productive rewrite shrinks Size or keeps it while reaching a
+	// fixpoint; the iteration cap is a safety net against rule interactions.
+	for iter := 0; iter < 100; iter++ {
+		next := simplifyOnce(n)
+		if next == n || Equal(next, n) || next.Size() > n.Size() {
+			return n
+		}
+		n = next
+	}
+	return n
+}
+
+func simplifyOnce(n *Node) *Node {
+	// Bottom-up.
+	subs := make([]*Node, len(n.Subs))
+	changed := false
+	for i, s := range n.Subs {
+		subs[i] = simplifyOnce(s)
+		if subs[i] != s {
+			changed = true
+		}
+	}
+	if changed {
+		switch n.Op {
+		case OpConcat:
+			n = Concat(subs...)
+		case OpUnion:
+			n = Union(subs...)
+		case OpStar:
+			n = Star(subs[0])
+		case OpPlus:
+			n = Plus(subs[0])
+		case OpOpt:
+			n = Opt(subs[0])
+		case OpIntersect:
+			n = Intersect(subs[0], subs[1])
+		case OpDiff:
+			n = Diff(subs[0], subs[1])
+		case OpComplement:
+			n = Complement(subs[0])
+		}
+	}
+	switch n.Op {
+	case OpUnion:
+		return simplifyUnion(n)
+	case OpConcat:
+		return simplifyConcat(n)
+	case OpOpt:
+		// E? with ε ∈ L(E) → E.
+		if eps, ok := n.Subs[0].MatchesEpsilon(); ok && eps {
+			return n.Subs[0]
+		}
+	}
+	return n
+}
+
+// simplifyUnion applies ε-absorption and common prefix/suffix factoring.
+func simplifyUnion(n *Node) *Node {
+	subs := n.Subs
+	// ε | E → E? (fold ε into an Opt around the rest).
+	hasEps := false
+	var rest []*Node
+	for _, s := range subs {
+		if s.Op == OpEpsilon {
+			hasEps = true
+			continue
+		}
+		rest = append(rest, s)
+	}
+	if hasEps && len(rest) > 0 {
+		return Opt(Union(rest...))
+	}
+	// Common prefix factoring: a·X | a·Y → a·(X|Y). Operate on adjacentable
+	// pairs; the Union constructor re-normalizes.
+	for i := 0; i < len(subs); i++ {
+		for j := i + 1; j < len(subs); j++ {
+			if f, ok := factorPair(subs[i], subs[j]); ok {
+				var out []*Node
+				for k, s := range subs {
+					if k != i && k != j {
+						out = append(out, s)
+					}
+				}
+				out = append(out, f)
+				return Union(out...)
+			}
+		}
+	}
+	return n
+}
+
+// factorPair factors two union operands by their longest common prefix and
+// suffix of concatenation factors; ok=false when they share neither.
+func factorPair(a, b *Node) (*Node, bool) {
+	fa, fb := factorsOf(a), factorsOf(b)
+	pre := 0
+	for pre < len(fa) && pre < len(fb) && Equal(fa[pre], fb[pre]) {
+		pre++
+	}
+	suf := 0
+	for suf < len(fa)-pre && suf < len(fb)-pre &&
+		Equal(fa[len(fa)-1-suf], fb[len(fb)-1-suf]) {
+		suf++
+	}
+	if pre == 0 && suf == 0 {
+		return nil, false
+	}
+	midA := Concat(fa[pre : len(fa)-suf]...)
+	midB := Concat(fb[pre : len(fb)-suf]...)
+	var parts []*Node
+	parts = append(parts, fa[:pre]...)
+	parts = append(parts, Union(midA, midB))
+	parts = append(parts, fa[len(fa)-suf:]...)
+	return Concat(parts...), true
+}
+
+func factorsOf(n *Node) []*Node {
+	if n.Op == OpConcat {
+		return n.Subs
+	}
+	return []*Node{n}
+}
+
+// simplifyConcat merges adjacent iteration factors over equal bodies:
+// E·E* → E+, E*·E → E+, E*·E* → E*, E+·E* → E+, E*·E+ → E+, E?·E* → E*,
+// E*·E? → E*.
+func simplifyConcat(n *Node) *Node {
+	subs := n.Subs
+	for i := 0; i+1 < len(subs); i++ {
+		merged, ok := mergeIter(subs[i], subs[i+1])
+		if !ok {
+			continue
+		}
+		out := make([]*Node, 0, len(subs)-1)
+		out = append(out, subs[:i]...)
+		out = append(out, merged)
+		out = append(out, subs[i+2:]...)
+		return Concat(out...)
+	}
+	// Multi-factor bodies: the Concat constructor flattens (p q)(p q)* into
+	// [p, q, (p q)*], so also match a run of factors equal to an adjacent
+	// star's body: B₁…Bₖ·(B₁…Bₖ)* → (B₁…Bₖ)+ and the mirror image.
+	for i, s := range subs {
+		if s.Op != OpStar {
+			continue
+		}
+		bf := factorsOf(s.Subs[0])
+		k := len(bf)
+		if k < 2 {
+			continue // single-factor case handled by mergeIter above
+		}
+		if i >= k && equalRun(subs[i-k:i], bf) {
+			out := make([]*Node, 0, len(subs)-k)
+			out = append(out, subs[:i-k]...)
+			out = append(out, Plus(s.Subs[0]))
+			out = append(out, subs[i+1:]...)
+			return Concat(out...)
+		}
+		if i+k < len(subs) && equalRun(subs[i+1:i+1+k], bf) {
+			out := make([]*Node, 0, len(subs)-k)
+			out = append(out, subs[:i]...)
+			out = append(out, Plus(s.Subs[0]))
+			out = append(out, subs[i+1+k:]...)
+			return Concat(out...)
+		}
+	}
+	return n
+}
+
+func equalRun(a, b []*Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func body(n *Node) (*Node, Op) {
+	switch n.Op {
+	case OpStar, OpPlus, OpOpt:
+		return n.Subs[0], n.Op
+	}
+	return n, OpClass // OpClass stands for "bare" here
+}
+
+func mergeIter(a, b *Node) (*Node, bool) {
+	ba, oa := body(a)
+	bb, ob := body(b)
+	if !Equal(ba, bb) {
+		return nil, false
+	}
+	bare := func(o Op) bool { return o == OpClass }
+	switch {
+	case bare(oa) && ob == OpStar: // E·E* → E+
+		return Plus(ba), true
+	case oa == OpStar && bare(ob): // E*·E → E+
+		return Plus(ba), true
+	case oa == OpStar && ob == OpStar: // E*·E* → E*
+		return Star(ba), true
+	case oa == OpPlus && ob == OpStar, oa == OpStar && ob == OpPlus: // E+·E* → E+
+		return Plus(ba), true
+	case oa == OpOpt && ob == OpStar, oa == OpStar && ob == OpOpt: // E?·E* → E*
+		return Star(ba), true
+	}
+	return nil, false
+}

@@ -1,0 +1,91 @@
+package rx
+
+import (
+	"math/rand"
+	"testing"
+
+	"resilex/internal/symtab"
+)
+
+func TestSimplifyRules(t *testing.T) {
+	tab := symtab.NewTable()
+	cases := []struct{ in, want string }{
+		{"#eps | p", "p?"},
+		{"#eps | p | q", "[p q]?"},
+		{"p p*", "p+"},
+		{"p* p", "p+"},
+		{"p* p*", "p*"},
+		{"p+ p*", "p+"},
+		{"p* p+", "p+"},
+		{"p? p*", "p*"},
+		{"p* p?", "p*"},
+		{"(p q) (p q)*", "(p q)+"},
+		{"p q | p r", "p (q | r)"},
+		{"p q r | p p r", "p (q | p) r"},
+		{"(p*)?", "p*"},
+		{"q | p q", "p? q"},
+		{"p q p* | p r p*", "p (q | r) p*"},
+	}
+	for _, c := range cases {
+		in, err := Parse(c.in, tab, symtab.Alphabet{})
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.in, err)
+		}
+		want, err := Parse(c.want, tab, symtab.Alphabet{})
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.want, err)
+		}
+		got := Simplify(in)
+		if !Equal(got, want) {
+			t.Errorf("Simplify(%q) = %s, want %s", c.in, Print(got, tab), Print(want, tab))
+		}
+	}
+}
+
+func TestSimplifyNoRule(t *testing.T) {
+	tab := symtab.NewTable()
+	for _, src := range []string{"p", "p q", "p | q r", "p*", "(p | q)* p"} {
+		n := MustParse(src, tab, symtab.Alphabet{})
+		if got := Simplify(n); !Equal(got, n) {
+			t.Errorf("Simplify(%q) changed a normal form to %s", src, Print(got, tab))
+		}
+	}
+}
+
+func TestSimplifyNeverGrows(t *testing.T) {
+	tab := symtab.NewTable()
+	syms := tab.InternAll("p", "q")
+	rng := rand.New(rand.NewSource(31))
+	gen := func(depth int) *Node { return genRandom(rng, syms, depth) }
+	for i := 0; i < 300; i++ {
+		n := gen(4)
+		s := Simplify(n)
+		if s.Size() > n.Size() {
+			t.Fatalf("Simplify grew %s (%d) to %s (%d)",
+				Print(n, tab), n.Size(), Print(s, tab), s.Size())
+		}
+	}
+}
+
+// genRandom mirrors the generator in extract's property tests; kept local to
+// avoid an import cycle.
+func genRandom(rng *rand.Rand, syms []symtab.Symbol, depth int) *Node {
+	if depth <= 0 {
+		if rng.Intn(4) == 0 {
+			return Epsilon()
+		}
+		return Sym(syms[rng.Intn(len(syms))])
+	}
+	switch rng.Intn(8) {
+	case 0, 1, 2:
+		return Concat(genRandom(rng, syms, depth-1), genRandom(rng, syms, depth-1))
+	case 3, 4:
+		return Union(genRandom(rng, syms, depth-1), genRandom(rng, syms, depth-1))
+	case 5:
+		return Star(genRandom(rng, syms, depth-1))
+	case 6:
+		return Opt(genRandom(rng, syms, depth-1))
+	default:
+		return Sym(syms[rng.Intn(len(syms))])
+	}
+}

@@ -1,0 +1,81 @@
+package wrapper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEvaluate(t *testing.T) {
+	w, err := Train([]Sample{
+		{HTML: fig1Top, Target: TargetMarker()},
+		{HTML: fig1Bottom, Target: TargetMarker()},
+	}, fig1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := w.Evaluate([]LabeledPage{
+		{HTML: fig1Top, Target: TargetMarker()},             // hit
+		{HTML: fig1Bottom, Target: TargetMarker()},          // hit
+		{HTML: fig1Novel, Target: TargetTag("INPUT", 1)},    // hit (2nd input)
+		{HTML: `<p>nothing</p>`, Target: TargetTag("P", 0)}, // miss
+		{HTML: fig1Top, Target: TargetTag("INPUT", 0)},      // wrong: labeled 1st input
+		{HTML: `<p></p>`, Target: TargetMarker()},           // bad label
+	})
+	if rep.Hits() != 3 || rep.Misses() != 1 || rep.Wrongs() != 1 {
+		t.Fatalf("report = %s", rep)
+	}
+	if got := rep.Rate(); got < 0.59 || got > 0.61 {
+		t.Errorf("rate = %v, want 3/5", got)
+	}
+	s := rep.String()
+	for _, want := range []string{"3 hit", "1 miss", "1 wrong", "1 bad-label"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+	// Outcomes carry diagnostics.
+	for _, p := range rep.Pages {
+		if p.Outcome == Wrong && !strings.Contains(p.Detail, "labeled") {
+			t.Errorf("wrong outcome lacks detail: %+v", p)
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	names := map[Outcome]string{Hit: "hit", Miss: "miss", Wrong: "wrong", BadLabel: "bad-label", Outcome(9): "outcome(9)"}
+	for o, want := range names {
+		if got := o.String(); got != want {
+			t.Errorf("Outcome(%d) = %q", int(o), got)
+		}
+	}
+}
+
+func TestEvaluateEmptyReport(t *testing.T) {
+	w, err := Train([]Sample{{HTML: fig1Top, Target: TargetMarker()}}, fig1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := w.Evaluate(nil)
+	if rep.Rate() != 0 || len(rep.Pages) != 0 {
+		t.Errorf("empty evaluation: %s", rep)
+	}
+}
+
+func TestEvaluateTuple(t *testing.T) {
+	w, err := TrainTuple([]Sample{
+		{HTML: tupleSample1},
+		{HTML: tupleSample2},
+	}, Config{KeepText: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := w.EvaluateTuple([]TupleLabeledPage{
+		{HTML: tupleLive, Targets: []Target{TargetTag("TD", 0), TargetTag("TD", 1)}}, // hit
+		{HTML: tupleLive, Targets: []Target{TargetTag("TD", 1), TargetTag("TD", 0)}}, // wrong
+		{HTML: `<p>x</p>`, Targets: []Target{TargetTag("P", 0), TargetTag("P", 0)}},  // miss
+		{HTML: tupleLive, Targets: []Target{TargetTag("TD", 0)}},                     // bad arity
+	})
+	if rep.Hits() != 1 || rep.Wrongs() != 1 || rep.Misses() != 1 {
+		t.Fatalf("report = %s (%+v)", rep, rep.Pages)
+	}
+}

@@ -1,0 +1,110 @@
+package wrapper
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"resilex/internal/machine"
+)
+
+// Fleet is a registry of named wrappers — one per site — with shared
+// persistence: the operating unit of a shopbot that harvests many vendors.
+// A Fleet maps a site key (e.g. the vendor's hostname) to its trained
+// wrapper; ExtractFrom dispatches by key and Probe tries every wrapper when
+// the key is unknown.
+type Fleet struct {
+	wrappers map[string]*Wrapper
+}
+
+// NewFleet returns an empty fleet.
+func NewFleet() *Fleet {
+	return &Fleet{wrappers: make(map[string]*Wrapper)}
+}
+
+// Add registers (or replaces) the wrapper for a site key.
+func (f *Fleet) Add(key string, w *Wrapper) {
+	f.wrappers[key] = w
+}
+
+// Get returns the wrapper for the key, or nil.
+func (f *Fleet) Get(key string) *Wrapper { return f.wrappers[key] }
+
+// Remove deletes a site's wrapper.
+func (f *Fleet) Remove(key string) { delete(f.wrappers, key) }
+
+// Len reports the number of registered wrappers.
+func (f *Fleet) Len() int { return len(f.wrappers) }
+
+// Keys returns the registered site keys in sorted order.
+func (f *Fleet) Keys() []string {
+	out := make([]string, 0, len(f.wrappers))
+	for k := range f.wrappers {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExtractFrom runs the named site's wrapper on the page.
+func (f *Fleet) ExtractFrom(key, html string) (Region, error) {
+	w := f.wrappers[key]
+	if w == nil {
+		return Region{}, fmt.Errorf("wrapper: fleet has no wrapper for %q", key)
+	}
+	return w.Extract(html)
+}
+
+// Probe tries every wrapper on the page and returns the keys that extract
+// successfully, sorted, with their regions — the recovery path when a page
+// arrives without provenance. An unambiguous match (exactly one key) is the
+// common case for distinct vendors.
+func (f *Fleet) Probe(html string) map[string]Region {
+	out := map[string]Region{}
+	for key, w := range f.wrappers {
+		if r, err := w.Extract(html); err == nil {
+			out[key] = r
+		}
+	}
+	return out
+}
+
+// fleetPersisted is the JSON schema of a saved fleet.
+type fleetPersisted struct {
+	Version  int                        `json:"version"`
+	Kind     string                     `json:"kind"` // "fleet"
+	Wrappers map[string]json.RawMessage `json:"wrappers"`
+}
+
+// MarshalJSON persists every wrapper in the fleet.
+func (f *Fleet) MarshalJSON() ([]byte, error) {
+	out := fleetPersisted{Version: 1, Kind: "fleet", Wrappers: map[string]json.RawMessage{}}
+	for key, w := range f.wrappers {
+		data, err := w.MarshalJSON()
+		if err != nil {
+			return nil, fmt.Errorf("wrapper: fleet entry %q: %w", key, err)
+		}
+		out.Wrappers[key] = data
+	}
+	return json.Marshal(out)
+}
+
+// LoadFleet restores a fleet persisted with MarshalJSON.
+func LoadFleet(data []byte, opt machine.Options) (*Fleet, error) {
+	var p fleetPersisted
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("wrapper: decoding fleet: %w", err)
+	}
+	if p.Version != 1 || p.Kind != "fleet" {
+		return nil, fmt.Errorf("wrapper: not a version-1 fleet (version %d, kind %q)", p.Version, p.Kind)
+	}
+	f := NewFleet()
+	for key, raw := range p.Wrappers {
+		w, err := Load(raw, opt)
+		if err != nil {
+			return nil, fmt.Errorf("wrapper: fleet entry %q: %w", key, err)
+		}
+		f.Add(key, w)
+	}
+	return f, nil
+}

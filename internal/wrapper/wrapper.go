@@ -1,0 +1,292 @@
+// Package wrapper assembles the full resilient-extraction pipeline of the
+// paper: tokenize sample HTML pages (internal/htmltok), induce an initial
+// unambiguous extraction expression from the marked examples
+// (internal/learn), maximize it for resilience (internal/extract, Section
+// 6), and compile a matcher that maps extraction results back to byte
+// regions of the live page.
+package wrapper
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"resilex/internal/extract"
+	"resilex/internal/htmltok"
+	"resilex/internal/learn"
+	"resilex/internal/machine"
+	"resilex/internal/symtab"
+)
+
+// MarkerAttr is the HTML attribute wrapgen-style training samples use to
+// mark the target element: <input data-target ...>.
+const MarkerAttr = "data-target"
+
+// Target selects the element of interest in a training sample.
+type Target struct {
+	// ByIndex selects a token index directly when >= 0. Takes precedence.
+	ByIndex int
+	// Tag and Occurrence select the n-th (0-based) occurrence of the named
+	// tag's symbol when ByIndex < 0. Tag must be the upper-case name.
+	Tag        string
+	Occurrence int
+	// ByMarker selects the tag carrying the data-target attribute.
+	ByMarker bool
+}
+
+// TargetIndex returns Target selecting a token index.
+func TargetIndex(i int) Target { return Target{ByIndex: i} }
+
+// TargetTag returns a Target selecting the n-th occurrence of tag.
+func TargetTag(tag string, n int) Target { return Target{ByIndex: -1, Tag: tag, Occurrence: n} }
+
+// TargetMarker returns a Target selecting the data-target-marked element.
+func TargetMarker() Target { return Target{ByIndex: -1, ByMarker: true} }
+
+// Sample is one training page with its marked target.
+type Sample struct {
+	HTML   string
+	Target Target
+}
+
+// Config controls training.
+type Config struct {
+	// KeepEndTags, KeepText, AttrKeys and Skip configure the tokenizer; see
+	// htmltok.Mapper. End tags are kept by default.
+	DropEndTags bool
+	KeepText    bool
+	AttrKeys    []string
+	Skip        []string
+	// ExtraTags extends Σ with tags not present in any sample, so later
+	// pages using them stay within the wrapper's alphabet.
+	ExtraTags []string
+	// SkipMaximize trains a merged-but-unmaximized wrapper (used by the
+	// resilience ablation).
+	SkipMaximize bool
+	// Options bounds automaton construction; the zero value uses the
+	// default budget.
+	Options machine.Options
+}
+
+// Wrapper is a trained, compiled extractor. Create with Train or Load.
+type Wrapper struct {
+	tab      *symtab.Table
+	mapper   *htmltok.Mapper
+	expr     extract.Expr
+	matcher  *extract.Matcher
+	strategy string
+	cfg      Config
+
+	// Training provenance, kept so Refresh can re-induce; nil for wrappers
+	// restored with Load.
+	examples []learn.Example
+	sigma    symtab.Alphabet
+}
+
+// Region is an extraction result on a live page.
+type Region struct {
+	TokenIndex int
+	Span       htmltok.Span
+	Source     string // the page text of the extracted element
+}
+
+// Errors.
+var (
+	ErrNoTarget     = errors.New("wrapper: target not found in sample")
+	ErrNotExtracted = errors.New("wrapper: expression does not parse the page")
+)
+
+func (c Config) mapper(tab *symtab.Table) *htmltok.Mapper {
+	m := htmltok.NewMapper(tab)
+	m.KeepEndTags = !c.DropEndTags
+	m.KeepText = c.KeepText
+	m.AttrKeys = c.AttrKeys
+	if len(c.Skip) > 0 {
+		m.Skip = map[string]bool{}
+		for _, s := range c.Skip {
+			m.Skip[s] = true
+		}
+	}
+	return m
+}
+
+// Train builds a wrapper from marked samples: tokenize → induce → maximize
+// → compile. The returned wrapper records which induction strategy and
+// maximization path were used (see Strategy).
+func Train(samples []Sample, cfg Config) (*Wrapper, error) {
+	if len(samples) == 0 {
+		return nil, learn.ErrNoExamples
+	}
+	tab := symtab.NewTable()
+	mapper := cfg.mapper(tab)
+	var examples []learn.Example
+	var sigma symtab.Alphabet
+	for i, s := range samples {
+		doc := mapper.Map(s.HTML)
+		idx, err := resolveTarget(doc, s, tab)
+		if err != nil {
+			return nil, fmt.Errorf("sample %d: %w", i, err)
+		}
+		examples = append(examples, learn.Example{Doc: doc.Syms, Target: idx})
+		sigma = sigma.Union(doc.Alphabet())
+	}
+	for _, t := range cfg.ExtraTags {
+		sigma = sigma.With(tab.Intern(t))
+	}
+	return trainExamples(tab, mapper, examples, sigma, cfg)
+}
+
+// TrainTokens builds a wrapper directly from token-level examples sharing
+// the given symbol table; used by the synthetic-workload experiments.
+func TrainTokens(tab *symtab.Table, examples []learn.Example, sigma symtab.Alphabet, cfg Config) (*Wrapper, error) {
+	return trainExamples(tab, cfg.mapper(tab), examples, sigma, cfg)
+}
+
+func trainExamples(tab *symtab.Table, mapper *htmltok.Mapper, examples []learn.Example, sigma symtab.Alphabet, cfg Config) (*Wrapper, error) {
+	res, err := learn.Induce(examples, sigma, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	expr := res.Expr
+	strategy := res.Strategy
+	if !cfg.SkipMaximize {
+		maxed, err := extract.Maximize(expr)
+		switch {
+		case err == nil:
+			expr = maxed
+			strategy += "+maximized"
+		case errors.Is(err, extract.ErrNotApplicable) || errors.Is(err, extract.ErrUnbounded):
+			// Keep the unmaximized induced expression; it is still correct
+			// on the training distribution, only less resilient.
+			strategy += "+unmaximized"
+		default:
+			return nil, err
+		}
+	}
+	m, err := expr.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return &Wrapper{
+		tab: tab, mapper: mapper, expr: expr, matcher: m, strategy: strategy, cfg: cfg,
+		examples: examples, sigma: sigma,
+	}, nil
+}
+
+func resolveTarget(doc htmltok.Document, s Sample, tab *symtab.Table) (int, error) {
+	t := s.Target
+	if t.ByIndex >= 0 {
+		if t.ByIndex >= len(doc.Syms) {
+			return 0, fmt.Errorf("%w: index %d out of %d tokens", ErrNoTarget, t.ByIndex, len(doc.Syms))
+		}
+		return t.ByIndex, nil
+	}
+	if t.ByMarker {
+		for _, raw := range htmltok.Scan(s.HTML) {
+			if _, ok := raw.Attr(MarkerAttr); !ok {
+				continue
+			}
+			for i, span := range doc.Spans {
+				if span.Start == raw.Start && span.End == raw.End {
+					return i, nil
+				}
+			}
+			return 0, fmt.Errorf("%w: marked tag was filtered out by the tokenizer config", ErrNoTarget)
+		}
+		return 0, fmt.Errorf("%w: no tag carries %s", ErrNoTarget, MarkerAttr)
+	}
+	sym := tab.Lookup(t.Tag)
+	if sym == symtab.None {
+		return 0, fmt.Errorf("%w: tag %s never occurs", ErrNoTarget, t.Tag)
+	}
+	idx := doc.Find(sym, t.Occurrence)
+	if idx < 0 {
+		return 0, fmt.Errorf("%w: occurrence %d of %s not present", ErrNoTarget, t.Occurrence, t.Tag)
+	}
+	return idx, nil
+}
+
+// Extract runs the wrapper on a live page and returns the extracted region.
+func (w *Wrapper) Extract(html string) (Region, error) {
+	doc := w.mapper.Map(html)
+	pos, ok := w.matcher.Find(doc.Syms)
+	if !ok {
+		return Region{}, ErrNotExtracted
+	}
+	return Region{TokenIndex: pos, Span: doc.SpanOf(pos), Source: doc.Source(pos)}, nil
+}
+
+// ExtractTokens runs the wrapper on a pre-tokenized document.
+func (w *Wrapper) ExtractTokens(doc []symtab.Symbol) (int, bool) {
+	return w.matcher.Find(doc)
+}
+
+// Expr returns the wrapper's extraction expression.
+func (w *Wrapper) Expr() extract.Expr { return w.expr }
+
+// Table returns the wrapper's symbol table.
+func (w *Wrapper) Table() *symtab.Table { return w.tab }
+
+// Strategy describes how the wrapper was obtained, e.g.
+// "merge-prefixes+maximized".
+func (w *Wrapper) Strategy() string { return w.strategy }
+
+// String renders the underlying extraction expression.
+func (w *Wrapper) String() string { return w.expr.String(w.tab) }
+
+// persisted is the JSON schema of a saved wrapper.
+type persisted struct {
+	Version     int      `json:"version"`
+	Expr        string   `json:"expr"`
+	Sigma       []string `json:"sigma"`
+	Strategy    string   `json:"strategy"`
+	DropEndTags bool     `json:"dropEndTags,omitempty"`
+	KeepText    bool     `json:"keepText,omitempty"`
+	AttrKeys    []string `json:"attrKeys,omitempty"`
+	Skip        []string `json:"skip,omitempty"`
+}
+
+// MarshalJSON persists the wrapper: the expression in concrete syntax plus
+// the alphabet and tokenizer configuration.
+func (w *Wrapper) MarshalJSON() ([]byte, error) {
+	names := make([]string, 0, w.expr.Sigma().Len())
+	for _, s := range w.expr.Sigma().Symbols() {
+		names = append(names, w.tab.Name(s))
+	}
+	return json.Marshal(persisted{
+		Version:     1,
+		Expr:        w.expr.String(w.tab),
+		Sigma:       names,
+		Strategy:    w.strategy,
+		DropEndTags: w.cfg.DropEndTags,
+		KeepText:    w.cfg.KeepText,
+		AttrKeys:    w.cfg.AttrKeys,
+		Skip:        w.cfg.Skip,
+	})
+}
+
+// Load restores a wrapper persisted with MarshalJSON.
+func Load(data []byte, opt machine.Options) (*Wrapper, error) {
+	var p persisted
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("wrapper: decoding: %w", err)
+	}
+	if p.Version != 1 {
+		return nil, fmt.Errorf("wrapper: unsupported version %d", p.Version)
+	}
+	tab := symtab.NewTable()
+	sigma := symtab.NewAlphabet(tab.InternAll(p.Sigma...)...)
+	expr, err := extract.Parse(p.Expr, tab, sigma, opt)
+	if err != nil {
+		return nil, fmt.Errorf("wrapper: reparsing expression: %w", err)
+	}
+	m, err := expr.Compile()
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{DropEndTags: p.DropEndTags, KeepText: p.KeepText, AttrKeys: p.AttrKeys, Skip: p.Skip, Options: opt}
+	return &Wrapper{
+		tab: tab, mapper: cfg.mapper(tab), expr: expr, matcher: m,
+		strategy: p.Strategy, cfg: cfg,
+	}, nil
+}

@@ -1,0 +1,319 @@
+package wrapper
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"resilex/internal/htmltok"
+	"resilex/internal/learn"
+	"resilex/internal/machine"
+	"resilex/internal/perturb"
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+// The Figure 1 pages as HTML (faithful to the paper, minus typos).
+const fig1Top = `<P>
+<H1>Virtual Supplier, Inc.</H1>
+<P>
+<form method="post" action="search.cgi">
+<input type="image" align="left" src="search.gif" />
+<input type="text" size="15" name="value" data-target />
+<br />
+<input type="radio" name="attr" value="1" checked> Keywords<br />
+<input type="radio" name="attr" value="2"> Manufacturer Part#
+</form>`
+
+const fig1Bottom = `<table>
+<tr><th><img src="supplier.gif"></th></tr>
+<tr><td><h1>Virtual Supplier, Inc.</h1></td></tr>
+<tr><td><a href="cust.html">Customer Service</a></td></tr>
+<tr><td><form method="post" action="search.cgi">
+<input type="image" src="search.gif" />
+<input type="text" size="15" name="value" data-target />
+<input type="radio" name="attr" value="1" checked> Keywords<br />
+<input type="radio" name="attr" value="2"> Manufacturer Part#
+</form></td></tr>
+</table>`
+
+// A third variant no wrapper saw during training: extra rows, extra link.
+const fig1Novel = `<table>
+<tr><td><h1>Virtual Supplier, Inc.</h1></td></tr>
+<tr><td><a href="deals.html">Hot Deals</a></td></tr>
+<tr><td><a href="cust.html">Customer Service</a></td></tr>
+<tr><td><form method="post" action="search.cgi">
+<input type="image" src="search.gif" />
+<input type="text" size="15" name="value" />
+<input type="radio" name="attr" value="1"> Keywords
+</form></td></tr>
+<tr><td>fine print</td></tr>
+</table>`
+
+func fig1Config() Config {
+	return Config{Skip: []string{"BR"}}
+}
+
+// TestFigure1EndToEnd is experiment E1 at the HTML level: train on both
+// Figure 1 pages, extract from each and from a novel variant.
+func TestFigure1EndToEnd(t *testing.T) {
+	w, err := Train([]Sample{
+		{HTML: fig1Top, Target: TargetMarker()},
+		{HTML: fig1Bottom, Target: TargetMarker()},
+	}, fig1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(w.Strategy(), "+maximized") {
+		t.Errorf("strategy = %q, expected a maximized wrapper", w.Strategy())
+	}
+	for i, page := range []string{fig1Top, fig1Bottom, fig1Novel} {
+		r, err := w.Extract(page)
+		if err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+		if !strings.Contains(r.Source, `type="text"`) {
+			t.Errorf("page %d extracted %q, want the text input", i, r.Source)
+		}
+	}
+}
+
+func TestTargetSelectors(t *testing.T) {
+	// ByIndex
+	w, err := Train([]Sample{{HTML: fig1Top, Target: TargetIndex(6)}}, fig1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := w.Extract(fig1Top)
+	if err != nil || !strings.Contains(r.Source, `type="text"`) {
+		t.Errorf("ByIndex: %q, %v", r.Source, err)
+	}
+	// ByTag occurrence (second INPUT, 0-based 1).
+	w, err = Train([]Sample{{HTML: fig1Top, Target: TargetTag("INPUT", 1)}}, fig1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err = w.Extract(fig1Top)
+	if err != nil || !strings.Contains(r.Source, `type="text"`) {
+		t.Errorf("ByTag: %q, %v", r.Source, err)
+	}
+}
+
+func TestTargetErrors(t *testing.T) {
+	cases := []Sample{
+		{HTML: `<p></p>`, Target: TargetMarker()},
+		{HTML: `<p></p>`, Target: TargetIndex(10)},
+		{HTML: `<p></p>`, Target: TargetTag("FORM", 0)},
+		{HTML: `<p></p><p></p>`, Target: TargetTag("P", 5)},
+	}
+	for i, s := range cases {
+		if _, err := Train([]Sample{s}, Config{}); !errors.Is(err, ErrNoTarget) {
+			t.Errorf("case %d: err = %v, want ErrNoTarget", i, err)
+		}
+	}
+	// Marked tag filtered out by Skip.
+	s := Sample{HTML: `<br data-target>`, Target: TargetMarker()}
+	if _, err := Train([]Sample{s}, Config{Skip: []string{"BR"}}); !errors.Is(err, ErrNoTarget) {
+		t.Errorf("filtered marker: %v", err)
+	}
+}
+
+func TestExtractFailure(t *testing.T) {
+	w, err := Train([]Sample{{HTML: fig1Top, Target: TargetMarker()}}, fig1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Extract(`<html><body>nothing here</body></html>`); !errors.Is(err, ErrNotExtracted) {
+		t.Errorf("err = %v, want ErrNotExtracted", err)
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	w, err := Train([]Sample{
+		{HTML: fig1Top, Target: TargetMarker()},
+		{HTML: fig1Bottom, Target: TargetMarker()},
+	}, fig1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := w.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Load(data, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Strategy() != w.Strategy() {
+		t.Errorf("strategy changed: %q vs %q", w2.Strategy(), w.Strategy())
+	}
+	for i, page := range []string{fig1Top, fig1Bottom, fig1Novel} {
+		r1, err1 := w.Extract(page)
+		r2, err2 := w2.Extract(page)
+		if (err1 == nil) != (err2 == nil) || (err1 == nil && r1.Span != r2.Span) {
+			t.Errorf("page %d: loaded wrapper differs: %v/%v %v/%v", i, r1, err1, r2, err2)
+		}
+	}
+	// Corrupt payloads.
+	if _, err := Load([]byte(`{`), machine.Options{}); err == nil {
+		t.Error("corrupt JSON accepted")
+	}
+	if _, err := Load([]byte(`{"version":9}`), machine.Options{}); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := Load([]byte(`{"version":1,"expr":"(((","sigma":["P"]}`), machine.Options{}); err == nil {
+		t.Error("bad expression accepted")
+	}
+}
+
+// TestResilienceOrdering is experiment E8 in miniature: over seeded
+// perturbations, the maximized wrapper survives at least as often as the
+// merged one, which survives at least as often as the rigid one — and the
+// gaps are strict in aggregate.
+func TestResilienceOrdering(t *testing.T) {
+	tab := symtab.NewTable()
+	base, err := rx.ParseWord("P H1 /H1 P FORM INPUT INPUT P INPUT INPUT /FORM", tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := 6
+	variant, err := rx.ParseWord("TABLE TR TD FORM INPUT INPUT P INPUT INPUT /FORM /TD /TR /TABLE", tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variantTarget := 5
+	p := perturb.New(tab, 11)
+	sigma := symtab.NewAlphabet(base...).Union(symtab.NewAlphabet(variant...)).Union(p.Alphabet())
+
+	examples := []learn.Example{
+		{Doc: base, Target: target},
+		{Doc: variant, Target: variantTarget},
+	}
+	rigid, err := TrainTokens(tab, examples[:1], sigma, Config{SkipMaximize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := TrainTokens(tab, examples, sigma, Config{SkipMaximize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxed, err := TrainTokens(tab, examples, sigma, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One shared corpus of perturbed pages so all wrappers face identical
+	// documents.
+	type trial struct {
+		doc []symtab.Symbol
+		tgt int
+	}
+	var corpus []trial
+	for i := 0; i < 200; i++ {
+		doc, tgt, _ := p.Apply(base, target, 1+i%4)
+		corpus = append(corpus, trial{doc, tgt})
+	}
+	score := func(w *Wrapper) int {
+		hits := 0
+		for _, tr := range corpus {
+			if got, ok := w.ExtractTokens(tr.doc); ok && got == tr.tgt {
+				hits++
+			}
+		}
+		return hits
+	}
+	r, m, x := score(rigid), score(merged), score(maxed)
+	t.Logf("resilience hits/200: rigid=%d merged=%d maximized=%d", r, m, x)
+	if !(r <= m && m <= x) {
+		t.Errorf("ordering violated: rigid=%d merged=%d maximized=%d", r, m, x)
+	}
+	if x <= r {
+		t.Errorf("maximization gained nothing: rigid=%d maximized=%d", r, x)
+	}
+	if x < 150 {
+		t.Errorf("maximized wrapper too fragile: %d/200", x)
+	}
+}
+
+func TestWrapperAccessors(t *testing.T) {
+	w, err := Train([]Sample{{HTML: fig1Top, Target: TargetMarker()}}, fig1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Table() == nil || w.String() == "" {
+		t.Error("accessors broken")
+	}
+	if w.Expr().P() != w.Table().Lookup("INPUT") {
+		t.Error("marked symbol should be INPUT")
+	}
+}
+
+// End-to-end HTML resilience: the trained wrapper must keep extracting the
+// exact byte region of the target as the page source is edited (experiment
+// E8 with the full stack in the loop).
+func TestHTMLResilienceEndToEnd(t *testing.T) {
+	cfg := fig1Config()
+	// Σ must include the redesign vocabulary the perturber can introduce.
+	cfg.ExtraTags = []string{"P", "/P", "HR", "A", "/A", "IMG", "H2", "/H2",
+		"DIV", "/DIV", "TR", "/TR", "TD", "/TD", "TABLE", "/TABLE"}
+	w, err := Train([]Sample{
+		{HTML: fig1Top, Target: TargetMarker()},
+		{HTML: fig1Bottom, Target: TargetMarker()},
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fig1Top
+	target, ok := perturb.FindTag(base, "INPUT", 1)
+	if !ok {
+		t.Fatal("target input not found")
+	}
+	hits, total := 0, 0
+	for seed := int64(0); seed < 100; seed++ {
+		p := perturb.NewHTML(seed)
+		page, want := p.Apply(base, target, 1+int(seed)%4)
+		total++
+		r, err := w.Extract(page)
+		if err != nil {
+			continue
+		}
+		if r.Span == (htmltok.Span{Start: want.Start, End: want.End}) {
+			hits++
+		}
+	}
+	// Some edit sequences delete the H1 header both training pages share —
+	// the wrapper's learned anchor — which no regular wrapper can survive;
+	// those misses are inherent, not bugs. The bar is therefore below 100%.
+	if hits < total*3/4 {
+		t.Errorf("HTML resilience %d/%d", hits, total)
+	}
+}
+
+// Trained wrappers are immutable after construction; concurrent extraction
+// must be race-free (run tests with -race to enforce).
+func TestConcurrentExtraction(t *testing.T) {
+	w, err := Train([]Sample{
+		{HTML: fig1Top, Target: TargetMarker()},
+		{HTML: fig1Bottom, Target: TargetMarker()},
+	}, fig1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	pages := []string{fig1Top, fig1Bottom, fig1Novel}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				page := pages[(g+i)%len(pages)]
+				if _, err := w.Extract(page); err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

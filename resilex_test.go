@@ -1,0 +1,127 @@
+package resilex_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"resilex"
+)
+
+const page1 = `<p><h1>Shop</h1><form action="s.cgi">` +
+	`<input type="image"><input type="text" data-target><input type="radio"></form>`
+
+const page2 = `<table><tr><td><h1>Shop</h1></td></tr><tr><td>` +
+	`<form action="s.cgi"><input type="image"><input type="text" data-target>` +
+	`<input type="radio"></form></td></tr></table>`
+
+func TestFacadeTrainExtract(t *testing.T) {
+	// ExtraTags widens Σ to tags a future redesign might introduce.
+	w, err := resilex.Train([]resilex.Sample{
+		{HTML: page1, Target: resilex.TargetMarker()},
+		{HTML: page2, Target: resilex.TargetMarker()},
+	}, resilex.Config{ExtraTags: []string{"DIV", "/DIV", "HR"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	novel := `<div><h1>Shop</h1></div><form action="s.cgi">` +
+		`<input type="image"><input type="text"><input type="radio"></form><hr>`
+	r, err := w.Extract(novel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Source, `type="text"`) {
+		t.Errorf("extracted %q", r.Source)
+	}
+	if _, err := w.Extract(`<p>empty</p>`); !errors.Is(err, resilex.ErrNotExtracted) {
+		t.Errorf("miss error = %v", err)
+	}
+}
+
+func TestFacadeExpressions(t *testing.T) {
+	tab := resilex.NewTable()
+	x, err := resilex.ParseExpr("q p <p> .*", tab, resilex.Alphabet{}, resilex.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unamb, err := x.Unambiguous()
+	if err != nil || !unamb {
+		t.Fatalf("unambiguous = %v, %v", unamb, err)
+	}
+	maxed, err := resilex.Maximize(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := maxed.Maximal()
+	if err != nil || !m {
+		t.Fatalf("maximal = %v, %v", m, err)
+	}
+	if g, err := maxed.Generalizes(x); err != nil || !g {
+		t.Fatalf("generalizes = %v, %v", g, err)
+	}
+	// Ambiguity surfaces as ErrAmbiguous.
+	bad, err := resilex.ParseExpr("p* <p> p*", tab, resilex.Alphabet{}, resilex.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resilex.Maximize(bad); !errors.Is(err, resilex.ErrAmbiguous) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFacadeLanguageAndTokens(t *testing.T) {
+	tab := resilex.NewTable()
+	l, err := resilex.ParseLanguage("(p q)*", tab, resilex.Alphabet{}, resilex.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := resilex.ParseTokens("p q p q", tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Contains(w) {
+		t.Error("language misses pqpq")
+	}
+	re, err := resilex.ParseRegex("p | q", tab, resilex.Alphabet{})
+	if err != nil || re == nil {
+		t.Fatalf("ParseRegex: %v", err)
+	}
+}
+
+func TestFacadePersistence(t *testing.T) {
+	w, err := resilex.Train([]resilex.Sample{
+		{HTML: page1, Target: resilex.TargetMarker()},
+	}, resilex.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := w.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := resilex.LoadWrapper(data, resilex.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := w.Extract(page1)
+	r2, _ := w2.Extract(page1)
+	if r1.Span != r2.Span {
+		t.Error("loaded wrapper differs")
+	}
+}
+
+func TestFacadeInduce(t *testing.T) {
+	tab := resilex.NewTable()
+	d1, _ := resilex.ParseTokens("P FORM INPUT INPUT /FORM", tab)
+	d2, _ := resilex.ParseTokens("DIV P FORM INPUT INPUT /FORM /DIV", tab)
+	x, err := resilex.Induce([]resilex.Example{
+		{Doc: d1, Target: 3},
+		{Doc: d2, Target: 4},
+	}, resilex.NewAlphabet(), resilex.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos, ok := x.Extract(d2); !ok || pos != 4 {
+		t.Errorf("extract = (%d, %v)", pos, ok)
+	}
+}
