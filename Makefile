@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover fuzz bench experiments examples clean
+.PHONY: all build vet test race cover fuzz fuzz-smoke check bench experiments examples clean
 
 all: build vet test
+
+# The robustness gate: static checks, the full suite under the race
+# detector, and a short fuzz smoke over every fuzz target.
+check: vet race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -26,6 +30,16 @@ fuzz:
 	$(GO) test -fuzz=FuzzParse$$ -fuzztime=10s ./internal/rx/
 	$(GO) test -fuzz=FuzzParseMarked -fuzztime=10s ./internal/rx/
 	$(GO) test -fuzz=FuzzScan -fuzztime=10s ./internal/htmltok/
+	$(GO) test -fuzz=FuzzLoadWrapper -fuzztime=10s ./internal/wrapper/
+	$(GO) test -fuzz=FuzzLoadFleet -fuzztime=10s ./internal/wrapper/
+
+# 5s per target, for the check gate.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParse$$ -fuzztime=5s ./internal/rx/
+	$(GO) test -fuzz=FuzzParseMarked -fuzztime=5s ./internal/rx/
+	$(GO) test -fuzz=FuzzScan -fuzztime=5s ./internal/htmltok/
+	$(GO) test -fuzz=FuzzLoadWrapper -fuzztime=5s ./internal/wrapper/
+	$(GO) test -fuzz=FuzzLoadFleet -fuzztime=5s ./internal/wrapper/
 
 # Every experiment series (E1..E13) plus the ablations.
 bench:

@@ -3,14 +3,17 @@
 //
 // Usage:
 //
-//	extract -w wrapper.json page1.html page2.html ...
+//	extract -w wrapper.json [-timeout 1s] [-max-states N] page1.html ...
 //
 // For every page the tool prints the byte span and source text of the
 // extracted element, or an error when the wrapper does not parse the page.
-// The exit status is the number of pages that failed.
+// -timeout bounds wrapper loading and each extraction with a deadline;
+// -max-states (alias -budget) caps automaton construction. The exit status
+// is the number of pages that failed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,18 +24,35 @@ import (
 func main() {
 	wpath := flag.String("w", "wrapper.json", "wrapper JSON produced by wrapgen")
 	budget := flag.Int("budget", 0, "state budget for automaton constructions (0 = default)")
+	maxStates := flag.Int("max-states", 0, "alias of -budget: state budget for automaton constructions")
+	timeout := flag.Duration("timeout", 0, "deadline per page: loading and each extraction abandon with a deadline error when exceeded (0 = none)")
 	quiet := flag.Bool("q", false, "print only the extracted source text")
 	flag.Parse()
 	pages := flag.Args()
 	if len(pages) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: extract -w wrapper.json page.html ...")
+		fmt.Fprintln(os.Stderr, "usage: extract -w wrapper.json [-timeout 1s] [-max-states N] page.html ...")
 		os.Exit(2)
+	}
+	if *maxStates > 0 {
+		*budget = *maxStates
 	}
 	data, err := os.ReadFile(*wpath)
 	if err != nil {
 		fatal(err)
 	}
 	opt := resilex.Options{MaxStates: *budget}
+	// bound returns a context honoring -timeout, for loading and per page.
+	bound := func() (context.Context, context.CancelFunc) {
+		if *timeout > 0 {
+			return context.WithTimeout(context.Background(), *timeout)
+		}
+		return context.Background(), func() {}
+	}
+	{
+		ctx, cancel := bound()
+		opt = opt.WithContext(ctx)
+		defer cancel()
+	}
 	// Dispatch on payload kind: single-slot or tuple wrapper.
 	var run func(html string) ([]resilex.Region, error)
 	if resilex.IsTuplePayload(data) {
@@ -40,14 +60,23 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		run = w.Extract
+		run = func(html string) ([]resilex.Region, error) {
+			ctx, cancel := bound()
+			defer cancel()
+			if err := (resilex.Options{Ctx: ctx}).Err(); err != nil {
+				return nil, err
+			}
+			return w.Extract(html)
+		}
 	} else {
 		w, err := resilex.LoadWrapper(data, opt)
 		if err != nil {
 			fatal(err)
 		}
 		run = func(html string) ([]resilex.Region, error) {
-			r, err := w.Extract(html)
+			ctx, cancel := bound()
+			defer cancel()
+			r, err := resilex.ExtractWithin(ctx, w, html)
 			if err != nil {
 				return nil, err
 			}

@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	resilience            # run every experiment at the standard scale
-//	resilience -quick     # smaller sweeps (seconds, for CI)
-//	resilience -run E4,E8 # a subset
+//	resilience                # run every experiment at the standard scale
+//	resilience -quick         # smaller sweeps (seconds, for CI)
+//	resilience -run E4,E8     # a subset
+//	resilience -timeout 30s   # abandon any experiment that exceeds the deadline
+//	resilience -max-states N  # cap automaton construction per experiment
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -17,6 +20,7 @@ import (
 	"strings"
 
 	"resilex/internal/bench"
+	"resilex/internal/machine"
 )
 
 func main() {
@@ -24,6 +28,8 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	seed := flag.Int64("seed", 1, "random seed for generated workloads")
 	asJSON := flag.Bool("json", false, "emit tables as JSON instead of text")
+	maxStates := flag.Int("max-states", 0, "state budget for automaton constructions (0 = default)")
+	timeout := flag.Duration("timeout", 0, "deadline per experiment; exceeded experiments are reported and skipped (0 = none)")
 	flag.Parse()
 
 	type experiment struct {
@@ -70,13 +76,40 @@ func main() {
 			want[strings.ToUpper(id)] = true
 		}
 	}
+	// runBounded runs one experiment under -timeout/-max-states. Workload
+	// generators panic on construction errors they consider impossible; a
+	// deadline or tight budget makes those reachable, so they are recovered
+	// here and reported as an abandoned experiment instead of a crash.
+	runBounded := func(fn func() bench.Table) (table bench.Table, err error) {
+		opts := machine.Options{MaxStates: *maxStates}
+		if *timeout > 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+			defer cancel()
+			opts = opts.WithContext(ctx)
+		}
+		bench.DefaultOptions = opts
+		defer func() {
+			bench.DefaultOptions = machine.Options{}
+			if r := recover(); r != nil {
+				err = fmt.Errorf("abandoned: %v", r)
+			}
+		}()
+		return fn(), nil
+	}
+
 	ran := 0
+	failed := 0
 	enc := json.NewEncoder(os.Stdout)
 	for _, ex := range experiments {
 		if len(want) > 0 && !want[ex.id] {
 			continue
 		}
-		table := ex.fn()
+		table, err := runBounded(ex.fn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resilience: %s: %v\n", ex.id, err)
+			failed++
+			continue
+		}
 		if *asJSON {
 			if err := enc.Encode(table); err != nil {
 				fmt.Fprintln(os.Stderr, "resilience:", err)
@@ -86,6 +119,9 @@ func main() {
 			fmt.Println(table.Format())
 		}
 		ran++
+	}
+	if failed > 0 && ran == 0 {
+		os.Exit(1)
 	}
 	if ran == 0 {
 		fmt.Fprintln(os.Stderr, "resilience: no experiment matched -run (valid: E3 E4 E5 E6 E7 E8 E8H E10 E11 E13 E14)")

@@ -28,6 +28,29 @@
 //   - An HTML front end: Train induces a wrapper from sample pages with a
 //     marked target (learning-stage merge heuristic + maximization) and
 //     Extract maps results back to byte regions of the live page.
+//   - A self-healing runtime: a Supervisor over a Fleet of wrappers runs a
+//     degradation ladder (wrapper → refresh → probe → structured miss) with
+//     per-site circuit breakers, bounded by deadlines and state budgets.
+//
+// # Error taxonomy
+//
+// Every error returned by the facade wraps exactly one typed sentinel, so
+// callers branch with errors.Is and never parse messages:
+//
+//   - ErrNoMatch (= ErrNotExtracted): the wrapper's expression does not
+//     parse the page — the page-drift signal that drives refresh.
+//   - ErrAmbiguous: an expression or new sample admits two extractions.
+//   - ErrBudgetExceeded (= ErrBudget): an automaton construction hit its
+//     MaxStates budget (the PSPACE-hard paths are budgeted, not hidden).
+//   - ErrDeadlineExceeded: the context bounding a construction or
+//     extraction expired; work is abandoned promptly at the next poll.
+//   - ErrMalformedInput: corrupt persisted wrapper/fleet JSON, or a page
+//     with no recognizable structure at all.
+//   - ErrUnknownKey, ErrQuarantined: fleet dispatch failures — no wrapper
+//     for the site, or its circuit breaker is open.
+//   - ErrInternal: a recovered invariant failure; the facade's recover()
+//     backstop guarantees internal panics surface as this error instead of
+//     crashing the caller.
 //
 // # Quick start
 //

@@ -21,6 +21,13 @@ import (
 	"resilex/internal/symtab"
 )
 
+// DefaultOptions is the construction budget/deadline every experiment runs
+// under. cmd/resilience sets it from -max-states and -timeout; the zero
+// value keeps the package default budget with no deadline. Experiments that
+// exhaust it either report a degraded row (E4) or abort with a typed error
+// the caller recovers.
+var DefaultOptions machine.Options
+
 // Env bundles a symbol table with a small abstract alphabet {p, q, r}.
 type Env struct {
 	Tab     *symtab.Table
@@ -61,7 +68,7 @@ func (e Env) UnambiguousExpr(size int, rng *rand.Rand) extract.Expr {
 		}
 	}
 	left := rx.Concat(parts...)
-	x, err := extract.FromAST(left, e.P, rx.Star(rx.Class(e.Sigma)), e.Sigma, machine.Options{})
+	x, err := extract.FromAST(left, e.P, rx.Star(rx.Class(e.Sigma)), e.Sigma, DefaultOptions)
 	if err != nil {
 		panic(err) // plain operators cannot fail over a fixed small Σ
 	}
@@ -81,7 +88,7 @@ func (e Env) AmbiguousExpr(size int, rng *rand.Rand) extract.Expr {
 		}
 	}
 	left := rx.Concat(parts...)
-	x, err := extract.FromAST(left, e.P, rx.Star(rx.Class(e.Sigma)), e.Sigma, machine.Options{})
+	x, err := extract.FromAST(left, e.P, rx.Star(rx.Class(e.Sigma)), e.Sigma, DefaultOptions)
 	if err != nil {
 		panic(err)
 	}
@@ -98,7 +105,7 @@ func (e Env) BoundedPExpr(n int) extract.Expr {
 		parts = append(parts, rx.Sym(e.P), rx.Sym(e.Q), rx.Star(rx.AnyOf(e.Q, e.R)))
 	}
 	left := rx.Concat(parts...)
-	x, err := extract.FromAST(left, e.P, rx.Star(rx.Class(e.Sigma)), e.Sigma, machine.Options{})
+	x, err := extract.FromAST(left, e.P, rx.Star(rx.Class(e.Sigma)), e.Sigma, DefaultOptions)
 	if err != nil {
 		panic(err)
 	}
@@ -115,7 +122,7 @@ func (e Env) PivotExpr(k int) extract.Expr {
 	}
 	parts = append(parts, rx.Sym(e.Q))
 	left := rx.Concat(parts...)
-	x, err := extract.FromAST(left, e.P, rx.Star(rx.Class(e.Sigma)), e.Sigma, machine.Options{})
+	x, err := extract.FromAST(left, e.P, rx.Star(rx.Class(e.Sigma)), e.Sigma, DefaultOptions)
 	if err != nil {
 		panic(err)
 	}

@@ -110,11 +110,11 @@ func E4Maximality(ns []int) Table {
 	for _, n := range ns {
 		expr, sigma := e.PSPACEWitness(n)
 		start := time.Now()
-		nfa, err := machine.Compile(expr, sigma, machine.Options{})
+		nfa, err := machine.Compile(expr, sigma, DefaultOptions)
 		if err != nil {
 			panic(err)
 		}
-		d, err := machine.Determinize(nfa, machine.Options{})
+		d, err := machine.Determinize(nfa, DefaultOptions)
 		if err != nil {
 			t.Rows = append(t.Rows, []string{fmt.Sprint(n), fmt.Sprint(nfa.NumStates()), "budget!", fmt.Sprint(1 << (n + 1)), "-"})
 			continue
@@ -139,7 +139,7 @@ func E5Nonunique() Table {
 		Claim:  "Example 4.7: maximization is not unique; an infinite family of maximal generalizations exists",
 		Header: []string{"generalization", "unambiguous", "maximal", "distinct-from-first"},
 	}
-	in, err := extract.Parse("q p <p> .*", e.Tab, e.Sigma, machine.Options{})
+	in, err := extract.Parse("q p <p> .*", e.Tab, e.Sigma, DefaultOptions)
 	if err != nil {
 		panic(err)
 	}
@@ -147,7 +147,7 @@ func E5Nonunique() Table {
 	if err != nil {
 		panic(err)
 	}
-	manual, err := extract.Parse("[^ p]* p [^ p]* <p> .*", e.Tab, e.Sigma, machine.Options{})
+	manual, err := extract.Parse("[^ p]* p [^ p]* <p> .*", e.Tab, e.Sigma, DefaultOptions)
 	if err != nil {
 		panic(err)
 	}
@@ -358,7 +358,7 @@ func E13Tuple(trials int, seed int64) Table {
 		{Doc: base, Targets: targets},
 		{Doc: variant, Targets: []int{4, 5}},
 	}
-	induced, err := learn.InduceTuple(examples, sigma, machine.Options{})
+	induced, err := learn.InduceTuple(examples, sigma, DefaultOptions)
 	if err != nil {
 		panic(err)
 	}
@@ -470,7 +470,7 @@ func E10Factoring(depths []int, trials int, seed int64) Table {
 		Claim:  "Lemma 5.2: factors are computable in polynomial time",
 		Header: []string{"depth", "avg-states", "left µs/op", "right µs/op"},
 	}
-	opts := machine.Options{}
+	opts := DefaultOptions
 	for _, depth := range depths {
 		var duL, duR time.Duration
 		states := 0

@@ -70,12 +70,18 @@ func promote(l lang.Language, sigma symtab.Alphabet) lang.Language {
 	if l.Sigma().Equal(sigma) {
 		return l
 	}
-	// Union with ∅ over the wider alphabet re-homes the language.
-	out, err := l.Union(lang.Empty(sigma, l.Options()))
+	// Union with ∅ over the wider alphabet re-homes the language. Run it
+	// without the time bound: the product has a 1-state right operand, so
+	// this is linear in an already-bounded input and cannot fail.
+	rehomed := l
+	if l.Options().Ctx != nil {
+		rehomed = l.WithOptions(l.Options().WithoutContext())
+	}
+	out, err := rehomed.Union(lang.Empty(sigma, rehomed.Options()))
 	if err != nil {
 		panic(err) // product of a DFA with a 1-state DFA cannot exceed budget
 	}
-	return out
+	return out.WithOptions(l.Options())
 }
 
 // FromAST builds an expression from component ASTs over sigma (which is
@@ -170,20 +176,11 @@ func (e Expr) Extract(word []symtab.Symbol) (pos int, ok bool) {
 }
 
 func (e Expr) matcher() *Matcher {
-	build := func() *Matcher {
-		m, err := e.Compile()
-		if err != nil {
-			// Compile's error return is reserved; it cannot fail today, but
-			// surface loudly rather than silently extracting nothing.
-			panic(fmt.Sprintf("extract: compiling matcher: %v", err))
-		}
-		return m
-	}
 	if e.mc == nil {
 		// Zero-value Expr (not produced by a constructor): no cache to share.
-		return build()
+		return e.compileMatcher()
 	}
-	e.mc.once.Do(func() { e.mc.m = build() })
+	e.mc.once.Do(func() { e.mc.m = e.compileMatcher() })
 	return e.mc.m
 }
 

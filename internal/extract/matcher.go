@@ -1,6 +1,8 @@
 package extract
 
 import (
+	"fmt"
+
 	"resilex/internal/machine"
 	"resilex/internal/symtab"
 )
@@ -23,9 +25,18 @@ type Matcher struct {
 	sigma symtab.Alphabet
 }
 
-// Compile builds the matcher. The error return is reserved for future
-// construction limits; the current implementation always succeeds.
+// Compile builds the matcher. Both component DFAs already exist, so the only
+// failure mode is an expired deadline carried by the expression's options.
 func (e Expr) Compile() (*Matcher, error) {
+	if err := e.opt.Err(); err != nil {
+		return nil, fmt.Errorf("%w: matcher compilation", err)
+	}
+	return e.compileMatcher(), nil
+}
+
+// compileMatcher is the infallible core of Compile: the predecessor-table
+// build is linear in the (budget-bounded) suffix DFA.
+func (e Expr) compileMatcher() *Matcher {
 	fwd := e.left.DFA()
 	bwd := e.right.DFA()
 	binv := make([][][]int32, len(bwd.Symbols()))
@@ -38,7 +49,7 @@ func (e Expr) Compile() (*Matcher, error) {
 			binv[k][t] = append(binv[k][t], int32(s))
 		}
 	}
-	return &Matcher{p: e.p, fwd: fwd, bwd: bwd, binv: binv, sigma: e.sigma}, nil
+	return &Matcher{p: e.p, fwd: fwd, bwd: bwd, binv: binv, sigma: e.sigma}
 }
 
 // P returns the marked symbol the matcher extracts.

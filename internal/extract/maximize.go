@@ -137,9 +137,9 @@ func (e Expr) reverse() (Expr, error) {
 
 // sigmaMinusPStar returns (Σ−p)*.
 func sigmaMinusPStar(sigma symtab.Alphabet, p symtab.Symbol, opt machine.Options) lang.Language {
-	l, err := lang.FromRegex(rx.Star(rx.Class(sigma.Without(p))), sigma, opt)
+	l, err := lang.FromRegex(rx.Star(rx.Class(sigma.Without(p))), sigma, opt.WithoutContext())
 	if err != nil {
-		panic(err) // two-state automaton; cannot exceed any budget
+		panic(err) // two-state automaton; cannot exceed any budget, no deadline
 	}
 	return l
 }

@@ -1,0 +1,241 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"resilex/internal/machine"
+	"resilex/internal/wrapper"
+)
+
+// Training layouts for a small shop site, plus a redesigned page that uses
+// tags outside the training alphabet — guaranteed to break the wrapper and
+// guaranteed to be refreshable (the drift carries the training marker).
+const (
+	shopA = `<h1>Shop</h1><form><input type="image"><input type="text" data-target></form>`
+	shopB = `<div><h1>Shop</h1><p>deal!</p><form><input type="image"><input type="text" data-target></form></div>`
+	drift = `<table><tr><td><form><input type="image"><input type="text" data-target></form></td></tr></table>`
+)
+
+func trainShop(t *testing.T) *wrapper.Wrapper {
+	t.Helper()
+	w, err := wrapper.Train([]wrapper.Sample{
+		{HTML: shopA, Target: wrapper.TargetMarker()},
+		{HTML: shopB, Target: wrapper.TargetMarker()},
+	}, wrapper.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func markerByAttr(html string) (wrapper.Target, bool) {
+	if strings.Contains(html, wrapper.MarkerAttr) {
+		return wrapper.TargetMarker(), true
+	}
+	return wrapper.Target{}, false
+}
+
+func newSupervisor(t *testing.T, cfg wrapper.SupervisorConfig) *wrapper.Supervisor {
+	t.Helper()
+	f := wrapper.NewFleet()
+	f.Add("shop", trainShop(t))
+	if cfg.Sleep == nil {
+		cfg.Sleep = func(time.Duration) {}
+	}
+	return wrapper.NewSupervisor(f, cfg)
+}
+
+// TestInjectors pins down the injectors' deterministic behavior.
+func TestInjectors(t *testing.T) {
+	if got := Truncate(shopA, 0.5); len(got) != len(shopA)/2 {
+		t.Errorf("Truncate length = %d", len(got))
+	}
+	if Truncate(shopA, 0) != "" || Truncate(shopA, 1) != shopA {
+		t.Error("Truncate bounds wrong")
+	}
+	cut := TruncateAtTag(shopA, 2)
+	if !strings.HasSuffix(cut, `<h1>Shop</h1>`) {
+		t.Errorf("TruncateAtTag = %q", cut)
+	}
+	if g := GarbleTags(shopA, 1); strings.Contains(g, ">") {
+		t.Errorf("GarbleTags(1) kept a '>': %q", g)
+	}
+	if Shuffle(shopA, 7, 8) != Shuffle(shopA, 7, 8) {
+		t.Error("Shuffle not deterministic")
+	}
+	if Shuffle(shopA, 7, 8) == shopA {
+		t.Error("Shuffle(seed 7) left the page intact")
+	}
+	if s := StripMarker(drift); strings.Contains(s, "data-target") {
+		t.Errorf("StripMarker left marker: %q", s)
+	}
+	if TinyBudget(3).MaxStates != 3 {
+		t.Error("TinyBudget")
+	}
+	if err := ExpiredContext().Err(); err == nil {
+		t.Error("ExpiredContext not expired")
+	}
+}
+
+// TestLadderRungs drives each of the supervisor's four rungs with an
+// injected fault chosen to stop exactly at that rung.
+func TestLadderRungs(t *testing.T) {
+	ctx := context.Background()
+
+	// Rung 1: no fault — the trained wrapper serves directly.
+	s := newSupervisor(t, wrapper.SupervisorConfig{Marker: markerByAttr})
+	out, err := s.Extract(ctx, "shop", shopB)
+	if err != nil || out.Rung != wrapper.RungWrapper {
+		t.Fatalf("rung 1: %+v, %v", out, err)
+	}
+
+	// Rung 2: a redesign outside the training alphabet, still markable —
+	// the refresh rung widens the wrapper and serves.
+	out, err = s.Extract(ctx, "shop", drift)
+	if err != nil || out.Rung != wrapper.RungRefresh {
+		t.Fatalf("rung 2: %+v, %v", out, err)
+	}
+
+	// Rung 3: the page arrives under an unknown key; the shop wrapper
+	// claims it unambiguously during the probe.
+	s = newSupervisor(t, wrapper.SupervisorConfig{Marker: markerByAttr})
+	out, err = s.Extract(ctx, "cdn-mirror", shopB)
+	if err != nil || out.Rung != wrapper.RungProbe || out.Key != "shop" {
+		t.Fatalf("rung 3: %+v, %v", out, err)
+	}
+
+	// Rung 4: drift with the marker stripped and the tail truncated —
+	// unmatchable, unmarkable, unclaimable. The ladder bottoms out in a
+	// structured miss.
+	broken := Truncate(StripMarker(drift), 0.6)
+	_, err = s.Extract(ctx, "shop", broken)
+	var miss *wrapper.MissReport
+	if !errors.As(err, &miss) {
+		t.Fatalf("rung 4: err = %v, want *MissReport", err)
+	}
+	if miss.ProbeClaims != 0 || !errors.Is(err, wrapper.ErrNoMatch) {
+		t.Errorf("rung 4 report: %+v", miss)
+	}
+}
+
+// TestBreakerQuarantineAndProbeRecovery injects repeated failures until the
+// circuit breaker opens, then shows a successful probe half-opening it and a
+// clean request closing it again.
+func TestBreakerQuarantineAndProbeRecovery(t *testing.T) {
+	const threshold = 3
+	s := newSupervisor(t, wrapper.SupervisorConfig{BreakerThreshold: threshold})
+	ctx := context.Background()
+	garbled := GarbleTags(shopB, 1)
+
+	for i := 0; i < threshold; i++ {
+		if _, err := s.Extract(ctx, "shop", garbled); err == nil {
+			t.Fatalf("garbled page extracted on attempt %d", i)
+		}
+	}
+	if h := s.Health("shop"); h.Breaker != wrapper.BreakerOpen {
+		t.Fatalf("breaker = %v after %d injected failures", h.Breaker, threshold)
+	}
+
+	// Quarantined: even a clean page is not given to the wrapper directly —
+	// but the probe rung claims it, which half-opens the breaker.
+	out, err := s.Extract(ctx, "shop", shopB)
+	if err != nil || out.Rung != wrapper.RungProbe {
+		t.Fatalf("quarantined extract: %+v, %v", out, err)
+	}
+	if h := s.Health("shop"); h.Breaker != wrapper.BreakerHalfOpen {
+		t.Fatalf("breaker = %v after probe success, want half-open", h.Breaker)
+	}
+
+	// The half-open trial succeeds and the breaker closes.
+	out, err = s.Extract(ctx, "shop", shopB)
+	if err != nil || out.Rung != wrapper.RungWrapper {
+		t.Fatalf("trial extract: %+v, %v", out, err)
+	}
+	if h := s.Health("shop"); h.Breaker != wrapper.BreakerClosed {
+		t.Errorf("breaker = %v after trial, want closed", h.Breaker)
+	}
+}
+
+// TestExpiredContextFailsFast injects an already-expired context into
+// extraction, refresh, and the supervisor ladder: each must return an error
+// wrapping machine.ErrDeadline well within 100ms — no construction work.
+func TestExpiredContextFailsFast(t *testing.T) {
+	w := trainShop(t)
+	s := newSupervisor(t, wrapper.SupervisorConfig{Marker: markerByAttr})
+	ctx := ExpiredContext()
+
+	start := time.Now()
+	if _, err := w.ExtractContext(ctx, shopB); !errors.Is(err, machine.ErrDeadline) {
+		t.Errorf("extract: err = %v", err)
+	}
+	if _, err := w.RefreshContext(ctx, wrapper.Sample{HTML: drift, Target: wrapper.TargetMarker()}); !errors.Is(err, machine.ErrDeadline) {
+		t.Errorf("refresh: err = %v", err)
+	}
+	if _, err := s.Extract(ctx, "shop", shopB); !errors.Is(err, machine.ErrDeadline) {
+		t.Errorf("supervisor: err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("expired-context calls took %v, want < 100ms", elapsed)
+	}
+}
+
+// TestTinyBudgetSurfacesTyped starves constructions with a few-state budget:
+// every path must fail with an error wrapping machine.ErrBudget, never
+// panic, and leave the serving wrapper intact.
+func TestTinyBudgetSurfacesTyped(t *testing.T) {
+	w := trainShop(t)
+	starved := w.WithOptions(TinyBudget(2))
+	if _, err := starved.Refresh(wrapper.Sample{HTML: drift, Target: wrapper.TargetMarker()}); !errors.Is(err, machine.ErrBudget) {
+		t.Fatalf("starved refresh: err = %v, want ErrBudget", err)
+	}
+
+	// Through the supervisor: the refresh rung is starved via
+	// RefreshOptions; the ladder degrades to a miss instead of panicking.
+	s := newSupervisor(t, wrapper.SupervisorConfig{
+		Marker:         markerByAttr,
+		RefreshOptions: TinyBudget(2),
+	})
+	_, err := s.Extract(context.Background(), "shop", drift)
+	var miss *wrapper.MissReport
+	if !errors.As(err, &miss) {
+		t.Fatalf("starved ladder: err = %v, want *MissReport", err)
+	}
+	// The serving wrapper survived the starved refresh.
+	if out, err := s.Extract(context.Background(), "shop", shopB); err != nil || out.Rung != wrapper.RungWrapper {
+		t.Errorf("serving wrapper damaged: %+v, %v", out, err)
+	}
+}
+
+// TestInjectedPagesNeverPanic sweeps every injector over the training pages
+// and runs extraction, training, and probing on the wreckage: errors are
+// fine, panics are not (none of these paths may crash a robot).
+func TestInjectedPagesNeverPanic(t *testing.T) {
+	w := trainShop(t)
+	f := wrapper.NewFleet()
+	f.Add("shop", w)
+	pages := []string{shopA, shopB, drift}
+	var broken []string
+	for _, p := range pages {
+		broken = append(broken,
+			Truncate(p, 0.3), Truncate(p, 0.7),
+			TruncateAtTag(p, 1), TruncateAtTag(p, 3),
+			GarbleTags(p, 1), GarbleTags(p, 2),
+			Shuffle(p, 1, 4), Shuffle(p, 2, 16),
+			StripMarker(p),
+		)
+	}
+	for i, p := range broken {
+		if _, err := w.Extract(p); err != nil {
+			_ = err // typed failure is the contract; crash is the bug
+		}
+		f.Probe(p)
+		if _, err := wrapper.Train([]wrapper.Sample{{HTML: p, Target: wrapper.TargetMarker()}}, wrapper.Config{}); err != nil {
+			_ = err
+		}
+		_ = i
+	}
+}

@@ -42,8 +42,19 @@ func (l Language) States() int { return l.min.NumStates() }
 // Options returns the state budget options carried by this language.
 func (l Language) Options() machine.Options { return l.opt }
 
-func fromDFA(d *machine.DFA, opt machine.Options) Language {
-	return Language{sigma: d.Sigma, min: machine.Minimize(d), opt: opt}
+// WithOptions returns the same language carrying different construction
+// options (budget and/or deadline) for subsequent operations.
+func (l Language) WithOptions(opt machine.Options) Language {
+	l.opt = opt
+	return l
+}
+
+func fromDFA(d *machine.DFA, opt machine.Options) (Language, error) {
+	min, err := machine.MinimizeOpt(d, opt)
+	if err != nil {
+		return Language{}, err
+	}
+	return Language{sigma: d.Sigma, min: min, opt: opt}, nil
 }
 
 // FromNFA canonicalizes an NFA into a Language.
@@ -52,7 +63,7 @@ func FromNFA(n *machine.NFA, opt machine.Options) (Language, error) {
 	if err != nil {
 		return Language{}, err
 	}
-	return fromDFA(d, opt), nil
+	return fromDFA(d, opt)
 }
 
 // FromRegex compiles a regular-expression AST over sigma.
@@ -78,33 +89,37 @@ func Parse(src string, tab *symtab.Table, sigma symtab.Alphabet, opt machine.Opt
 	return FromRegex(e, full, opt)
 }
 
-// Empty returns ∅ over sigma.
+// Empty returns ∅ over sigma. The construction is constant-size, so it runs
+// without the options' time bound and its error path is a true invariant.
 func Empty(sigma symtab.Alphabet, opt machine.Options) Language {
-	n, _ := machine.Compile(rx.Empty(), sigma, opt)
-	l, err := FromNFA(n, opt)
+	n, _ := machine.Compile(rx.Empty(), sigma, opt.WithoutContext())
+	l, err := FromNFA(n, opt.WithoutContext())
 	if err != nil {
-		panic(err) // cannot happen: two-state automaton
+		panic(err) // cannot happen: two-state automaton, no deadline
 	}
+	l.opt = opt
 	return l
 }
 
 // EpsilonOnly returns {ε} over sigma.
 func EpsilonOnly(sigma symtab.Alphabet, opt machine.Options) Language {
-	n, _ := machine.Compile(rx.Epsilon(), sigma, opt)
-	l, err := FromNFA(n, opt)
+	n, _ := machine.Compile(rx.Epsilon(), sigma, opt.WithoutContext())
+	l, err := FromNFA(n, opt.WithoutContext())
 	if err != nil {
-		panic(err)
+		panic(err) // cannot happen: two-state automaton, no deadline
 	}
+	l.opt = opt
 	return l
 }
 
 // Universal returns Σ*.
 func Universal(sigma symtab.Alphabet, opt machine.Options) Language {
-	n, _ := machine.Compile(rx.Star(rx.Class(sigma)), sigma, opt)
-	l, err := FromNFA(n, opt)
+	n, _ := machine.Compile(rx.Star(rx.Class(sigma)), sigma, opt.WithoutContext())
+	l, err := FromNFA(n, opt.WithoutContext())
 	if err != nil {
-		panic(err)
+		panic(err) // cannot happen: one-state automaton, no deadline
 	}
+	l.opt = opt
 	return l
 }
 
@@ -141,10 +156,11 @@ func (l Language) withSigma(sigma symtab.Alphabet) Language {
 	}
 	n := machine.FromDFA(l.min)
 	n.Sigma = sigma
-	out, err := FromNFA(n, l.opt)
+	out, err := FromNFA(n, l.opt.WithoutContext())
 	if err != nil {
 		panic(err) // determinizing a DFA re-homed over a larger Σ cannot blow up
 	}
+	out.opt = l.opt
 	return out
 }
 
@@ -163,7 +179,7 @@ func (l Language) product(o Language, op func(bool, bool) bool) (Language, error
 	if err != nil {
 		return Language{}, err
 	}
-	return fromDFA(d, l.opt), nil
+	return fromDFA(d, l.opt)
 }
 
 // Union returns L ∪ M.
@@ -181,9 +197,15 @@ func (l Language) Minus(o Language) (Language, error) {
 	return l.product(o, func(x, y bool) bool { return x && !y })
 }
 
-// Complement returns Σ* − L.
+// Complement returns Σ* − L: a linear flip of the (already minimal) accept
+// set, so it runs without the options' time bound.
 func (l Language) Complement() Language {
-	return fromDFA(l.min.Complement(), l.opt)
+	out, err := fromDFA(l.min.Complement(), l.opt.WithoutContext())
+	if err != nil {
+		panic(err) // cannot happen: no deadline, no determinization
+	}
+	out.opt = l.opt
+	return out
 }
 
 // Concat returns L·M.

@@ -87,6 +87,9 @@ func Induce(examples []Example, sigma symtab.Alphabet, opt machine.Options) (Res
 	if len(examples) == 0 {
 		return Result{}, ErrNoExamples
 	}
+	if err := opt.Err(); err != nil {
+		return Result{}, fmt.Errorf("learn: %w", err)
+	}
 	for _, ex := range examples {
 		if err := ex.Validate(); err != nil {
 			return Result{}, err
@@ -125,10 +128,16 @@ func Induce(examples []Example, sigma symtab.Alphabet, opt machine.Options) (Res
 		return res, err
 	}
 	// Rung 2: merged right context disambiguates many p-dense layouts.
+	if err := opt.Err(); err != nil {
+		return Result{}, fmt.Errorf("learn: %w", err)
+	}
 	if res, ok, err := try(MergeWords(suffixes), StrategyMergeBoth); err != nil || ok {
 		return res, err
 	}
 	// Rung 3: rigid union — always parses exactly the training set.
+	if err := opt.Err(); err != nil {
+		return Result{}, fmt.Errorf("learn: %w", err)
+	}
 	var lws, rws []*rx.Node
 	for i := range prefixes {
 		lws = append(lws, rx.Word(prefixes[i]...))

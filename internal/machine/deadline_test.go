@@ -1,0 +1,95 @@
+package machine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+// expBlowupNFA returns the classic (a|b)*·b·(a|b)^n NFA whose minimal DFA has
+// 2^n states — the PSPACE-flavored workload a deadline must be able to stop.
+func expBlowupNFA(t *testing.T, n int) (*NFA, symtab.Alphabet) {
+	t.Helper()
+	tab := symtab.NewTable()
+	a, b := tab.Intern("a"), tab.Intern("b")
+	sigma := symtab.NewAlphabet(a, b)
+	any := rx.Class(sigma)
+	parts := []*rx.Node{rx.Star(any), rx.Sym(b)}
+	for i := 0; i < n; i++ {
+		parts = append(parts, any)
+	}
+	m, err := Compile(rx.Concat(parts...), sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, sigma
+}
+
+func TestDeterminizeExpiredContext(t *testing.T) {
+	nfa, _ := expBlowupNFA(t, 22)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := Determinize(nfa, Options{Ctx: ctx})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("expired context took %v to surface (want < 100ms)", d)
+	}
+}
+
+func TestDeterminizeDeadlineMidFlight(t *testing.T) {
+	nfa, _ := expBlowupNFA(t, 24)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := Determinize(nfa, Options{MaxStates: -1, Ctx: ctx})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+}
+
+func TestMinimizeOptExpiredContext(t *testing.T) {
+	nfa, _ := expBlowupNFA(t, 10)
+	d, err := Determinize(nfa, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MinimizeOpt(d, Options{Ctx: ctx}); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	// Without a context the same input minimizes fine.
+	if m := Minimize(d); m.NumStates() == 0 {
+		t.Fatal("empty minimization")
+	}
+}
+
+func TestBrzozowskiDeadline(t *testing.T) {
+	nfa, _ := expBlowupNFA(t, 8)
+	d, err := Determinize(nfa, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MinimizeBrzozowski(d, Options{Ctx: ctx}); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+}
+
+func TestOptionsErrNilContext(t *testing.T) {
+	if err := (Options{}).Err(); err != nil {
+		t.Fatalf("nil-context options report %v", err)
+	}
+	live, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := (Options{Ctx: live}).Err(); err != nil {
+		t.Fatalf("live-context options report %v", err)
+	}
+}

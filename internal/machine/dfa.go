@@ -105,6 +105,9 @@ func Determinize(n *NFA, opt Options) (*DFA, error) {
 	d.Start = 0
 	queue := [][]bool{start}
 	for qi := 0; qi < len(queue); qi++ {
+		if err := opt.Err(); err != nil {
+			return nil, fmt.Errorf("%w: determinization abandoned at %d states", err, len(index))
+		}
 		set := queue[qi]
 		for k, sym := range d.syms {
 			next := n.move(set, sym)
@@ -168,6 +171,9 @@ func Product(a, b *DFA, op func(bool, bool) bool, opt Options) (*DFA, error) {
 	}
 	d.Start = startID
 	for qi := 0; qi < len(queue); qi++ {
+		if err := opt.Err(); err != nil {
+			return nil, fmt.Errorf("%w: product abandoned at %d states", err, len(index))
+		}
 		p := queue[qi]
 		from := index[p]
 		for k := range d.syms {
@@ -185,7 +191,20 @@ func Product(a, b *DFA, op func(bool, bool) bool, opt Options) (*DFA, error) {
 // trimmed, Hopcroft partition refinement merges equivalent states, and the
 // result is renumbered by breadth-first order from the start state (so two
 // equivalent inputs over the same Σ minimize to byte-identical automata).
+// Hopcroft refinement is polynomial in the (already budget-bounded) input,
+// so this form carries no deadline; MinimizeOpt adds one.
 func Minimize(d *DFA) *DFA {
+	out, err := MinimizeOpt(d, Options{})
+	if err != nil {
+		panic(err) // unreachable: Options{} has no context to expire
+	}
+	return out
+}
+
+// MinimizeOpt is Minimize polling the options' deadline between partition-
+// refinement rounds, for callers running whole construction pipelines under
+// one context.
+func MinimizeOpt(d *DFA, opt Options) (*DFA, error) {
 	d = d.trim()
 	n := d.NumStates()
 	if n == 0 {
@@ -237,6 +256,9 @@ func Minimize(d *DFA) *DFA {
 		inWork[w] = true
 	}
 	for len(worklist) > 0 {
+		if err := opt.Err(); err != nil {
+			return nil, fmt.Errorf("%w: minimization abandoned with %d blocks", err, len(blocks))
+		}
 		a := worklist[len(worklist)-1]
 		worklist = worklist[:len(worklist)-1]
 		inWork[a] = false
@@ -299,7 +321,7 @@ func Minimize(d *DFA) *DFA {
 		q.Trans[b] = row
 	}
 	q.Start = blockOf[d.Start]
-	return q.canonicalize()
+	return q.canonicalize(), nil
 }
 
 // trim removes unreachable states (keeping the automaton complete).

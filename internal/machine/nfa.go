@@ -14,6 +14,7 @@
 package machine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -32,11 +33,20 @@ const DefaultMaxStates = 1 << 20
 // should detect it with errors.Is.
 var ErrBudget = errors.New("machine: state budget exceeded")
 
+// ErrDeadline is returned (wrapped) when a construction is abandoned because
+// the Options context expired or was cancelled. Together with ErrBudget it
+// bounds every worst-case-exponential loop in both time and memory.
+var ErrDeadline = errors.New("machine: deadline exceeded")
+
 // Options configures automaton constructions.
 type Options struct {
 	// MaxStates bounds the number of states any single construction may
 	// create; 0 means DefaultMaxStates, negative means unlimited.
 	MaxStates int
+	// Ctx, when non-nil, is polled inside every determinizing loop; once it
+	// is done the construction is abandoned with an error wrapping
+	// ErrDeadline. nil means no time bound.
+	Ctx context.Context
 }
 
 func (o Options) limit() int {
@@ -47,6 +57,35 @@ func (o Options) limit() int {
 		return int(^uint(0) >> 1)
 	default:
 		return o.MaxStates
+	}
+}
+
+// WithContext returns a copy of the options whose constructions are bound by
+// ctx in addition to the state budget.
+func (o Options) WithContext(ctx context.Context) Options {
+	o.Ctx = ctx
+	return o
+}
+
+// WithoutContext strips the time bound, keeping the state budget. Internal
+// helpers use it for constructions that are linear in an already-bounded
+// input, so their "cannot happen" error paths stay genuinely unreachable.
+func (o Options) WithoutContext() Options {
+	o.Ctx = nil
+	return o
+}
+
+// Err reports whether the options' context has expired or been cancelled,
+// wrapping ErrDeadline if so. Construction loops poll it between states.
+func (o Options) Err() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.Ctx.Done():
+		return fmt.Errorf("%w: %v", ErrDeadline, o.Ctx.Err())
+	default:
+		return nil
 	}
 }
 
@@ -308,13 +347,21 @@ func (m *NFA) build(n *rx.Node, opt Options) (frag, error) {
 		if err != nil {
 			return frag{}, err
 		}
-		return m.embedDFA(Minimize(d)), nil
+		md, err := MinimizeOpt(d, opt)
+		if err != nil {
+			return frag{}, err
+		}
+		return m.embedDFA(md), nil
 	case rx.OpComplement:
 		a, err := m.subDFA(n.Subs[0], opt)
 		if err != nil {
 			return frag{}, err
 		}
-		return m.embedDFA(Minimize(a.Complement())), nil
+		mc, err := MinimizeOpt(a.Complement(), opt)
+		if err != nil {
+			return frag{}, err
+		}
+		return m.embedDFA(mc), nil
 	}
 	return frag{}, fmt.Errorf("machine: cannot compile op %v", n.Op)
 }
@@ -329,7 +376,7 @@ func (m *NFA) subDFA(n *rx.Node, opt Options) (*DFA, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Minimize(d), nil
+	return MinimizeOpt(d, opt)
 }
 
 // embedDFA splices a DFA into this NFA as a Thompson-style fragment.

@@ -1,9 +1,11 @@
 package wrapper
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync"
 
 	"resilex/internal/machine"
 )
@@ -13,7 +15,12 @@ import (
 // A Fleet maps a site key (e.g. the vendor's hostname) to its trained
 // wrapper; ExtractFrom dispatches by key and Probe tries every wrapper when
 // the key is unknown.
+//
+// A Fleet is safe for concurrent use: lookups and extractions take a read
+// lock, Add/Remove take the write lock. Wrappers themselves are immutable
+// once trained, so extraction never blocks extraction.
 type Fleet struct {
+	mu       sync.RWMutex
 	wrappers map[string]*Wrapper
 }
 
@@ -24,20 +31,40 @@ func NewFleet() *Fleet {
 
 // Add registers (or replaces) the wrapper for a site key.
 func (f *Fleet) Add(key string, w *Wrapper) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.wrappers[key] = w
 }
 
 // Get returns the wrapper for the key, or nil.
-func (f *Fleet) Get(key string) *Wrapper { return f.wrappers[key] }
+func (f *Fleet) Get(key string) *Wrapper {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.wrappers[key]
+}
 
 // Remove deletes a site's wrapper.
-func (f *Fleet) Remove(key string) { delete(f.wrappers, key) }
+func (f *Fleet) Remove(key string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.wrappers, key)
+}
 
 // Len reports the number of registered wrappers.
-func (f *Fleet) Len() int { return len(f.wrappers) }
+func (f *Fleet) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.wrappers)
+}
 
 // Keys returns the registered site keys in sorted order.
 func (f *Fleet) Keys() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.keysLocked()
+}
+
+func (f *Fleet) keysLocked() []string {
 	out := make([]string, 0, len(f.wrappers))
 	for k := range f.wrappers {
 		out = append(out, k)
@@ -46,27 +73,52 @@ func (f *Fleet) Keys() []string {
 	return out
 }
 
-// ExtractFrom runs the named site's wrapper on the page.
+// ExtractFrom runs the named site's wrapper on the page. Unregistered keys
+// fail with an error wrapping ErrUnknownKey.
 func (f *Fleet) ExtractFrom(key, html string) (Region, error) {
-	w := f.wrappers[key]
+	return f.ExtractFromContext(context.Background(), key, html)
+}
+
+// ExtractFromContext is ExtractFrom bounded by ctx.
+func (f *Fleet) ExtractFromContext(ctx context.Context, key, html string) (Region, error) {
+	w := f.Get(key)
 	if w == nil {
-		return Region{}, fmt.Errorf("wrapper: fleet has no wrapper for %q", key)
+		return Region{}, fmt.Errorf("%w: %q", ErrUnknownKey, key)
 	}
-	return w.Extract(html)
+	return w.ExtractContext(ctx, html)
 }
 
 // Probe tries every wrapper on the page and returns the keys that extract
 // successfully, sorted, with their regions — the recovery path when a page
 // arrives without provenance. An unambiguous match (exactly one key) is the
-// common case for distinct vendors.
+// common case for distinct vendors. Wrappers are tried in deterministic
+// (sorted) key order, so repeated probes of the same fleet do identical work.
 func (f *Fleet) Probe(html string) map[string]Region {
+	out, _ := f.ProbeContext(context.Background(), html)
+	return out
+}
+
+// ProbeContext is Probe bounded by ctx: it stops trying further wrappers
+// once the context expires and reports the partial claims alongside an error
+// wrapping machine.ErrDeadline.
+func (f *Fleet) ProbeContext(ctx context.Context, html string) (map[string]Region, error) {
+	f.mu.RLock()
+	keys := f.keysLocked()
+	snapshot := make(map[string]*Wrapper, len(keys))
+	for _, k := range keys {
+		snapshot[k] = f.wrappers[k]
+	}
+	f.mu.RUnlock()
 	out := map[string]Region{}
-	for key, w := range f.wrappers {
-		if r, err := w.Extract(html); err == nil {
+	for _, key := range keys {
+		if err := (machine.Options{Ctx: ctx}).Err(); err != nil {
+			return out, fmt.Errorf("wrapper: probe: %w", err)
+		}
+		if r, err := snapshot[key].ExtractContext(ctx, html); err == nil {
 			out[key] = r
 		}
 	}
-	return out
+	return out, nil
 }
 
 // fleetPersisted is the JSON schema of a saved fleet.
@@ -78,6 +130,8 @@ type fleetPersisted struct {
 
 // MarshalJSON persists every wrapper in the fleet.
 func (f *Fleet) MarshalJSON() ([]byte, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	out := fleetPersisted{Version: 1, Kind: "fleet", Wrappers: map[string]json.RawMessage{}}
 	for key, w := range f.wrappers {
 		data, err := w.MarshalJSON()
@@ -89,14 +143,15 @@ func (f *Fleet) MarshalJSON() ([]byte, error) {
 	return json.Marshal(out)
 }
 
-// LoadFleet restores a fleet persisted with MarshalJSON.
+// LoadFleet restores a fleet persisted with MarshalJSON. Undecodable
+// payloads are classified under ErrMalformedInput.
 func LoadFleet(data []byte, opt machine.Options) (*Fleet, error) {
 	var p fleetPersisted
 	if err := json.Unmarshal(data, &p); err != nil {
-		return nil, fmt.Errorf("wrapper: decoding fleet: %w", err)
+		return nil, fmt.Errorf("%w: decoding fleet: %v", ErrMalformedInput, err)
 	}
 	if p.Version != 1 || p.Kind != "fleet" {
-		return nil, fmt.Errorf("wrapper: not a version-1 fleet (version %d, kind %q)", p.Version, p.Kind)
+		return nil, fmt.Errorf("%w: not a version-1 fleet (version %d, kind %q)", ErrMalformedInput, p.Version, p.Kind)
 	}
 	f := NewFleet()
 	for key, raw := range p.Wrappers {

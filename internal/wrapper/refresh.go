@@ -1,6 +1,7 @@
 package wrapper
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -25,6 +26,30 @@ import (
 // returned when the new sample genuinely conflicts (same context, different
 // target).
 func (w *Wrapper) Refresh(sample Sample) (*Wrapper, error) {
+	return w.RefreshContext(context.Background(), sample)
+}
+
+// RefreshContext is Refresh with the whole induce→maximize→compile pipeline
+// bounded by ctx (in addition to the wrapper's state budget): the
+// re-induction and every automaton construction poll the deadline, so a
+// refresh against a pathological page returns an error wrapping
+// machine.ErrDeadline instead of running the PSPACE-hard path to completion.
+// On any error the receiver is untouched and remains usable.
+func (w *Wrapper) RefreshContext(ctx context.Context, sample Sample) (*Wrapper, error) {
+	if ctx != context.Background() {
+		bounded := w.WithOptions(w.cfg.Options.WithContext(ctx))
+		fresh, err := bounded.refresh(sample)
+		if err != nil {
+			return nil, err
+		}
+		// Do not let the (possibly expired) context outlive the call.
+		fresh.cfg.Options = w.cfg.Options
+		return fresh, nil
+	}
+	return w.refresh(sample)
+}
+
+func (w *Wrapper) refresh(sample Sample) (*Wrapper, error) {
 	doc := w.mapper.Map(sample.HTML)
 	idx, err := resolveTarget(doc, sample, w.tab)
 	if err != nil {

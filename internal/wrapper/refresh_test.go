@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"resilex/internal/extract"
+	"resilex/internal/machine"
 )
 
 // A radically different future layout the original wrapper cannot parse.
@@ -71,5 +72,30 @@ func TestRefreshErrors(t *testing.T) {
 		`type="image" align="left" src="search.gif" data-target`, 1)
 	if _, err := w.Refresh(Sample{HTML: conflict, Target: TargetMarker()}); !errors.Is(err, extract.ErrAmbiguous) {
 		t.Errorf("conflicting sample: err = %v, want ErrAmbiguous", err)
+	}
+}
+
+// TestRefreshBudgetExhaustion starves a refresh with a tiny state budget:
+// the refresh must fail with a typed budget error — never panic — and the
+// original wrapper must keep serving untouched.
+func TestRefreshBudgetExhaustion(t *testing.T) {
+	w, err := Train([]Sample{
+		{HTML: fig1Top, Target: TargetMarker()},
+		{HTML: fig1Bottom, Target: TargetMarker()},
+	}, fig1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	starved := w.WithOptions(machine.Options{MaxStates: 2})
+	_, err = starved.Refresh(Sample{HTML: fig1Future, Target: TargetMarker()})
+	if !errors.Is(err, machine.ErrBudget) {
+		t.Fatalf("starved refresh: err = %v, want ErrBudget", err)
+	}
+	// Both the original and the starved copy still extract (the compiled
+	// matcher is shared and was never invalidated).
+	for name, wr := range map[string]*Wrapper{"original": w, "starved": starved} {
+		if r, err := wr.Extract(fig1Top); err != nil || !strings.Contains(r.Source, `type="text"`) {
+			t.Errorf("%s wrapper damaged: %q, %v", name, r.Source, err)
+		}
 	}
 }

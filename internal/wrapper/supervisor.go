@@ -1,0 +1,499 @@
+package wrapper
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"resilex/internal/extract"
+	"resilex/internal/machine"
+)
+
+// Rung identifies which rung of the degradation ladder served a request.
+// The ladder is ordered from full fidelity to structured failure:
+//
+//	RungWrapper  the site's trained wrapper extracted directly
+//	RungRefresh  the wrapper was widened with a freshly marked sample first
+//	RungProbe    another site's wrapper claimed the page unambiguously
+//	RungMiss     nothing extracted; the error is a *MissReport
+type Rung int
+
+// Ladder rungs, in degradation order.
+const (
+	RungWrapper Rung = 1 + iota
+	RungRefresh
+	RungProbe
+	RungMiss
+)
+
+// String names the rung.
+func (r Rung) String() string {
+	switch r {
+	case RungWrapper:
+		return "wrapper"
+	case RungRefresh:
+		return "refresh"
+	case RungProbe:
+		return "probe"
+	case RungMiss:
+		return "miss"
+	}
+	return fmt.Sprintf("rung(%d)", int(r))
+}
+
+// BreakerState is the per-site circuit breaker state.
+type BreakerState int
+
+// Circuit breaker states.
+const (
+	// BreakerClosed: the site is healthy; requests run the full ladder.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: too many consecutive failures; the site's wrapper is
+	// quarantined and requests fall through to the probe rung directly.
+	BreakerOpen
+	// BreakerHalfOpen: a probe success (or an elapsed cooldown) readmitted
+	// the wrapper for one trial request; success closes the breaker,
+	// failure re-opens it.
+	BreakerHalfOpen
+)
+
+// String names the breaker state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// SupervisorConfig tunes the self-healing runtime. The zero value is usable:
+// every field has a production-shaped default.
+type SupervisorConfig struct {
+	// BreakerThreshold is the number of consecutive rung-1 failures that
+	// opens a site's circuit breaker. Default 3.
+	BreakerThreshold int
+	// Cooldown is how long an open breaker waits before readmitting the
+	// wrapper for a half-open trial on time alone (a probe success
+	// half-opens it earlier). Default 30s.
+	Cooldown time.Duration
+	// ExtractTimeout bounds each individual extraction attempt; 0 means the
+	// caller's context alone bounds it.
+	ExtractTimeout time.Duration
+	// RefreshAttempts is how many times the refresh rung retries a
+	// retryable failure before degrading further. Default 2.
+	RefreshAttempts int
+	// RefreshBackoff is the sleep before the i-th refresh retry, doubling
+	// each attempt. Default 50ms.
+	RefreshBackoff time.Duration
+	// RefreshOptions, when non-zero, replaces the wrapper's own budget for
+	// refresh work — the lever for bounding maintenance separately from
+	// serving. The fault-injection harness uses it to starve refreshes.
+	RefreshOptions machine.Options
+	// Marker, when set, is the drift oracle of the refresh rung: given a
+	// page the wrapper no longer parses, it marks the target element (an
+	// operator queue, a weak heuristic, or data-target in tests). Returning
+	// ok=false skips the refresh rung for that page.
+	Marker func(html string) (Target, bool)
+	// Now and Sleep are injectable for deterministic tests. Defaults:
+	// time.Now and time.Sleep.
+	Now   func() time.Time
+	Sleep func(time.Duration)
+}
+
+func (c SupervisorConfig) withDefaults() SupervisorConfig {
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * time.Second
+	}
+	if c.RefreshAttempts <= 0 {
+		c.RefreshAttempts = 2
+	}
+	if c.RefreshBackoff <= 0 {
+		c.RefreshBackoff = 50 * time.Millisecond
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	return c
+}
+
+// siteState is the supervisor's per-site health record.
+type siteState struct {
+	breaker      BreakerState
+	consecutive  int // consecutive rung-1 failures
+	openedAt     time.Time
+	extractions  uint64 // successful extractions, any rung
+	failures     uint64 // rung-1 failures
+	refreshes    uint64 // successful refresh swaps
+	probeServes  uint64 // requests served by the probe rung
+	misses       uint64
+	lastErr      string
+	lastChangeAt time.Time
+}
+
+// SiteHealth is the externally visible health snapshot of one site.
+type SiteHealth struct {
+	Key                 string
+	Breaker             BreakerState
+	ConsecutiveFailures int
+	Extractions         uint64
+	Failures            uint64
+	Refreshes           uint64
+	ProbeServes         uint64
+	Misses              uint64
+	LastError           string
+	LastTransition      time.Time
+}
+
+// Result is a successful supervised extraction.
+type Result struct {
+	Region Region
+	// Rung that served the request.
+	Rung Rung
+	// Key whose wrapper produced the region: the requested key for
+	// RungWrapper/RungRefresh, possibly another site's for RungProbe.
+	Key string
+}
+
+// MissReport is the structured bottom rung of the ladder: a typed error
+// recording everything the supervisor tried. Detect with errors.As; it
+// unwraps to the classified rung-1 error so errors.Is(err, ErrNoMatch) etc.
+// keep working through it.
+type MissReport struct {
+	Key       string
+	Breaker   BreakerState
+	Attempted []Rung
+	// Err is the classified primary failure (rung 1's error, or the
+	// breaker/unknown-key condition that skipped rung 1).
+	Err error
+	// ProbeClaims counts how many foreign wrappers claimed the page — >1
+	// means the probe rung failed on ambiguity, not absence.
+	ProbeClaims int
+}
+
+// Error renders the report.
+func (m *MissReport) Error() string {
+	rungs := make([]string, len(m.Attempted))
+	for i, r := range m.Attempted {
+		rungs[i] = r.String()
+	}
+	return fmt.Sprintf("wrapper: miss for %q (breaker %s, tried %s, %d probe claims): %v",
+		m.Key, m.Breaker, strings.Join(rungs, "→"), m.ProbeClaims, m.Err)
+}
+
+// Unwrap exposes the classified primary failure.
+func (m *MissReport) Unwrap() error { return m.Err }
+
+// Supervisor is the self-healing extraction runtime layered over a Fleet.
+// Every request descends a degradation ladder — trained wrapper, refresh
+// with a marked sample, cross-site probe, structured miss — under a per-site
+// circuit breaker, so one decayed wrapper degrades gracefully instead of
+// failing every request at full cost. Safe for concurrent use.
+type Supervisor struct {
+	fleet *Fleet
+	cfg   SupervisorConfig
+
+	mu    sync.Mutex
+	sites map[string]*siteState
+}
+
+// NewSupervisor wraps a fleet in a self-healing runtime.
+func NewSupervisor(f *Fleet, cfg SupervisorConfig) *Supervisor {
+	return &Supervisor{fleet: f, cfg: cfg.withDefaults(), sites: map[string]*siteState{}}
+}
+
+// Fleet returns the supervised fleet (live — additions are picked up).
+func (s *Supervisor) Fleet() *Fleet { return s.fleet }
+
+func (s *Supervisor) site(key string) *siteState {
+	st, ok := s.sites[key]
+	if !ok {
+		st = &siteState{lastChangeAt: s.cfg.Now()}
+		s.sites[key] = st
+	}
+	return st
+}
+
+// Health returns the health snapshot for one site key.
+func (s *Supervisor) Health(key string) SiteHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked(key, s.site(key))
+}
+
+// HealthReport returns health for every site the supervisor has seen,
+// keyed by site.
+func (s *Supervisor) HealthReport() map[string]SiteHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]SiteHealth, len(s.sites))
+	for key, st := range s.sites {
+		out[key] = s.snapshotLocked(key, st)
+	}
+	return out
+}
+
+func (s *Supervisor) snapshotLocked(key string, st *siteState) SiteHealth {
+	return SiteHealth{
+		Key:                 key,
+		Breaker:             st.breaker,
+		ConsecutiveFailures: st.consecutive,
+		Extractions:         st.extractions,
+		Failures:            st.failures,
+		Refreshes:           st.refreshes,
+		ProbeServes:         st.probeServes,
+		Misses:              st.misses,
+		LastError:           st.lastErr,
+		LastTransition:      st.lastChangeAt,
+	}
+}
+
+// admit decides whether rung 1 may run for the site, transitioning an open
+// breaker to half-open when the cooldown has elapsed.
+func (s *Supervisor) admit(st *siteState) bool {
+	switch st.breaker {
+	case BreakerClosed, BreakerHalfOpen:
+		return true
+	case BreakerOpen:
+		if s.cfg.Now().Sub(st.openedAt) >= s.cfg.Cooldown {
+			st.breaker = BreakerHalfOpen
+			st.lastChangeAt = s.cfg.Now()
+			return true
+		}
+		return false
+	}
+	return true
+}
+
+// recordSuccess closes the breaker and resets the failure streak.
+func (s *Supervisor) recordSuccess(st *siteState) {
+	st.consecutive = 0
+	st.extractions++
+	st.lastErr = ""
+	if st.breaker != BreakerClosed {
+		st.breaker = BreakerClosed
+		st.lastChangeAt = s.cfg.Now()
+	}
+}
+
+// recordFailure counts a rung-1 failure and opens the breaker at the
+// threshold (a half-open trial failure re-opens immediately).
+func (s *Supervisor) recordFailure(st *siteState, err error) {
+	st.failures++
+	st.consecutive++
+	st.lastErr = err.Error()
+	if st.breaker == BreakerHalfOpen ||
+		(st.breaker == BreakerClosed && st.consecutive >= s.cfg.BreakerThreshold) {
+		st.breaker = BreakerOpen
+		st.openedAt = s.cfg.Now()
+		st.lastChangeAt = st.openedAt
+	}
+}
+
+// NotifyProbeSuccess half-opens an open breaker: evidence that the
+// quarantined wrapper still works somewhere (it claimed a page during a
+// probe) readmits it for one trial request. The supervisor calls this
+// itself whenever a probe claim matches a quarantined site; it is exported
+// for operators wiring external health probes.
+func (s *Supervisor) NotifyProbeSuccess(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.site(key)
+	if st.breaker == BreakerOpen {
+		st.breaker = BreakerHalfOpen
+		st.lastChangeAt = s.cfg.Now()
+	}
+}
+
+// Extract runs the degradation ladder for one page of a known site. On
+// success the Result says which rung served. On total failure the error is
+// a *MissReport wrapping the classified cause.
+func (s *Supervisor) Extract(ctx context.Context, key, html string) (Result, error) {
+	w := s.fleet.Get(key)
+
+	var attempted []Rung
+	var primary error
+
+	// Rung 1 (+2): the site's own wrapper, behind the breaker.
+	if w == nil {
+		primary = fmt.Errorf("%w: %q", ErrUnknownKey, key)
+	} else {
+		s.mu.Lock()
+		st := s.site(key)
+		admitted := s.admit(st)
+		s.mu.Unlock()
+
+		if !admitted {
+			primary = fmt.Errorf("%w: %q", ErrQuarantined, key)
+		} else {
+			attempted = append(attempted, RungWrapper)
+			region, err := s.tryExtract(ctx, w, html)
+			s.mu.Lock()
+			st = s.site(key)
+			if err == nil {
+				s.recordSuccess(st)
+				s.mu.Unlock()
+				return Result{Region: region, Rung: RungWrapper, Key: key}, nil
+			}
+			s.recordFailure(st, err)
+			s.mu.Unlock()
+			primary = err
+
+			// Rung 2: refresh with a freshly marked sample, when the page
+			// is parseable and an oracle can mark it.
+			if out, ok := s.tryRefresh(ctx, key, w, html, err); ok {
+				attempted = append(attempted, RungRefresh)
+				s.mu.Lock()
+				st = s.site(key)
+				st.refreshes++
+				s.recordSuccess(st)
+				s.mu.Unlock()
+				return out, nil
+			} else if s.refreshEligible(html, err) {
+				attempted = append(attempted, RungRefresh)
+			}
+		}
+	}
+
+	// Rung 3: probe the whole fleet; an unambiguous foreign claim serves
+	// the request, and a claim by a quarantined site half-opens its breaker.
+	attempted = append(attempted, RungProbe)
+	claims, probeErr := s.fleet.ProbeContext(ctx, html)
+	for claimKey := range claims {
+		s.NotifyProbeSuccess(claimKey)
+	}
+	if len(claims) == 1 && probeErr == nil {
+		for claimKey, region := range claims {
+			s.mu.Lock()
+			st := s.site(key)
+			st.probeServes++
+			s.mu.Unlock()
+			return Result{Region: region, Rung: RungProbe, Key: claimKey}, nil
+		}
+	}
+	if probeErr != nil && primary == nil {
+		primary = probeErr
+	}
+
+	// Rung 4: structured miss.
+	attempted = append(attempted, RungMiss)
+	s.mu.Lock()
+	st := s.site(key)
+	st.misses++
+	breaker := st.breaker
+	s.mu.Unlock()
+	if primary == nil {
+		primary = ErrNoMatch
+	}
+	return Result{Rung: RungMiss, Key: key}, &MissReport{
+		Key: key, Breaker: breaker, Attempted: attempted,
+		Err: classify(html, primary), ProbeClaims: len(claims),
+	}
+}
+
+// tryExtract runs one bounded extraction attempt with a recover() backstop,
+// so a pipeline invariant failure surfaces as ErrInternal, not a crash.
+func (s *Supervisor) tryExtract(ctx context.Context, w *Wrapper, html string) (region Region, err error) {
+	if s.cfg.ExtractTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.ExtractTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrInternal, r)
+		}
+	}()
+	return w.ExtractContext(ctx, html)
+}
+
+// refreshEligible reports whether the refresh rung applies to this failure:
+// the page must be parseable (some tokens) and the failure a plain no-match
+// — budget, deadline and malformed-input failures degrade directly.
+func (s *Supervisor) refreshEligible(html string, err error) bool {
+	return s.cfg.Marker != nil && errors.Is(err, ErrNoMatch)
+}
+
+// tryRefresh attempts the refresh rung with bounded retry-and-backoff,
+// swapping the widened wrapper into the fleet on success. ok=false means the
+// rung did not serve the request (ineligible or exhausted).
+func (s *Supervisor) tryRefresh(ctx context.Context, key string, w *Wrapper, html string, cause error) (Result, bool) {
+	if !s.refreshEligible(html, cause) {
+		return Result{}, false
+	}
+	target, ok := s.cfg.Marker(html)
+	if !ok {
+		return Result{}, false
+	}
+	refresher := w
+	if s.cfg.RefreshOptions != (machine.Options{}) {
+		refresher = w.WithOptions(s.cfg.RefreshOptions)
+	}
+	sample := Sample{HTML: html, Target: target}
+	for attempt := 0; attempt < s.cfg.RefreshAttempts; attempt++ {
+		if attempt > 0 {
+			s.cfg.Sleep(s.cfg.RefreshBackoff << (attempt - 1))
+		}
+		fresh, err := s.refreshOnce(ctx, refresher, sample)
+		if err == nil {
+			if region, xerr := fresh.ExtractContext(ctx, html); xerr == nil {
+				if refresher != w {
+					// Restore the serving budget on the swapped-in wrapper.
+					fresh = fresh.WithOptions(w.cfg.Options)
+				}
+				s.fleet.Add(key, fresh)
+				return Result{Region: region, Rung: RungRefresh, Key: key}, true
+			}
+			return Result{}, false
+		}
+		if !retryable(err) {
+			return Result{}, false
+		}
+	}
+	return Result{}, false
+}
+
+// refreshOnce is one guarded refresh attempt.
+func (s *Supervisor) refreshOnce(ctx context.Context, w *Wrapper, sample Sample) (fresh *Wrapper, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			fresh, err = nil, fmt.Errorf("%w: %v", ErrInternal, r)
+		}
+	}()
+	return w.RefreshContext(ctx, sample)
+}
+
+// retryable reports whether a refresh failure could plausibly succeed on
+// retry. Deterministic rejections — budget, deadline, ambiguity, target
+// resolution — never will.
+func retryable(err error) bool {
+	switch {
+	case errors.Is(err, machine.ErrBudget),
+		errors.Is(err, machine.ErrDeadline),
+		errors.Is(err, extract.ErrAmbiguous),
+		errors.Is(err, ErrNoTarget):
+		return false
+	}
+	return true
+}
+
+// classify refines a miss's primary error: a page with no recognizable
+// tokens at all is malformed input, not a wrapper decay signal.
+func classify(html string, err error) error {
+	if errors.Is(err, ErrNoMatch) && strings.TrimSpace(html) == "" {
+		return fmt.Errorf("%w: empty page (%v)", ErrMalformedInput, err)
+	}
+	return err
+}

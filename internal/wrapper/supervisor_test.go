@@ -1,0 +1,328 @@
+package wrapper
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"resilex/internal/machine"
+)
+
+// fakeClock is an injectable deterministic clock for breaker-cooldown tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// markerByAttr is the test drift oracle: pages carrying data-target can be
+// marked, others cannot.
+func markerByAttr(html string) (Target, bool) {
+	if strings.Contains(html, MarkerAttr) {
+		return TargetMarker(), true
+	}
+	return Target{}, false
+}
+
+// supervisorFixture returns a supervisor over a one-site fleet ("vs", the
+// Figure 1 wrapper) with a deterministic clock and no real sleeping.
+func supervisorFixture(t *testing.T, cfg SupervisorConfig) (*Supervisor, *fakeClock) {
+	t.Helper()
+	w, err := Train([]Sample{
+		{HTML: fig1Top, Target: TargetMarker()},
+		{HTML: fig1Bottom, Target: TargetMarker()},
+	}, fig1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFleet()
+	f.Add("vs", w)
+	clock := newFakeClock()
+	cfg.Now = clock.Now
+	if cfg.Sleep == nil {
+		cfg.Sleep = func(time.Duration) {}
+	}
+	return NewSupervisor(f, cfg), clock
+}
+
+func TestSupervisorRungWrapper(t *testing.T) {
+	s, _ := supervisorFixture(t, SupervisorConfig{})
+	out, err := s.Extract(context.Background(), "vs", fig1Novel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rung != RungWrapper || out.Key != "vs" {
+		t.Fatalf("rung = %v, key = %q", out.Rung, out.Key)
+	}
+	if !strings.Contains(out.Region.Source, `type="text"`) {
+		t.Errorf("extracted %q", out.Region.Source)
+	}
+	h := s.Health("vs")
+	if h.Breaker != BreakerClosed || h.Extractions != 1 || h.Failures != 0 {
+		t.Errorf("health = %+v", h)
+	}
+}
+
+func TestSupervisorRungRefresh(t *testing.T) {
+	s, _ := supervisorFixture(t, SupervisorConfig{Marker: markerByAttr})
+	// fig1Future breaks the trained wrapper; the marker rescues it.
+	out, err := s.Extract(context.Background(), "vs", fig1Future)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rung != RungRefresh || out.Key != "vs" {
+		t.Fatalf("rung = %v, key = %q", out.Rung, out.Key)
+	}
+	if !strings.Contains(out.Region.Source, `type="text"`) {
+		t.Errorf("extracted %q", out.Region.Source)
+	}
+	h := s.Health("vs")
+	if h.Refreshes != 1 || h.Breaker != BreakerClosed {
+		t.Errorf("health = %+v", h)
+	}
+	// The widened wrapper was swapped into the fleet: the same page now
+	// serves at full fidelity, and the old layouts still extract.
+	out2, err := s.Extract(context.Background(), "vs", fig1Future)
+	if err != nil || out2.Rung != RungWrapper {
+		t.Fatalf("after swap: rung = %v, err = %v", out2.Rung, err)
+	}
+	if _, err := s.Extract(context.Background(), "vs", fig1Top); err != nil {
+		t.Errorf("old layout regressed after refresh swap: %v", err)
+	}
+}
+
+func TestSupervisorRungProbe(t *testing.T) {
+	s, _ := supervisorFixture(t, SupervisorConfig{})
+	// Unknown site key, but a fleet wrapper claims the page unambiguously.
+	out, err := s.Extract(context.Background(), "ghost", fig1Novel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rung != RungProbe || out.Key != "vs" {
+		t.Fatalf("rung = %v, key = %q", out.Rung, out.Key)
+	}
+}
+
+func TestSupervisorMissReport(t *testing.T) {
+	s, _ := supervisorFixture(t, SupervisorConfig{})
+	ctx := context.Background()
+
+	// Known key, unparseable page: the full ladder is attempted.
+	_, err := s.Extract(ctx, "vs", `<i>junk</i>`)
+	var miss *MissReport
+	if !errors.As(err, &miss) {
+		t.Fatalf("err = %v, want *MissReport", err)
+	}
+	if !errors.Is(err, ErrNoMatch) {
+		t.Errorf("miss does not unwrap to ErrNoMatch: %v", err)
+	}
+	want := []Rung{RungWrapper, RungProbe, RungMiss}
+	if len(miss.Attempted) != len(want) {
+		t.Fatalf("attempted = %v", miss.Attempted)
+	}
+	for i, r := range want {
+		if miss.Attempted[i] != r {
+			t.Fatalf("attempted = %v, want %v", miss.Attempted, want)
+		}
+	}
+
+	// Unknown key: rung 1 is skipped and the primary cause is ErrUnknownKey.
+	_, err = s.Extract(ctx, "ghost", `<i>junk</i>`)
+	if !errors.As(err, &miss) || !errors.Is(err, ErrUnknownKey) {
+		t.Errorf("unknown key: err = %v", err)
+	}
+
+	// Empty page: the miss is classified as malformed input.
+	_, err = s.Extract(ctx, "vs", "   ")
+	if !errors.As(err, &miss) || !errors.Is(err, ErrMalformedInput) {
+		t.Errorf("empty page: err = %v", err)
+	}
+	if s.Health("vs").Misses == 0 {
+		t.Error("misses not counted")
+	}
+}
+
+func TestSupervisorBreakerLifecycle(t *testing.T) {
+	s, clock := supervisorFixture(t, SupervisorConfig{
+		BreakerThreshold: 3,
+		Cooldown:         time.Minute,
+	})
+	ctx := context.Background()
+
+	// Three consecutive failures open the breaker.
+	for i := 0; i < 3; i++ {
+		if _, err := s.Extract(ctx, "vs", `<i>junk</i>`); err == nil {
+			t.Fatalf("call %d unexpectedly succeeded", i)
+		}
+	}
+	if h := s.Health("vs"); h.Breaker != BreakerOpen || h.ConsecutiveFailures != 3 {
+		t.Fatalf("health after threshold = %+v", h)
+	}
+
+	// While open, the wrapper is quarantined: rung 1 is not attempted even
+	// for a page it would have extracted.
+	_, err := s.Extract(ctx, "vs", `<i>junk</i>`)
+	var miss *MissReport
+	if !errors.As(err, &miss) || !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("quarantined err = %v", err)
+	}
+	for _, r := range miss.Attempted {
+		if r == RungWrapper {
+			t.Fatal("rung 1 ran while quarantined")
+		}
+	}
+
+	// After the cooldown the breaker half-opens; a successful trial closes it.
+	clock.Advance(2 * time.Minute)
+	out, err := s.Extract(ctx, "vs", fig1Novel)
+	if err != nil || out.Rung != RungWrapper {
+		t.Fatalf("half-open trial: %v, %v", out, err)
+	}
+	if h := s.Health("vs"); h.Breaker != BreakerClosed || h.ConsecutiveFailures != 0 {
+		t.Errorf("health after recovery = %+v", h)
+	}
+}
+
+func TestSupervisorHalfOpenTrialFailureReopens(t *testing.T) {
+	s, clock := supervisorFixture(t, SupervisorConfig{
+		BreakerThreshold: 2,
+		Cooldown:         time.Minute,
+	})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		s.Extract(ctx, "vs", `<i>junk</i>`)
+	}
+	if s.Health("vs").Breaker != BreakerOpen {
+		t.Fatal("breaker did not open")
+	}
+	clock.Advance(2 * time.Minute)
+	// The half-open trial fails: one strike re-opens immediately, without
+	// needing a full threshold of failures.
+	s.Extract(ctx, "vs", `<i>junk</i>`)
+	if h := s.Health("vs"); h.Breaker != BreakerOpen {
+		t.Errorf("health after failed trial = %+v", h)
+	}
+}
+
+func TestSupervisorProbeSuccessHalfOpens(t *testing.T) {
+	s, _ := supervisorFixture(t, SupervisorConfig{BreakerThreshold: 2})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		s.Extract(ctx, "vs", `<i>junk</i>`)
+	}
+	if s.Health("vs").Breaker != BreakerOpen {
+		t.Fatal("breaker did not open")
+	}
+	// A quarantined site's wrapper claiming a page during the probe rung is
+	// evidence of life: the breaker half-opens and the claim serves the
+	// request.
+	out, err := s.Extract(ctx, "vs", fig1Novel)
+	if err != nil || out.Rung != RungProbe || out.Key != "vs" {
+		t.Fatalf("probe serve: %+v, %v", out, err)
+	}
+	if h := s.Health("vs"); h.Breaker != BreakerHalfOpen {
+		t.Fatalf("breaker = %v after probe claim, want half-open", h.Breaker)
+	}
+	// The next request is the trial; success closes the breaker.
+	out, err = s.Extract(ctx, "vs", fig1Novel)
+	if err != nil || out.Rung != RungWrapper {
+		t.Fatalf("trial: %+v, %v", out, err)
+	}
+	if h := s.Health("vs"); h.Breaker != BreakerClosed {
+		t.Errorf("breaker = %v after trial, want closed", h.Breaker)
+	}
+}
+
+func TestSupervisorRefreshRetryBackoff(t *testing.T) {
+	var slept []time.Duration
+	s, _ := supervisorFixture(t, SupervisorConfig{
+		Marker:          markerByAttr,
+		RefreshAttempts: 3,
+		RefreshBackoff:  10 * time.Millisecond,
+		Sleep:           func(d time.Duration) { slept = append(slept, d) },
+	})
+	// The page fails the wrapper and the marker marks a P element — the
+	// refresh rejects the symbol mismatch every time, a retryable failure.
+	_, err := s.Extract(context.Background(), "vs", `<p data-target></p>`)
+	var miss *MissReport
+	if !errors.As(err, &miss) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(slept) != 2 || slept[0] != 10*time.Millisecond || slept[1] != 20*time.Millisecond {
+		t.Errorf("backoff sleeps = %v, want [10ms 20ms]", slept)
+	}
+}
+
+func TestSupervisorRefreshBudgetNotRetried(t *testing.T) {
+	var slept int
+	s, _ := supervisorFixture(t, SupervisorConfig{
+		Marker:          markerByAttr,
+		RefreshAttempts: 3,
+		RefreshOptions:  machine.Options{MaxStates: 2},
+		Sleep:           func(time.Duration) { slept++ },
+	})
+	// The refresh rung is starved by RefreshOptions: a budget failure is
+	// deterministic, so it must not be retried.
+	_, err := s.Extract(context.Background(), "vs", fig1Future)
+	var miss *MissReport
+	if !errors.As(err, &miss) {
+		t.Fatalf("err = %v", err)
+	}
+	if slept != 0 {
+		t.Errorf("budget failure retried %d times", slept)
+	}
+	// The serving wrapper is untouched by the failed refresh.
+	if out, err := s.Extract(context.Background(), "vs", fig1Novel); err != nil || out.Rung != RungWrapper {
+		t.Errorf("serving wrapper damaged: %+v, %v", out, err)
+	}
+}
+
+func TestSupervisorHealthReport(t *testing.T) {
+	s, _ := supervisorFixture(t, SupervisorConfig{})
+	s.Extract(context.Background(), "vs", fig1Novel)
+	s.Extract(context.Background(), "ghost", `<i>junk</i>`)
+	rep := s.HealthReport()
+	if len(rep) != 2 {
+		t.Fatalf("report keys = %d", len(rep))
+	}
+	if rep["vs"].Extractions != 1 || rep["ghost"].Misses != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestRungAndBreakerStrings(t *testing.T) {
+	for want, got := range map[string]string{
+		"wrapper":   RungWrapper.String(),
+		"refresh":   RungRefresh.String(),
+		"probe":     RungProbe.String(),
+		"miss":      RungMiss.String(),
+		"closed":    BreakerClosed.String(),
+		"open":      BreakerOpen.String(),
+		"half-open": BreakerHalfOpen.String(),
+	} {
+		if want != got {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if Rung(99).String() == "" || BreakerState(99).String() == "" {
+		t.Error("out-of-range String() empty")
+	}
+}

@@ -2,6 +2,7 @@ package wrapper
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"resilex/internal/extract"
@@ -178,16 +179,21 @@ func (w *TupleWrapper) MarshalJSON() ([]byte, error) {
 func LoadTuple(data []byte, opt machine.Options) (*TupleWrapper, error) {
 	var p tuplePersisted
 	if err := json.Unmarshal(data, &p); err != nil {
-		return nil, fmt.Errorf("wrapper: decoding: %w", err)
+		return nil, fmt.Errorf("%w: decoding tuple wrapper: %v", ErrMalformedInput, err)
 	}
 	if p.Version != 1 || p.Kind != "tuple" {
-		return nil, fmt.Errorf("wrapper: not a version-1 tuple wrapper (version %d, kind %q)", p.Version, p.Kind)
+		return nil, fmt.Errorf("%w: not a version-1 tuple wrapper (version %d, kind %q)", ErrMalformedInput, p.Version, p.Kind)
 	}
 	tab := symtab.NewTable()
 	sigma := symtab.NewAlphabet(tab.InternAll(p.Sigma...)...)
 	tuple, err := extract.ParseTuple(p.Expr, tab, sigma, opt)
 	if err != nil {
-		return nil, fmt.Errorf("wrapper: reparsing tuple expression: %w", err)
+		// Exhaustion during reparse is the caller's budget/deadline, not a
+		// corrupt payload — keep those sentinels detectable.
+		if errors.Is(err, machine.ErrBudget) || errors.Is(err, machine.ErrDeadline) {
+			return nil, fmt.Errorf("wrapper: reparsing tuple expression: %w", err)
+		}
+		return nil, fmt.Errorf("%w: reparsing tuple expression: %v", ErrMalformedInput, err)
 	}
 	cfg := Config{DropEndTags: p.DropEndTags, KeepText: p.KeepText, AttrKeys: p.AttrKeys, Skip: p.Skip, Options: opt}
 	return &TupleWrapper{tab: tab, mapper: cfg.mapper(tab), tuple: tuple, cfg: cfg}, nil

@@ -7,6 +7,7 @@
 package wrapper
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -208,12 +209,33 @@ func resolveTarget(doc htmltok.Document, s Sample, tab *symtab.Table) (int, erro
 
 // Extract runs the wrapper on a live page and returns the extracted region.
 func (w *Wrapper) Extract(html string) (Region, error) {
+	return w.ExtractContext(context.Background(), html)
+}
+
+// ExtractContext is Extract bounded by ctx: an expired or cancelled context
+// fails fast with an error wrapping machine.ErrDeadline before any
+// tokenization or matching work is done. Tokenization and matching are
+// linear in the page, so the entry check bounds the whole call.
+func (w *Wrapper) ExtractContext(ctx context.Context, html string) (Region, error) {
+	if err := (machine.Options{Ctx: ctx}).Err(); err != nil {
+		return Region{}, fmt.Errorf("wrapper: extract: %w", err)
+	}
 	doc := w.mapper.Map(html)
 	pos, ok := w.matcher.Find(doc.Syms)
 	if !ok {
 		return Region{}, ErrNotExtracted
 	}
 	return Region{TokenIndex: pos, Span: doc.SpanOf(pos), Source: doc.Source(pos)}, nil
+}
+
+// WithOptions returns a copy of the wrapper whose subsequent Refresh and
+// construction work runs under opt (budget and/or deadline). The compiled
+// matcher is shared; extraction behavior is unchanged. The fault-injection
+// harness uses this to starve a single refresh without rebuilding wrappers.
+func (w *Wrapper) WithOptions(opt machine.Options) *Wrapper {
+	c := *w
+	c.cfg.Options = opt
+	return &c
 }
 
 // ExtractTokens runs the wrapper on a pre-tokenized document.
@@ -265,20 +287,26 @@ func (w *Wrapper) MarshalJSON() ([]byte, error) {
 	})
 }
 
-// Load restores a wrapper persisted with MarshalJSON.
+// Load restores a wrapper persisted with MarshalJSON. Undecodable or
+// wrong-version payloads are classified under ErrMalformedInput.
 func Load(data []byte, opt machine.Options) (*Wrapper, error) {
 	var p persisted
 	if err := json.Unmarshal(data, &p); err != nil {
-		return nil, fmt.Errorf("wrapper: decoding: %w", err)
+		return nil, fmt.Errorf("%w: decoding wrapper: %v", ErrMalformedInput, err)
 	}
 	if p.Version != 1 {
-		return nil, fmt.Errorf("wrapper: unsupported version %d", p.Version)
+		return nil, fmt.Errorf("%w: unsupported wrapper version %d", ErrMalformedInput, p.Version)
 	}
 	tab := symtab.NewTable()
 	sigma := symtab.NewAlphabet(tab.InternAll(p.Sigma...)...)
 	expr, err := extract.Parse(p.Expr, tab, sigma, opt)
 	if err != nil {
-		return nil, fmt.Errorf("wrapper: reparsing expression: %w", err)
+		// Exhaustion during reparse is the caller's budget/deadline, not a
+		// corrupt payload — keep those sentinels detectable.
+		if errors.Is(err, machine.ErrBudget) || errors.Is(err, machine.ErrDeadline) {
+			return nil, fmt.Errorf("wrapper: reparsing expression: %w", err)
+		}
+		return nil, fmt.Errorf("%w: reparsing expression: %v", ErrMalformedInput, err)
 	}
 	m, err := expr.Compile()
 	if err != nil {

@@ -1,6 +1,9 @@
 package resilex
 
 import (
+	"context"
+	"fmt"
+
 	"resilex/internal/extract"
 	"resilex/internal/htmltok"
 	"resilex/internal/lang"
@@ -11,6 +14,15 @@ import (
 	"resilex/internal/symtab"
 	"resilex/internal/wrapper"
 )
+
+// guard is the facade's recover() backstop: no internal invariant failure
+// may crash a caller — it surfaces as an error wrapping ErrInternal instead.
+// Every facade entry point that can run the construction pipeline defers it.
+func guard(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("%w: %v", ErrInternal, r)
+	}
+}
 
 // Core value types, re-exported from the implementation packages.
 type (
@@ -66,7 +78,10 @@ type (
 func NewFleet() *Fleet { return wrapper.NewFleet() }
 
 // LoadFleet restores a fleet persisted with Fleet.MarshalJSON.
-func LoadFleet(data []byte, opt Options) (*Fleet, error) { return wrapper.LoadFleet(data, opt) }
+func LoadFleet(data []byte, opt Options) (f *Fleet, err error) {
+	defer guard(&err)
+	return wrapper.LoadFleet(data, opt)
+}
 
 // NewPerturber returns a seeded Perturber over the standard HTML snippet
 // vocabulary (see internal/perturb).
@@ -83,14 +98,78 @@ func NewHTMLPerturber(seed int64) *HTMLPerturber { return perturb.NewHTML(seed) 
 // for seeding HTMLPerturber.Apply.
 var FindTag = perturb.FindTag
 
-// Sentinel errors, re-exported for errors.Is.
+// Sentinel errors, re-exported for errors.Is. Together they form the
+// library's failure taxonomy (see doc.go): every error returned by the
+// facade wraps exactly one of these sentinels, so callers branch with
+// errors.Is and never string-match.
 var (
 	ErrAmbiguous     = extract.ErrAmbiguous
 	ErrUnbounded     = extract.ErrUnbounded
 	ErrNotApplicable = extract.ErrNotApplicable
 	ErrBudget        = machine.ErrBudget
 	ErrNotExtracted  = wrapper.ErrNotExtracted
+
+	// ErrNoMatch reports that a wrapper's expression did not parse the
+	// page (alias of ErrNotExtracted under the taxonomy's canonical name).
+	ErrNoMatch = wrapper.ErrNoMatch
+	// ErrBudgetExceeded reports that an automaton construction hit its
+	// MaxStates budget (canonical name for ErrBudget).
+	ErrBudgetExceeded = machine.ErrBudget
+	// ErrDeadlineExceeded reports that a construction or extraction was
+	// abandoned because its context expired or was cancelled.
+	ErrDeadlineExceeded = machine.ErrDeadline
+	// ErrMalformedInput reports undecodable persisted wrappers/fleets or
+	// pages the tokenizer cannot make sense of.
+	ErrMalformedInput = wrapper.ErrMalformedInput
+	// ErrUnknownKey reports an ExtractFrom against a site key with no
+	// registered wrapper.
+	ErrUnknownKey = wrapper.ErrUnknownKey
+	// ErrQuarantined reports that a site's circuit breaker is open and the
+	// supervisor refused to run its wrapper.
+	ErrQuarantined = wrapper.ErrQuarantined
+	// ErrInternal reports a recovered internal invariant failure — the
+	// facade's recover() backstop converts panics into errors wrapping it.
+	ErrInternal = wrapper.ErrInternal
 )
+
+// Self-healing runtime types, re-exported from internal/wrapper.
+type (
+	// Supervisor runs extractions through the degradation ladder — wrapper
+	// → refresh → fleet probe → structured miss — with a per-site circuit
+	// breaker.
+	Supervisor = wrapper.Supervisor
+	// SupervisorConfig tunes breaker thresholds, cooldowns, refresh retry
+	// policy and the marker used for automatic refresh.
+	SupervisorConfig = wrapper.SupervisorConfig
+	// SiteHealth is a point-in-time snapshot of one site's breaker state
+	// and success/failure counters.
+	SiteHealth = wrapper.SiteHealth
+	// SupervisorResult reports which ladder rung produced a region.
+	SupervisorResult = wrapper.Result
+	// MissReport is the typed error returned when every ladder rung fails.
+	MissReport = wrapper.MissReport
+	// Rung identifies a degradation-ladder level.
+	Rung = wrapper.Rung
+	// BreakerState is a circuit-breaker state (closed/open/half-open).
+	BreakerState = wrapper.BreakerState
+)
+
+// Degradation-ladder rungs and breaker states.
+const (
+	RungWrapper = wrapper.RungWrapper
+	RungRefresh = wrapper.RungRefresh
+	RungProbe   = wrapper.RungProbe
+	RungMiss    = wrapper.RungMiss
+
+	BreakerClosed   = wrapper.BreakerClosed
+	BreakerOpen     = wrapper.BreakerOpen
+	BreakerHalfOpen = wrapper.BreakerHalfOpen
+)
+
+// NewSupervisor wraps a fleet in the self-healing runtime.
+func NewSupervisor(f *Fleet, cfg SupervisorConfig) *Supervisor {
+	return wrapper.NewSupervisor(f, cfg)
+}
 
 // NewTable returns an empty symbol table.
 func NewTable() *Table { return symtab.NewTable() }
@@ -101,7 +180,8 @@ func NewAlphabet(syms ...Symbol) Alphabet { return symtab.NewAlphabet(syms...) }
 // ParseExpr parses an extraction expression in the concrete syntax, e.g.
 // "[^ FORM]* FORM [^ INPUT]* INPUT [^ INPUT]* <INPUT> .*". Σ is the union of
 // sigma and every token mentioned.
-func ParseExpr(src string, tab *Table, sigma Alphabet, opt Options) (Expr, error) {
+func ParseExpr(src string, tab *Table, sigma Alphabet, opt Options) (e Expr, err error) {
+	defer guard(&err)
 	return extract.Parse(src, tab, sigma, opt)
 }
 
@@ -127,62 +207,89 @@ func ParseTokens(src string, tab *Table) ([]Symbol, error) {
 }
 
 // ParseLanguage compiles a plain regular expression to a Language.
-func ParseLanguage(src string, tab *Table, sigma Alphabet, opt Options) (Language, error) {
+func ParseLanguage(src string, tab *Table, sigma Alphabet, opt Options) (l Language, err error) {
+	defer guard(&err)
 	return lang.Parse(src, tab, sigma, opt)
 }
 
 // Maximize synthesizes a maximal unambiguous generalization of the
 // expression using the paper's algorithms (pivot framework first, then
 // left- and right-filtering). See extract.Maximize.
-func Maximize(e Expr) (Expr, error) { return extract.Maximize(e) }
+func Maximize(e Expr) (out Expr, err error) {
+	defer guard(&err)
+	return extract.Maximize(e)
+}
 
 // LeftFilter runs Algorithm 6.2 (left-filtering maximization) directly.
-func LeftFilter(e Expr) (Expr, error) { return extract.LeftFilter(e) }
+func LeftFilter(e Expr) (out Expr, err error) {
+	defer guard(&err)
+	return extract.LeftFilter(e)
+}
 
 // RightFilter runs the mirror image of Algorithm 6.2.
-func RightFilter(e Expr) (Expr, error) { return extract.RightFilter(e) }
+func RightFilter(e Expr) (out Expr, err error) {
+	defer guard(&err)
+	return extract.RightFilter(e)
+}
 
 // Pivot runs the pivot maximization framework (Proposition 6.8).
-func Pivot(e Expr) (Expr, error) { return extract.Pivot(e) }
+func Pivot(e Expr) (out Expr, err error) {
+	defer guard(&err)
+	return extract.Pivot(e)
+}
 
 // PivotRight runs the mirror-image pivot framework on the suffix component.
-func PivotRight(e Expr) (Expr, error) { return extract.PivotRight(e) }
+func PivotRight(e Expr) (out Expr, err error) {
+	defer guard(&err)
+	return extract.PivotRight(e)
+}
 
 // PivotDecomposition reports the pivot factoring Pivot would use.
-func PivotDecomposition(e Expr) (Decomposition, error) {
+func PivotDecomposition(e Expr) (d Decomposition, err error) {
+	defer guard(&err)
 	return extract.PivotDecomposition(e)
 }
 
 // Compose concatenates two marked expressions per Proposition 6.7,
 // preserving maximality and unambiguity.
-func Compose(a, b Expr) (Expr, error) { return extract.Compose(a, b) }
+func Compose(a, b Expr) (out Expr, err error) {
+	defer guard(&err)
+	return extract.Compose(a, b)
+}
 
 // Disambiguate repairs an ambiguous expression into an unambiguous one that
 // still extracts every keep word at its original position (the paper's §8
 // future-work procedure).
-func Disambiguate(e Expr, keep [][]Symbol, maxRounds int) (Expr, error) {
+func Disambiguate(e Expr, keep [][]Symbol, maxRounds int) (out Expr, err error) {
+	defer guard(&err)
 	return extract.Disambiguate(e, keep, maxRounds)
 }
 
 // ParseTuple parses a multi-slot extraction expression, e.g.
 // "[^ FORM]* FORM <INPUT> [^ /FORM]* <INPUT> .*".
-func ParseTuple(src string, tab *Table, sigma Alphabet, opt Options) (*Tuple, error) {
+func ParseTuple(src string, tab *Table, sigma Alphabet, opt Options) (t *Tuple, err error) {
+	defer guard(&err)
 	return extract.ParseTuple(src, tab, sigma, opt)
 }
 
 // MaximizeTuple maximizes a tuple expression segment-wise (see
 // extract.MaximizeTuple for the exact guarantee).
-func MaximizeTuple(t *Tuple) (*Tuple, error) { return extract.MaximizeTuple(t) }
+func MaximizeTuple(t *Tuple) (out *Tuple, err error) {
+	defer guard(&err)
+	return extract.MaximizeTuple(t)
+}
 
 // InduceTuple generalizes tuple examples into an unambiguous tuple
 // expression with the per-segment merge heuristic.
-func InduceTuple(examples []TupleExample, sigma Alphabet, opt Options) (*Tuple, error) {
+func InduceTuple(examples []TupleExample, sigma Alphabet, opt Options) (t *Tuple, err error) {
+	defer guard(&err)
 	return learn.InduceTuple(examples, sigma, opt)
 }
 
 // TrainTuple builds a tuple wrapper from HTML samples whose k target
 // elements all carry the data-target attribute.
-func TrainTuple(samples []Sample, cfg Config) (*TupleWrapper, error) {
+func TrainTuple(samples []Sample, cfg Config) (w *TupleWrapper, err error) {
+	defer guard(&err)
 	return wrapper.TrainTuple(samples, cfg)
 }
 
@@ -192,7 +299,8 @@ func SimplifyRegex(n *Regex) *Regex { return rx.Simplify(n) }
 
 // Induce generalizes token-level examples into an unambiguous expression
 // with the Section 7 merge heuristic (plus a disambiguation ladder).
-func Induce(examples []Example, sigma Alphabet, opt Options) (Expr, error) {
+func Induce(examples []Example, sigma Alphabet, opt Options) (e Expr, err error) {
+	defer guard(&err)
 	res, err := learn.Induce(examples, sigma, opt)
 	if err != nil {
 		return Expr{}, err
@@ -202,29 +310,49 @@ func Induce(examples []Example, sigma Alphabet, opt Options) (Expr, error) {
 
 // Train builds a wrapper from marked HTML samples: tokenize → induce →
 // maximize → compile.
-func Train(samples []Sample, cfg Config) (*Wrapper, error) {
+func Train(samples []Sample, cfg Config) (w *Wrapper, err error) {
+	defer guard(&err)
 	return wrapper.Train(samples, cfg)
 }
 
 // TrainTokens builds a wrapper from token-level examples over tab.
-func TrainTokens(tab *Table, examples []Example, sigma Alphabet, cfg Config) (*Wrapper, error) {
+func TrainTokens(tab *Table, examples []Example, sigma Alphabet, cfg Config) (w *Wrapper, err error) {
+	defer guard(&err)
 	return wrapper.TrainTokens(tab, examples, sigma, cfg)
 }
 
 // LoadWrapper restores a wrapper persisted with Wrapper.MarshalJSON.
-func LoadWrapper(data []byte, opt Options) (*Wrapper, error) {
+func LoadWrapper(data []byte, opt Options) (w *Wrapper, err error) {
+	defer guard(&err)
 	return wrapper.Load(data, opt)
 }
 
 // LoadTupleWrapper restores a tuple wrapper persisted with
 // TupleWrapper.MarshalJSON.
-func LoadTupleWrapper(data []byte, opt Options) (*TupleWrapper, error) {
+func LoadTupleWrapper(data []byte, opt Options) (w *TupleWrapper, err error) {
+	defer guard(&err)
 	return wrapper.LoadTuple(data, opt)
 }
 
 // IsTuplePayload reports whether persisted wrapper JSON holds a tuple
 // wrapper; use it to pick between LoadWrapper and LoadTupleWrapper.
 func IsTuplePayload(data []byte) bool { return wrapper.IsTuplePayload(data) }
+
+// ExtractWithin runs a wrapper extraction bounded by ctx, with the facade's
+// panic backstop: an expired or cancelled context fails fast with an error
+// wrapping ErrDeadlineExceeded.
+func ExtractWithin(ctx context.Context, w *Wrapper, html string) (r Region, err error) {
+	defer guard(&err)
+	return w.ExtractContext(ctx, html)
+}
+
+// RefreshWithin re-trains a wrapper on one more marked sample with the whole
+// induce→maximize→compile pipeline bounded by ctx (and by the wrapper's
+// state budget). On any error the original wrapper is untouched and usable.
+func RefreshWithin(ctx context.Context, w *Wrapper, sample Sample) (fresh *Wrapper, err error) {
+	defer guard(&err)
+	return w.RefreshContext(ctx, sample)
+}
 
 // Target selector constructors.
 var (
