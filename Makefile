@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover fuzz fuzz-smoke check bench experiments examples clean
+.PHONY: all build vet test race cover fuzz fuzz-smoke check bench experiments examples metrics-smoke clean
 
 all: build vet test
 
 # The robustness gate: static checks, the full suite under the race
-# detector, and a short fuzz smoke over every fuzz target.
-check: vet race fuzz-smoke
+# detector, a short fuzz smoke over every fuzz target, and the
+# observability smoke over the worked example.
+check: vet race fuzz-smoke metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -48,6 +49,19 @@ bench:
 # The EXPERIMENTS.md tables.
 experiments:
 	$(GO) run ./cmd/resilience
+
+# Observability smoke: the schema tests, then an end-to-end run — train the
+# Section 7 wrapper from the fig1 fixtures, extract with --metrics, and
+# check the snapshot carries the subset-construction counters.
+metrics-smoke:
+	$(GO) test ./cmd/extract -run 'TestMetrics|TestTrace' -v
+	mkdir -p .smoke
+	$(GO) run ./cmd/wrapgen -o .smoke/wrapper.json -extra DIV,/DIV,HR \
+		cmd/extract/testdata/fig1_page1.html cmd/extract/testdata/fig1_page2.html
+	$(GO) run ./cmd/extract -w .smoke/wrapper.json -metrics -metrics-out .smoke/metrics.json \
+		cmd/extract/testdata/fig1_novel.html
+	grep -q machine_subset_states_total .smoke/metrics.json
+	rm -rf .smoke
 
 examples:
 	$(GO) run ./examples/quickstart

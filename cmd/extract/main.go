@@ -3,13 +3,17 @@
 //
 // Usage:
 //
-//	extract -w wrapper.json [-timeout 1s] [-max-states N] page1.html ...
+//	extract -w wrapper.json [-timeout 1s] [-max-states N] [-metrics] page1.html ...
 //
 // For every page the tool prints the byte span and source text of the
 // extracted element, or an error when the wrapper does not parse the page.
 // -timeout bounds wrapper loading and each extraction with a deadline;
-// -max-states (alias -budget) caps automaton construction. The exit status
-// is the number of pages that failed.
+// -max-states (alias -budget) caps automaton construction. With -metrics the
+// tool records every construction phase (subset states, minimization passes,
+// deadline polls, per-phase wall time) and dumps the metric snapshot on exit
+// as JSON (or Prometheus text with -metrics-format prometheus); -trace dumps
+// the span tree of the run. The exit status is the number of pages that
+// failed.
 package main
 
 import (
@@ -22,31 +26,48 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	wpath := flag.String("w", "wrapper.json", "wrapper JSON produced by wrapgen")
 	budget := flag.Int("budget", 0, "state budget for automaton constructions (0 = default)")
 	maxStates := flag.Int("max-states", 0, "alias of -budget: state budget for automaton constructions")
 	timeout := flag.Duration("timeout", 0, "deadline per page: loading and each extraction abandon with a deadline error when exceeded (0 = none)")
 	quiet := flag.Bool("q", false, "print only the extracted source text")
+	metrics := flag.Bool("metrics", false, "record construction/extraction metrics and dump a snapshot on exit")
+	metricsFormat := flag.String("metrics-format", "json", "snapshot format: json (metrics + spans) or prometheus (text exposition)")
+	metricsOut := flag.String("metrics-out", "", "write the metric snapshot to this file instead of stderr")
+	trace := flag.Bool("trace", false, "dump the span tree of the run to stderr on exit")
 	flag.Parse()
 	pages := flag.Args()
 	if len(pages) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: extract -w wrapper.json [-timeout 1s] [-max-states N] page.html ...")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "usage: extract -w wrapper.json [-timeout 1s] [-max-states N] [-metrics] page.html ...")
+		return 2
 	}
 	if *maxStates > 0 {
 		*budget = *maxStates
 	}
 	data, err := os.ReadFile(*wpath)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
+	// base carries the observer (when requested) into every construction and
+	// extraction context derived below.
+	base := context.Background()
+	var obs *resilex.Observer
+	if *metrics || *trace {
+		obs = resilex.NewObserver()
+		base = resilex.WithObserver(base, obs)
+	}
+	defer dump(obs, *metrics, *trace, *metricsFormat, *metricsOut)
 	opt := resilex.Options{MaxStates: *budget}
 	// bound returns a context honoring -timeout, for loading and per page.
 	bound := func() (context.Context, context.CancelFunc) {
 		if *timeout > 0 {
-			return context.WithTimeout(context.Background(), *timeout)
+			return context.WithTimeout(base, *timeout)
 		}
-		return context.Background(), func() {}
+		return base, func() {}
 	}
 	{
 		ctx, cancel := bound()
@@ -54,13 +75,13 @@ func main() {
 		defer cancel()
 	}
 	// Dispatch on payload kind: single-slot or tuple wrapper.
-	var run func(html string) ([]resilex.Region, error)
+	var runPage func(html string) ([]resilex.Region, error)
 	if resilex.IsTuplePayload(data) {
 		w, err := resilex.LoadTupleWrapper(data, opt)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
-		run = func(html string) ([]resilex.Region, error) {
+		runPage = func(html string) ([]resilex.Region, error) {
 			ctx, cancel := bound()
 			defer cancel()
 			if err := (resilex.Options{Ctx: ctx}).Err(); err != nil {
@@ -71,9 +92,9 @@ func main() {
 	} else {
 		w, err := resilex.LoadWrapper(data, opt)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
-		run = func(html string) ([]resilex.Region, error) {
+		runPage = func(html string) ([]resilex.Region, error) {
 			ctx, cancel := bound()
 			defer cancel()
 			r, err := resilex.ExtractWithin(ctx, w, html)
@@ -91,7 +112,7 @@ func main() {
 			failures++
 			continue
 		}
-		regions, err := run(string(html))
+		regions, err := runPage(string(html))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "extract: %s: %v\n", page, err)
 			failures++
@@ -106,10 +127,45 @@ func main() {
 			}
 		}
 	}
-	os.Exit(failures)
+	return failures
 }
 
-func fatal(err error) {
+// dump writes the observability snapshot collected during the run: the span
+// tree (with -trace) to stderr and the metric snapshot (with -metrics) to
+// -metrics-out or stderr.
+func dump(obs *resilex.Observer, metrics, trace bool, format, outPath string) {
+	if obs == nil {
+		return
+	}
+	if trace {
+		obs.Trace.WriteTree(os.Stderr)
+	}
+	if !metrics {
+		return
+	}
+	out := os.Stderr
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "extract:", err)
+			return
+		}
+		defer f.Close()
+		out = f
+	}
+	var err error
+	switch format {
+	case "prometheus", "prom":
+		err = obs.Metrics.WritePrometheus(out)
+	default:
+		err = resilex.WriteObserverSnapshot(out, obs)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "extract:", err)
+	}
+}
+
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "extract:", err)
-	os.Exit(1)
+	return 1
 }

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"resilex"
+)
+
+// TestMain lets the test binary stand in for the extract binary: re-exec'ed
+// with EXTRACT_BE_MAIN=1 it runs main() instead of the tests, so the flag
+// surface and exit codes are exercised exactly as shipped.
+func TestMain(m *testing.M) {
+	if os.Getenv("EXTRACT_BE_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// trainFixture trains the Section 7 wrapper from the fig1 sample pages and
+// writes it where the extract binary can load it.
+func trainFixture(t *testing.T) (wrapperPath string) {
+	t.Helper()
+	read := func(name string) string {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	w, err := resilex.Train([]resilex.Sample{
+		{HTML: read("fig1_page1.html"), Target: resilex.TargetMarker()},
+		{HTML: read("fig1_page2.html"), Target: resilex.TargetMarker()},
+	}, resilex.Config{ExtraTags: []string{"DIV", "/DIV", "HR"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapperPath = filepath.Join(t.TempDir(), "wrapper.json")
+	if err := os.WriteFile(wrapperPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return wrapperPath
+}
+
+func runExtract(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "EXTRACT_BE_MAIN=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	if exit, ok := err.(*exec.ExitError); ok {
+		code = exit.ExitCode()
+	} else if err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	return out.String(), errb.String(), code
+}
+
+// metricsSnapshot mirrors the WriteSnapshotJSON schema the --metrics flag
+// emits; decoding with DisallowUnknownFields is the schema check.
+type metricsSnapshot struct {
+	Metrics struct {
+		Counters   map[string]int64 `json:"counters"`
+		Gauges     map[string]int64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count   int64            `json:"count"`
+			Sum     int64            `json:"sum"`
+			Buckets map[string]int64 `json:"buckets"`
+		} `json:"histograms"`
+	} `json:"metrics"`
+	Spans []struct {
+		ID         int64            `json:"id"`
+		Parent     int64            `json:"parent"`
+		Name       string           `json:"name"`
+		DurationUS int64            `json:"duration_us"`
+		Attrs      map[string]int64 `json:"attrs"`
+	} `json:"spans"`
+}
+
+// TestMetricsSnapshotSchema is the metrics-smoke gate: extract --metrics on
+// the Section 7 worked example must emit a JSON snapshot with nonzero subset
+// construction counters and per-phase span durations.
+func TestMetricsSnapshotSchema(t *testing.T) {
+	wrapperPath := trainFixture(t)
+	metricsPath := filepath.Join(t.TempDir(), "metrics.json")
+	stdout, stderr, code := runExtract(t,
+		"-w", wrapperPath, "-metrics", "-metrics-out", metricsPath,
+		filepath.Join("testdata", "fig1_novel.html"))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, `type="text"`) {
+		t.Errorf("extraction output missing the target input: %q", stdout)
+	}
+
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var snap metricsSnapshot
+	if err := dec.Decode(&snap); err != nil {
+		t.Fatalf("snapshot does not match schema: %v\n%s", err, data)
+	}
+	if got := snap.Metrics.Counters["machine_subset_states_total"]; got == 0 {
+		t.Errorf("machine_subset_states_total = 0; counters: %v", snap.Metrics.Counters)
+	}
+	// Every construction phase reports a duration histogram and a span.
+	for _, phase := range []string{"machine_determinize", "extract_matcher_compile"} {
+		if snap.Metrics.Histograms[phase+"_duration_us"].Count == 0 {
+			t.Errorf("no %s_duration_us observations", phase)
+		}
+	}
+	var names []string
+	for _, sp := range snap.Spans {
+		names = append(names, sp.Name)
+		if sp.DurationUS < 0 {
+			t.Errorf("span %s has negative duration", sp.Name)
+		}
+	}
+	for _, want := range []string{"machine.determinize", "extract.matcher_compile"} {
+		if !slicesContains(names, want) {
+			t.Errorf("span %q missing; got %v", want, names)
+		}
+	}
+}
+
+// TestMetricsPrometheusFormat: -metrics-format prometheus emits text
+// exposition with typed families.
+func TestMetricsPrometheusFormat(t *testing.T) {
+	wrapperPath := trainFixture(t)
+	metricsPath := filepath.Join(t.TempDir(), "metrics.prom")
+	_, stderr, code := runExtract(t,
+		"-w", wrapperPath, "-metrics", "-metrics-format", "prometheus",
+		"-metrics-out", metricsPath,
+		filepath.Join("testdata", "fig1_novel.html"))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"# TYPE machine_subset_states_total counter",
+		"# TYPE machine_determinize_duration_us histogram",
+		`machine_determinize_duration_us_bucket{le="+Inf"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestTraceTree: -trace renders the span tree with the construction phases.
+func TestTraceTree(t *testing.T) {
+	wrapperPath := trainFixture(t)
+	_, stderr, code := runExtract(t,
+		"-w", wrapperPath, "-trace",
+		filepath.Join("testdata", "fig1_novel.html"))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"machine.determinize", "extract.matcher_compile"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("trace output missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+func slicesContains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

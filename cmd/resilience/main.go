@@ -9,6 +9,15 @@
 //	resilience -run E4,E8     # a subset
 //	resilience -timeout 30s   # abandon any experiment that exceeds the deadline
 //	resilience -max-states N  # cap automaton construction per experiment
+//	resilience -metrics       # record phase counters; dump a snapshot on exit
+//	resilience -bench-dir d   # write each table (with phase counters) to d/BENCH_<ID>.json
+//	resilience -listen :8080  # serve /metrics, /metrics.json and /debug/pprof while running
+//
+// With -metrics (or -trace or -listen) every automaton construction runs
+// under an observer: subset states, minimization passes, deadline polls and
+// per-phase wall time land in a metrics registry, per-experiment deltas land
+// in the emitted tables, and the E15 supervisor experiment reports per-site
+// rung/breaker telemetry from the same registry.
 package main
 
 import (
@@ -16,21 +25,59 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 
 	"resilex/internal/bench"
 	"resilex/internal/machine"
+	"resilex/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	quick := flag.Bool("quick", false, "run reduced sweeps")
-	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	runIDs := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	seed := flag.Int64("seed", 1, "random seed for generated workloads")
 	asJSON := flag.Bool("json", false, "emit tables as JSON instead of text")
 	maxStates := flag.Int("max-states", 0, "state budget for automaton constructions (0 = default)")
 	timeout := flag.Duration("timeout", 0, "deadline per experiment; exceeded experiments are reported and skipped (0 = none)")
+	metrics := flag.Bool("metrics", false, "observe all constructions and dump the metric snapshot on exit")
+	metricsFormat := flag.String("metrics-format", "json", "snapshot format: json (metrics + spans) or prometheus (text exposition)")
+	metricsOut := flag.String("metrics-out", "", "write the metric snapshot to this file instead of stderr")
+	trace := flag.Bool("trace", false, "dump the span tree of the run to stderr on exit")
+	listen := flag.String("listen", "", "serve /metrics, /metrics.json and /debug/pprof on this address for the duration of the run")
+	benchDir := flag.String("bench-dir", "", "write each experiment table (with phase counters) to <dir>/BENCH_<ID>.json")
 	flag.Parse()
+
+	// Any observability surface turns the observer on; -bench-dir needs it
+	// for the phase counters it writes.
+	var o *obs.Observer
+	if *metrics || *trace || *listen != "" || *benchDir != "" {
+		o = obs.New()
+	}
+	defer dump(o, *metrics, *trace, *metricsFormat, *metricsOut)
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resilience:", err)
+			return 1
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "resilience: serving /metrics, /metrics.json, /debug/pprof on %s\n", ln.Addr())
+		go http.Serve(ln, observerMux(o))
+	}
+	if *benchDir != "" {
+		if err := os.MkdirAll(*benchDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "resilience:", err)
+			return 1
+		}
+	}
 
 	type experiment struct {
 		id string
@@ -68,30 +115,48 @@ func main() {
 		{"E11", func() bench.Table { return bench.E11MiddleRow(2, []int{3, 5, 7, 9, 11}) }},
 		{"E13", func() bench.Table { return bench.E13Tuple(perEdit, *seed) }},
 		{"E14", func() bench.Table { return bench.E14Alphabet([]int{2, 3, 4, 6}, perEdit/2, *seed) }},
+		{"E15", func() bench.Table { return bench.E15Supervisor() }},
 	}
 
 	want := map[string]bool{}
-	for _, id := range strings.Split(*run, ",") {
+	for _, id := range strings.Split(*runIDs, ",") {
 		if id = strings.TrimSpace(id); id != "" {
 			want[strings.ToUpper(id)] = true
 		}
 	}
-	// runBounded runs one experiment under -timeout/-max-states. Workload
-	// generators panic on construction errors they consider impossible; a
-	// deadline or tight budget makes those reachable, so they are recovered
-	// here and reported as an abandoned experiment instead of a crash.
+	// runBounded runs one experiment under -timeout/-max-states with the
+	// observer threaded into every construction context, and attaches the
+	// experiment's phase-counter delta to its table. Workload generators
+	// panic on construction errors they consider impossible; a deadline or
+	// tight budget makes those reachable, so they are recovered here and
+	// reported as an abandoned experiment instead of a crash.
 	runBounded := func(fn func() bench.Table) (table bench.Table, err error) {
 		opts := machine.Options{MaxStates: *maxStates}
+		ctx := context.Background()
+		if o != nil {
+			ctx = obs.NewContext(ctx, o)
+		}
 		if *timeout > 0 {
-			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
+		}
+		if *timeout > 0 || o != nil {
 			opts = opts.WithContext(ctx)
 		}
 		bench.DefaultOptions = opts
+		bench.DefaultObserver = o
+		var before obs.Snapshot
+		if o != nil {
+			before = o.Metrics.Snapshot()
+		}
 		defer func() {
 			bench.DefaultOptions = machine.Options{}
+			bench.DefaultObserver = nil
 			if r := recover(); r != nil {
 				err = fmt.Errorf("abandoned: %v", r)
+			} else if o != nil {
+				table.Phases = bench.PhaseDelta(before, o.Metrics.Snapshot())
 			}
 		}()
 		return fn(), nil
@@ -113,18 +178,83 @@ func main() {
 		if *asJSON {
 			if err := enc.Encode(table); err != nil {
 				fmt.Fprintln(os.Stderr, "resilience:", err)
-				os.Exit(1)
+				return 1
 			}
 		} else {
 			fmt.Println(table.Format())
 		}
+		if *benchDir != "" {
+			path, err := table.WriteJSON(*benchDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "resilience:", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "resilience: wrote %s\n", path)
+		}
 		ran++
 	}
 	if failed > 0 && ran == 0 {
-		os.Exit(1)
+		return 1
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "resilience: no experiment matched -run (valid: E3 E4 E5 E6 E7 E8 E8H E10 E11 E13 E14)")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "resilience: no experiment matched -run (valid: E3 E4 E5 E6 E7 E8 E8H E10 E11 E13 E14 E15)")
+		return 2
+	}
+	return 0
+}
+
+// observerMux serves the observer over HTTP: Prometheus text at /metrics,
+// the combined JSON snapshot at /metrics.json, and the pprof handlers under
+// /debug/pprof/.
+func observerMux(o *obs.Observer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.Metrics.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteSnapshotJSON(w, o)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// dump writes the observability snapshot collected during the run: the span
+// tree (with -trace) to stderr and the metric snapshot (with -metrics) to
+// -metrics-out or stderr.
+func dump(o *obs.Observer, metrics, trace bool, format, outPath string) {
+	if o == nil {
+		return
+	}
+	if trace {
+		o.Trace.WriteTree(os.Stderr)
+	}
+	if !metrics {
+		return
+	}
+	out := os.Stderr
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resilience:", err)
+			return
+		}
+		defer f.Close()
+		out = f
+	}
+	var err error
+	switch format {
+	case "prometheus", "prom":
+		err = o.Metrics.WritePrometheus(out)
+	default:
+		err = obs.WriteSnapshotJSON(out, o)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resilience:", err)
 	}
 }

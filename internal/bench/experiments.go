@@ -23,6 +23,10 @@ type Table struct {
 	Claim  string // the paper claim the experiment validates
 	Header []string
 	Rows   [][]string
+	// Phases carries the experiment's observed phase-counter deltas (subset
+	// states explored, minimization passes, deadline polls, ...) when the
+	// harness runs with an observer; see PhaseDelta.
+	Phases map[string]int64 `json:",omitempty"`
 }
 
 // Format renders the table with aligned columns.

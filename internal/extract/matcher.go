@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"resilex/internal/machine"
+	"resilex/internal/obs"
 	"resilex/internal/symtab"
 )
 
@@ -31,7 +32,13 @@ func (e Expr) Compile() (*Matcher, error) {
 	if err := e.opt.Err(); err != nil {
 		return nil, fmt.Errorf("%w: matcher compilation", err)
 	}
-	return e.compileMatcher(), nil
+	_, ph := obs.StartPhase(e.opt.Ctx, "extract.matcher_compile")
+	m := e.compileMatcher()
+	ph.Attr("fwd_states", int64(m.fwd.NumStates()))
+	ph.Attr("bwd_states", int64(m.bwd.NumStates()))
+	ph.Count("extract_matcher_compiles_total", 1)
+	ph.End()
+	return m, nil
 }
 
 // compileMatcher is the infallible core of Compile: the predecessor-table

@@ -5,6 +5,7 @@ import (
 
 	"resilex/internal/lang"
 	"resilex/internal/machine"
+	"resilex/internal/obs"
 	"resilex/internal/rx"
 	"resilex/internal/symtab"
 )
@@ -23,7 +24,17 @@ import (
 // Errors: ErrAmbiguous, ErrUnbounded (E matches unboundedly many p's, the
 // loop would not terminate), ErrNotApplicable ((E·p)\E ≠ ∅ so E⟨p⟩Σ* itself
 // would be ambiguous), or a budget error from the automata layer.
-func LeftFilter(e Expr) (Expr, error) {
+func LeftFilter(e Expr) (_ Expr, err error) {
+	var rounds int64
+	ctx, ph := obs.StartPhase(e.opt.Ctx, "extract.left_filter")
+	if ph != nil {
+		e.opt.Ctx = ctx // nested machine spans parent under this phase
+	}
+	defer func() {
+		ph.Attr("rounds", rounds)
+		ph.Count("extract_leftfilter_rounds_total", rounds)
+		ph.End()
+	}()
 	if unamb, err := e.Unambiguous(); err != nil {
 		return Expr{}, err
 	} else if !unamb {
@@ -73,6 +84,7 @@ func LeftFilter(e Expr) (Expr, error) {
 	// while F‖p,n ≠ ∅: S += F‖p,n · p · (Σ−p)* − F‖p,n+1
 	fn := f0
 	for n := 0; !fn.IsEmpty(); n++ {
+		rounds++
 		fnext, err := F.FilterCount(p, n+1)
 		if err != nil {
 			return Expr{}, err

@@ -6,6 +6,7 @@ import (
 
 	"resilex/internal/lang"
 	"resilex/internal/machine"
+	"resilex/internal/obs"
 	"resilex/internal/rx"
 	"resilex/internal/symtab"
 )
@@ -77,7 +78,18 @@ func PivotDecomposition(e Expr) (Decomposition, error) {
 	return dec, err
 }
 
-func pivotWithDecomposition(e Expr) (Decomposition, Expr, error) {
+func pivotWithDecomposition(e Expr) (_ Decomposition, _ Expr, err error) {
+	var segments, pivots int64
+	ctx, ph := obs.StartPhase(e.opt.Ctx, "extract.pivot")
+	if ph != nil {
+		e.opt.Ctx = ctx
+	}
+	defer func() {
+		ph.Attr("segments", segments)
+		ph.Attr("pivots", pivots)
+		ph.Count("extract_pivot_segments_total", segments)
+		ph.End()
+	}()
 	if unamb, err := e.Unambiguous(); err != nil {
 		return Decomposition{}, Expr{}, err
 	} else if !unamb {
@@ -106,6 +118,7 @@ func pivotWithDecomposition(e Expr) (Decomposition, Expr, error) {
 	if err != nil {
 		return Decomposition{}, Expr{}, err
 	}
+	segments, pivots = int64(len(dec.Segments)), int64(len(dec.Pivots))
 	// Maximize each segment against its following pivot with Algorithm 6.2,
 	// then fold with Proposition 6.7. The fold is left-to-right: acc after
 	// step i is (E'₁·q₁·…·E'ᵢ₊₁)⟨qᵢ₊₁-or-p⟩Σ*, maximal by induction.
@@ -287,16 +300,23 @@ func PivotRight(e Expr) (Expr, error) {
 // then the plain filters. It returns ErrAmbiguous for ambiguous inputs and
 // ErrNotApplicable when no strategy's side conditions hold — the open
 // problem of Section 8 is whether such inputs are always maximizable at all.
-func Maximize(e Expr) (Expr, error) {
+func Maximize(e Expr) (_ Expr, err error) {
+	o := obs.FromContext(e.opt.Ctx)
+	ctx, ph := obs.StartPhase(e.opt.Ctx, "extract.maximize")
+	if ph != nil {
+		e.opt.Ctx = ctx
+	}
+	defer ph.End()
 	if unamb, err := e.Unambiguous(); err != nil {
 		return Expr{}, err
 	} else if !unamb {
 		return Expr{}, ErrAmbiguous
 	}
 	var firstErr error
-	try := func(f func(Expr) (Expr, error)) (Expr, bool) {
+	try := func(name string, f func(Expr) (Expr, error)) (Expr, bool) {
 		out, err := f(e)
 		if err == nil {
+			o.Counter(obs.WithLabels("extract_maximize_success_total", "strategy", name)).Inc()
 			return out, true
 		}
 		if firstErr == nil {
@@ -305,19 +325,19 @@ func Maximize(e Expr) (Expr, error) {
 		return Expr{}, false
 	}
 	if e.leftAST != nil {
-		if out, ok := try(Pivot); ok {
+		if out, ok := try("pivot", Pivot); ok {
 			return out, nil
 		}
 	}
-	if out, ok := try(LeftFilter); ok {
+	if out, ok := try("left_filter", LeftFilter); ok {
 		return out, nil
 	}
 	if e.rightAST != nil {
-		if out, ok := try(PivotRight); ok {
+		if out, ok := try("pivot_right", PivotRight); ok {
 			return out, nil
 		}
 	}
-	if out, ok := try(RightFilter); ok {
+	if out, ok := try("right_filter", RightFilter); ok {
 		return out, nil
 	}
 	if errors.Is(firstErr, ErrNotApplicable) || errors.Is(firstErr, ErrUnbounded) {

@@ -6,7 +6,9 @@ package machine
 // worst-case exponential in the middle step — unlike Hopcroft's algorithm —
 // and exists here as an independent oracle for cross-checking Minimize in
 // the test suite.
-func MinimizeBrzozowski(d *DFA, opt Options) (*DFA, error) {
+func MinimizeBrzozowski(d *DFA, opt Options) (_ *DFA, err error) {
+	opt, ph := beginPhase(opt, "machine.minimize_brzozowski")
+	defer func() { endPhase(ph, err) }()
 	rev := FromDFA(d).Reverse()
 	mid, err := Determinize(rev, opt)
 	if err != nil {

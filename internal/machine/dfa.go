@@ -79,7 +79,17 @@ func (d *DFA) addState(accept bool) int {
 // Determinize converts an NFA to a complete DFA via subset construction.
 // It fails with ErrBudget if more than opt.MaxStates subset states are
 // created — the honest face of the PSPACE lower bound (Theorem 5.12).
-func Determinize(n *NFA, opt Options) (*DFA, error) {
+func Determinize(n *NFA, opt Options) (_ *DFA, err error) {
+	var states, transitions, polls int64
+	opt, ph := beginPhase(opt, "machine.determinize")
+	defer func() {
+		ph.Attr("states", states)
+		ph.Attr("transitions", transitions)
+		ph.Count("machine_subset_states_total", states)
+		ph.Count("machine_subset_transitions_total", transitions)
+		ph.Count("machine_deadline_polls_total", polls)
+		endPhase(ph, err)
+	}()
 	limit := opt.limit()
 	d := newDFA(n.Sigma)
 	key := func(set []bool) string {
@@ -102,9 +112,11 @@ func Determinize(n *NFA, opt Options) (*DFA, error) {
 	start := n.startSet()
 	index := map[string]int{key(start): 0}
 	d.addState(isAccept(start))
+	states = 1
 	d.Start = 0
 	queue := [][]bool{start}
 	for qi := 0; qi < len(queue); qi++ {
+		polls++
 		if err := opt.Err(); err != nil {
 			return nil, fmt.Errorf("%w: determinization abandoned at %d states", err, len(index))
 		}
@@ -118,10 +130,12 @@ func Determinize(n *NFA, opt Options) (*DFA, error) {
 					return nil, fmt.Errorf("%w: determinization needs > %d states", ErrBudget, limit)
 				}
 				id = d.addState(isAccept(next))
+				states++
 				index[nk] = id
 				queue = append(queue, next)
 			}
 			d.Trans[qi][k] = id
+			transitions++
 		}
 	}
 	return d, nil
@@ -144,10 +158,18 @@ func (d *DFA) Complement() *DFA {
 // (e.g. AND for intersection, AND-NOT for difference, XOR for symmetric
 // difference). Both automata must share the same Σ. Only reachable pairs are
 // constructed.
-func Product(a, b *DFA, op func(bool, bool) bool, opt Options) (*DFA, error) {
+func Product(a, b *DFA, op func(bool, bool) bool, opt Options) (_ *DFA, err error) {
 	if !a.Sigma.Equal(b.Sigma) {
 		return nil, fmt.Errorf("machine: product over distinct alphabets %v vs %v", a.Sigma.Symbols(), b.Sigma.Symbols())
 	}
+	var states, polls int64
+	opt, ph := beginPhase(opt, "machine.product")
+	defer func() {
+		ph.Attr("states", states)
+		ph.Count("machine_product_states_total", states)
+		ph.Count("machine_deadline_polls_total", polls)
+		endPhase(ph, err)
+	}()
 	limit := opt.limit()
 	d := newDFA(a.Sigma)
 	type pair struct{ x, y int }
@@ -161,6 +183,7 @@ func Product(a, b *DFA, op func(bool, bool) bool, opt Options) (*DFA, error) {
 			return 0, fmt.Errorf("%w: product needs > %d states", ErrBudget, limit)
 		}
 		id := d.addState(op(a.Accept[p.x], b.Accept[p.y]))
+		states++
 		index[p] = id
 		queue = append(queue, p)
 		return id, nil
@@ -171,6 +194,7 @@ func Product(a, b *DFA, op func(bool, bool) bool, opt Options) (*DFA, error) {
 	}
 	d.Start = startID
 	for qi := 0; qi < len(queue); qi++ {
+		polls++
 		if err := opt.Err(); err != nil {
 			return nil, fmt.Errorf("%w: product abandoned at %d states", err, len(index))
 		}
@@ -204,7 +228,15 @@ func Minimize(d *DFA) *DFA {
 // MinimizeOpt is Minimize polling the options' deadline between partition-
 // refinement rounds, for callers running whole construction pipelines under
 // one context.
-func MinimizeOpt(d *DFA, opt Options) (*DFA, error) {
+func MinimizeOpt(d *DFA, opt Options) (_ *DFA, err error) {
+	var passes, polls int64
+	opt, ph := beginPhase(opt, "machine.minimize")
+	defer func() {
+		ph.Attr("passes", passes)
+		ph.Count("machine_minimize_passes_total", passes)
+		ph.Count("machine_deadline_polls_total", polls)
+		endPhase(ph, err)
+	}()
 	d = d.trim()
 	n := d.NumStates()
 	if n == 0 {
@@ -256,6 +288,8 @@ func MinimizeOpt(d *DFA, opt Options) (*DFA, error) {
 		inWork[w] = true
 	}
 	for len(worklist) > 0 {
+		passes++
+		polls++
 		if err := opt.Err(); err != nil {
 			return nil, fmt.Errorf("%w: minimization abandoned with %d blocks", err, len(blocks))
 		}

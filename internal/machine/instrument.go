@@ -1,0 +1,34 @@
+package machine
+
+import (
+	"errors"
+
+	"resilex/internal/obs"
+)
+
+// beginPhase opens an instrumented phase for a construction running under
+// opt, provided opt.Ctx carries an observer (obs.NewContext). The returned
+// options carry the phase's derived context so nested constructions parent
+// their spans correctly. Without an observer this is a single nil check.
+func beginPhase(opt Options, name string) (Options, *obs.Phase) {
+	ctx, ph := obs.StartPhase(opt.Ctx, name)
+	if ph != nil {
+		opt.Ctx = ctx
+	}
+	return opt, ph
+}
+
+// endPhase closes the phase, counting budget/deadline failures so the two
+// ways a super-linear construction gives up are visible per-run.
+func endPhase(ph *obs.Phase, err error) {
+	if ph == nil {
+		return
+	}
+	switch {
+	case errors.Is(err, ErrBudget):
+		ph.Count("machine_budget_exhausted_total", 1)
+	case errors.Is(err, ErrDeadline):
+		ph.Count("machine_deadline_exceeded_total", 1)
+	}
+	ph.End()
+}

@@ -236,11 +236,16 @@ type frag struct{ start, end int }
 //
 // Symbols mentioned in the AST that are outside sigma are an error: the
 // language would not be well-defined relative to Σ.
-func Compile(n *rx.Node, sigma symtab.Alphabet, opt Options) (*NFA, error) {
+func Compile(n *rx.Node, sigma symtab.Alphabet, opt Options) (_ *NFA, err error) {
 	if !n.Symbols().SubsetOf(sigma) {
 		return nil, fmt.Errorf("machine: expression mentions symbols outside Σ")
 	}
 	m := newNFA(sigma, 0)
+	opt, ph := beginPhase(opt, "machine.compile")
+	defer func() {
+		ph.Attr("states", int64(m.NumStates()))
+		endPhase(ph, err)
+	}()
 	f, err := m.build(n, opt)
 	if err != nil {
 		return nil, err

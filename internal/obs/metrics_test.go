@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(1)
+	if got := r.Counter("x").Value(); got != 0 {
+		t.Fatalf("nil registry counter value = %d, want 0", got)
+	}
+	var o *Observer
+	o.Counter("x").Inc()
+	o.Event("e", "k", 1)
+	ctx, sp := o.StartSpan(nil, "s")
+	sp.SetAttr("a", 1)
+	sp.End()
+	if ctx != nil {
+		t.Fatalf("nil observer StartSpan changed ctx")
+	}
+	var p *Phase
+	p.Attr("a", 1)
+	p.Count("c", 1)
+	p.End()
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("reqs_total").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	h := r.Histogram("dur_us")
+	for _, v := range []int64{0, 1, 2, 3, 4, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 1010 {
+		t.Fatalf("histogram count/sum = %d/%d, want 6/1010", h.Count(), h.Sum())
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3},
+		{1 << 20, 20}, {1<<20 + 1, 21}, {1 << 30, 30}, {1<<30 + 1, 31}, {1 << 62, 31},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if BucketBound(0) != 1 || BucketBound(30) != 1<<30 || BucketBound(31) != -1 {
+		t.Fatalf("BucketBound bounds wrong: %d %d %d", BucketBound(0), BucketBound(30), BucketBound(31))
+	}
+}
+
+func TestWithLabels(t *testing.T) {
+	got := WithLabels("rung_total", "site", "vs", "rung", "probe")
+	want := `rung_total{site="vs",rung="probe"}`
+	if got != want {
+		t.Fatalf("WithLabels = %q, want %q", got, want)
+	}
+	if got := WithLabels("plain"); got != "plain" {
+		t.Fatalf("WithLabels no kv = %q", got)
+	}
+	esc := WithLabels("m", "k", "a\"b\\c\nd")
+	want = `m{k="a\"b\\c\nd"}`
+	if esc != want {
+		t.Fatalf("escaped = %q, want %q", esc, want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(3)
+	r.Gauge("b").Set(-1)
+	r.Histogram("c_us").Observe(5)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &m); err != nil {
+		t.Fatalf("output not valid JSON: %v\n%s", err, b.String())
+	}
+	if m["a_total"].(float64) != 3 || m["b"].(float64) != -1 {
+		t.Fatalf("flat values wrong: %v", m)
+	}
+	h := m["c_us"].(map[string]any)
+	if h["count"].(float64) != 1 || h["sum"].(float64) != 5 {
+		t.Fatalf("histogram object wrong: %v", h)
+	}
+	if h["buckets"].(map[string]any)["8"].(float64) != 1 {
+		t.Fatalf("bucket for 5 should land in le=8: %v", h)
+	}
+}
+
+// TestWritePrometheusGolden pins the exact text exposition output for a small
+// registry so format regressions are caught byte-for-byte.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(WithLabels("rung_entries_total", "site", "vs", "rung", "wrapper")).Add(2)
+	r.Counter(WithLabels("rung_entries_total", "site", "vs", "rung", "probe")).Add(1)
+	r.Gauge("breaker_state").Set(1)
+	h := r.Histogram(WithLabels("compile_us", "kind", "dfa"))
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# TYPE rung_entries_total counter
+rung_entries_total{site="vs",rung="probe"} 1
+rung_entries_total{site="vs",rung="wrapper"} 2
+# TYPE breaker_state gauge
+breaker_state 1
+# TYPE compile_us histogram
+compile_us_bucket{kind="dfa",le="1"} 1
+compile_us_bucket{kind="dfa",le="2"} 1
+compile_us_bucket{kind="dfa",le="4"} 2
+compile_us_bucket{kind="dfa",le="8"} 3
+`
+	if !strings.HasPrefix(got, want) {
+		t.Fatalf("prometheus prefix mismatch:\ngot:\n%s\nwant prefix:\n%s", got, want)
+	}
+	for _, line := range []string{
+		`compile_us_bucket{kind="dfa",le="+Inf"} 3`,
+		`compile_us_sum{kind="dfa"} 9`,
+		`compile_us_count{kind="dfa"} 3`,
+		"# TYPE rung_entries_total counter",
+		`rung_entries_total{site="vs",rung="probe"} 1`,
+		`rung_entries_total{site="vs",rung="wrapper"} 2`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("missing line %q in:\n%s", line, got)
+		}
+	}
+	// Exactly one TYPE line per family even with multiple label sets.
+	if n := strings.Count(got, "# TYPE rung_entries_total"); n != 1 {
+		t.Errorf("rung_entries_total TYPE lines = %d, want 1", n)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	s := r.Snapshot()
+	r.Counter("a").Inc()
+	if s.Counters["a"] != 1 {
+		t.Fatalf("snapshot mutated after the fact: %d", s.Counters["a"])
+	}
+}

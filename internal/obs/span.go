@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSpanCapacity is the tracer ring-buffer size used by NewTracer(0).
+const DefaultSpanCapacity = 4096
+
+// Attr is one integer span attribute (states explored, transitions built,
+// …). All construction-phase facts of interest are counts, so attributes are
+// int64 by design — no interface boxing on the hot path.
+type Attr struct {
+	Key   string `json:"key"`
+	Value int64  `json:"value"`
+}
+
+// SpanRecord is one completed span as stored in the tracer's ring buffer.
+type SpanRecord struct {
+	ID       int64         `json:"id"`
+	Parent   int64         `json:"parent,omitempty"` // 0 = root
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"-"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+}
+
+// Tracer records completed spans into a fixed-size ring buffer: the cost of
+// tracing is bounded no matter how long the process runs, at the price of
+// evicting the oldest spans.
+type Tracer struct {
+	nextID atomic.Int64
+
+	mu    sync.Mutex
+	ring  []SpanRecord
+	next  int   // ring write cursor
+	total int64 // spans ever recorded
+}
+
+// NewTracer returns a tracer holding up to capacity completed spans
+// (DefaultSpanCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &Tracer{ring: make([]SpanRecord, 0, capacity)}
+}
+
+type spanCtxKey struct{}
+
+// StartSpan opens a span named name whose parent is the span carried by ctx
+// (if any) and returns a derived context carrying the new span. The span is
+// recorded when End is called. A nil tracer returns ctx unchanged and a nil
+// (no-op) span.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var parent int64
+	if p, ok := ctx.Value(spanCtxKey{}).(int64); ok {
+		parent = p
+	}
+	id := t.nextID.Add(1)
+	return context.WithValue(ctx, spanCtxKey{}, id), &Span{
+		t: t, id: id, parent: parent, name: name, start: time.Now(),
+	}
+}
+
+// record appends one completed span, evicting the oldest at capacity.
+func (t *Tracer) record(r SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, r)
+		return
+	}
+	t.ring[t.next] = r
+	t.next = (t.next + 1) % len(t.ring)
+}
+
+// Snapshot returns the buffered spans in completion order (oldest first).
+func (t *Tracer) Snapshot() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Total reports how many spans were ever recorded (including evicted ones).
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// WriteTree renders the buffered spans as an indented parent/child tree,
+// children ordered by start time. Spans whose parent was evicted from the
+// ring render as roots.
+func (t *Tracer) WriteTree(w io.Writer) error {
+	spans := t.Snapshot()
+	children := map[int64][]SpanRecord{}
+	present := map[int64]bool{}
+	for _, s := range spans {
+		present[s.ID] = true
+	}
+	var roots []SpanRecord
+	for _, s := range spans {
+		if s.Parent != 0 && present[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	byStart := func(xs []SpanRecord) {
+		sort.Slice(xs, func(i, j int) bool { return xs[i].Start.Before(xs[j].Start) })
+	}
+	byStart(roots)
+	var render func(s SpanRecord, depth int) error
+	render = func(s SpanRecord, depth int) error {
+		var attrs strings.Builder
+		for _, a := range s.Attrs {
+			fmt.Fprintf(&attrs, " %s=%d", a.Key, a.Value)
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %v%s\n",
+			strings.Repeat("  ", depth), s.Name, s.Duration.Round(time.Microsecond), attrs.String()); err != nil {
+			return err
+		}
+		kids := children[s.ID]
+		byStart(kids)
+		for _, k := range kids {
+			if err := render(k, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := render(r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Span is one in-flight timed operation. SetAttr and End must be called from
+// the goroutine that started the span (spans are not shared); the tracer
+// itself is safe for concurrent use.
+type Span struct {
+	t      *Tracer
+	id     int64
+	parent int64
+	name   string
+	start  time.Time
+	attrs  []Attr
+	ended  bool
+}
+
+// SetAttr attaches (or overwrites) an integer attribute. No-op on nil.
+func (s *Span) SetAttr(key string, v int64) {
+	if s == nil {
+		return
+	}
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = v
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: v})
+}
+
+// End records the span into the tracer's ring buffer and returns its
+// duration. Safe to call on a nil span; calling twice records once.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	if s.ended {
+		return d
+	}
+	s.ended = true
+	s.t.record(SpanRecord{
+		ID: s.id, Parent: s.parent, Name: s.name,
+		Start: s.start, Duration: d, Attrs: s.attrs,
+	})
+	return d
+}

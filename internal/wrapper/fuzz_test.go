@@ -1,15 +1,22 @@
 package wrapper
 
 import (
+	"context"
 	"errors"
 	"testing"
 
 	"resilex/internal/machine"
+	"resilex/internal/obs"
 )
 
 // fuzzOptions caps construction work so the fuzzer spends its time on the
-// decode/reparse surface, not on giant automata.
-var fuzzOptions = machine.Options{MaxStates: 512}
+// decode/reparse surface, not on giant automata. The context carries a live
+// observer so the whole fuzz surface runs with observation enabled — the
+// instrumentation itself is under fuzz.
+var fuzzOptions = machine.Options{
+	MaxStates: 512,
+	Ctx:       obs.NewContext(context.Background(), obs.New()),
+}
 
 // FuzzLoadWrapper drives the persisted-wrapper load path with arbitrary
 // bytes: it must never panic, and every failure must wrap a typed sentinel.

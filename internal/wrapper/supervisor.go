@@ -10,6 +10,7 @@ import (
 
 	"resilex/internal/extract"
 	"resilex/internal/machine"
+	"resilex/internal/obs"
 )
 
 // Rung identifies which rung of the degradation ladder served a request.
@@ -105,6 +106,13 @@ type SupervisorConfig struct {
 	// time.Now and time.Sleep.
 	Now   func() time.Time
 	Sleep func(time.Duration)
+	// Observer, when set, receives the supervisor's telemetry — rung
+	// entry/serve counters, breaker transitions, refresh retries — and is
+	// threaded into every extraction context so the machine and extract
+	// layers record their phases into the same registry. A context already
+	// carrying an observer (obs.NewContext / resilex.WithObserver) takes
+	// precedence per call. nil disables observation.
+	Observer *obs.Observer
 }
 
 func (c SupervisorConfig) withDefaults() SupervisorConfig {
@@ -141,6 +149,11 @@ type siteState struct {
 	misses       uint64
 	lastErr      string
 	lastChangeAt time.Time
+
+	rungEntries [RungMiss + 1]uint64 // indexed by Rung; how often each rung ran
+	rungServes  [RungMiss + 1]uint64 // how often each rung served the request
+	retries     uint64               // refresh-rung backoff retries
+	history     []BreakerTransition  // recent transitions, capped
 }
 
 // SiteHealth is the externally visible health snapshot of one site.
@@ -181,6 +194,10 @@ type MissReport struct {
 	// ProbeClaims counts how many foreign wrappers claimed the page — >1
 	// means the probe rung failed on ambiguity, not absence.
 	ProbeClaims int
+	// Transitions is the site's recent breaker transition history (oldest
+	// first, capped at maxBreakerHistory) at the moment of the miss, so a
+	// logged report shows how the breaker got into its final state.
+	Transitions []BreakerTransition
 }
 
 // Error renders the report.
@@ -191,6 +208,20 @@ func (m *MissReport) Error() string {
 	}
 	return fmt.Sprintf("wrapper: miss for %q (breaker %s, tried %s, %d probe claims): %v",
 		m.Key, m.Breaker, strings.Join(rungs, "→"), m.ProbeClaims, m.Err)
+}
+
+// String renders the report with the breaker transition history appended,
+// for diagnostics richer than the error message.
+func (m *MissReport) String() string {
+	msg := m.Error()
+	if len(m.Transitions) == 0 {
+		return msg
+	}
+	parts := make([]string, len(m.Transitions))
+	for i, t := range m.Transitions {
+		parts[i] = t.String()
+	}
+	return msg + " [breaker history: " + strings.Join(parts, ", ") + "]"
 }
 
 // Unwrap exposes the classified primary failure.
@@ -260,16 +291,65 @@ func (s *Supervisor) snapshotLocked(key string, st *siteState) SiteHealth {
 	}
 }
 
-// admit decides whether rung 1 may run for the site, transitioning an open
-// breaker to half-open when the cooldown has elapsed.
-func (s *Supervisor) admit(st *siteState) bool {
+// observer resolves the telemetry sink for one call: a context-carried
+// observer wins, then the configured one, else nil (inert).
+func (s *Supervisor) observer(ctx context.Context) *obs.Observer {
+	if o := obs.FromContext(ctx); o != nil {
+		return o
+	}
+	return s.cfg.Observer
+}
+
+// transitionLocked moves the site's breaker to `to` (no-op when already
+// there), stamping openedAt on opens, appending to the capped transition
+// history, and emitting the observer counter and event. Caller holds s.mu.
+func (s *Supervisor) transitionLocked(o *obs.Observer, key string, st *siteState, to BreakerState) {
+	if st.breaker == to {
+		return
+	}
+	from := st.breaker
+	now := s.cfg.Now()
+	st.breaker = to
+	st.lastChangeAt = now
+	if to == BreakerOpen {
+		st.openedAt = now
+	}
+	st.history = append(st.history, BreakerTransition{From: from, To: to, At: now})
+	if len(st.history) > maxBreakerHistory {
+		st.history = st.history[len(st.history)-maxBreakerHistory:]
+	}
+	o.Counter(obs.WithLabels("supervisor_breaker_transitions_total",
+		"site", key, "from", from.String(), "to", to.String())).Inc()
+	o.Event("supervisor.breaker", "site", key, "from", from.String(), "to", to.String())
+}
+
+// noteRung counts a ladder-rung entry (served=false) or a serve for key, in
+// both the per-site record and the observer registry.
+func (s *Supervisor) noteRung(o *obs.Observer, key string, r Rung, served bool) {
+	s.mu.Lock()
+	st := s.site(key)
+	kind := "entries"
+	if served {
+		st.rungServes[r]++
+		kind = "serves"
+	} else {
+		st.rungEntries[r]++
+	}
+	s.mu.Unlock()
+	o.Counter(obs.WithLabels("supervisor_rung_"+kind+"_total",
+		"site", key, "rung", r.String())).Inc()
+	o.Event("supervisor.rung", "site", key, "rung", r.String(), "served", served)
+}
+
+// admitLocked decides whether rung 1 may run for the site, transitioning an
+// open breaker to half-open when the cooldown has elapsed.
+func (s *Supervisor) admitLocked(o *obs.Observer, key string, st *siteState) bool {
 	switch st.breaker {
 	case BreakerClosed, BreakerHalfOpen:
 		return true
 	case BreakerOpen:
 		if s.cfg.Now().Sub(st.openedAt) >= s.cfg.Cooldown {
-			st.breaker = BreakerHalfOpen
-			st.lastChangeAt = s.cfg.Now()
+			s.transitionLocked(o, key, st, BreakerHalfOpen)
 			return true
 		}
 		return false
@@ -277,28 +357,23 @@ func (s *Supervisor) admit(st *siteState) bool {
 	return true
 }
 
-// recordSuccess closes the breaker and resets the failure streak.
-func (s *Supervisor) recordSuccess(st *siteState) {
+// recordSuccessLocked closes the breaker and resets the failure streak.
+func (s *Supervisor) recordSuccessLocked(o *obs.Observer, key string, st *siteState) {
 	st.consecutive = 0
 	st.extractions++
 	st.lastErr = ""
-	if st.breaker != BreakerClosed {
-		st.breaker = BreakerClosed
-		st.lastChangeAt = s.cfg.Now()
-	}
+	s.transitionLocked(o, key, st, BreakerClosed)
 }
 
-// recordFailure counts a rung-1 failure and opens the breaker at the
+// recordFailureLocked counts a rung-1 failure and opens the breaker at the
 // threshold (a half-open trial failure re-opens immediately).
-func (s *Supervisor) recordFailure(st *siteState, err error) {
+func (s *Supervisor) recordFailureLocked(o *obs.Observer, key string, st *siteState, err error) {
 	st.failures++
 	st.consecutive++
 	st.lastErr = err.Error()
 	if st.breaker == BreakerHalfOpen ||
 		(st.breaker == BreakerClosed && st.consecutive >= s.cfg.BreakerThreshold) {
-		st.breaker = BreakerOpen
-		st.openedAt = s.cfg.Now()
-		st.lastChangeAt = st.openedAt
+		s.transitionLocked(o, key, st, BreakerOpen)
 	}
 }
 
@@ -308,12 +383,15 @@ func (s *Supervisor) recordFailure(st *siteState, err error) {
 // itself whenever a probe claim matches a quarantined site; it is exported
 // for operators wiring external health probes.
 func (s *Supervisor) NotifyProbeSuccess(key string) {
+	s.notifyProbeSuccess(s.cfg.Observer, key)
+}
+
+func (s *Supervisor) notifyProbeSuccess(o *obs.Observer, key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.site(key)
 	if st.breaker == BreakerOpen {
-		st.breaker = BreakerHalfOpen
-		st.lastChangeAt = s.cfg.Now()
+		s.transitionLocked(o, key, st, BreakerHalfOpen)
 	}
 }
 
@@ -321,6 +399,22 @@ func (s *Supervisor) NotifyProbeSuccess(key string) {
 // success the Result says which rung served. On total failure the error is
 // a *MissReport wrapping the classified cause.
 func (s *Supervisor) Extract(ctx context.Context, key, html string) (Result, error) {
+	o := s.observer(ctx)
+	if o != nil && obs.FromContext(ctx) != o {
+		// Thread the configured observer into the extraction context so the
+		// machine/extract layers record phases into the same registry.
+		ctx = obs.NewContext(ctx, o)
+	}
+	ctx, sp := o.StartSpan(ctx, "supervisor.extract")
+	res, err := s.runLadder(ctx, o, key, html)
+	if sp != nil {
+		sp.SetAttr("rung", int64(res.Rung))
+		sp.End()
+	}
+	return res, err
+}
+
+func (s *Supervisor) runLadder(ctx context.Context, o *obs.Observer, key, html string) (Result, error) {
 	w := s.fleet.Get(key)
 
 	var attempted []Rung
@@ -332,37 +426,41 @@ func (s *Supervisor) Extract(ctx context.Context, key, html string) (Result, err
 	} else {
 		s.mu.Lock()
 		st := s.site(key)
-		admitted := s.admit(st)
+		admitted := s.admitLocked(o, key, st)
 		s.mu.Unlock()
 
 		if !admitted {
 			primary = fmt.Errorf("%w: %q", ErrQuarantined, key)
 		} else {
 			attempted = append(attempted, RungWrapper)
+			s.noteRung(o, key, RungWrapper, false)
 			region, err := s.tryExtract(ctx, w, html)
 			s.mu.Lock()
 			st = s.site(key)
 			if err == nil {
-				s.recordSuccess(st)
+				s.recordSuccessLocked(o, key, st)
 				s.mu.Unlock()
+				s.noteRung(o, key, RungWrapper, true)
 				return Result{Region: region, Rung: RungWrapper, Key: key}, nil
 			}
-			s.recordFailure(st, err)
+			s.recordFailureLocked(o, key, st, err)
 			s.mu.Unlock()
 			primary = err
 
 			// Rung 2: refresh with a freshly marked sample, when the page
 			// is parseable and an oracle can mark it.
-			if out, ok := s.tryRefresh(ctx, key, w, html, err); ok {
+			if s.refreshEligible(html, err) {
 				attempted = append(attempted, RungRefresh)
-				s.mu.Lock()
-				st = s.site(key)
-				st.refreshes++
-				s.recordSuccess(st)
-				s.mu.Unlock()
-				return out, nil
-			} else if s.refreshEligible(html, err) {
-				attempted = append(attempted, RungRefresh)
+				s.noteRung(o, key, RungRefresh, false)
+				if out, ok := s.tryRefresh(ctx, key, w, html, err); ok {
+					s.mu.Lock()
+					st = s.site(key)
+					st.refreshes++
+					s.recordSuccessLocked(o, key, st)
+					s.mu.Unlock()
+					s.noteRung(o, key, RungRefresh, true)
+					return out, nil
+				}
 			}
 		}
 	}
@@ -370,9 +468,10 @@ func (s *Supervisor) Extract(ctx context.Context, key, html string) (Result, err
 	// Rung 3: probe the whole fleet; an unambiguous foreign claim serves
 	// the request, and a claim by a quarantined site half-opens its breaker.
 	attempted = append(attempted, RungProbe)
+	s.noteRung(o, key, RungProbe, false)
 	claims, probeErr := s.fleet.ProbeContext(ctx, html)
 	for claimKey := range claims {
-		s.NotifyProbeSuccess(claimKey)
+		s.notifyProbeSuccess(o, claimKey)
 	}
 	if len(claims) == 1 && probeErr == nil {
 		for claimKey, region := range claims {
@@ -380,6 +479,7 @@ func (s *Supervisor) Extract(ctx context.Context, key, html string) (Result, err
 			st := s.site(key)
 			st.probeServes++
 			s.mu.Unlock()
+			s.noteRung(o, key, RungProbe, true)
 			return Result{Region: region, Rung: RungProbe, Key: claimKey}, nil
 		}
 	}
@@ -389,10 +489,12 @@ func (s *Supervisor) Extract(ctx context.Context, key, html string) (Result, err
 
 	// Rung 4: structured miss.
 	attempted = append(attempted, RungMiss)
+	s.noteRung(o, key, RungMiss, false)
 	s.mu.Lock()
 	st := s.site(key)
 	st.misses++
 	breaker := st.breaker
+	transitions := append([]BreakerTransition(nil), st.history...)
 	s.mu.Unlock()
 	if primary == nil {
 		primary = ErrNoMatch
@@ -400,6 +502,7 @@ func (s *Supervisor) Extract(ctx context.Context, key, html string) (Result, err
 	return Result{Rung: RungMiss, Key: key}, &MissReport{
 		Key: key, Breaker: breaker, Attempted: attempted,
 		Err: classify(html, primary), ProbeClaims: len(claims),
+		Transitions: transitions,
 	}
 }
 
@@ -445,6 +548,7 @@ func (s *Supervisor) tryRefresh(ctx context.Context, key string, w *Wrapper, htm
 	for attempt := 0; attempt < s.cfg.RefreshAttempts; attempt++ {
 		if attempt > 0 {
 			s.cfg.Sleep(s.cfg.RefreshBackoff << (attempt - 1))
+			s.countRetry(ctx, key)
 		}
 		fresh, err := s.refreshOnce(ctx, refresher, sample)
 		if err == nil {
@@ -463,6 +567,14 @@ func (s *Supervisor) tryRefresh(ctx context.Context, key string, w *Wrapper, htm
 		}
 	}
 	return Result{}, false
+}
+
+// countRetry records one refresh-rung backoff retry for key.
+func (s *Supervisor) countRetry(ctx context.Context, key string) {
+	s.mu.Lock()
+	s.site(key).retries++
+	s.mu.Unlock()
+	s.observer(ctx).Counter(obs.WithLabels("supervisor_refresh_retries_total", "site", key)).Inc()
 }
 
 // refreshOnce is one guarded refresh attempt.

@@ -1,0 +1,71 @@
+package wrapper
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"resilex/internal/faultinject"
+	"resilex/internal/obs"
+)
+
+// TestSupervisorConcurrentObservation hammers one supervisor — and through
+// it one shared metrics registry and span ring buffer — from parallel
+// Extract calls mixing every ladder outcome. Run under -race this exercises
+// the supervisor lock, the registry's create/update paths, and the tracer's
+// ring eviction concurrently.
+func TestSupervisorConcurrentObservation(t *testing.T) {
+	o := obs.New()
+	o.Trace = obs.NewTracer(128) // force concurrent ring eviction
+	s, _ := supervisorFixture(t, SupervisorConfig{
+		Observer:         o,
+		Marker:           markerByAttr,
+		BreakerThreshold: 3,
+	})
+	garbled := faultinject.GarbleTags(fig1Novel, 1)
+	pages := []string{fig1Novel, fig1Top, garbled, `<i>junk</i>`, fig1Novel}
+
+	const workers = 8
+	const perWorker = 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := "vs"
+				if i%4 == 3 {
+					key = fmt.Sprintf("ghost-%d", w%2)
+				}
+				s.Extract(context.Background(), key, pages[(w+i)%len(pages)])
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every call recorded exactly one ladder span.
+	if got := o.Trace.Total(); got != workers*perWorker {
+		t.Errorf("ladder spans = %d, want %d", got, workers*perWorker)
+	}
+	// Per-site rung entries in the registry agree with the telemetry
+	// snapshot — the two paths counted the same events.
+	tel := s.Telemetry()
+	snap := o.Metrics.Snapshot().Counters
+	var entries, serves uint64
+	for key, st := range tel {
+		for rung, n := range st.RungEntries {
+			entries += n
+			name := fmt.Sprintf("supervisor_rung_entries_total{site=%q,rung=%q}", key, rung)
+			if got := uint64(snap[name]); got != n {
+				t.Errorf("%s = %d, telemetry says %d", name, got, n)
+			}
+		}
+		for _, n := range st.RungServes {
+			serves += n
+		}
+	}
+	if entries == 0 || serves == 0 {
+		t.Fatalf("no ladder traffic recorded: %+v", tel)
+	}
+}

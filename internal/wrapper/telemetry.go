@@ -1,0 +1,107 @@
+package wrapper
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// maxBreakerHistory caps the per-site breaker transition log; older
+// transitions are dropped so a long-running supervisor stays bounded.
+const maxBreakerHistory = 64
+
+// BreakerTransition is one breaker state change with its timestamp
+// (SupervisorConfig.Now, so deterministic under an injected clock).
+type BreakerTransition struct {
+	From BreakerState `json:"from"`
+	To   BreakerState `json:"to"`
+	At   time.Time    `json:"at"`
+}
+
+// String renders the transition as "closed→open@<RFC3339>".
+func (t BreakerTransition) String() string {
+	return fmt.Sprintf("%s→%s@%s", t.From, t.To, t.At.Format(time.RFC3339))
+}
+
+// SiteTelemetry is the full observability snapshot of one site: the health
+// record plus per-rung counters, refresh retries, and the breaker
+// transition history (oldest first).
+type SiteTelemetry struct {
+	SiteHealth
+	// RungEntries / RungServes count, per rung name ("wrapper", "refresh",
+	// "probe", "miss"), how often the ladder entered and served from that
+	// rung. Zero-count rungs are omitted.
+	RungEntries    map[string]uint64   `json:"rung_entries,omitempty"`
+	RungServes     map[string]uint64   `json:"rung_serves,omitempty"`
+	RefreshRetries uint64              `json:"refresh_retries,omitempty"`
+	Transitions    []BreakerTransition `json:"transitions,omitempty"`
+}
+
+// String renders the site telemetry on one line for reports.
+func (t SiteTelemetry) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: breaker=%s", t.Key, t.Breaker)
+	for _, r := range []Rung{RungWrapper, RungRefresh, RungProbe, RungMiss} {
+		name := r.String()
+		if e := t.RungEntries[name]; e > 0 {
+			fmt.Fprintf(&b, " %s=%d/%d", name, t.RungServes[name], e)
+		}
+	}
+	if t.RefreshRetries > 0 {
+		fmt.Fprintf(&b, " retries=%d", t.RefreshRetries)
+	}
+	if len(t.Transitions) > 0 {
+		parts := make([]string, len(t.Transitions))
+		for i, tr := range t.Transitions {
+			parts[i] = tr.String()
+		}
+		fmt.Fprintf(&b, " [%s]", strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+// Telemetry maps site key → telemetry snapshot.
+type Telemetry map[string]SiteTelemetry
+
+// String renders every site's telemetry, one line per site, sorted by key.
+func (t Telemetry) String() string {
+	keys := make([]string, 0, len(t))
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(t[k].String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Telemetry returns the observability snapshot for every site the
+// supervisor has seen.
+func (s *Supervisor) Telemetry() Telemetry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(Telemetry, len(s.sites))
+	for key, st := range s.sites {
+		t := SiteTelemetry{
+			SiteHealth:     s.snapshotLocked(key, st),
+			RungEntries:    map[string]uint64{},
+			RungServes:     map[string]uint64{},
+			RefreshRetries: st.retries,
+			Transitions:    append([]BreakerTransition(nil), st.history...),
+		}
+		for r := RungWrapper; r <= RungMiss; r++ {
+			if n := st.rungEntries[r]; n > 0 {
+				t.RungEntries[r.String()] = n
+			}
+			if n := st.rungServes[r]; n > 0 {
+				t.RungServes[r.String()] = n
+			}
+		}
+		out[key] = t
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+package wrapper
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"resilex/internal/faultinject"
+	"resilex/internal/obs"
+)
+
+// counterSeq extracts the supervisor_* counters from an observer registry,
+// so tests can compare the exact set the ladder emitted.
+func counterSeq(o *obs.Observer) map[string]int64 {
+	out := map[string]int64{}
+	for name, v := range o.Metrics.Snapshot().Counters {
+		if strings.HasPrefix(name, "supervisor_") {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+func wantTelemetry(t *testing.T, got SiteTelemetry, entries, serves map[string]uint64, transitions int) {
+	t.Helper()
+	if !reflect.DeepEqual(got.RungEntries, entries) {
+		t.Errorf("rung entries = %v, want %v", got.RungEntries, entries)
+	}
+	if !reflect.DeepEqual(got.RungServes, serves) {
+		t.Errorf("rung serves = %v, want %v", got.RungServes, serves)
+	}
+	if len(got.Transitions) != transitions {
+		t.Errorf("transitions = %v, want %d of them", got.Transitions, transitions)
+	}
+}
+
+// TestTelemetryRungWrapper: a clean rung-1 serve is exactly one entry, one
+// serve, no breaker movement.
+func TestTelemetryRungWrapper(t *testing.T) {
+	o := obs.New()
+	s, _ := supervisorFixture(t, SupervisorConfig{Observer: o})
+	if _, err := s.Extract(context.Background(), "vs", fig1Novel); err != nil {
+		t.Fatal(err)
+	}
+	wantTelemetry(t, s.Telemetry()["vs"],
+		map[string]uint64{"wrapper": 1},
+		map[string]uint64{"wrapper": 1}, 0)
+	want := map[string]int64{
+		`supervisor_rung_entries_total{site="vs",rung="wrapper"}`: 1,
+		`supervisor_rung_serves_total{site="vs",rung="wrapper"}`:  1,
+	}
+	if got := counterSeq(o); !reflect.DeepEqual(got, want) {
+		t.Errorf("counters = %v, want %v", got, want)
+	}
+	// The ladder span recorded which rung served.
+	spans := o.Trace.Snapshot()
+	last := spans[len(spans)-1]
+	if last.Name != "supervisor.extract" {
+		t.Fatalf("last span = %q", last.Name)
+	}
+	if len(last.Attrs) != 1 || last.Attrs[0] != (obs.Attr{Key: "rung", Value: int64(RungWrapper)}) {
+		t.Errorf("span attrs = %v", last.Attrs)
+	}
+}
+
+// TestTelemetryRungRefresh: a drift page enters rungs 1 and 2 and is served
+// by the refresh.
+func TestTelemetryRungRefresh(t *testing.T) {
+	o := obs.New()
+	s, _ := supervisorFixture(t, SupervisorConfig{Observer: o, Marker: markerByAttr})
+	out, err := s.Extract(context.Background(), "vs", fig1Future)
+	if err != nil || out.Rung != RungRefresh {
+		t.Fatalf("out = %+v, err = %v", out, err)
+	}
+	wantTelemetry(t, s.Telemetry()["vs"],
+		map[string]uint64{"wrapper": 1, "refresh": 1},
+		map[string]uint64{"refresh": 1}, 0)
+	want := map[string]int64{
+		`supervisor_rung_entries_total{site="vs",rung="wrapper"}`: 1,
+		`supervisor_rung_entries_total{site="vs",rung="refresh"}`: 1,
+		`supervisor_rung_serves_total{site="vs",rung="refresh"}`:  1,
+	}
+	if got := counterSeq(o); !reflect.DeepEqual(got, want) {
+		t.Errorf("counters = %v, want %v", got, want)
+	}
+}
+
+// TestTelemetryRungProbe: an unknown key skips rung 1; the foreign claim is
+// one probe entry and one probe serve on the requested key's record.
+func TestTelemetryRungProbe(t *testing.T) {
+	o := obs.New()
+	s, _ := supervisorFixture(t, SupervisorConfig{Observer: o})
+	out, err := s.Extract(context.Background(), "ghost", fig1Novel)
+	if err != nil || out.Rung != RungProbe || out.Key != "vs" {
+		t.Fatalf("out = %+v, err = %v", out, err)
+	}
+	wantTelemetry(t, s.Telemetry()["ghost"],
+		map[string]uint64{"probe": 1},
+		map[string]uint64{"probe": 1}, 0)
+	want := map[string]int64{
+		`supervisor_rung_entries_total{site="ghost",rung="probe"}`: 1,
+		`supervisor_rung_serves_total{site="ghost",rung="probe"}`:  1,
+	}
+	if got := counterSeq(o); !reflect.DeepEqual(got, want) {
+		t.Errorf("counters = %v, want %v", got, want)
+	}
+}
+
+// TestTelemetryRungMiss: stripping the training marker from a drift page
+// forces the ladder through every rung to a miss — the refresh rung is
+// entered (the failure is a refresh-eligible no-match) but cannot mark the
+// page, so nothing serves.
+func TestTelemetryRungMiss(t *testing.T) {
+	o := obs.New()
+	s, _ := supervisorFixture(t, SupervisorConfig{Observer: o, Marker: markerByAttr})
+	page := faultinject.StripMarker(fig1Future)
+	_, err := s.Extract(context.Background(), "vs", page)
+	var miss *MissReport
+	if !errors.As(err, &miss) {
+		t.Fatalf("err = %v, want *MissReport", err)
+	}
+	wantTelemetry(t, s.Telemetry()["vs"],
+		map[string]uint64{"wrapper": 1, "refresh": 1, "probe": 1, "miss": 1},
+		map[string]uint64{}, 0)
+	want := map[string]int64{
+		`supervisor_rung_entries_total{site="vs",rung="wrapper"}`: 1,
+		`supervisor_rung_entries_total{site="vs",rung="refresh"}`: 1,
+		`supervisor_rung_entries_total{site="vs",rung="probe"}`:   1,
+		`supervisor_rung_entries_total{site="vs",rung="miss"}`:    1,
+	}
+	if got := counterSeq(o); !reflect.DeepEqual(got, want) {
+		t.Errorf("counters = %v, want %v", got, want)
+	}
+}
+
+// TestTelemetryBreakerTransitions drives a full breaker lifecycle with
+// garbled pages under a deterministic clock and asserts the exact transition
+// history — states and timestamps — plus the transition counters and the
+// MissReport rendering.
+func TestTelemetryBreakerTransitions(t *testing.T) {
+	o := obs.New()
+	s, clock := supervisorFixture(t, SupervisorConfig{
+		Observer:         o,
+		BreakerThreshold: 2,
+		Cooldown:         time.Minute,
+	})
+	ctx := context.Background()
+	t0 := clock.Now()
+	bad := faultinject.GarbleTags(fig1Novel, 1)
+
+	// Two failures open the breaker at t0.
+	for i := 0; i < 2; i++ {
+		if _, err := s.Extract(ctx, "vs", bad); err == nil {
+			t.Fatalf("call %d unexpectedly succeeded", i)
+		}
+	}
+	// Quarantined miss: the report carries the history so far.
+	_, err := s.Extract(ctx, "vs", bad)
+	var miss *MissReport
+	if !errors.As(err, &miss) || !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("quarantined err = %v", err)
+	}
+	if len(miss.Transitions) != 1 || miss.Transitions[0].From != BreakerClosed || miss.Transitions[0].To != BreakerOpen {
+		t.Fatalf("miss transitions = %v", miss.Transitions)
+	}
+	if !strings.Contains(miss.String(), "breaker history: closed→open@") {
+		t.Errorf("MissReport.String() lacks history: %s", miss.String())
+	}
+	if strings.Contains(miss.Error(), "breaker history") {
+		t.Errorf("Error() should stay compact: %s", miss.Error())
+	}
+
+	// Cooldown elapses at t1; the next good page runs the half-open trial
+	// and closes the breaker.
+	clock.Advance(2 * time.Minute)
+	t1 := clock.Now()
+	if out, err := s.Extract(ctx, "vs", fig1Novel); err != nil || out.Rung != RungWrapper {
+		t.Fatalf("trial: %+v, %v", out, err)
+	}
+
+	wantHist := []BreakerTransition{
+		{From: BreakerClosed, To: BreakerOpen, At: t0},
+		{From: BreakerOpen, To: BreakerHalfOpen, At: t1},
+		{From: BreakerHalfOpen, To: BreakerClosed, At: t1},
+	}
+	got := s.Telemetry()["vs"].Transitions
+	if !reflect.DeepEqual(got, wantHist) {
+		t.Errorf("history = %v, want %v", got, wantHist)
+	}
+	snap := counterSeq(o)
+	for _, name := range []string{
+		`supervisor_breaker_transitions_total{site="vs",from="closed",to="open"}`,
+		`supervisor_breaker_transitions_total{site="vs",from="open",to="half-open"}`,
+		`supervisor_breaker_transitions_total{site="vs",from="half-open",to="closed"}`,
+	} {
+		if snap[name] != 1 {
+			t.Errorf("counter %s = %d, want 1", name, snap[name])
+		}
+	}
+}
+
+// TestTelemetryRefreshRetries: retryable refresh failures count backoff
+// retries in both the site record and the registry.
+func TestTelemetryRefreshRetries(t *testing.T) {
+	o := obs.New()
+	s, _ := supervisorFixture(t, SupervisorConfig{
+		Observer:        o,
+		Marker:          markerByAttr,
+		RefreshAttempts: 3,
+	})
+	// The marked P element mismatches the trained symbol — retried each time.
+	s.Extract(context.Background(), "vs", `<p data-target></p>`)
+	if got := s.Telemetry()["vs"].RefreshRetries; got != 2 {
+		t.Errorf("refresh retries = %d, want 2", got)
+	}
+	if got := counterSeq(o)[`supervisor_refresh_retries_total{site="vs"}`]; got != 2 {
+		t.Errorf("retry counter = %d, want 2", got)
+	}
+}
+
+// TestTelemetryEventLog: the structured logger sees the rung and breaker
+// events in ladder order.
+func TestTelemetryEventLog(t *testing.T) {
+	var events []string
+	o := &obs.Observer{Log: obs.FuncLogger(func(name string, kv ...any) {
+		events = append(events, name)
+	})}
+	s, _ := supervisorFixture(t, SupervisorConfig{Observer: o, BreakerThreshold: 1})
+	s.Extract(context.Background(), "vs", faultinject.GarbleTags(fig1Novel, 1))
+	want := []string{
+		"supervisor.rung",    // wrapper entry
+		"supervisor.breaker", // closed→open at threshold 1
+		"supervisor.rung",    // probe entry
+		"supervisor.rung",    // miss entry
+	}
+	if !reflect.DeepEqual(events, want) {
+		t.Errorf("events = %v, want %v", events, want)
+	}
+}
+
+// TestTelemetryObserverFromContext: a context-carried observer (the facade's
+// WithObserver path) receives the telemetry without any config wiring.
+func TestTelemetryObserverFromContext(t *testing.T) {
+	o := obs.New()
+	s, _ := supervisorFixture(t, SupervisorConfig{Marker: markerByAttr})
+	ctx := obs.NewContext(context.Background(), o)
+	// The drift page forces a refresh — the rung that re-runs the whole
+	// induce→maximize→compile pipeline, so machine-layer phases record too.
+	out, err := s.Extract(ctx, "vs", fig1Future)
+	if err != nil || out.Rung != RungRefresh {
+		t.Fatalf("out = %+v, err = %v", out, err)
+	}
+	if got := counterSeq(o)[`supervisor_rung_serves_total{site="vs",rung="refresh"}`]; got != 1 {
+		t.Errorf("context observer missed the serve: %v", counterSeq(o))
+	}
+	snap := o.Metrics.Snapshot()
+	if snap.Counters["machine_subset_states_total"] == 0 {
+		t.Errorf("no subset-construction states recorded: %v", snap.Counters)
+	}
+	if snap.Histograms["machine_determinize_duration_us"].Count == 0 {
+		t.Errorf("no machine phases recorded: %v", snap.Histograms)
+	}
+}

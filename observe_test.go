@@ -1,0 +1,69 @@
+package resilex_test
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"resilex"
+)
+
+// TestObserverFacade covers the public observability surface: context
+// threading, phase recording during training, the snapshot writer, and the
+// slog-backed event logger.
+func TestObserverFacade(t *testing.T) {
+	o := resilex.NewObserver()
+	ctx := resilex.WithObserver(context.Background(), o)
+	if resilex.ObserverFromContext(ctx) != o {
+		t.Fatal("observer did not round-trip through the context")
+	}
+	if resilex.ObserverFromContext(context.Background()) != nil {
+		t.Fatal("empty context yielded an observer")
+	}
+
+	// Training under the observer-carrying context records every machine
+	// construction phase into the registry and the span ring.
+	w, err := resilex.Train([]resilex.Sample{
+		{HTML: page1, Target: resilex.TargetMarker()},
+		{HTML: page2, Target: resilex.TargetMarker()},
+	}, resilex.Config{Options: resilex.Options{Ctx: ctx}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Extract(page1); err != nil {
+		t.Fatal(err)
+	}
+	snap := o.Metrics.Snapshot()
+	if snap.Counters["machine_subset_states_total"] == 0 {
+		t.Errorf("no subset states recorded: %v", snap.Counters)
+	}
+	if snap.Histograms["machine_determinize_duration_us"].Count == 0 {
+		t.Errorf("no determinize durations recorded: %v", snap.Histograms)
+	}
+	if o.Trace.Total() == 0 {
+		t.Error("no spans recorded")
+	}
+
+	var out bytes.Buffer
+	if err := resilex.WriteObserverSnapshot(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"metrics"`, `"spans"`, "machine_subset_states_total"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("snapshot JSON missing %s", want)
+		}
+	}
+
+	// The slog adapter forwards events with their key/value attributes.
+	var logBuf bytes.Buffer
+	o.Log = resilex.SlogLogger(slog.New(slog.NewTextHandler(&logBuf, nil)))
+	o.Event("facade.test", "answer", 42)
+	if got := logBuf.String(); !strings.Contains(got, "facade.test") || !strings.Contains(got, "answer=42") {
+		t.Errorf("slog event = %q", got)
+	}
+
+	// A nil slog logger falls back to the default logger without panicking.
+	resilex.SlogLogger(nil).Event("noop")
+}
