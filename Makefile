@@ -2,14 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover fuzz fuzz-smoke check bench experiments examples metrics-smoke clean
+.PHONY: all build fmt-check vet test race cover fuzz fuzz-smoke check bench microbench experiments examples metrics-smoke doc-smoke cache-smoke clean
 
 all: build vet test
 
 # The robustness gate: static checks, the full suite under the race
-# detector, a short fuzz smoke over every fuzz target, and the
-# observability smoke over the worked example.
-check: vet race fuzz-smoke metrics-smoke
+# detector, a short fuzz smoke over every fuzz target, the observability
+# smoke over the worked example, the godoc smoke over the serving-path
+# APIs, and the cache-hit-rate smoke over a quick E16 run.
+check: fmt-check vet race fuzz-smoke metrics-smoke doc-smoke cache-smoke
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -42,8 +47,14 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzLoadWrapper -fuzztime=5s ./internal/wrapper/
 	$(GO) test -fuzz=FuzzLoadFleet -fuzztime=5s ./internal/wrapper/
 
-# Every experiment series (E1..E13) plus the ablations.
+# The E16 serving-throughput experiment at a fixed seed: docs/sec, p50/p99
+# latency, and cache hit rate for the cache-disabled, cached, and batched
+# modes, written to ./BENCH_E16.json.
 bench:
+	$(GO) run ./cmd/resilience -run E16 -seed 1 -bench-dir .
+
+# Go microbenchmarks (go test -bench) over every package.
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 # The EXPERIMENTS.md tables.
@@ -62,6 +73,18 @@ metrics-smoke:
 		cmd/extract/testdata/fig1_novel.html
 	grep -q machine_subset_states_total .smoke/metrics.json
 	rm -rf .smoke
+
+# godoc smoke: the serving-path APIs keep rendering documentation.
+doc-smoke:
+	$(GO) doc resilex/internal/machine LazyDFA >/dev/null
+	$(GO) doc resilex/internal/extract Cache >/dev/null
+	$(GO) doc resilex/internal/wrapper Fleet.ExtractBatch >/dev/null
+	$(GO) doc resilex/cmd/serve >/dev/null
+
+# Cache smoke: a quick E16 run must show a repeated-wrapper hit rate in
+# the nineties.
+cache-smoke:
+	$(GO) run ./cmd/resilience -quick -run E16 -json | grep -qE '"9[0-9]\.[0-9]"'
 
 examples:
 	$(GO) run ./examples/quickstart

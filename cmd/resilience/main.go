@@ -27,7 +27,6 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"strings"
 
@@ -70,7 +69,7 @@ func run() int {
 		}
 		defer ln.Close()
 		fmt.Fprintf(os.Stderr, "resilience: serving /metrics, /metrics.json, /debug/pprof on %s\n", ln.Addr())
-		go http.Serve(ln, observerMux(o))
+		go http.Serve(ln, obs.Handler(o))
 	}
 	if *benchDir != "" {
 		if err := os.MkdirAll(*benchDir, 0o755); err != nil {
@@ -94,7 +93,9 @@ func run() int {
 	edits := []int{1, 2, 4, 6, 8}
 	depths := []int{2, 3, 4, 5, 6}
 	perEdit := 500
+	e16docs := 2000
 	if *quick {
+		e16docs = 300
 		sizes = sizes[:4]
 		e4ns = e4ns[:5]
 		e6ns = e6ns[:5]
@@ -116,6 +117,7 @@ func run() int {
 		{"E13", func() bench.Table { return bench.E13Tuple(perEdit, *seed) }},
 		{"E14", func() bench.Table { return bench.E14Alphabet([]int{2, 3, 4, 6}, perEdit/2, *seed) }},
 		{"E15", func() bench.Table { return bench.E15Supervisor() }},
+		{"E16", func() bench.Table { return bench.E16Throughput(e16docs, 0, *seed) }},
 	}
 
 	want := map[string]bool{}
@@ -197,31 +199,10 @@ func run() int {
 		return 1
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "resilience: no experiment matched -run (valid: E3 E4 E5 E6 E7 E8 E8H E10 E11 E13 E14 E15)")
+		fmt.Fprintln(os.Stderr, "resilience: no experiment matched -run (valid: E3 E4 E5 E6 E7 E8 E8H E10 E11 E13 E14 E15 E16)")
 		return 2
 	}
 	return 0
-}
-
-// observerMux serves the observer over HTTP: Prometheus text at /metrics,
-// the combined JSON snapshot at /metrics.json, and the pprof handlers under
-// /debug/pprof/.
-func observerMux(o *obs.Observer) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		o.Metrics.WritePrometheus(w)
-	})
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		obs.WriteSnapshotJSON(w, o)
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
 }
 
 // dump writes the observability snapshot collected during the run: the span

@@ -1,0 +1,92 @@
+// Command serve is the high-throughput serving path: an HTTP server that
+// loads a persisted wrapper fleet through the compiled-artifact cache and
+// extracts from batches of documents on a worker pool.
+//
+// Usage:
+//
+//	serve -fleet fleet.json                 # serve the fleet on :8093
+//	serve -fleet fleet.json -listen :9000   # another address
+//	serve -workers 16 -doc-timeout 50ms     # pool size and per-document deadline
+//	serve -cache 1024 -max-states 100000    # cache capacity and compile budget
+//
+// Endpoints:
+//
+//	POST /extract        batch extraction: {"docs":[{"key":"site","html":"…"},…]}
+//	                     → {"results":[{"index":0,"key":"site","ok":true,…},…]},
+//	                     one result per document, in input order
+//	PUT  /wrappers/{key} register or replace a site wrapper from its persisted
+//	                     JSON; compilation is cached and deduplicated
+//	GET  /healthz        liveness plus fleet size and cache hit rate
+//	GET  /metrics        Prometheus text exposition (see obs.Handler)
+//	GET  /metrics.json   combined metrics + span snapshot
+//	GET  /debug/pprof/   runtime profiles
+//
+// The cache and the lazy automata keep expensive automaton construction off
+// the request path: a wrapper's expression is compiled at most once per
+// content address, concurrent cold loads are collapsed by singleflight, and
+// every construction runs under the -max-states budget so no request can
+// trigger the worst-case exponential determinization unbounded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"resilex/internal/extract"
+	"resilex/internal/machine"
+	"resilex/internal/obs"
+	"resilex/internal/wrapper"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fleetPath := flag.String("fleet", "", "persisted fleet JSON to serve (optional; wrappers can also be PUT at runtime)")
+	listen := flag.String("listen", ":8093", "address to serve on")
+	workers := flag.Int("workers", 0, "extraction worker-pool size (0 = GOMAXPROCS)")
+	docTimeout := flag.Duration("doc-timeout", 0, "per-document extraction deadline (0 = none)")
+	cacheCap := flag.Int("cache", 256, "compiled-artifact cache capacity")
+	maxStates := flag.Int("max-states", 0, "state budget for wrapper compilation (0 = default)")
+	flag.Parse()
+
+	o := obs.New()
+	cache := extract.NewCache(*cacheCap, o)
+	opt := machine.Options{MaxStates: *maxStates}
+
+	fleet := wrapper.NewFleet()
+	if *fleetPath != "" {
+		data, err := os.ReadFile(*fleetPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			return 1
+		}
+		fleet, err = wrapper.LoadFleetCached(data, opt, cache)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			return 1
+		}
+	}
+
+	s := newServer(fleet, cache, o, opt, wrapper.BatchOptions{
+		Workers:    *workers,
+		DocTimeout: *docTimeout,
+	})
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "serve: %d wrapper(s) loaded, listening on %s\n", fleet.Len(), ln.Addr())
+	srv := &http.Server{Handler: s.mux(), ReadHeaderTimeout: 10 * time.Second}
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		return 1
+	}
+	return 0
+}

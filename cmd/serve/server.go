@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"resilex/internal/extract"
+	"resilex/internal/machine"
+	"resilex/internal/obs"
+	"resilex/internal/wrapper"
+)
+
+// maxBodyBytes bounds every request body: batches beyond this are a client
+// error, not an allocation.
+const maxBodyBytes = 64 << 20
+
+// server is the HTTP serving path: a fleet of compiled wrappers, the shared
+// compiled-artifact cache behind wrapper registration, and the observer all
+// request work reports into. It is constructed once and shared by every
+// request goroutine; Fleet and Cache are concurrency-safe, the rest is
+// read-only.
+type server struct {
+	fleet *wrapper.Fleet
+	cache *extract.Cache
+	obs   *obs.Observer
+	opt   machine.Options
+	batch wrapper.BatchOptions
+}
+
+func newServer(f *wrapper.Fleet, cache *extract.Cache, o *obs.Observer, opt machine.Options, batch wrapper.BatchOptions) *server {
+	return &server{fleet: f, cache: cache, obs: o, opt: opt, batch: batch}
+}
+
+// mux mounts the serving routes on top of the observability endpoints
+// (/metrics, /metrics.json, /debug/pprof — see obs.Handler), so one -listen
+// address serves both traffic and telemetry.
+func (s *server) mux() *http.ServeMux {
+	mux := obs.Handler(s.obs)
+	mux.HandleFunc("POST /extract", s.handleExtract)
+	mux.HandleFunc("PUT /wrappers/{key}", s.handlePutWrapper)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// extractRequest is the POST /extract body: a batch of documents, each
+// naming the site wrapper to run.
+type extractRequest struct {
+	Docs []wrapper.BatchDoc `json:"docs"`
+}
+
+// extractResult is one element of the POST /extract response, in input
+// order. OK distinguishes extraction success; on failure Error carries the
+// classified cause and the region fields are absent.
+type extractResult struct {
+	Index      int    `json:"index"`
+	Key        string `json:"key"`
+	OK         bool   `json:"ok"`
+	Error      string `json:"error,omitempty"`
+	TokenIndex int    `json:"tokenIndex,omitempty"`
+	Start      int    `json:"start,omitempty"`
+	End        int    `json:"end,omitempty"`
+	Source     string `json:"source,omitempty"`
+}
+
+func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	s.obs.Counter("serve_requests_total").Inc()
+	var req extractRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	ctx := obs.NewContext(r.Context(), s.obs)
+	results := s.fleet.ExtractBatch(ctx, req.Docs, s.batch)
+	out := struct {
+		Results []extractResult `json:"results"`
+	}{Results: make([]extractResult, len(results))}
+	for i, res := range results {
+		er := extractResult{Index: res.Index, Key: res.Key}
+		if res.Err != nil {
+			er.Error = res.Err.Error()
+		} else {
+			er.OK = true
+			er.TokenIndex = res.Region.TokenIndex
+			er.Start = res.Region.Span.Start
+			er.End = res.Region.Span.End
+			er.Source = res.Region.Source
+		}
+		out.Results[i] = er
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handlePutWrapper registers (or replaces) a site wrapper from its persisted
+// JSON. Compilation goes through the shared cache, so re-registering a known
+// expression — or registering the same wrapper under many keys — costs a
+// lookup, and a deploy that PUTs a whole fleet compiles each distinct
+// expression once even under concurrency.
+func (s *server) handlePutWrapper(w http.ResponseWriter, r *http.Request) {
+	s.obs.Counter("serve_requests_total").Inc()
+	key := r.PathValue("key")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	wr, err := wrapper.LoadCached(body, s.opt, s.cache)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, machine.ErrBudget) || errors.Is(err, machine.ErrDeadline) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	s.fleet.Add(key, wr)
+	writeJSON(w, http.StatusCreated, map[string]any{"key": key, "sites": s.fleet.Len()})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"sites":  s.fleet.Len(),
+		"cache": map[string]any{
+			"entries":   st.Entries,
+			"hits":      st.Hits,
+			"misses":    st.Misses,
+			"evictions": st.Evictions,
+			"hitRate":   st.HitRate(),
+		},
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

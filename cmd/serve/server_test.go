@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"resilex/internal/extract"
+	"resilex/internal/machine"
+	"resilex/internal/obs"
+	"resilex/internal/wrapper"
+)
+
+const pageTop = `<P>
+<H1>Virtual Supplier, Inc.</H1>
+<P>
+<form method="post" action="search.cgi">
+<input type="image" align="left" src="search.gif" />
+<input type="text" size="15" name="value" data-target />
+<br />
+<input type="radio" name="attr" value="1" checked> Keywords<br />
+<input type="radio" name="attr" value="2"> Manufacturer Part#
+</form>`
+
+const pageBottom = `<table>
+<tr><td><h1>Virtual Supplier, Inc.</h1></td></tr>
+<tr><td><form method="post" action="search.cgi">
+<input type="image" src="search.gif" />
+<input type="text" size="15" name="value" data-target />
+<input type="radio" name="attr" value="1" checked> Keywords<br />
+<input type="radio" name="attr" value="2"> Manufacturer Part#
+</form></td></tr>
+</table>`
+
+func testServer(t *testing.T) (*server, []byte) {
+	t.Helper()
+	w, err := wrapper.Train([]wrapper.Sample{
+		{HTML: pageTop, Target: wrapper.TargetMarker()},
+		{HTML: pageBottom, Target: wrapper.TargetMarker()},
+	}, wrapper.Config{Skip: []string{"BR"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := w.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := wrapper.NewFleet()
+	f.Add("vs", w)
+	o := obs.New()
+	s := newServer(f, extract.NewCache(8, o), o, machine.Options{}, wrapper.BatchOptions{Workers: 2})
+	return s, payload
+}
+
+func do(t *testing.T, s *server, method, path string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.mux().ServeHTTP(rec, req)
+	return rec
+}
+
+func TestServeExtractBatch(t *testing.T) {
+	s, _ := testServer(t)
+	body, _ := json.Marshal(extractRequest{Docs: []wrapper.BatchDoc{
+		{Key: "vs", HTML: pageTop},
+		{Key: "nosuch", HTML: pageTop},
+		{Key: "vs", HTML: "<html>nothing</html>"},
+		{Key: "vs", HTML: pageBottom},
+	}})
+	rec := do(t, s, "POST", "/extract", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Results []extractResult `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("%d results, want 4", len(resp.Results))
+	}
+	for i, r := range resp.Results {
+		if r.Index != i {
+			t.Errorf("results out of order: %d at %d", r.Index, i)
+		}
+	}
+	for _, i := range []int{0, 3} {
+		r := resp.Results[i]
+		if !r.OK || !strings.Contains(r.Source, `type="text"`) {
+			t.Errorf("result %d = %+v, want text-input extraction", i, r)
+		}
+	}
+	if resp.Results[1].OK || !strings.Contains(resp.Results[1].Error, "no wrapper registered") {
+		t.Errorf("result 1 = %+v, want unknown-key error", resp.Results[1])
+	}
+	if resp.Results[2].OK || resp.Results[2].Error == "" {
+		t.Errorf("result 2 = %+v, want extraction failure", resp.Results[2])
+	}
+	if rec := do(t, s, "POST", "/extract", []byte("{")); rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", rec.Code)
+	}
+}
+
+func TestServePutWrapperAndHealthz(t *testing.T) {
+	s, payload := testServer(t)
+	// Register the same persisted wrapper under two new keys: the second
+	// registration must hit the compiled-artifact cache.
+	for _, key := range []string{"mirror1", "mirror2"} {
+		rec := do(t, s, "PUT", "/wrappers/"+key, payload)
+		if rec.Code != http.StatusCreated {
+			t.Fatalf("PUT %s: status %d: %s", key, rec.Code, rec.Body)
+		}
+	}
+	if got := s.fleet.Len(); got != 3 {
+		t.Errorf("fleet size = %d, want 3", got)
+	}
+	st := s.cache.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("cache stats = %+v, want 1 miss + 1 hit", st)
+	}
+	body, _ := json.Marshal(extractRequest{Docs: []wrapper.BatchDoc{{Key: "mirror2", HTML: pageTop}}})
+	rec := do(t, s, "POST", "/extract", body)
+	var resp struct {
+		Results []extractResult `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || !resp.Results[0].OK {
+		t.Fatalf("extraction via registered wrapper failed: %s", rec.Body)
+	}
+	if rec := do(t, s, "PUT", "/wrappers/bad", []byte("{")); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad payload: status %d, want 400", rec.Code)
+	}
+
+	health := do(t, s, "GET", "/healthz", nil)
+	if health.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", health.Code)
+	}
+	var h struct {
+		Status string `json:"status"`
+		Sites  int    `json:"sites"`
+		Cache  struct {
+			Hits    int64   `json:"hits"`
+			HitRate float64 `json:"hitRate"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(health.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Sites != 3 || h.Cache.Hits != 1 {
+		t.Errorf("healthz = %+v", h)
+	}
+}
+
+func TestServeMetricsExposed(t *testing.T) {
+	s, _ := testServer(t)
+	body, _ := json.Marshal(extractRequest{Docs: []wrapper.BatchDoc{{Key: "vs", HTML: pageTop}}})
+	do(t, s, "POST", "/extract", body)
+	rec := do(t, s, "GET", "/metrics", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	for _, want := range []string{"serve_requests_total", "wrapper_batch_docs_total"} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}

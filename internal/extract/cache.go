@@ -1,0 +1,266 @@
+package extract
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"resilex/internal/machine"
+	"resilex/internal/obs"
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+// Compiled is a cache entry: everything a serving path needs to run one
+// persisted expression — the symbol table the artifact was compiled against
+// (concurrency-safe, shared by every borrower), the parsed expression, and
+// its compiled matcher. Compiled values are immutable after construction and
+// safe for concurrent use.
+type Compiled struct {
+	Tab     *symtab.Table
+	Expr    Expr
+	Matcher *Matcher
+}
+
+// Key returns the content address of a persisted expression: a hex SHA-256
+// over the alphabet fingerprint (sorted symbol names) and the canonical
+// fingerprints of both component ASTs (union operands sorted, symbol ids
+// assigned deterministically from the sorted name set). Two persisted
+// wrappers that differ only in union operand order, alphabet listing order,
+// or the symbol tables they were written from therefore share one key — and
+// one compilation.
+func Key(src string, sigmaNames []string) (string, error) {
+	names := append([]string(nil), sigmaNames...)
+	sort.Strings(names)
+	names = dedupSorted(names)
+	// Interning the sorted names into a fresh table makes symbol ids — and
+	// with them rx.Fingerprint — a pure function of the name set.
+	tab := symtab.NewTable()
+	sigma := symtab.NewAlphabet(tab.InternAll(names...)...)
+	m, err := rx.ParseMarked(src, tab, sigma)
+	if err != nil {
+		return "", fmt.Errorf("extract: cache key: %w", err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "v1|sigma=%s|p=%s|left=%s|right=%s",
+		strings.Join(names, ","), tab.Name(m.P), rx.Fingerprint(m.Left), rx.Fingerprint(m.Right))
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func dedupSorted(names []string) []string {
+	out := names[:0]
+	for i, n := range names {
+		if i == 0 || n != names[i-1] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// CacheStats is a point-in-time view of cache effectiveness. HitRate is in
+// [0,1]; it reads 0 before the first lookup.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	Entries                 int
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache is a content-addressed LRU of compiled extraction artifacts with
+// singleflight admission: concurrent misses on one key block on a single
+// compilation instead of compiling in parallel, so a thundering herd of
+// requests for a cold wrapper costs one determinization, not N.
+//
+// Lookups maintain the counters extract_cache_hits_total,
+// extract_cache_misses_total and extract_cache_evictions_total and the gauge
+// extract_cache_entries on the observer given to NewCache (nil-safe no-ops
+// without one); Stats reads the same numbers without an observer. A Cache is
+// safe for concurrent use.
+type Cache struct {
+	capacity int
+
+	hits, misses, evictions atomic.Int64
+
+	obsHits, obsMisses, obsEvictions *obs.Counter
+	obsEntries                       *obs.Gauge
+
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+	inflight map[string]*flight
+}
+
+type cacheEntry struct {
+	key string
+	val *Compiled
+}
+
+type flight struct {
+	done chan struct{}
+	val  *Compiled
+	err  error
+}
+
+// NewCache returns an empty cache holding at most capacity compiled
+// artifacts (minimum 1). The observer receives the hit/miss/eviction
+// counters and entry gauge; pass nil to run unobserved.
+func NewCache(capacity int, o *obs.Observer) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity:     capacity,
+		obsHits:      o.Counter("extract_cache_hits_total"),
+		obsMisses:    o.Counter("extract_cache_misses_total"),
+		obsEvictions: o.Counter("extract_cache_evictions_total"),
+		obsEntries:   o.Gauge("extract_cache_entries"),
+		ll:           list.New(),
+		entries:      map[string]*list.Element{},
+		inflight:     map[string]*flight{},
+	}
+}
+
+// Get returns the artifact cached under key, refreshing its recency, or
+// ok=false on a miss. Get never blocks on an in-flight compilation.
+func (c *Cache) Get(key string) (*Compiled, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		c.obsMisses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	c.obsHits.Inc()
+	return el.Value.(*cacheEntry).val, true
+}
+
+// GetOrCompile returns the artifact cached under key, compiling and
+// admitting it via compile on a miss. Concurrent callers that miss on the
+// same key share one compile call (singleflight): the first caller runs it,
+// the rest block and receive its result — including its error. Errors are
+// not cached; the next miss retries.
+func (c *Cache) GetOrCompile(key string, compile func() (*Compiled, error)) (*Compiled, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Add(1)
+		c.obsHits.Inc()
+		v := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return v, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		// Someone else is compiling this key; joining their flight counts as
+		// a hit — no compilation work happens on this call.
+		c.hits.Add(1)
+		c.obsHits.Inc()
+		c.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses.Add(1)
+	c.obsMisses.Inc()
+	c.mu.Unlock()
+
+	f.val, f.err = compile()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.addLocked(key, f.val)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, f.err
+}
+
+// addLocked admits one artifact, evicting from the LRU tail past capacity.
+func (c *Cache) addLocked(key string, val *Compiled) {
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+		c.obsEvictions.Inc()
+	}
+	c.obsEntries.Set(int64(c.ll.Len()))
+}
+
+// Load is the serving-path entry point: the artifact for the persisted
+// expression src over the alphabet sigmaNames, compiled at most once per
+// content address. opt bounds the compilation of this call only — the cached
+// artifact is stored with any deadline stripped, so one request's context
+// never expires another request's cache entry.
+func (c *Cache) Load(src string, sigmaNames []string, opt machine.Options) (*Compiled, error) {
+	key, err := Key(src, sigmaNames)
+	if err != nil {
+		return nil, err
+	}
+	return c.GetOrCompile(key, func() (*Compiled, error) {
+		return CompileArtifact(src, sigmaNames, opt)
+	})
+}
+
+// Len returns the number of cached artifacts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the cache's lifetime hit/miss/eviction counts and current
+// size.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	entries := c.ll.Len()
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   entries,
+	}
+}
+
+// CompileArtifact compiles a persisted expression into a shareable artifact:
+// a fresh symbol table, the parsed expression, and its matcher. The budget
+// and deadline in opt bound the compilation; the stored expression keeps the
+// budget but drops the deadline, since the artifact outlives the request
+// that happened to compile it.
+func CompileArtifact(src string, sigmaNames []string, opt machine.Options) (*Compiled, error) {
+	tab := symtab.NewTable()
+	sigma := symtab.NewAlphabet(tab.InternAll(sigmaNames...)...)
+	expr, err := Parse(src, tab, sigma, opt)
+	if err != nil {
+		return nil, err
+	}
+	m, err := expr.Compile()
+	if err != nil {
+		return nil, err
+	}
+	expr.opt = opt.WithoutContext()
+	expr.mc.once.Do(func() { expr.mc.m = m })
+	return &Compiled{Tab: tab, Expr: expr, Matcher: m}, nil
+}

@@ -6,6 +6,15 @@
 // (Proposition 5.7 / Corollary 5.8), and the synthesis algorithms —
 // left-filtering maximization (Algorithm 6.2), its mirror image, and the
 // pivot maximization framework (Propositions 6.6–6.8).
+//
+// Two runtime surfaces serve compiled expressions. Compile builds the
+// eager two-scan Matcher (forward E1-DFA plus one backward sweep, O(n) per
+// document); CompileLazy builds a LazyMatcher over on-the-fly DFAs for
+// expressions whose eager determinization would blow the state budget. For
+// high-throughput serving, Cache memoizes compiled artifacts under a
+// content address — a hash of the canonicalized expression and its
+// alphabet — with LRU eviction and singleflight deduplication of
+// concurrent cold compiles (see ExampleCache).
 package extract
 
 import (
@@ -134,6 +143,14 @@ func (e Expr) Sigma() symtab.Alphabet { return e.sigma }
 
 // Options returns the state-budget options the expression carries.
 func (e Expr) Options() machine.Options { return e.opt }
+
+// WithOptions returns a copy of the expression whose subsequent
+// construction work — Compile, CompileLazy, maximization — runs under opt.
+// The copy shares the component languages and the compiled-matcher cache.
+func (e Expr) WithOptions(opt machine.Options) Expr {
+	e.opt = opt
+	return e
+}
 
 // LeftAST returns the syntactic form of E1 when the expression was built
 // from syntax, else nil.

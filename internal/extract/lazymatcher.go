@@ -1,0 +1,130 @@
+package extract
+
+import (
+	"fmt"
+
+	"resilex/internal/lang"
+	"resilex/internal/machine"
+	"resilex/internal/obs"
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+// LazyMatcher is the on-the-fly counterpart of Matcher: both component
+// automata are machine.LazyDFA values, so no determinization happens at
+// compile time — subset states materialize as documents actually visit them,
+// bounded by the expression's Options.MaxStates budget. The suffix test runs
+// the lazy DFA of reverse(E2) right to left (word[i:] ∈ L(E2) iff the
+// reversal of word[i:] is in the reversal of L(E2)), which keeps the
+// backward sweep a single deterministic state per position, exactly like the
+// forward one.
+//
+// Compared with Matcher the per-document cost is the same O(n·|Σ|) after
+// warm-up, but construction is O(|E|) instead of worst-case exponential —
+// the right trade when an expression serves few documents, or must start
+// serving before a full determinization would finish. Matching can now fail
+// (budget or deadline), so All and Find return errors where Matcher's
+// cannot. A LazyMatcher is safe for concurrent use.
+type LazyMatcher struct {
+	p      symtab.Symbol
+	fwd    *machine.LazyDFA // E1, scanned left to right
+	bwdRev *machine.LazyDFA // reverse(E2), scanned right to left
+	sigma  symtab.Alphabet
+}
+
+// CompileLazy builds the lazy matcher for the expression. When the
+// expression retains component syntax (anything built by Parse or FromAST)
+// the NFAs come straight from Thompson's construction on the ASTs; synthetic
+// expressions fall back to the components' existing minimal DFAs, which
+// still keeps the reverse automaton lazy. Construction never determinizes.
+func (e Expr) CompileLazy() (*LazyMatcher, error) {
+	if err := e.opt.Err(); err != nil {
+		return nil, fmt.Errorf("%w: lazy matcher compilation", err)
+	}
+	_, ph := obs.StartPhase(e.opt.Ctx, "extract.lazy_matcher_compile")
+	defer ph.End()
+	fwd, err := e.componentNFA(e.leftAST, e.left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.componentNFA(e.rightAST, e.right)
+	if err != nil {
+		return nil, err
+	}
+	ph.Attr("fwd_nfa_states", int64(fwd.NumStates()))
+	ph.Attr("bwd_nfa_states", int64(right.NumStates()))
+	ph.Count("extract_lazy_matcher_compiles_total", 1)
+	return &LazyMatcher{
+		p:      e.p,
+		fwd:    machine.NewLazy(fwd, e.opt),
+		bwdRev: machine.NewLazy(right.Reverse(), e.opt),
+		sigma:  e.sigma,
+	}, nil
+}
+
+func (e Expr) componentNFA(ast *rx.Node, l lang.Language) (*machine.NFA, error) {
+	if ast != nil {
+		return machine.Compile(ast, e.sigma, e.opt)
+	}
+	return machine.FromDFA(l.DFA()), nil
+}
+
+// P returns the marked symbol the matcher extracts.
+func (m *LazyMatcher) P() symtab.Symbol { return m.p }
+
+// All returns every valid extraction position in the word, ascending —
+// Matcher.All with lazy automata. The error is non-nil exactly when a lazy
+// materialization exceeds the state budget (wrapping machine.ErrBudget) or
+// the expression's deadline expires (wrapping machine.ErrDeadline).
+func (m *LazyMatcher) All(word []symtab.Symbol) ([]int, error) {
+	n := len(word)
+	// suffixOK[i]: word[i:] ∈ L(E2), via a right-to-left run of reverse(E2).
+	// An out-of-Σ symbol drives the state to -1, which is sticky: every
+	// suffix containing it rejects.
+	suffixOK := make([]bool, n+1)
+	state := m.bwdRev.Start()
+	suffixOK[n] = m.bwdRev.Accepting(state)
+	for i := n - 1; i >= 0; i-- {
+		if state >= 0 {
+			var err error
+			state, err = m.bwdRev.Step(state, word[i])
+			if err != nil {
+				return nil, err
+			}
+		}
+		suffixOK[i] = state >= 0 && m.bwdRev.Accepting(state)
+	}
+	// Forward scan of E1, collecting positions where both tests meet on a p.
+	var out []int
+	fs := m.fwd.Start()
+	for i := 0; i < n; i++ {
+		if fs >= 0 && word[i] == m.p && m.fwd.Accepting(fs) && suffixOK[i+1] {
+			out = append(out, i)
+		}
+		if fs >= 0 {
+			var err error
+			fs, err = m.fwd.Step(fs, word[i])
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Find returns the leftmost valid extraction position, ok=false when the
+// expression does not parse the word. Error cases are those of All.
+func (m *LazyMatcher) Find(word []symtab.Symbol) (pos int, ok bool, err error) {
+	all, err := m.All(word)
+	if err != nil || len(all) == 0 {
+		return -1, false, err
+	}
+	return all[0], true, nil
+}
+
+// States reports how many subset states the two lazy automata have
+// materialized so far — the working-set size this matcher's traffic paid
+// for, versus the full determinization Matcher would have paid up front.
+func (m *LazyMatcher) States() int {
+	return m.fwd.NumStates() + m.bwdRev.NumStates()
+}

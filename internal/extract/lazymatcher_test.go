@@ -1,0 +1,197 @@
+package extract
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"resilex/internal/machine"
+	"resilex/internal/symtab"
+)
+
+// tokenFixtures are the E1–E12 fixture expressions over the small test
+// alphabets: every expression exercised by the experiment suite at the token
+// level — E1/E2 closed forms and Expression (10), the E5/E6 maximization
+// inputs and outputs (including the exact Algorithm 6.2 output of Example
+// 4.7), the E7 pivot family, the E11 middle-row expression, and the E12
+// factoring shapes.
+var tokenFixtures = []struct {
+	src   string
+	sigma int // 2 = {p,q}, 3 = {p,q,r}
+}{
+	{"q* <p> .*", 2},
+	{"<p> p*", 2},
+	{"p* <p> p*", 2},
+	{"(p q)* <p> .*", 2},
+	{"(q p)* <p> .*", 2},
+	{"(p | p p) <p> (p | p p)", 2},
+	{". . <p> q", 2},
+	{"[^ p]* <p> .*", 2},
+	{"q <p> q", 2},
+	{"p <p> p p p", 2},
+	{"p p <p> p p", 2},
+	{"q p <p> q*", 2},
+	{"q p <p> .*", 2},
+	{"[^ p]* p <p> .*", 2},
+	{"((q* - q) | q p q*) <p> .*", 2}, // Example 4.7, Algorithm 6.2 output
+	{"[^ p]* p [^ p]* <p> .*", 2},
+	{"(q p)* q <p> q*", 2},
+	{"[^ p]* <p> .*", 3},
+	{"(q | r)* <p> (q | r)*", 3},
+	{"q* r <p> r q*", 3},
+}
+
+// htmlFixtures are the E1/E2 fixtures over the Figure 1 tag alphabet.
+var htmlFixtures = []string{
+	"[^ FORM]* FORM [^ INPUT]* INPUT [^ INPUT]* <INPUT> .*", // Section 3 closed form
+	"P H1 /H1 P FORM INPUT <INPUT> P INPUT INPUT /FORM",     // rigid doc1 expression
+	"FORM INPUT <INPUT> .*",
+	"(TR | TR TR) <TR> (TR | TR TR)", // E11 middle row
+	"TR <TR> TR*",
+}
+
+func checkLazyAgrees(t *testing.T, x Expr, words [][]symtab.Symbol) {
+	t.Helper()
+	m, err := x.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := x.CompileLazy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range words {
+		want := m.All(w)
+		got, err := lm.All(w)
+		if err != nil {
+			t.Fatalf("lazy All(%v): %v", w, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("on %v: lazy %v, eager %v", w, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("on %v: lazy %v, eager %v", w, got, want)
+			}
+		}
+		wantPos, wantOK := m.Find(w)
+		gotPos, gotOK, err := lm.Find(w)
+		if err != nil || gotOK != wantOK || (wantOK && gotPos != wantPos) {
+			t.Fatalf("Find on %v: lazy %d,%v,%v; eager %d,%v", w, gotPos, gotOK, err, wantPos, wantOK)
+		}
+	}
+}
+
+// TestLazyMatcherEquivalenceTokenFixtures sweeps every token-level E1–E12
+// fixture expression over all words up to length 6 (length 5 for Σ={p,q,r})
+// plus random longer words: the lazy matcher must agree with the eager
+// two-scan matcher everywhere.
+func TestLazyMatcherEquivalenceTokenFixtures(t *testing.T) {
+	e := newTenv()
+	words2 := allWords(e.sigma2, 6)
+	words3 := allWords(e.sigma3, 5)
+	rng := rand.New(rand.NewSource(41))
+	randWords := func(sigma symtab.Alphabet) [][]symtab.Symbol {
+		syms := sigma.Symbols()
+		var out [][]symtab.Symbol
+		for i := 0; i < 40; i++ {
+			w := make([]symtab.Symbol, 7+rng.Intn(30))
+			for j := range w {
+				w[j] = syms[rng.Intn(len(syms))]
+			}
+			out = append(out, w)
+		}
+		return out
+	}
+	for _, f := range tokenFixtures {
+		f := f
+		t.Run(f.src, func(t *testing.T) {
+			sigma, words := e.sigma2, words2
+			if f.sigma == 3 {
+				sigma, words = e.sigma3, words3
+			}
+			x := e.expr(t, f.src, sigma)
+			checkLazyAgrees(t, x, append(words, randWords(sigma)...))
+		})
+	}
+}
+
+// TestLazyMatcherEquivalenceHTMLFixtures replays the E1/E2/E11 documents —
+// plus out-of-Σ and perturbed variants — through the HTML-level fixtures.
+func TestLazyMatcherEquivalenceHTMLFixtures(t *testing.T) {
+	h := newHTMLEnv()
+	docs := [][]symtab.Symbol{
+		h.doc(t, fig1Doc1),
+		h.doc(t, fig1Doc2),
+		h.doc(t, "TR TR TR"),
+		h.doc(t, "TR TR"),
+		h.doc(t, "FORM INPUT INPUT /FORM"),
+		nil,
+	}
+	// An out-of-Σ symbol anywhere must reject in both matchers identically.
+	out := h.tab.Intern("BLINK")
+	docs = append(docs, append(h.doc(t, fig1Doc1), out))
+	withMid := append([]symtab.Symbol{}, h.doc(t, fig1Doc1)...)
+	withMid[3] = out
+	docs = append(docs, withMid)
+	for _, src := range htmlFixtures {
+		src := src
+		t.Run(src, func(t *testing.T) {
+			x, err := Parse(src, h.tab, h.sigma, machine.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkLazyAgrees(t, x, docs)
+		})
+	}
+}
+
+// TestLazyMatcherSynthesized covers the nil-AST path: maximized expressions
+// are synthesized (no retained syntax), so CompileLazy falls back to the
+// component DFAs.
+func TestLazyMatcherSynthesized(t *testing.T) {
+	e := newTenv()
+	maxed, err := Maximize(e.expr(t, "q p <p> .*", e.sigma2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxed.LeftAST() != nil {
+		t.Skip("maximized expression unexpectedly retained syntax")
+	}
+	checkLazyAgrees(t, maxed, allWords(e.sigma2, 6))
+}
+
+// TestLazyMatcherBudgetAndDeadline: the lazy matcher inherits the
+// expression's budget/deadline discipline at match time.
+func TestLazyMatcherBudgetAndDeadline(t *testing.T) {
+	e := newTenv()
+	// The PSPACE witness suffix forces subset blowup at match time.
+	plain, err := Parse("<p> .* p . . . . . . . . . .", e.tab, e.sigma2, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := plain.WithOptions(machine.Options{MaxStates: 4}).CompileLazy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]symtab.Symbol, 64)
+	for i := range w {
+		w[i] = e.q
+		if i%3 == 0 {
+			w[i] = e.p
+		}
+	}
+	if _, err := lm.All(w); !errors.Is(err, machine.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dead, err := Parse("q* <p> .*", e.tab, e.sigma2, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dead.WithOptions(machine.Options{Ctx: ctx}).CompileLazy(); !errors.Is(err, machine.ErrDeadline) {
+		t.Fatalf("CompileLazy err = %v, want ErrDeadline", err)
+	}
+}

@@ -92,15 +92,7 @@ func Determinize(n *NFA, opt Options) (_ *DFA, err error) {
 	}()
 	limit := opt.limit()
 	d := newDFA(n.Sigma)
-	key := func(set []bool) string {
-		b := make([]byte, (len(set)+7)/8)
-		for i, in := range set {
-			if in {
-				b[i/8] |= 1 << (i % 8)
-			}
-		}
-		return string(b)
-	}
+	key := subsetKey
 	isAccept := func(set []bool) bool {
 		for s, in := range set {
 			if in && n.Accept[s] {

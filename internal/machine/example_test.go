@@ -1,0 +1,42 @@
+package machine_test
+
+import (
+	"fmt"
+
+	"resilex/internal/machine"
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+// The Lemma 5.9 family (p|q)*·p·(p|q)ⁿ forces 2^(n+1) states under eager
+// determinization. The lazy DFA answers membership queries while
+// materializing only the subsets the scanned words actually reach.
+func ExampleNewLazy() {
+	tab := symtab.NewTable()
+	p, q := tab.Intern("p"), tab.Intern("q")
+	sigma := symtab.NewAlphabet(p, q)
+
+	parts := []*rx.Node{rx.Star(rx.Class(sigma)), rx.Sym(p)}
+	for i := 0; i < 10; i++ {
+		parts = append(parts, rx.Class(sigma))
+	}
+	nfa, err := machine.Compile(rx.Concat(parts...), sigma, machine.Options{})
+	if err != nil {
+		panic(err)
+	}
+
+	lazy := machine.NewLazy(nfa, machine.Options{})
+	word := []symtab.Symbol{p}
+	for i := 0; i < 10; i++ {
+		word = append(word, q)
+	}
+	ok, err := lazy.Accepts(word)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("accepts p·q¹⁰:", ok)
+	fmt.Println("explored fewer than 2¹¹ states:", lazy.NumStates() < 1<<11)
+	// Output:
+	// accepts p·q¹⁰: true
+	// explored fewer than 2¹¹ states: true
+}

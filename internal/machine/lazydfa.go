@@ -1,0 +1,204 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+
+	"resilex/internal/obs"
+	"resilex/internal/symtab"
+)
+
+// LazyDFA is an on-the-fly subset construction over an NFA: the deterministic
+// automaton that Determinize would build, materialized one state at a time as
+// transitions are actually taken. Matching a document of n tokens touches at
+// most n+1 subset states, so per-document work never pays the full
+// (worst-case exponential, Theorem 5.12) determinization up front — the
+// serving-path counterpart of the eager construction used at compile time.
+//
+// States are memoized: once a subset state is materialized, every later Step
+// through it is a table lookup, so a long-lived LazyDFA converges toward the
+// eager DFA on the traffic it actually sees. The total number of materialized
+// states is bounded by Options.MaxStates exactly like Determinize, and the
+// Options context is polled on every materialization, so adversarial
+// documents fail with ErrBudget or ErrDeadline instead of diverging.
+//
+// A LazyDFA is safe for concurrent use; all mutable state is guarded by one
+// mutex. Step on an already-materialized transition still takes the lock, so
+// callers wanting lock-free sharing across many goroutines should prefer one
+// LazyDFA per goroutine or the eager DFA.
+type LazyDFA struct {
+	nfa  *NFA
+	opt  Options
+	syms []symtab.Symbol
+
+	// Materialization counters, captured from the options' context at
+	// construction (nil-safe no-ops without an observer).
+	states      *obs.Counter
+	transitions *obs.Counter
+
+	mu     sync.Mutex
+	index  map[string]int
+	sets   [][]bool
+	accept []bool
+	trans  [][]int // trans[state][symbolIndex]; unexplored = unexplored sentinel
+}
+
+// unexplored marks a transition whose target subset has not been computed
+// yet. Distinct from -1, which LazyDFA.Step reserves for out-of-Σ symbols to
+// mirror DFA.Step.
+const unexplored = -2
+
+// NewLazy returns the lazy determinization of n. Only the (ε-closed) start
+// state is materialized; everything else is built on demand by Step. The
+// options bound the total number of states the automaton may ever
+// materialize and carry the deadline polled at each materialization.
+func NewLazy(n *NFA, opt Options) *LazyDFA {
+	o := obs.FromContext(opt.Ctx)
+	l := &LazyDFA{
+		nfa:         n,
+		opt:         opt,
+		syms:        n.Sigma.Symbols(),
+		states:      o.Counter("machine_lazy_states_total"),
+		transitions: o.Counter("machine_lazy_transitions_total"),
+		index:       map[string]int{},
+	}
+	start := n.startSet()
+	l.addLocked(subsetKey(start), start)
+	return l
+}
+
+// subsetKey packs a state bitset into a compact map key (shared with the
+// eager Determinize).
+func subsetKey(set []bool) string {
+	b := make([]byte, (len(set)+7)/8)
+	for i, in := range set {
+		if in {
+			b[i/8] |= 1 << (i % 8)
+		}
+	}
+	return string(b)
+}
+
+// addLocked materializes one subset state. Caller holds l.mu (or, in NewLazy,
+// has exclusive access).
+func (l *LazyDFA) addLocked(key string, set []bool) int {
+	id := len(l.sets)
+	l.index[key] = id
+	l.sets = append(l.sets, set)
+	acc := false
+	for s, in := range set {
+		if in && l.nfa.Accept[s] {
+			acc = true
+			break
+		}
+	}
+	l.accept = append(l.accept, acc)
+	row := make([]int, len(l.syms))
+	for k := range row {
+		row[k] = unexplored
+	}
+	l.trans = append(l.trans, row)
+	l.states.Inc()
+	return id
+}
+
+// Start returns the start state (always state 0).
+func (l *LazyDFA) Start() int { return 0 }
+
+// Sigma returns the alphabet the automaton runs over.
+func (l *LazyDFA) Sigma() symtab.Alphabet { return l.nfa.Sigma }
+
+// NumStates reports how many subset states have been materialized so far —
+// a monotone lower bound on the eager DFA's state count.
+func (l *LazyDFA) NumStates() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.sets)
+}
+
+// Accepting reports whether state is accepting.
+func (l *LazyDFA) Accepting(state int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.accept[state]
+}
+
+// Step returns the successor of state on sym, materializing it on first use.
+// Symbols outside Σ return -1 with no error, mirroring DFA.Step. The error is
+// non-nil exactly when materializing a fresh state would exceed the state
+// budget (wrapping ErrBudget) or the options' context has expired (wrapping
+// ErrDeadline).
+func (l *LazyDFA) Step(state int, sym symtab.Symbol) (int, error) {
+	k := l.symIndex(sym)
+	if k < 0 {
+		return -1, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if t := l.trans[state][k]; t != unexplored {
+		return t, nil
+	}
+	if err := l.opt.Err(); err != nil {
+		return 0, fmt.Errorf("%w: lazy determinization abandoned at %d states", err, len(l.sets))
+	}
+	next := l.nfa.move(l.sets[state], sym)
+	key := subsetKey(next)
+	id, ok := l.index[key]
+	if !ok {
+		if len(l.sets) >= l.opt.limit() {
+			return 0, fmt.Errorf("%w: lazy determinization needs > %d states", ErrBudget, l.opt.limit())
+		}
+		id = l.addLocked(key, next)
+	}
+	l.trans[state][k] = id
+	l.transitions.Inc()
+	return id, nil
+}
+
+// Run returns the state reached after consuming word from state, or -1 if a
+// symbol is outside Σ. The error cases are those of Step.
+func (l *LazyDFA) Run(state int, word []symtab.Symbol) (int, error) {
+	for _, sym := range word {
+		next, err := l.Step(state, sym)
+		if err != nil {
+			return 0, err
+		}
+		if next < 0 {
+			return -1, nil
+		}
+		state = next
+	}
+	return state, nil
+}
+
+// Accepts reports whether the automaton accepts the word; symbols outside Σ
+// reject, as in DFA.Accepts. The error cases are those of Step.
+func (l *LazyDFA) Accepts(word []symtab.Symbol) (bool, error) {
+	s, err := l.Run(l.Start(), word)
+	if err != nil || s < 0 {
+		return false, err
+	}
+	return l.accepting(s), nil
+}
+
+func (l *LazyDFA) accepting(state int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.accept[state]
+}
+
+func (l *LazyDFA) symIndex(sym symtab.Symbol) int {
+	lo, hi := 0, len(l.syms)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.syms[mid] < sym {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(l.syms) && l.syms[lo] == sym {
+		return lo
+	}
+	return -1
+}

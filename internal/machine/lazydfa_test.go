@@ -1,0 +1,277 @@
+package machine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+// lazyEquivCases are the regexes the lazy/eager agreement tests sweep; they
+// cover every operator the compiler emits, including the extended ones.
+var lazyEquivCases = []string{
+	"#empty",
+	"#eps",
+	"p",
+	"p q r",
+	"p | q",
+	"(p | q)* p",
+	"[^ p]* p [^ p]*",
+	"(p q)+ r?",
+	"(p | q)* p (p | q) (p | q)", // PSPACE witness shape, n=2
+	"(p q | q p)* r",
+	"(p | q)* - (q p*)",
+	"(p | q)* & (q | p q)*",
+	"!(p q)*",
+}
+
+func enumWords(sigma []symtab.Symbol, maxLen int) [][]symtab.Symbol {
+	out := [][]symtab.Symbol{nil}
+	frontier := [][]symtab.Symbol{nil}
+	for l := 0; l < maxLen; l++ {
+		var next [][]symtab.Symbol
+		for _, w := range frontier {
+			for _, s := range sigma {
+				ext := append(append([]symtab.Symbol(nil), w...), s)
+				next = append(next, ext)
+			}
+		}
+		out = append(out, next...)
+		frontier = next
+	}
+	return out
+}
+
+// TestLazyEagerEquivalence checks that the lazy subset construction accepts
+// exactly the words the eager Determinize+Minimize pipeline accepts, over
+// every word up to length 5 plus a random batch of longer ones.
+func TestLazyEagerEquivalence(t *testing.T) {
+	for _, src := range lazyEquivCases {
+		src := src
+		t.Run(src, func(t *testing.T) {
+			tab := symtab.NewTable()
+			sigma := symtab.NewAlphabet(tab.InternAll("p", "q", "r")...)
+			ast, err := rx.Parse(src, tab, sigma)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			nfa, err := Compile(ast, sigma, Options{})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			eager := Minimize(mustDeterminize(t, nfa))
+			lazy := NewLazy(nfa, Options{})
+			words := enumWords(sigma.Symbols(), 5)
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 50; i++ {
+				w := make([]symtab.Symbol, 6+rng.Intn(20))
+				for j := range w {
+					w[j] = sigma.Symbols()[rng.Intn(sigma.Len())]
+				}
+				words = append(words, w)
+			}
+			for _, w := range words {
+				got, err := lazy.Accepts(w)
+				if err != nil {
+					t.Fatalf("lazy.Accepts(%v): %v", w, err)
+				}
+				if want := eager.Accepts(w); got != want {
+					t.Fatalf("lazy=%v eager=%v on %v", got, want, w)
+				}
+			}
+			if lm, em := lazy.NumStates(), eager.NumStates(); lm > 1<<12 || em > 1<<12 {
+				t.Fatalf("state explosion: lazy=%d eager=%d", lm, em)
+			}
+		})
+	}
+}
+
+// TestLazyMaterializesOnDemand pins the headline property: on the PSPACE
+// witness family — whose eager DFA must have 2^(n+1) states — matching one
+// document materializes only the states that document visits.
+func TestLazyMaterializesOnDemand(t *testing.T) {
+	tab := symtab.NewTable()
+	p, q := tab.Intern("p"), tab.Intern("q")
+	sigma := symtab.NewAlphabet(p, q)
+	n := 12
+	parts := []*rx.Node{rx.Star(rx.Class(sigma)), rx.Sym(p)}
+	for i := 0; i < n; i++ {
+		parts = append(parts, rx.Class(sigma))
+	}
+	nfa, err := Compile(rx.Concat(parts...), sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy := NewLazy(nfa, Options{})
+	word := make([]symtab.Symbol, 200)
+	for i := range word {
+		word[i] = q
+	}
+	word[50] = p
+	if ok, err := lazy.Accepts(word); err != nil || ok {
+		t.Fatalf("Accepts = %v, %v; want false (p too far from the end)", ok, err)
+	}
+	eagerStates := 1 << (n + 1) // Lemma 5.9
+	if got := lazy.NumStates(); got >= eagerStates/4 {
+		t.Fatalf("lazy materialized %d states; eager needs %d — laziness lost", got, eagerStates)
+	}
+}
+
+// TestLazyBudget checks the MaxStates bound fails with ErrBudget instead of
+// materializing past it, again on the PSPACE witness.
+func TestLazyBudget(t *testing.T) {
+	tab := symtab.NewTable()
+	p, q := tab.Intern("p"), tab.Intern("q")
+	sigma := symtab.NewAlphabet(p, q)
+	parts := []*rx.Node{rx.Star(rx.Class(sigma)), rx.Sym(p)}
+	for i := 0; i < 10; i++ {
+		parts = append(parts, rx.Class(sigma))
+	}
+	nfa, err := Compile(rx.Concat(parts...), sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy := NewLazy(nfa, Options{MaxStates: 8})
+	// Drive enough distinct p/q patterns to exhaust 8 subset states.
+	rng := rand.New(rand.NewSource(3))
+	var budgetErr error
+	for i := 0; i < 200 && budgetErr == nil; i++ {
+		w := make([]symtab.Symbol, 20)
+		for j := range w {
+			w[j] = q
+			if rng.Intn(2) == 0 {
+				w[j] = p
+			}
+		}
+		_, budgetErr = lazy.Accepts(w)
+	}
+	if !errors.Is(budgetErr, ErrBudget) {
+		t.Fatalf("err = %v; want ErrBudget", budgetErr)
+	}
+	if got := lazy.NumStates(); got > 8 {
+		t.Fatalf("materialized %d states past the budget of 8", got)
+	}
+}
+
+// TestLazyDeadline checks an expired context surfaces as ErrDeadline on the
+// first fresh materialization.
+func TestLazyDeadline(t *testing.T) {
+	tab := symtab.NewTable()
+	p := tab.Intern("p")
+	sigma := symtab.NewAlphabet(p)
+	nfa, err := Compile(rx.Star(rx.Sym(p)), sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	lazy := NewLazy(nfa, Options{Ctx: ctx})
+	_, err = lazy.Accepts([]symtab.Symbol{p, p})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v; want ErrDeadline", err)
+	}
+}
+
+// TestLazyConcurrent hammers one LazyDFA from many goroutines (run under
+// -race by make race): memoization must stay consistent with the eager DFA.
+func TestLazyConcurrent(t *testing.T) {
+	tab := symtab.NewTable()
+	sigma := symtab.NewAlphabet(tab.InternAll("p", "q", "r")...)
+	ast, err := rx.Parse("(p q | q p)* r (p | q)*", tab, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfa, err := Compile(ast, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager := Minimize(mustDeterminize(t, nfa))
+	lazy := NewLazy(nfa, Options{})
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				w := make([]symtab.Symbol, rng.Intn(24))
+				for j := range w {
+					w[j] = sigma.Symbols()[rng.Intn(sigma.Len())]
+				}
+				got, err := lazy.Accepts(w)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if got != eager.Accepts(w) {
+					errs <- "lazy/eager disagreement under concurrency"
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func mustDeterminize(t *testing.T, n *NFA) *DFA {
+	t.Helper()
+	d, err := Determinize(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// FuzzLazyEagerEquiv fuzzes (expression, word) pairs: whenever the
+// expression compiles and the eager pipeline fits the budget, the lazy
+// automaton must accept exactly the same word.
+func FuzzLazyEagerEquiv(f *testing.F) {
+	for _, c := range lazyEquivCases {
+		f.Add(c, []byte{0, 1, 2, 0, 1})
+	}
+	f.Add("(p | q)* p (p | q)", []byte{0, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, src string, raw []byte) {
+		tab := symtab.NewTable()
+		sigma := symtab.NewAlphabet(tab.InternAll("p", "q", "r")...)
+		ast, err := rx.Parse(src, tab, sigma)
+		if err != nil {
+			return
+		}
+		opt := Options{MaxStates: 1 << 12}
+		nfa, err := Compile(ast, sigma, opt)
+		if err != nil {
+			return
+		}
+		d, err := Determinize(nfa, opt)
+		if err != nil {
+			return
+		}
+		eager := Minimize(d)
+		lazy := NewLazy(nfa, opt)
+		word := make([]symtab.Symbol, 0, len(raw))
+		for _, b := range raw {
+			word = append(word, sigma.Symbols()[int(b)%sigma.Len()])
+		}
+		got, err := lazy.Accepts(word)
+		if err != nil {
+			// The lazy run may hit the budget on inputs whose minimal DFA
+			// fits it; only a budget error is acceptable here.
+			if !errors.Is(err, ErrBudget) {
+				t.Fatalf("lazy.Accepts: %v", err)
+			}
+			return
+		}
+		if want := eager.Accepts(word); got != want {
+			t.Fatalf("lazy=%v eager=%v on %q / %v", got, want, src, word)
+		}
+	})
+}

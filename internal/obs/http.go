@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves an observer over HTTP: Prometheus text exposition at
+// /metrics, the combined JSON snapshot (metrics + spans) at /metrics.json,
+// and the runtime profiler under /debug/pprof/. Servers that expose more
+// than observability (cmd/serve) mount their own routes on the returned mux;
+// cmd/resilience -listen serves it as is.
+func Handler(o *Observer) *http.ServeMux {
+	if o == nil {
+		o = &Observer{} // nil-safe like the rest of the package: empty exposition
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.Metrics.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		WriteSnapshotJSON(w, o)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

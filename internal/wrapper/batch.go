@@ -1,0 +1,103 @@
+package wrapper
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resilex/internal/obs"
+)
+
+// BatchDoc is one unit of work for Fleet.ExtractBatch: a page plus the site
+// key selecting its wrapper.
+type BatchDoc struct {
+	Key  string `json:"key"`
+	HTML string `json:"html"`
+}
+
+// BatchResult is the outcome for one BatchDoc. Exactly one of Region/Err is
+// meaningful: Err is nil on success. Index is the document's position in the
+// input slice.
+type BatchResult struct {
+	Index  int
+	Key    string
+	Region Region
+	Err    error
+}
+
+// BatchOptions tunes ExtractBatch.
+type BatchOptions struct {
+	// Workers is the worker-pool size; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// DocTimeout, when positive, layers a per-document deadline under the
+	// batch context: each document gets its own timeout, but never more time
+	// than the batch context has left.
+	DocTimeout time.Duration
+}
+
+// ExtractBatch runs the fleet over a batch of documents on a worker pool and
+// returns one result per document, in input order — results[i] always
+// corresponds to docs[i], regardless of which worker ran it or when it
+// finished. Per-document failures (unknown key, no extraction, expired
+// deadline) are reported in the result, never by a panic or a short slice,
+// so one poisoned document cannot take down its batch.
+//
+// The batch context bounds the whole call: documents starting after it
+// expires fail fast with an error wrapping machine.ErrDeadline (workers
+// drain the remaining documents without running them). Each document
+// additionally gets BatchOptions.DocTimeout, inherited from — and clipped
+// by — the batch context.
+//
+// An observer carried by ctx (obs.NewContext) maintains the counters
+// wrapper_batch_docs_total and wrapper_batch_errors_total and the histogram
+// wrapper_batch_doc_duration_us.
+func (f *Fleet) ExtractBatch(ctx context.Context, docs []BatchDoc, opt BatchOptions) []BatchResult {
+	results := make([]BatchResult, len(docs))
+	if len(docs) == 0 {
+		return results
+	}
+	o := obs.FromContext(ctx)
+	docsTotal := o.Counter("wrapper_batch_docs_total")
+	errsTotal := o.Counter("wrapper_batch_errors_total")
+	durations := o.Histogram("wrapper_batch_doc_duration_us")
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(docs) {
+					return
+				}
+				d := docs[i]
+				dctx, cancel := ctx, context.CancelFunc(func() {})
+				if opt.DocTimeout > 0 {
+					dctx, cancel = context.WithTimeout(ctx, opt.DocTimeout)
+				}
+				start := time.Now()
+				r, err := f.ExtractFromContext(dctx, d.Key, d.HTML)
+				durations.Observe(time.Since(start).Microseconds())
+				cancel()
+				docsTotal.Inc()
+				if err != nil {
+					errsTotal.Inc()
+				}
+				results[i] = BatchResult{Index: i, Key: d.Key, Region: r, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

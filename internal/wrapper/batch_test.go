@@ -1,0 +1,105 @@
+package wrapper
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"resilex/internal/machine"
+	"resilex/internal/obs"
+)
+
+func fig1Fleet(t *testing.T) *Fleet {
+	t.Helper()
+	w, err := Train([]Sample{
+		{HTML: fig1Top, Target: TargetMarker()},
+		{HTML: fig1Bottom, Target: TargetMarker()},
+	}, fig1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFleet()
+	f.Add("vs", w)
+	return f
+}
+
+// TestExtractBatchOrderingAndErrors: results come back in input order with
+// per-document error isolation, for every worker-pool size.
+func TestExtractBatchOrderingAndErrors(t *testing.T) {
+	f := fig1Fleet(t)
+	docs := []BatchDoc{
+		{Key: "vs", HTML: fig1Top},
+		{Key: "nosuch", HTML: fig1Top},
+		{Key: "vs", HTML: `<html>nothing</html>`},
+		{Key: "vs", HTML: fig1Novel},
+		{Key: "vs", HTML: fig1Bottom},
+	}
+	for _, workers := range []int{0, 1, 2, 16} {
+		res := f.ExtractBatch(context.Background(), docs, BatchOptions{Workers: workers})
+		if len(res) != len(docs) {
+			t.Fatalf("workers=%d: %d results for %d docs", workers, len(res), len(docs))
+		}
+		for i, r := range res {
+			if r.Index != i || r.Key != docs[i].Key {
+				t.Fatalf("workers=%d: result %d carries index %d key %q", workers, i, r.Index, r.Key)
+			}
+		}
+		if !errors.Is(res[1].Err, ErrUnknownKey) {
+			t.Errorf("workers=%d: res[1].Err = %v, want ErrUnknownKey", workers, res[1].Err)
+		}
+		if !errors.Is(res[2].Err, ErrNotExtracted) {
+			t.Errorf("workers=%d: res[2].Err = %v, want ErrNotExtracted", workers, res[2].Err)
+		}
+		for _, i := range []int{0, 3, 4} {
+			if res[i].Err != nil {
+				t.Errorf("workers=%d: res[%d].Err = %v", workers, i, res[i].Err)
+			} else if !strings.Contains(res[i].Region.Source, `type="text"`) {
+				t.Errorf("workers=%d: res[%d] extracted %q", workers, i, res[i].Region.Source)
+			}
+		}
+	}
+	if res := f.ExtractBatch(context.Background(), nil, BatchOptions{}); len(res) != 0 {
+		t.Errorf("empty batch returned %d results", len(res))
+	}
+}
+
+// TestExtractBatchDeadline: an already-expired batch context fails every
+// document fast, classified under machine.ErrDeadline.
+func TestExtractBatchDeadline(t *testing.T) {
+	f := fig1Fleet(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	docs := make([]BatchDoc, 20)
+	for i := range docs {
+		docs[i] = BatchDoc{Key: "vs", HTML: fig1Top}
+	}
+	for i, r := range f.ExtractBatch(ctx, docs, BatchOptions{Workers: 4}) {
+		if !errors.Is(r.Err, machine.ErrDeadline) {
+			t.Fatalf("res[%d].Err = %v, want ErrDeadline", i, r.Err)
+		}
+	}
+}
+
+// TestExtractBatchObserved: the batch counters flow into a ctx-carried
+// observer.
+func TestExtractBatchObserved(t *testing.T) {
+	f := fig1Fleet(t)
+	o := obs.New()
+	ctx := obs.NewContext(context.Background(), o)
+	docs := []BatchDoc{
+		{Key: "vs", HTML: fig1Top},
+		{Key: "nosuch", HTML: fig1Top},
+	}
+	f.ExtractBatch(ctx, docs, BatchOptions{Workers: 2})
+	snap := o.Metrics.Snapshot()
+	if got := snap.Counters["wrapper_batch_docs_total"]; got != 2 {
+		t.Errorf("docs_total = %d, want 2", got)
+	}
+	if got := snap.Counters["wrapper_batch_errors_total"]; got != 1 {
+		t.Errorf("errors_total = %d, want 1", got)
+	}
+	if h := snap.Histograms["wrapper_batch_doc_duration_us"]; h.Count != 2 {
+		t.Errorf("duration histogram count = %d, want 2", h.Count)
+	}
+}

@@ -1,0 +1,69 @@
+package wrapper
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"resilex/internal/extract"
+	"resilex/internal/machine"
+)
+
+// LoadCached is Load backed by a compiled-artifact cache: the expensive part
+// of restoring a persisted wrapper — reparsing the expression and
+// determinizing its components — is looked up by content address and
+// compiled at most once per distinct expression, no matter how many
+// concurrent requests carry it (see extract.Cache). The returned wrapper
+// shares the cached symbol table, expression and matcher (all safe for
+// concurrent use) and owns only its tokenizer configuration.
+//
+// A nil cache degrades to plain Load. Error classification matches Load:
+// undecodable payloads are ErrMalformedInput; budget and deadline exhaustion
+// during a cold compile pass through wrapping machine.ErrBudget and
+// machine.ErrDeadline.
+func LoadCached(data []byte, opt machine.Options, cache *extract.Cache) (*Wrapper, error) {
+	if cache == nil {
+		return Load(data, opt)
+	}
+	var p persisted
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("%w: decoding wrapper: %v", ErrMalformedInput, err)
+	}
+	if p.Version != 1 {
+		return nil, fmt.Errorf("%w: unsupported wrapper version %d", ErrMalformedInput, p.Version)
+	}
+	comp, err := cache.Load(p.Expr, p.Sigma, opt)
+	if err != nil {
+		if errors.Is(err, machine.ErrBudget) || errors.Is(err, machine.ErrDeadline) {
+			return nil, fmt.Errorf("wrapper: reparsing expression: %w", err)
+		}
+		return nil, fmt.Errorf("%w: reparsing expression: %v", ErrMalformedInput, err)
+	}
+	cfg := Config{DropEndTags: p.DropEndTags, KeepText: p.KeepText, AttrKeys: p.AttrKeys, Skip: p.Skip, Options: opt}
+	return &Wrapper{
+		tab: comp.Tab, mapper: cfg.mapper(comp.Tab), expr: comp.Expr, matcher: comp.Matcher,
+		strategy: p.Strategy, cfg: cfg,
+	}, nil
+}
+
+// LoadFleetCached is LoadFleet with every member restored through LoadCached,
+// so fleets that share expressions across sites — or fleets reloaded on every
+// deploy — compile each distinct expression once.
+func LoadFleetCached(data []byte, opt machine.Options, cache *extract.Cache) (*Fleet, error) {
+	var p fleetPersisted
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("%w: decoding fleet: %v", ErrMalformedInput, err)
+	}
+	if p.Version != 1 || p.Kind != "fleet" {
+		return nil, fmt.Errorf("%w: not a version-1 fleet (version %d, kind %q)", ErrMalformedInput, p.Version, p.Kind)
+	}
+	f := NewFleet()
+	for key, raw := range p.Wrappers {
+		w, err := LoadCached(raw, opt, cache)
+		if err != nil {
+			return nil, fmt.Errorf("wrapper: fleet entry %q: %w", key, err)
+		}
+		f.Add(key, w)
+	}
+	return f, nil
+}

@@ -1,0 +1,143 @@
+package wrapper
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"resilex/internal/extract"
+	"resilex/internal/machine"
+)
+
+func trainedPayload(t *testing.T) []byte {
+	t.Helper()
+	w, err := Train([]Sample{
+		{HTML: fig1Top, Target: TargetMarker()},
+		{HTML: fig1Bottom, Target: TargetMarker()},
+	}, fig1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := w.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestLoadCachedAgreesWithLoad: a cache-restored wrapper must behave exactly
+// like a plainly loaded one, and repeated restores must hit the cache.
+func TestLoadCachedAgreesWithLoad(t *testing.T) {
+	data := trainedPayload(t)
+	plain, err := Load(data, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := extract.NewCache(8, nil)
+	var wrappers []*Wrapper
+	for i := 0; i < 3; i++ {
+		w, err := LoadCached(data, machine.Options{}, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrappers = append(wrappers, w)
+	}
+	s := cache.Stats()
+	if s.Misses != 1 || s.Hits != 2 || s.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 miss, 2 hits, 1 entry", s)
+	}
+	for _, page := range []string{fig1Top, fig1Bottom, fig1Novel} {
+		want, wantErr := plain.Extract(page)
+		for i, w := range wrappers {
+			got, gotErr := w.Extract(page)
+			if (wantErr == nil) != (gotErr == nil) || (wantErr == nil && got.Span != want.Span) {
+				t.Errorf("restore %d: %v/%v, want %v/%v", i, got, gotErr, want, wantErr)
+			}
+		}
+	}
+	if wrappers[0].Strategy() != plain.Strategy() {
+		t.Errorf("strategy = %q, want %q", wrappers[0].Strategy(), plain.Strategy())
+	}
+}
+
+// TestLoadCachedErrorClassification mirrors the Load contract.
+func TestLoadCachedErrorClassification(t *testing.T) {
+	cache := extract.NewCache(8, nil)
+	for _, bad := range []string{`{`, `{"version":9}`, `{"version":1,"expr":"(((","sigma":["P"]}`} {
+		if _, err := LoadCached([]byte(bad), machine.Options{}, cache); !errors.Is(err, ErrMalformedInput) {
+			t.Errorf("payload %q: err = %v, want ErrMalformedInput", bad, err)
+		}
+	}
+	// Budget exhaustion during the cold compile must stay detectable.
+	data := trainedPayload(t)
+	if _, err := LoadCached(data, machine.Options{MaxStates: 1}, cache); !errors.Is(err, machine.ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+	// A nil cache degrades to plain Load.
+	if _, err := LoadCached(data, machine.Options{}, nil); err != nil {
+		t.Errorf("nil cache: %v", err)
+	}
+}
+
+// TestLoadCachedConcurrent restores one payload from many goroutines sharing
+// a cache and extracts with every copy concurrently (run under -race by make
+// race): the shared table/expression/matcher must tolerate this.
+func TestLoadCachedConcurrent(t *testing.T) {
+	data := trainedPayload(t)
+	cache := extract.NewCache(8, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				w, err := LoadCached(data, machine.Options{}, cache)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := w.Extract(fig1Novel); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := cache.Stats().Misses; got != 1 {
+		t.Errorf("misses = %d, want 1 (singleflight)", got)
+	}
+}
+
+func TestLoadFleetCached(t *testing.T) {
+	data := trainedPayload(t)
+	f := NewFleet()
+	w, err := Load(data, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Add("top", w)
+	f.Add("bottom", w)
+	blob, err := f.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := extract.NewCache(8, nil)
+	g, err := LoadFleetCached(blob, machine.Options{}, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", g.Len())
+	}
+	// Both sites persist the same expression: one compile serves both.
+	if s := cache.Stats(); s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want shared compile (1 miss, 1 hit)", s)
+	}
+	if _, err := g.ExtractFrom("top", fig1Novel); err != nil {
+		t.Error(err)
+	}
+	if _, err := LoadFleetCached([]byte(`{"version":1,"kind":"pod"}`), machine.Options{}, cache); !errors.Is(err, ErrMalformedInput) {
+		t.Errorf("bad kind: err = %v, want ErrMalformedInput", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -238,6 +239,7 @@ type Supervisor struct {
 
 	mu    sync.Mutex
 	sites map[string]*siteState
+	seq   uint64 // monotone breaker-transition sequence, under mu
 }
 
 // NewSupervisor wraps a fleet in a self-healing runtime.
@@ -314,7 +316,8 @@ func (s *Supervisor) transitionLocked(o *obs.Observer, key string, st *siteState
 	if to == BreakerOpen {
 		st.openedAt = now
 	}
-	st.history = append(st.history, BreakerTransition{From: from, To: to, At: now})
+	s.seq++
+	st.history = append(st.history, BreakerTransition{From: from, To: to, At: now, Seq: s.seq})
 	if len(st.history) > maxBreakerHistory {
 		st.history = st.history[len(st.history)-maxBreakerHistory:]
 	}
@@ -470,18 +473,27 @@ func (s *Supervisor) runLadder(ctx context.Context, o *obs.Observer, key, html s
 	attempted = append(attempted, RungProbe)
 	s.noteRung(o, key, RungProbe, false)
 	claims, probeErr := s.fleet.ProbeContext(ctx, html)
+	// Notify in sorted key order: ranging over the claims map would
+	// half-open multi-claim breakers in a different order (and, under an
+	// injected clock, with different timestamps) on every run, making the
+	// transition history in Telemetry() and MissReport.String()
+	// nondeterministic.
+	claimKeys := make([]string, 0, len(claims))
 	for claimKey := range claims {
+		claimKeys = append(claimKeys, claimKey)
+	}
+	sort.Strings(claimKeys)
+	for _, claimKey := range claimKeys {
 		s.notifyProbeSuccess(o, claimKey)
 	}
 	if len(claims) == 1 && probeErr == nil {
-		for claimKey, region := range claims {
-			s.mu.Lock()
-			st := s.site(key)
-			st.probeServes++
-			s.mu.Unlock()
-			s.noteRung(o, key, RungProbe, true)
-			return Result{Region: region, Rung: RungProbe, Key: claimKey}, nil
-		}
+		claimKey := claimKeys[0]
+		s.mu.Lock()
+		st := s.site(key)
+		st.probeServes++
+		s.mu.Unlock()
+		s.noteRung(o, key, RungProbe, true)
+		return Result{Region: claims[claimKey], Rung: RungProbe, Key: claimKey}, nil
 	}
 	if probeErr != nil && primary == nil {
 		primary = probeErr

@@ -12,11 +12,15 @@ import (
 const maxBreakerHistory = 64
 
 // BreakerTransition is one breaker state change with its timestamp
-// (SupervisorConfig.Now, so deterministic under an injected clock).
+// (SupervisorConfig.Now, so deterministic under an injected clock). Seq is a
+// supervisor-wide monotone sequence number assigned under the supervisor's
+// lock: it totally orders transitions across sites even when a coarse or
+// injected clock hands several of them the same timestamp.
 type BreakerTransition struct {
 	From BreakerState `json:"from"`
 	To   BreakerState `json:"to"`
 	At   time.Time    `json:"at"`
+	Seq  uint64       `json:"seq,omitempty"`
 }
 
 // String renders the transition as "closed→open@<RFC3339>".

@@ -182,9 +182,9 @@ func TestTelemetryBreakerTransitions(t *testing.T) {
 	}
 
 	wantHist := []BreakerTransition{
-		{From: BreakerClosed, To: BreakerOpen, At: t0},
-		{From: BreakerOpen, To: BreakerHalfOpen, At: t1},
-		{From: BreakerHalfOpen, To: BreakerClosed, At: t1},
+		{From: BreakerClosed, To: BreakerOpen, At: t0, Seq: 1},
+		{From: BreakerOpen, To: BreakerHalfOpen, At: t1, Seq: 2},
+		{From: BreakerHalfOpen, To: BreakerClosed, At: t1, Seq: 3},
 	}
 	got := s.Telemetry()["vs"].Transitions
 	if !reflect.DeepEqual(got, wantHist) {

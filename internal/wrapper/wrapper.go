@@ -4,6 +4,15 @@
 // (internal/learn), maximize it for resilience (internal/extract, Section
 // 6), and compile a matcher that maps extraction results back to byte
 // regions of the live page.
+//
+// Around the single trained Wrapper sit the operational layers: Fleet
+// keys wrappers by site and extracts in parallel batches on a worker pool
+// (ExtractBatch, deterministic result ordering); LoadCached and
+// LoadFleetCached restore persisted wrappers through the shared
+// extract.Cache so identical expressions compile once per process; and
+// Supervisor is the self-healing runtime — a per-request degradation
+// ladder (wrapper → refresh → probe → miss) behind per-site circuit
+// breakers, with its decisions observable via Telemetry.
 package wrapper
 
 import (
