@@ -38,6 +38,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzScan -fuzztime=10s ./internal/htmltok/
 	$(GO) test -fuzz=FuzzLoadWrapper -fuzztime=10s ./internal/wrapper/
 	$(GO) test -fuzz=FuzzLoadFleet -fuzztime=10s ./internal/wrapper/
+	$(GO) test -fuzz=FuzzDecodeArtifact -fuzztime=10s ./internal/extract/
 
 # 5s per target, for the check gate.
 fuzz-smoke:
@@ -46,12 +47,14 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzScan -fuzztime=5s ./internal/htmltok/
 	$(GO) test -fuzz=FuzzLoadWrapper -fuzztime=5s ./internal/wrapper/
 	$(GO) test -fuzz=FuzzLoadFleet -fuzztime=5s ./internal/wrapper/
+	$(GO) test -fuzz=FuzzDecodeArtifact -fuzztime=5s ./internal/extract/
 
-# The E16 serving-throughput experiment at a fixed seed: docs/sec, p50/p99
-# latency, and cache hit rate for the cache-disabled, cached, and batched
-# modes, written to ./BENCH_E16.json.
+# The serving-path experiments at a fixed seed: E16 throughput (docs/sec,
+# p50/p99 latency, cache hit rate) and E17 persistence (cold-compile vs
+# warm-disk vs warm-memory first-request latency), written to
+# ./BENCH_E16.json and ./BENCH_E17.json.
 bench:
-	$(GO) run ./cmd/resilience -run E16 -seed 1 -bench-dir .
+	$(GO) run ./cmd/resilience -run E16,E17 -seed 1 -bench-dir .
 
 # Go microbenchmarks (go test -bench) over every package.
 microbench:

@@ -94,8 +94,10 @@ func run() int {
 	depths := []int{2, 3, 4, 5, 6}
 	perEdit := 500
 	e16docs := 2000
+	e17trials := 9
 	if *quick {
 		e16docs = 300
+		e17trials = 3
 		sizes = sizes[:4]
 		e4ns = e4ns[:5]
 		e6ns = e6ns[:5]
@@ -118,6 +120,7 @@ func run() int {
 		{"E14", func() bench.Table { return bench.E14Alphabet([]int{2, 3, 4, 6}, perEdit/2, *seed) }},
 		{"E15", func() bench.Table { return bench.E15Supervisor() }},
 		{"E16", func() bench.Table { return bench.E16Throughput(e16docs, 0, *seed) }},
+		{"E17", func() bench.Table { return bench.E17Persistence("", e17trials, *seed) }},
 	}
 
 	want := map[string]bool{}
@@ -199,7 +202,7 @@ func run() int {
 		return 1
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "resilience: no experiment matched -run (valid: E3 E4 E5 E6 E7 E8 E8H E10 E11 E13 E14 E15 E16)")
+		fmt.Fprintln(os.Stderr, "resilience: no experiment matched -run (valid: E3 E4 E5 E6 E7 E8 E8H E10 E11 E13 E14 E15 E16 E17)")
 		return 2
 	}
 	return 0

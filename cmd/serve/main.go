@@ -8,6 +8,8 @@
 //	serve -fleet fleet.json -listen :9000   # another address
 //	serve -workers 16 -doc-timeout 50ms     # pool size and per-document deadline
 //	serve -cache 1024 -max-states 100000    # cache capacity and compile budget
+//	serve -cache-dir /var/cache/resilex     # persist artifacts + registrations
+//	serve -drain 10s                        # graceful-shutdown deadline
 //
 // Endpoints:
 //
@@ -15,8 +17,9 @@
 //	                     → {"results":[{"index":0,"key":"site","ok":true,…},…]},
 //	                     one result per document, in input order
 //	PUT  /wrappers/{key} register or replace a site wrapper from its persisted
-//	                     JSON; compilation is cached and deduplicated
-//	GET  /healthz        liveness plus fleet size and cache hit rate
+//	                     JSON; compilation is cached and deduplicated, and with
+//	                     -cache-dir the registration survives restarts
+//	GET  /healthz        liveness plus fleet size and memory/disk cache stats
 //	GET  /metrics        Prometheus text exposition (see obs.Handler)
 //	GET  /metrics.json   combined metrics + span snapshot
 //	GET  /debug/pprof/   runtime profiles
@@ -26,17 +29,28 @@
 // content address, concurrent cold loads are collapsed by singleflight, and
 // every construction runs under the -max-states budget so no request can
 // trigger the worst-case exponential determinization unbounded.
+//
+// With -cache-dir the cache gains a disk tier (memory → disk → compile):
+// compiled artifacts are persisted as checksummed binary blobs under their
+// content address, and every PUT wrapper payload is recorded in a registry,
+// both restored at startup — so a restarted server warm-starts its whole
+// fleet by decoding artifacts (no re-determinization; experiment E17
+// measures the ≥5× first-request win). Corrupt or stale-version blobs are
+// discarded and recompiled. On SIGINT/SIGTERM the server stops accepting,
+// drains in-flight requests for at most -drain, and exits 0.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"resilex/internal/extract"
 	"resilex/internal/machine"
 	"resilex/internal/obs"
 	"resilex/internal/wrapper"
@@ -51,42 +65,49 @@ func run() int {
 	listen := flag.String("listen", ":8093", "address to serve on")
 	workers := flag.Int("workers", 0, "extraction worker-pool size (0 = GOMAXPROCS)")
 	docTimeout := flag.Duration("doc-timeout", 0, "per-document extraction deadline (0 = none)")
-	cacheCap := flag.Int("cache", 256, "compiled-artifact cache capacity")
+	cacheCap := flag.Int("cache", 256, "in-memory compiled-artifact cache capacity")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent tier: compiled artifacts and PUT wrappers survive restarts (empty = memory only)")
+	diskCap := flag.Int("disk-cache", -1, "on-disk compiled-artifact capacity (-1 = unbounded, 0 = store nothing)")
 	maxStates := flag.Int("max-states", 0, "state budget for wrapper compilation (0 = default)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown deadline for in-flight requests")
 	flag.Parse()
 
 	o := obs.New()
-	cache := extract.NewCache(*cacheCap, o)
 	opt := machine.Options{MaxStates: *maxStates}
 
-	fleet := wrapper.NewFleet()
+	var fleetData []byte
 	if *fleetPath != "" {
-		data, err := os.ReadFile(*fleetPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "serve:", err)
-			return 1
-		}
-		fleet, err = wrapper.LoadFleetCached(data, opt, cache)
-		if err != nil {
+		var err error
+		if fleetData, err = os.ReadFile(*fleetPath); err != nil {
 			fmt.Fprintln(os.Stderr, "serve:", err)
 			return 1
 		}
 	}
-
-	s := newServer(fleet, cache, o, opt, wrapper.BatchOptions{
+	s, err := buildServer(*cacheDir, *cacheCap, *diskCap, fleetData, o, opt, wrapper.BatchOptions{
 		Workers:    *workers,
 		DocTimeout: *docTimeout,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		return 1
+	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "serve: %d wrapper(s) loaded, listening on %s\n", fleet.Len(), ln.Addr())
+	fmt.Fprintf(os.Stderr, "serve: %d wrapper(s) loaded, listening on %s\n", s.fleet.Len(), ln.Addr())
+
+	// Serve until SIGINT/SIGTERM, then drain: stop accepting, let in-flight
+	// requests finish (bounded by -drain), and exit 0 on a clean stop so
+	// restarts under a supervisor don't flap as failures.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	srv := &http.Server{Handler: s.mux(), ReadHeaderTimeout: 10 * time.Second}
-	if err := srv.Serve(ln); err != nil {
+	if err := serveUntilShutdown(ctx, srv, ln, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		return 1
 	}
+	fmt.Fprintln(os.Stderr, "serve: drained, shutting down")
 	return 0
 }

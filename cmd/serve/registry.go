@@ -1,0 +1,117 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"resilex/internal/extract"
+	"resilex/internal/machine"
+	"resilex/internal/wrapper"
+)
+
+// wrapperRegistry persists the raw payload of every PUT /wrappers/{key} so a
+// restarted server reloads the same fleet it was serving. Each registration
+// is one JSON envelope file named by the SHA-256 of its site key (keys are
+// client-chosen strings; hashing keeps them path-safe). Entries are written
+// atomically (temp file + rename); an envelope that no longer decodes — a
+// torn write from a hard crash — is skipped at restore, never fatal.
+//
+// The registry stores wrapper *configuration* (tokenizer settings, strategy,
+// expression source); the expensive compiled automata live next door in the
+// extract.DiskCache, so restoring N sites that share one expression decodes
+// the artifact once and compiles nothing.
+type wrapperRegistry struct {
+	dir string
+	mu  sync.Mutex // serializes directory mutation
+}
+
+type registryEntry struct {
+	Key     string          `json:"key"`
+	Wrapper json.RawMessage `json:"wrapper"`
+}
+
+func newWrapperRegistry(dir string) (*wrapperRegistry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wrapper registry: %w", err)
+	}
+	return &wrapperRegistry{dir: dir}, nil
+}
+
+func (r *wrapperRegistry) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(r.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// save persists one registration. A nil registry (no -cache-dir) is a no-op.
+func (r *wrapperRegistry) save(key string, raw []byte) error {
+	if r == nil {
+		return nil
+	}
+	blob, err := json.Marshal(registryEntry{Key: key, Wrapper: raw})
+	if err != nil {
+		return fmt.Errorf("wrapper registry: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tmp, err := os.CreateTemp(r.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("wrapper registry: %w", err)
+	}
+	if _, err := tmp.Write(blob); err == nil {
+		err = tmp.Close()
+		if err == nil {
+			err = os.Rename(tmp.Name(), r.path(key))
+		}
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wrapper registry: %w", err)
+	}
+	return nil
+}
+
+// restore loads every persisted registration into the fleet through the
+// artifact cache, so a restart's compilation cost is one disk-tier decode
+// per distinct expression. Entries that fail to decode or compile are
+// skipped and counted, not fatal: one bad registration must not keep the
+// rest of the fleet down. A nil registry restores nothing.
+func (r *wrapperRegistry) restore(fleet *wrapper.Fleet, opt machine.Options, cache extract.ArtifactCache) (restored, skipped int) {
+	if r == nil {
+		return 0, 0
+	}
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return 0, 0
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		blob, err := os.ReadFile(filepath.Join(r.dir, e.Name()))
+		if err != nil {
+			skipped++
+			continue
+		}
+		var ent registryEntry
+		if err := json.Unmarshal(blob, &ent); err != nil || ent.Key == "" {
+			skipped++
+			continue
+		}
+		w, err := wrapper.LoadCached(ent.Wrapper, opt, cache)
+		if err != nil {
+			skipped++
+			continue
+		}
+		fleet.Add(ent.Key, w)
+		restored++
+	}
+	return restored, skipped
+}

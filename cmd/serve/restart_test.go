@@ -1,0 +1,229 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+
+	"resilex/internal/machine"
+	"resilex/internal/obs"
+	"resilex/internal/wrapper"
+)
+
+// TestServeRestartSemantics is the persistence contract end to end: PUT a
+// wrapper into a server with -cache-dir, tear the server down, build a fresh
+// one over the same directory, and the first POST /extract must succeed with
+// the compiled artifact coming off disk — visible as a disk-tier hit (and no
+// disk miss) in /metrics.json — without any re-registration.
+func TestServeRestartSemantics(t *testing.T) {
+	dir := t.TempDir()
+	_, payload := testServer(t)
+
+	s1, err := buildServer(dir, 8, -1, nil, obs.New(), machine.Options{}, wrapper.BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, s1, "PUT", "/wrappers/vs", payload)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("PUT: status %d: %s", rec.Code, rec.Body)
+	}
+	var put struct {
+		Persisted bool `json:"persisted"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &put); err != nil || !put.Persisted {
+		t.Fatalf("PUT response %s not persisted (%v)", rec.Body, err)
+	}
+	if n := s1.cache.Disk().Len(); n != 1 {
+		t.Fatalf("disk tier holds %d artifacts after PUT, want 1", n)
+	}
+
+	// "Restart": a new process image — fresh memory cache, fresh observer,
+	// same directory. s1 is simply abandoned.
+	o2 := obs.New()
+	s2, err := buildServer(dir, 8, -1, nil, o2, machine.Options{}, wrapper.BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.fleet.Len(); got != 1 {
+		t.Fatalf("restarted fleet has %d wrappers, want 1", got)
+	}
+	body, _ := json.Marshal(extractRequest{Docs: []wrapper.BatchDoc{{Key: "vs", HTML: pageTop}}})
+	rec = do(t, s2, "POST", "/extract", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("first extract after restart: status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Results []extractResult `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || !resp.Results[0].OK {
+		t.Fatalf("first extract after restart failed: %s", rec.Body)
+	}
+
+	// The warm start is observable: restoring the wrapper hit the disk tier
+	// instead of recompiling.
+	mrec := do(t, s2, "GET", "/metrics.json", nil)
+	var snap struct {
+		Metrics struct {
+			Counters map[string]int64 `json:"counters"`
+			Gauges   map[string]int64 `json:"gauges"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(mrec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	c := snap.Metrics.Counters
+	if c["extract_diskcache_hits_total"] < 1 {
+		t.Errorf("counters = %v, want at least one disk hit", c)
+	}
+	if c["extract_diskcache_misses_total"] != 0 || c["extract_diskcache_corrupt_total"] != 0 {
+		t.Errorf("counters = %v, want no disk misses or corruption on restart", c)
+	}
+	if g := snap.Metrics.Gauges["extract_diskcache_entries"]; g != 1 {
+		t.Errorf("extract_diskcache_entries gauge = %d after restart, want 1", g)
+	}
+
+	health := do(t, s2, "GET", "/healthz", nil)
+	var h struct {
+		DiskCache struct {
+			Entries int   `json:"entries"`
+			Hits    int64 `json:"hits"`
+		} `json:"diskCache"`
+	}
+	if err := json.Unmarshal(health.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.DiskCache.Entries != 1 || h.DiskCache.Hits < 1 {
+		t.Errorf("healthz diskCache = %+v", h.DiskCache)
+	}
+}
+
+// TestServeRestartSkipsCorruptRegistryEntry: a torn registry envelope takes
+// out one registration, not the server.
+func TestServeRestartSkipsCorruptRegistryEntry(t *testing.T) {
+	dir := t.TempDir()
+	_, payload := testServer(t)
+	s1, err := buildServer(dir, 8, -1, nil, obs.New(), machine.Options{}, wrapper.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := do(t, s1, "PUT", "/wrappers/vs", payload); rec.Code != http.StatusCreated {
+		t.Fatalf("PUT: %d", rec.Code)
+	}
+	if err := s1.registry.save("torn", payload); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the second envelope as a crash mid-write would.
+	blob, err := os.ReadFile(s1.registry.path("torn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s1.registry.path("torn"), blob[:len(blob)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := buildServer(dir, 8, -1, nil, obs.New(), machine.Options{}, wrapper.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.fleet.Len(); got != 1 {
+		t.Fatalf("restarted fleet has %d wrappers, want 1 (corrupt entry skipped)", got)
+	}
+}
+
+// TestServeGracefulShutdown is the regression test for abrupt termination:
+// canceling the serve context must let an in-flight request complete before
+// the listener dies, and serveUntilShutdown must return cleanly rather than
+// surfacing http.ErrServerClosed.
+func TestServeGracefulShutdown(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "drained")
+	})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveUntilShutdown(ctx, srv, ln, 5*time.Second) }()
+
+	respc := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err != nil {
+			respc <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		respc <- string(b)
+	}()
+
+	<-started
+	cancel() // shutdown requested while the request is in flight
+	select {
+	case err := <-done:
+		t.Fatalf("server exited before draining in-flight request: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if got := <-respc; got != "drained" {
+		t.Fatalf("in-flight request got %q, want full response", got)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveUntilShutdown = %v, want nil after clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not exit after drain")
+	}
+	if _, err := http.Get("http://" + ln.Addr().String() + "/"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// TestServeShutdownDeadline: a request that outlives the drain window must
+// not wedge shutdown — serveUntilShutdown returns the deadline error.
+func TestServeShutdownDeadline(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveUntilShutdown(ctx, srv, ln, 50*time.Millisecond) }()
+	go http.Get("http://" + ln.Addr().String() + "/") //nolint:errcheck
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("serveUntilShutdown = %v, want deadline exceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown wedged past its deadline")
+	}
+}

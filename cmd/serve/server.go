@@ -1,11 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"time"
 
 	"resilex/internal/extract"
 	"resilex/internal/machine"
@@ -17,21 +22,82 @@ import (
 // error, not an allocation.
 const maxBodyBytes = 64 << 20
 
-// server is the HTTP serving path: a fleet of compiled wrappers, the shared
-// compiled-artifact cache behind wrapper registration, and the observer all
-// request work reports into. It is constructed once and shared by every
-// request goroutine; Fleet and Cache are concurrency-safe, the rest is
-// read-only.
+// server is the HTTP serving path: a fleet of compiled wrappers, the tiered
+// compiled-artifact cache behind wrapper registration (memory always, disk
+// when -cache-dir is set), the registry that persists registrations across
+// restarts, and the observer all request work reports into. It is
+// constructed once and shared by every request goroutine; Fleet, cache and
+// registry are concurrency-safe, the rest is read-only.
 type server struct {
-	fleet *wrapper.Fleet
-	cache *extract.Cache
-	obs   *obs.Observer
-	opt   machine.Options
-	batch wrapper.BatchOptions
+	fleet    *wrapper.Fleet
+	cache    *extract.TieredCache
+	registry *wrapperRegistry // nil without -cache-dir
+	obs      *obs.Observer
+	opt      machine.Options
+	batch    wrapper.BatchOptions
 }
 
-func newServer(f *wrapper.Fleet, cache *extract.Cache, o *obs.Observer, opt machine.Options, batch wrapper.BatchOptions) *server {
-	return &server{fleet: f, cache: cache, obs: o, opt: opt, batch: batch}
+func newServer(f *wrapper.Fleet, cache *extract.TieredCache, reg *wrapperRegistry, o *obs.Observer, opt machine.Options, batch wrapper.BatchOptions) *server {
+	return &server{fleet: f, cache: cache, registry: reg, obs: o, opt: opt, batch: batch}
+}
+
+// buildServer assembles the serving stack. With cacheDir == "" the server is
+// memory-only, exactly as before persistence existed. With a directory it
+// gains the two persistent pieces — compiled artifacts under
+// cacheDir/artifacts (diskCap entries; negative = unbounded) and the wrapper
+// registry under cacheDir/wrappers — and restores every previously
+// registered wrapper into the fleet before taking traffic, warm-starting
+// from disk instead of recompiling. fleetData, when non-nil, is a persisted
+// fleet loaded first, so registrations PUT at runtime (restored from the
+// registry) override same-key entries from the deploy file.
+func buildServer(cacheDir string, cacheCap, diskCap int, fleetData []byte, o *obs.Observer, opt machine.Options, batch wrapper.BatchOptions) (*server, error) {
+	mem := extract.NewCache(cacheCap, o)
+	var disk *extract.DiskCache
+	var reg *wrapperRegistry
+	if cacheDir != "" {
+		var err error
+		if disk, err = extract.NewDiskCache(filepath.Join(cacheDir, "artifacts"), diskCap, o); err != nil {
+			return nil, err
+		}
+		if reg, err = newWrapperRegistry(filepath.Join(cacheDir, "wrappers")); err != nil {
+			return nil, err
+		}
+	}
+	cache := extract.NewTieredCache(mem, disk)
+	fleet := wrapper.NewFleet()
+	if fleetData != nil {
+		var err error
+		if fleet, err = wrapper.LoadFleetCached(fleetData, opt, cache); err != nil {
+			return nil, err
+		}
+	}
+	restored, skipped := reg.restore(fleet, opt, cache)
+	if restored+skipped > 0 {
+		fmt.Fprintf(os.Stderr, "serve: restored %d wrapper(s) from %s (%d skipped)\n", restored, cacheDir, skipped)
+	}
+	return newServer(fleet, cache, reg, o, opt, batch), nil
+}
+
+// serveUntilShutdown serves on ln until ctx is canceled, then drains
+// in-flight requests for at most drain before forcing connections closed.
+// It returns nil on a clean drain, the drain context's error if the deadline
+// forced the stop, or the listener's error if serving failed before any
+// shutdown was requested.
+func serveUntilShutdown(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // listener died on its own; nothing left to drain
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		return serr
+	}
+	return err
 }
 
 // mux mounts the serving routes on top of the observability endpoints
@@ -116,12 +182,18 @@ func (s *server) handlePutWrapper(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.fleet.Add(key, wr)
-	writeJSON(w, http.StatusCreated, map[string]any{"key": key, "sites": s.fleet.Len()})
+	resp := map[string]any{"key": key, "sites": s.fleet.Len()}
+	if s.registry != nil {
+		// The registration is live either way; persisted reports whether it
+		// will also survive a restart, so a deploy can alarm on false.
+		resp["persisted"] = s.registry.save(key, body) == nil
+	}
+	writeJSON(w, http.StatusCreated, resp)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.cache.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status": "ok",
 		"sites":  s.fleet.Len(),
 		"cache": map[string]any{
@@ -131,7 +203,19 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"evictions": st.Evictions,
 			"hitRate":   st.HitRate(),
 		},
-	})
+	}
+	if disk := s.cache.Disk(); disk != nil {
+		ds := disk.Stats()
+		body["diskCache"] = map[string]any{
+			"dir":       disk.Dir(),
+			"entries":   ds.Entries,
+			"hits":      ds.Hits,
+			"misses":    ds.Misses,
+			"evictions": ds.Evictions,
+			"corrupt":   ds.Corrupt,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

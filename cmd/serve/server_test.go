@@ -51,7 +51,8 @@ func testServer(t *testing.T) (*server, []byte) {
 	f := wrapper.NewFleet()
 	f.Add("vs", w)
 	o := obs.New()
-	s := newServer(f, extract.NewCache(8, o), o, machine.Options{}, wrapper.BatchOptions{Workers: 2})
+	cache := extract.NewTieredCache(extract.NewCache(8, o), nil)
+	s := newServer(f, cache, nil, o, machine.Options{}, wrapper.BatchOptions{Workers: 2})
 	return s, payload
 }
 

@@ -1,0 +1,286 @@
+// Package codec is the binary persistence substrate for compiled artifacts:
+// a small framed format — 4-byte magic, a format version, a varint payload
+// length, the payload, and a SHA-256 integrity checksum — plus bounds-checked
+// varint readers that turn every malformed input into an error instead of a
+// panic or an unbounded allocation.
+//
+// The framing carries the corruption policy of the disk cache tier: a blob
+// whose magic, version, length or checksum does not match is rejected with
+// an error wrapping ErrMalformedInput, and the caller (extract.DiskCache)
+// discards it and recompiles. The checksum defends against torn writes and
+// bit rot, not against adversaries — an attacker with write access to the
+// cache directory can forge any frame.
+package codec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrMalformedInput is the sentinel every decode failure wraps: truncated
+// frames, wrong magic, checksum mismatches, out-of-range indices and
+// implausible lengths all classify under it via errors.Is.
+var ErrMalformedInput = errors.New("codec: malformed input")
+
+// ErrVersionMismatch classifies frames whose magic matched but whose format
+// version is not the one the running binary writes. It wraps
+// ErrMalformedInput, so callers that only distinguish "usable or not" need a
+// single errors.Is; the disk cache counts stale-version discards separately.
+var ErrVersionMismatch = fmt.Errorf("%w: format version mismatch", ErrMalformedInput)
+
+// maxLen bounds every length prefix a decoder will honor. A corrupted varint
+// must not turn into a multi-gigabyte allocation; no legitimate artifact in
+// this system approaches this bound.
+const maxLen = 1 << 28
+
+const checksumSize = sha256.Size
+
+// Seal frames a payload: magic (exactly 4 bytes), one version byte, a varint
+// payload length, the payload, and the SHA-256 of the payload. Seal panics on
+// a magic of the wrong length — that is a programming error, not input.
+func Seal(magic string, version byte, payload []byte) []byte {
+	if len(magic) != 4 {
+		panic("codec: magic must be 4 bytes")
+	}
+	var out bytes.Buffer
+	out.Grow(len(magic) + 1 + binary.MaxVarintLen64 + len(payload) + checksumSize)
+	out.WriteString(magic)
+	out.WriteByte(version)
+	var lenBuf [binary.MaxVarintLen64]byte
+	out.Write(lenBuf[:binary.PutUvarint(lenBuf[:], uint64(len(payload)))])
+	out.Write(payload)
+	sum := sha256.Sum256(payload)
+	out.Write(sum[:])
+	return out.Bytes()
+}
+
+// Open verifies a frame produced by Seal and returns its payload. The whole
+// blob must be consumed exactly — trailing bytes are malformed. Every failure
+// wraps ErrMalformedInput; a correct frame of a different version wraps
+// ErrVersionMismatch (which itself wraps ErrMalformedInput).
+func Open(magic string, version byte, blob []byte) ([]byte, error) {
+	if len(magic) != 4 {
+		panic("codec: magic must be 4 bytes")
+	}
+	if len(blob) < len(magic)+1 {
+		return nil, fmt.Errorf("%w: frame truncated at %d bytes", ErrMalformedInput, len(blob))
+	}
+	if string(blob[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q, want %q", ErrMalformedInput, blob[:4], magic)
+	}
+	if blob[4] != version {
+		return nil, fmt.Errorf("%w: got version %d, want %d", ErrVersionMismatch, blob[4], version)
+	}
+	rest := blob[5:]
+	n, used := binary.Uvarint(rest)
+	if used <= 0 || n > maxLen {
+		return nil, fmt.Errorf("%w: bad payload length", ErrMalformedInput)
+	}
+	rest = rest[used:]
+	if uint64(len(rest)) != n+checksumSize {
+		return nil, fmt.Errorf("%w: frame is %d bytes, want %d", ErrMalformedInput, len(rest), n+checksumSize)
+	}
+	payload := rest[:n]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], rest[n:]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrMalformedInput)
+	}
+	return payload, nil
+}
+
+// Writer accumulates a payload as varints, strings and bitsets. The zero
+// value is ready to use; Bytes returns the accumulated payload for Seal.
+type Writer struct {
+	buf bytes.Buffer
+}
+
+// Bytes returns the payload written so far.
+func (w *Writer) Bytes() []byte { return w.buf.Bytes() }
+
+// Uint writes an unsigned varint.
+func (w *Writer) Uint(v uint64) {
+	var b [binary.MaxVarintLen64]byte
+	w.buf.Write(b[:binary.PutUvarint(b[:], v)])
+}
+
+// Int writes a signed varint (zigzag-coded by encoding/binary).
+func (w *Writer) Int(v int64) {
+	var b [binary.MaxVarintLen64]byte
+	w.buf.Write(b[:binary.PutVarint(b[:], v)])
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uint(uint64(len(s)))
+	w.buf.WriteString(s)
+}
+
+// Bytes2 writes a length-prefixed byte slice (nested frames, sub-blobs).
+func (w *Writer) Bytes2(b []byte) {
+	w.Uint(uint64(len(b)))
+	w.buf.Write(b)
+}
+
+// Bools writes a length-prefixed bitset.
+func (w *Writer) Bools(bs []bool) {
+	w.Uint(uint64(len(bs)))
+	packed := make([]byte, (len(bs)+7)/8)
+	for i, v := range bs {
+		if v {
+			packed[i/8] |= 1 << (i % 8)
+		}
+	}
+	w.buf.Write(packed)
+}
+
+// Ints writes a length-prefixed slice of signed varints.
+func (w *Writer) Ints(vs []int) {
+	w.Uint(uint64(len(vs)))
+	for _, v := range vs {
+		w.Int(int64(v))
+	}
+}
+
+// Reader consumes a payload written by Writer. Every read is bounds-checked;
+// the first failure poisons the reader and every later read reports it, so
+// decoders can read a whole structure and check Err once.
+type Reader struct {
+	buf []byte
+	err error
+}
+
+// NewReader returns a reader over payload.
+func NewReader(payload []byte) *Reader { return &Reader{buf: payload} }
+
+// Err returns the first decode error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Done reports an error unless the payload was consumed exactly.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.buf) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformedInput, len(r.buf))
+	}
+	return nil
+}
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: "+format, append([]any{ErrMalformedInput}, args...)...)
+	}
+}
+
+// Uint reads an unsigned varint.
+func (r *Reader) Uint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.fail("truncated uvarint")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+// Int reads a signed varint.
+func (r *Reader) Int() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		r.fail("truncated varint")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+// Len reads a length prefix, additionally bounded by maxLen.
+func (r *Reader) Len() int {
+	v := r.Uint()
+	if r.err == nil && (v > maxLen || v > math.MaxInt32) {
+		r.fail("implausible length %d", v)
+		return 0
+	}
+	return int(v)
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Len()
+	if r.err != nil {
+		return ""
+	}
+	if n > len(r.buf) {
+		r.fail("string of %d bytes overruns payload", n)
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
+}
+
+// Bytes2 reads a length-prefixed byte slice (a copy).
+func (r *Reader) Bytes2() []byte {
+	n := r.Len()
+	if r.err != nil {
+		return nil
+	}
+	if n > len(r.buf) {
+		r.fail("blob of %d bytes overruns payload", n)
+		return nil
+	}
+	out := append([]byte(nil), r.buf[:n]...)
+	r.buf = r.buf[n:]
+	return out
+}
+
+// Bools reads a length-prefixed bitset.
+func (r *Reader) Bools() []bool {
+	n := r.Len()
+	if r.err != nil {
+		return nil
+	}
+	packed := (n + 7) / 8
+	if packed > len(r.buf) {
+		r.fail("bitset of %d bits overruns payload", n)
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = r.buf[i/8]&(1<<(i%8)) != 0
+	}
+	r.buf = r.buf[packed:]
+	return out
+}
+
+// Ints reads a length-prefixed slice of signed varints.
+func (r *Reader) Ints() []int {
+	n := r.Len()
+	if r.err != nil {
+		return nil
+	}
+	// Each varint is at least one byte; reject lengths the remaining payload
+	// cannot possibly satisfy before allocating.
+	if n > len(r.buf) {
+		r.fail("int slice of %d elements overruns payload", n)
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(r.Int())
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package codec
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, {0}, []byte("hello"), make([]byte, 4096)}
+	for _, p := range payloads {
+		blob := Seal("TEST", 3, p)
+		got, err := Open("TEST", 3, blob)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		if len(got) != len(p) {
+			t.Fatalf("payload %d bytes, want %d", len(got), len(p))
+		}
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	blob := Seal("TEST", 1, []byte("payload bytes"))
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": blob[:len(blob)-1],
+		"trailing":  append(append([]byte(nil), blob...), 0),
+		"magic":     append([]byte("XXXX"), blob[4:]...),
+	}
+	for name, b := range cases {
+		if _, err := Open("TEST", 1, b); !errors.Is(err, ErrMalformedInput) {
+			t.Errorf("%s: err = %v, want ErrMalformedInput", name, err)
+		}
+	}
+	// Every single-bit flip anywhere in the frame must be rejected.
+	for i := range blob {
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 1
+		if _, err := Open("TEST", 1, mut); err == nil {
+			t.Errorf("bit flip at byte %d accepted", i)
+		}
+	}
+}
+
+func TestOpenVersionMismatch(t *testing.T) {
+	blob := Seal("TEST", 1, []byte("x"))
+	_, err := Open("TEST", 2, blob)
+	if !errors.Is(err, ErrVersionMismatch) || !errors.Is(err, ErrMalformedInput) {
+		t.Fatalf("err = %v, want ErrVersionMismatch wrapping ErrMalformedInput", err)
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var w Writer
+	w.Uint(0)
+	w.Uint(1 << 40)
+	w.Int(-12345)
+	w.String("αβγ tokens")
+	w.Bytes2([]byte{1, 2, 3})
+	w.Bools([]bool{true, false, true, true, false, false, false, true, true})
+	w.Ints([]int{-1, 0, 7, 1 << 20})
+
+	r := NewReader(w.Bytes())
+	if got := r.Uint(); got != 0 {
+		t.Errorf("Uint = %d", got)
+	}
+	if got := r.Uint(); got != 1<<40 {
+		t.Errorf("Uint = %d", got)
+	}
+	if got := r.Int(); got != -12345 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.String(); got != "αβγ tokens" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Bytes2(); len(got) != 3 || got[2] != 3 {
+		t.Errorf("Bytes2 = %v", got)
+	}
+	bs := r.Bools()
+	want := []bool{true, false, true, true, false, false, false, true, true}
+	if len(bs) != len(want) {
+		t.Fatalf("Bools len = %d", len(bs))
+	}
+	for i := range bs {
+		if bs[i] != want[i] {
+			t.Errorf("Bools[%d] = %v", i, bs[i])
+		}
+	}
+	is := r.Ints()
+	if len(is) != 4 || is[0] != -1 || is[3] != 1<<20 {
+		t.Errorf("Ints = %v", is)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestReaderPoisonsOnOverrun(t *testing.T) {
+	var w Writer
+	w.Uint(1 << 30) // implausible string length prefix with no body
+	r := NewReader(w.Bytes())
+	if s := r.String(); s != "" {
+		t.Errorf("String = %q, want empty", s)
+	}
+	if !errors.Is(r.Err(), ErrMalformedInput) {
+		t.Fatalf("Err = %v", r.Err())
+	}
+	// Later reads stay poisoned and return zero values, never panic.
+	if r.Uint() != 0 || r.Int() != 0 || r.Bools() != nil || r.Ints() != nil {
+		t.Error("poisoned reader returned non-zero values")
+	}
+	if errors.Is(r.Done(), nil) {
+		t.Error("Done after poison must fail")
+	}
+}
+
+func TestReaderRejectsHugePrefixes(t *testing.T) {
+	for _, build := range []func(w *Writer){
+		func(w *Writer) { w.Uint(1 << 50) }, // Len overflow via Bools
+	} {
+		var w Writer
+		build(&w)
+		r := NewReader(w.Bytes())
+		if r.Bools() != nil || r.Err() == nil {
+			t.Error("huge bitset prefix accepted")
+		}
+	}
+	var w Writer
+	w.Uint(1 << 20) // 1M ints claimed, zero bytes present
+	r := NewReader(w.Bytes())
+	if r.Ints() != nil || r.Err() == nil {
+		t.Error("huge int-slice prefix accepted")
+	}
+}

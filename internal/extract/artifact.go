@@ -1,0 +1,155 @@
+package extract
+
+import (
+	"fmt"
+
+	"resilex/internal/codec"
+	"resilex/internal/lang"
+	"resilex/internal/machine"
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+// artifactMagic / artifactVersion frame a persisted compiled artifact: the
+// expression source, its alphabet, the symbol table it was compiled against,
+// and the two component minimal DFAs — everything the serving path needs to
+// rebuild a Compiled without determinizing. Bump the version on any payload
+// change; the disk cache discards other versions and recompiles.
+const (
+	artifactMagic   = "RXAR"
+	artifactVersion = 1
+)
+
+// EncodeArtifact serializes a compiled artifact into a framed binary blob
+// (magic, format version, SHA-256 checksum — see internal/codec). The blob
+// carries the expression *source* for cheap re-parsing plus the component
+// minimal DFAs, so DecodeArtifact skips exactly the worst-case-exponential
+// work: subset construction. Artifacts produced by CompileArtifact always
+// encode; synthesized Compiled values missing their source are rejected.
+func EncodeArtifact(c *Compiled) ([]byte, error) {
+	if c == nil || c.Src == "" || c.Tab == nil {
+		return nil, fmt.Errorf("extract: encoding artifact: no persisted source (artifact not built by CompileArtifact)")
+	}
+	left, right := c.Expr.Left().DFA(), c.Expr.Right().DFA()
+	if left == nil || right == nil {
+		return nil, fmt.Errorf("extract: encoding artifact: expression has no compiled components")
+	}
+	var w codec.Writer
+	w.String(c.Src)
+	w.Uint(uint64(len(c.SigmaNames)))
+	for _, n := range c.SigmaNames {
+		w.String(n)
+	}
+	w.Bytes2(c.Tab.Encode())
+	w.Int(int64(c.Expr.P()))
+	sigma := c.Expr.Sigma().Symbols()
+	ids := make([]int, len(sigma))
+	for i, s := range sigma {
+		ids[i] = int(s)
+	}
+	w.Ints(ids)
+	w.Bytes2(left.Encode())
+	w.Bytes2(right.Encode())
+	return codec.Seal(artifactMagic, artifactVersion, w.Bytes()), nil
+}
+
+// DecodeArtifact restores a compiled artifact under opt's budget and
+// deadline. The restore path re-parses the embedded source (linear), decodes
+// the component DFAs, re-minimizes them (polynomial on already-minimal
+// input) and rebuilds the matcher's predecessor tables (linear) — no subset
+// construction runs, which is the entire point of persisting artifacts.
+//
+// Decode never panics on corrupt input: frame damage, checksum mismatches
+// and structural inconsistencies — a table that does not match the source's
+// interning order, a marked symbol or alphabet that disagrees with the
+// re-parse, component DFAs over the wrong Σ — all return an error wrapping
+// codec.ErrMalformedInput. The checksum ties the DFAs to the encode-time
+// machines against corruption; it is not a defense against an adversary who
+// can write the cache directory.
+func DecodeArtifact(blob []byte, opt machine.Options) (*Compiled, error) {
+	payload, err := codec.Open(artifactMagic, artifactVersion, blob)
+	if err != nil {
+		return nil, fmt.Errorf("extract: decoding artifact: %w", err)
+	}
+	r := codec.NewReader(payload)
+	src := r.String()
+	nNames := r.Len()
+	if r.Err() != nil {
+		return nil, fmt.Errorf("extract: decoding artifact: %w", r.Err())
+	}
+	sigmaNames := make([]string, 0, min(nNames, 1024))
+	for i := 0; i < nNames && r.Err() == nil; i++ {
+		sigmaNames = append(sigmaNames, r.String())
+	}
+	tabBlob := r.Bytes2()
+	p := symtab.Symbol(r.Int())
+	sigmaIDs := r.Ints()
+	leftBlob := r.Bytes2()
+	rightBlob := r.Bytes2()
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("extract: decoding artifact: %w", err)
+	}
+
+	tab, err := symtab.DecodeTable(tabBlob)
+	if err != nil {
+		return nil, fmt.Errorf("extract: decoding artifact: %w", err)
+	}
+	// Re-derive the table from the persisted source exactly the way
+	// CompileArtifact built it. The persisted table must match — this pins
+	// every symbol id in the decoded DFAs to the name the source meant, so a
+	// decoded artifact can never silently bind ids to different tokens.
+	rederived := symtab.NewTable()
+	sigma := symtab.NewAlphabet(rederived.InternAll(sigmaNames...)...)
+	m, err := rx.ParseMarked(src, rederived, sigma)
+	if err != nil {
+		return nil, fmt.Errorf("extract: decoding artifact: %w: embedded source does not parse: %v", codec.ErrMalformedInput, err)
+	}
+	if !tab.EqualNames(rederived) {
+		return nil, fmt.Errorf("extract: decoding artifact: %w: persisted table disagrees with re-derived interning", codec.ErrMalformedInput)
+	}
+	if m.P != p {
+		return nil, fmt.Errorf("extract: decoding artifact: %w: marked symbol %d disagrees with source (%d)", codec.ErrMalformedInput, p, m.P)
+	}
+	full := m.Sigma.Union(m.Left.Symbols()).Union(m.Right.Symbols()).With(m.P)
+	want := full.Symbols()
+	if len(want) != len(sigmaIDs) {
+		return nil, fmt.Errorf("extract: decoding artifact: %w: alphabet disagrees with source", codec.ErrMalformedInput)
+	}
+	for i, s := range want {
+		if int(s) != sigmaIDs[i] {
+			return nil, fmt.Errorf("extract: decoding artifact: %w: alphabet disagrees with source", codec.ErrMalformedInput)
+		}
+	}
+
+	leftDFA, err := machine.DecodeDFA(leftBlob)
+	if err != nil {
+		return nil, fmt.Errorf("extract: decoding artifact: left component: %w", err)
+	}
+	rightDFA, err := machine.DecodeDFA(rightBlob)
+	if err != nil {
+		return nil, fmt.Errorf("extract: decoding artifact: right component: %w", err)
+	}
+	if !leftDFA.Sigma.Equal(full) || !rightDFA.Sigma.Equal(full) {
+		return nil, fmt.Errorf("extract: decoding artifact: %w: component DFA over wrong Σ", codec.ErrMalformedInput)
+	}
+	stored := opt.WithoutContext()
+	// The checksum ties these DFAs byte-for-byte to the canonical minimal
+	// machines EncodeArtifact read out of a Language, so they re-enter the
+	// Language invariant directly — no re-minimization, keeping decode
+	// linear in the artifact size.
+	leftLang := lang.FromMinimalDFA(leftDFA, opt)
+	rightLang := lang.FromMinimalDFA(rightDFA, opt)
+
+	e := New(leftLang.WithOptions(stored), p, rightLang.WithOptions(stored))
+	e.opt = stored
+	e.leftAST, e.rightAST = m.Left, m.Right
+	matcher, err := e.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("extract: decoding artifact: %w", err)
+	}
+	e.mc.once.Do(func() { e.mc.m = matcher })
+	return &Compiled{
+		Tab: tab, Expr: e, Matcher: matcher,
+		Src: src, SigmaNames: sigmaNames,
+	}, nil
+}

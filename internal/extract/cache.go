@@ -19,12 +19,17 @@ import (
 // Compiled is a cache entry: everything a serving path needs to run one
 // persisted expression — the symbol table the artifact was compiled against
 // (concurrency-safe, shared by every borrower), the parsed expression, and
-// its compiled matcher. Compiled values are immutable after construction and
-// safe for concurrent use.
+// its compiled matcher. Src and SigmaNames record the persisted form the
+// artifact was compiled from; EncodeArtifact embeds them so a decoded
+// artifact can re-derive its content address and its ASTs without
+// re-determinizing anything. Compiled values are immutable after
+// construction and safe for concurrent use.
 type Compiled struct {
-	Tab     *symtab.Table
-	Expr    Expr
-	Matcher *Matcher
+	Tab        *symtab.Table
+	Expr       Expr
+	Matcher    *Matcher
+	Src        string
+	SigmaNames []string
 }
 
 // Key returns the content address of a persisted expression: a hex SHA-256
@@ -262,5 +267,8 @@ func CompileArtifact(src string, sigmaNames []string, opt machine.Options) (*Com
 	}
 	expr.opt = opt.WithoutContext()
 	expr.mc.once.Do(func() { expr.mc.m = m })
-	return &Compiled{Tab: tab, Expr: expr, Matcher: m}, nil
+	return &Compiled{
+		Tab: tab, Expr: expr, Matcher: m,
+		Src: src, SigmaNames: append([]string(nil), sigmaNames...),
+	}, nil
 }

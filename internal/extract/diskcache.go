@@ -1,0 +1,246 @@
+package extract
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resilex/internal/machine"
+	"resilex/internal/obs"
+)
+
+// artifactExt is the on-disk suffix of persisted compiled artifacts. Files
+// with other suffixes (including in-progress temp files) are ignored by
+// scans and never counted against capacity.
+const artifactExt = ".rxa"
+
+// DiskStats is a point-in-time view of the disk tier. Corrupt counts blobs
+// that were present but undecodable — torn writes, stale format versions,
+// bit rot — each of which was discarded and recorded as a miss as well.
+type DiskStats struct {
+	Hits, Misses, Evictions, Corrupt int64
+	Entries                          int
+}
+
+// DiskCache is the second tier of the compiled-artifact cache: a directory
+// of EncodeArtifact blobs under the same content-addressed keys as the
+// in-memory tier, so compiled wrappers survive process restarts and can be
+// shared between processes on one host.
+//
+// Capacity counts artifacts on disk: capacity < 0 is unbounded, capacity 0
+// stores nothing (every Put is dropped, every Get misses), and otherwise the
+// least-recently-used artifact — by file modification time, which Get
+// refreshes — is evicted once the directory exceeds capacity. Writes are
+// atomic (temp file + rename), so a crash mid-Put leaves at worst an ignored
+// temp file, never a half-written artifact under a live key. A blob that
+// fails to decode — torn write recovered from a hard crash, a stale format
+// version, plain corruption — is deleted and reported as a miss, and the
+// caller recompiles; see internal/codec for the framing this relies on.
+//
+// Lookups maintain extract_diskcache_{hits,misses,evictions,corrupt}_total
+// and the gauge extract_diskcache_entries on the observer given to
+// NewDiskCache (nil-safe no-ops without one). A DiskCache is safe for
+// concurrent use.
+type DiskCache struct {
+	dir      string
+	capacity int
+
+	hits, misses, evictions, corrupt atomic.Int64
+
+	obsHits, obsMisses, obsEvictions, obsCorrupt *obs.Counter
+	obsEntries                                   *obs.Gauge
+
+	mu sync.Mutex // serializes directory mutation (writes, evictions, deletes)
+}
+
+// NewDiskCache returns a disk tier rooted at dir, creating it if needed.
+func NewDiskCache(dir string, capacity int, o *obs.Observer) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("extract: disk cache: %w", err)
+	}
+	d := &DiskCache{
+		dir:          dir,
+		capacity:     capacity,
+		obsHits:      o.Counter("extract_diskcache_hits_total"),
+		obsMisses:    o.Counter("extract_diskcache_misses_total"),
+		obsEvictions: o.Counter("extract_diskcache_evictions_total"),
+		obsCorrupt:   o.Counter("extract_diskcache_corrupt_total"),
+		obsEntries:   o.Gauge("extract_diskcache_entries"),
+	}
+	// A restarted process opens a populated directory: report the surviving
+	// artifacts, not zero, before the first Put.
+	d.obsEntries.Set(int64(d.countEntries()))
+	return d, nil
+}
+
+// Dir returns the directory the cache persists into.
+func (d *DiskCache) Dir() string { return d.dir }
+
+// keyPath maps a content-addressed key to its artifact path, rejecting keys
+// that could escape the cache directory. Keys from Key are lowercase hex and
+// always pass.
+func (d *DiskCache) keyPath(key string) (string, error) {
+	if key == "" || len(key) > 128 {
+		return "", fmt.Errorf("extract: disk cache: invalid key %q", key)
+	}
+	for _, c := range key {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-' || c == '_':
+		default:
+			return "", fmt.Errorf("extract: disk cache: invalid key %q", key)
+		}
+	}
+	return filepath.Join(d.dir, key+artifactExt), nil
+}
+
+func (d *DiskCache) miss() {
+	d.misses.Add(1)
+	d.obsMisses.Inc()
+}
+
+// Get loads and decodes the artifact stored under key, refreshing its
+// recency, or reports ok=false on a miss. Undecodable blobs are discarded
+// (counted under Corrupt and as a miss); a blob whose content re-hashes to a
+// different key — a renamed or cross-wired file — is treated the same way,
+// so a disk hit is always the artifact the key names.
+func (d *DiskCache) Get(key string, opt machine.Options) (*Compiled, bool) {
+	path, err := d.keyPath(key)
+	if err != nil {
+		d.miss()
+		return nil, false
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		d.miss()
+		return nil, false
+	}
+	c, err := DecodeArtifact(blob, opt)
+	if err == nil {
+		// Content addressing is the integrity contract of the tier: the
+		// decoded source must hash back to the key that named the file.
+		rekey, kerr := Key(c.Src, c.SigmaNames)
+		if kerr != nil || rekey != key {
+			err = fmt.Errorf("extract: disk cache: artifact content does not match key %s", key)
+		}
+	}
+	if err != nil {
+		d.mu.Lock()
+		os.Remove(path)
+		d.mu.Unlock()
+		d.corrupt.Add(1)
+		d.obsCorrupt.Inc()
+		d.miss()
+		d.obsEntries.Set(int64(d.countEntries()))
+		return nil, false
+	}
+	now := time.Now()
+	os.Chtimes(path, now, now) // best-effort LRU recency bump
+	d.hits.Add(1)
+	d.obsHits.Inc()
+	return c, true
+}
+
+// Put encodes the artifact and stores it under key, evicting the
+// least-recently-used artifacts past capacity. Artifacts that cannot encode
+// (no persisted source) and capacity-0 caches drop the write without error;
+// I/O failures are returned.
+func (d *DiskCache) Put(key string, c *Compiled) error {
+	if d.capacity == 0 {
+		return nil
+	}
+	path, err := d.keyPath(key)
+	if err != nil {
+		return err
+	}
+	blob, err := EncodeArtifact(c)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tmp, err := os.CreateTemp(d.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("extract: disk cache: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("extract: disk cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("extract: disk cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("extract: disk cache: %w", err)
+	}
+	d.evictLocked()
+	d.obsEntries.Set(int64(len(d.entriesLocked())))
+	return nil
+}
+
+// entriesLocked lists artifact files, oldest modification first.
+func (d *DiskCache) entriesLocked() []os.DirEntry {
+	all, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil
+	}
+	var out []os.DirEntry
+	for _, e := range all {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), artifactExt) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		fi, ei := out[i].Info()
+		fj, ej := out[j].Info()
+		if ei != nil || ej != nil {
+			return out[i].Name() < out[j].Name()
+		}
+		if !fi.ModTime().Equal(fj.ModTime()) {
+			return fi.ModTime().Before(fj.ModTime())
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}
+
+func (d *DiskCache) evictLocked() {
+	if d.capacity < 0 {
+		return
+	}
+	entries := d.entriesLocked()
+	for len(entries) > d.capacity {
+		if os.Remove(filepath.Join(d.dir, entries[0].Name())) == nil {
+			d.evictions.Add(1)
+			d.obsEvictions.Inc()
+		}
+		entries = entries[1:]
+	}
+}
+
+func (d *DiskCache) countEntries() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entriesLocked())
+}
+
+// Len reports the number of artifacts currently on disk.
+func (d *DiskCache) Len() int { return d.countEntries() }
+
+// Stats returns the tier's lifetime counters and current size.
+func (d *DiskCache) Stats() DiskStats {
+	return DiskStats{
+		Hits:      d.hits.Load(),
+		Misses:    d.misses.Load(),
+		Evictions: d.evictions.Load(),
+		Corrupt:   d.corrupt.Load(),
+		Entries:   d.countEntries(),
+	}
+}

@@ -1,0 +1,64 @@
+package extract
+
+import "resilex/internal/machine"
+
+// ArtifactCache is the serving-path contract the wrapper layer loads
+// through: hand back the compiled artifact for a persisted expression,
+// however many tiers that takes. *Cache (memory only) and *TieredCache
+// (memory over disk) both implement it.
+type ArtifactCache interface {
+	Load(src string, sigmaNames []string, opt machine.Options) (*Compiled, error)
+}
+
+// TieredCache composes the in-memory LRU with the disk tier under one
+// content-addressed key space: memory → disk → compile. The memory tier's
+// singleflight is preserved — concurrent cold misses on one key collapse to
+// a single disk probe and (on a disk miss) a single compilation — and every
+// fresh compilation is written through to disk, so the artifact survives the
+// process. A nil disk tier degrades to the memory tier alone. A TieredCache
+// is safe for concurrent use.
+type TieredCache struct {
+	mem  *Cache
+	disk *DiskCache
+}
+
+// NewTieredCache composes the two tiers; disk may be nil.
+func NewTieredCache(mem *Cache, disk *DiskCache) *TieredCache {
+	return &TieredCache{mem: mem, disk: disk}
+}
+
+// Mem returns the memory tier.
+func (t *TieredCache) Mem() *Cache { return t.mem }
+
+// Disk returns the disk tier, or nil when running memory-only.
+func (t *TieredCache) Disk() *DiskCache { return t.disk }
+
+// Load returns the artifact for the persisted expression src over
+// sigmaNames: from memory if resident, else decoded from disk (and
+// re-admitted to memory), else compiled (and written through to both
+// tiers). opt bounds the work of this call only; artifacts are stored with
+// any deadline stripped. Disk write failures are deliberately swallowed —
+// the disk tier is an optimization, and a full or read-only volume must not
+// fail requests that compiled fine.
+func (t *TieredCache) Load(src string, sigmaNames []string, opt machine.Options) (*Compiled, error) {
+	key, err := Key(src, sigmaNames)
+	if err != nil {
+		return nil, err
+	}
+	return t.mem.GetOrCompile(key, func() (*Compiled, error) {
+		if t.disk != nil {
+			if c, ok := t.disk.Get(key, opt); ok {
+				return c, nil
+			}
+		}
+		c, err := CompileArtifact(src, sigmaNames, opt)
+		if err == nil && t.disk != nil {
+			t.disk.Put(key, c) //nolint:errcheck // best-effort write-through
+		}
+		return c, err
+	})
+}
+
+// Stats returns the memory tier's counters (the tier requests hit first);
+// use Disk().Stats() for the disk tier.
+func (t *TieredCache) Stats() CacheStats { return t.mem.Stats() }

@@ -1,0 +1,148 @@
+package extract
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"resilex/internal/machine"
+)
+
+// TestTieredLoadFlow walks one key through every tier transition: cold
+// compile (miss in memory and on disk), memory hit, and — after a simulated
+// restart that keeps the directory but not the process memory — a disk hit
+// that skips compilation.
+func TestTieredLoadFlow(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := NewDiskCache(dir, -1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTieredCache(NewCache(8, nil), disk)
+	src, names := "q* r <p> r q*", []string{"p", "q", "r"}
+
+	c1, err := tc.Load(src, names, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms, ds := tc.Stats(), disk.Stats(); ms.Misses != 1 || ms.Hits != 0 || ds.Misses != 1 || ds.Entries != 1 {
+		t.Fatalf("after cold load: mem %+v disk %+v", ms, ds)
+	}
+
+	c2, err := tc.Load(src, names, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c1 {
+		t.Fatal("memory hit returned a different artifact pointer")
+	}
+	if ms, ds := tc.Stats(), disk.Stats(); ms.Hits != 1 || ds.Hits != 0 {
+		t.Fatalf("after warm load: mem %+v disk %+v", ms, ds)
+	}
+
+	// Restart: same directory, fresh memory tier and fresh disk handle.
+	disk2, err := NewDiskCache(dir, -1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc2 := NewTieredCache(NewCache(8, nil), disk2)
+	c3, err := tc2.Load(src, names, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := disk2.Stats(); ds.Hits != 1 || ds.Misses != 0 {
+		t.Fatalf("after restart load: disk %+v", ds)
+	}
+	for _, w := range allWords(c3.Expr.Sigma(), 4) {
+		got, want := c3.Matcher.All(w), c1.Matcher.All(w)
+		if len(got) != len(want) {
+			t.Fatalf("restart artifact disagrees on %v: %v vs %v", w, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("restart artifact disagrees on %v: %v vs %v", w, got, want)
+			}
+		}
+	}
+}
+
+// TestTieredSingleflight: N concurrent cold Loads of one key collapse to a
+// single compilation and a single disk probe — the memory tier's
+// singleflight still guards the composed stack.
+func TestTieredSingleflight(t *testing.T) {
+	disk, err := NewDiskCache(t.TempDir(), -1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTieredCache(NewCache(8, nil), disk)
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]*Compiled, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := tc.Load("(p | p p) <p> (p | p p)", []string{"p", "q"}, machine.Options{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = c
+		}(i)
+	}
+	wg.Wait()
+	for _, c := range results[1:] {
+		if c != results[0] {
+			t.Fatal("concurrent loads produced distinct artifacts")
+		}
+	}
+	ms, ds := tc.Stats(), disk.Stats()
+	if ms.Misses != 1 || ms.Hits != n-1 {
+		t.Fatalf("mem stats %+v, want 1 miss / %d hits", ms, n-1)
+	}
+	if ds.Misses != 1 || ds.Entries != 1 {
+		t.Fatalf("disk stats %+v, want exactly one probe and one entry", ds)
+	}
+}
+
+// TestTieredEvictionRacesSingleflight hammers a capacity-1 disk tier (and a
+// small memory tier) with concurrent loads over more keys than either tier
+// holds, so evictions run while other goroutines are inside the
+// compile/decode path for the evicted keys. Run under -race this is the
+// differential check that directory mutation and singleflight compose; every
+// load must still return a correct artifact.
+func TestTieredEvictionRacesSingleflight(t *testing.T) {
+	disk, err := NewDiskCache(t.TempDir(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTieredCache(NewCache(2, nil), disk)
+	srcs := make([]string, 6)
+	for i := range srcs {
+		srcs[i] = fmt.Sprintf("q p%s <p> q*", strings.Repeat(" p", i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				src := srcs[(g+i)%len(srcs)]
+				c, err := tc.Load(src, []string{"p", "q"}, machine.Options{})
+				if err != nil {
+					t.Errorf("load %q: %v", src, err)
+					return
+				}
+				if c.Src != src {
+					t.Errorf("load %q returned artifact for %q", src, c.Src)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := disk.Len(); n > 1 {
+		t.Fatalf("capacity-1 disk tier holds %d entries", n)
+	}
+}

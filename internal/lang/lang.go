@@ -57,6 +57,27 @@ func fromDFA(d *machine.DFA, opt machine.Options) (Language, error) {
 	return Language{sigma: d.Sigma, min: min, opt: opt}, nil
 }
 
+// FromDFA canonicalizes an already-deterministic automaton into a Language
+// without re-determinizing: only the (polynomial) minimization runs. This is
+// the general restore path for DFAs of unknown provenance — a decoded DFA
+// re-enters the Language invariant (canonical minimal form) at polynomial
+// cost, so warm starts never pay the worst-case exponential subset
+// construction again.
+func FromDFA(d *machine.DFA, opt machine.Options) (Language, error) {
+	return fromDFA(d, opt)
+}
+
+// FromMinimalDFA wraps a DFA that is already in canonical minimal form —
+// one this package minimized earlier and that was restored verbatim, as
+// internal/codec's checksum guarantees for persisted artifacts. No
+// construction runs at all, which is what makes artifact decode linear.
+// Callers who cannot vouch for canonical minimality must use FromDFA: a
+// non-minimal machine here would break the Language invariant that equal
+// languages have structurally equal minimal DFAs.
+func FromMinimalDFA(d *machine.DFA, opt machine.Options) Language {
+	return Language{sigma: d.Sigma, min: d, opt: opt}
+}
+
 // FromNFA canonicalizes an NFA into a Language.
 func FromNFA(n *machine.NFA, opt machine.Options) (Language, error) {
 	d, err := machine.Determinize(n, opt)

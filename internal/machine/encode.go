@@ -1,0 +1,326 @@
+package machine
+
+import (
+	"fmt"
+
+	"resilex/internal/codec"
+	"resilex/internal/obs"
+	"resilex/internal/symtab"
+)
+
+// Framed formats for persisted automata. Each automaton kind carries its own
+// magic so a blob can never be decoded as the wrong kind; all share the
+// corruption policy of internal/codec — any mismatch (magic, version,
+// checksum, structural invariant) is an error wrapping
+// codec.ErrMalformedInput, never a panic.
+const (
+	dfaMagic  = "RXDF"
+	nfaMagic  = "RXNF"
+	lazyMagic = "RXLZ"
+
+	automatonVersion = 1
+)
+
+func encodeAlphabet(w *codec.Writer, a symtab.Alphabet) {
+	syms := a.Symbols()
+	ids := make([]int, len(syms))
+	for i, s := range syms {
+		ids[i] = int(s)
+	}
+	w.Ints(ids)
+}
+
+// decodeAlphabet reads an alphabet and insists the persisted ids are
+// strictly increasing non-negative symbols — the canonical form Symbols()
+// emits — so the decoded alphabet's dense ordering matches the persisted
+// transition-table columns exactly.
+func decodeAlphabet(r *codec.Reader) (symtab.Alphabet, error) {
+	ids := r.Ints()
+	if err := r.Err(); err != nil {
+		return symtab.Alphabet{}, err
+	}
+	syms := make([]symtab.Symbol, len(ids))
+	for i, id := range ids {
+		if id < 0 || (i > 0 && id <= ids[i-1]) {
+			return symtab.Alphabet{}, fmt.Errorf("%w: alphabet ids not strictly increasing", codec.ErrMalformedInput)
+		}
+		syms[i] = symtab.Symbol(id)
+	}
+	return symtab.NewAlphabet(syms...), nil
+}
+
+// Encode serializes the DFA — alphabet, start state, accept set and the full
+// transition table — into a framed binary blob. Decoding with DecodeDFA
+// restores a structurally identical automaton.
+func (d *DFA) Encode() []byte {
+	var w codec.Writer
+	encodeAlphabet(&w, d.Sigma)
+	w.Int(int64(d.Start))
+	w.Uint(uint64(d.NumStates()))
+	w.Bools(d.Accept)
+	for _, row := range d.Trans {
+		for _, t := range row {
+			w.Int(int64(t))
+		}
+	}
+	return codec.Seal(dfaMagic, automatonVersion, w.Bytes())
+}
+
+// DecodeDFA restores a DFA from Encode's output. Corrupt input never panics:
+// truncation, checksum mismatch, out-of-range states or a start state outside
+// the automaton all return an error wrapping codec.ErrMalformedInput. A
+// successfully decoded DFA is structurally valid — complete, with every
+// transition target in range — but the checksum, not the decoder, is what
+// ties it to the automaton that was encoded.
+func DecodeDFA(blob []byte) (*DFA, error) {
+	payload, err := codec.Open(dfaMagic, automatonVersion, blob)
+	if err != nil {
+		return nil, fmt.Errorf("machine: decoding DFA: %w", err)
+	}
+	r := codec.NewReader(payload)
+	sigma, err := decodeAlphabet(r)
+	if err != nil {
+		return nil, fmt.Errorf("machine: decoding DFA: %w", err)
+	}
+	start := int(r.Int())
+	states := r.Len()
+	accept := r.Bools()
+	d := newDFA(sigma)
+	d.Start = start
+	d.Accept = accept
+	d.Trans = make([][]int, 0, states)
+	for s := 0; s < states && r.Err() == nil; s++ {
+		row := make([]int, len(d.syms))
+		for k := range row {
+			row[k] = int(r.Int())
+		}
+		d.Trans = append(d.Trans, row)
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("machine: decoding DFA: %w", err)
+	}
+	if len(d.Accept) != states || states == 0 {
+		return nil, fmt.Errorf("%w: DFA with %d accept bits for %d states", codec.ErrMalformedInput, len(d.Accept), states)
+	}
+	if d.Start < 0 || d.Start >= states {
+		return nil, fmt.Errorf("%w: DFA start state %d out of range", codec.ErrMalformedInput, d.Start)
+	}
+	for s, row := range d.Trans {
+		for _, t := range row {
+			if t < 0 || t >= states {
+				return nil, fmt.Errorf("%w: DFA transition %d→%d out of range", codec.ErrMalformedInput, s, t)
+			}
+		}
+	}
+	return d, nil
+}
+
+// Encode serializes the NFA — alphabet, start set, accept set, ε-edges and
+// labeled edges — into a framed binary blob.
+func (n *NFA) Encode() []byte {
+	var w codec.Writer
+	encodeAlphabet(&w, n.Sigma)
+	w.Uint(uint64(n.NumStates()))
+	w.Ints(n.Start)
+	w.Bools(n.Accept)
+	for _, eps := range n.Eps {
+		w.Ints(eps)
+	}
+	for _, edges := range n.Edges {
+		w.Uint(uint64(len(edges)))
+		for _, e := range edges {
+			encodeAlphabet(&w, e.On)
+			w.Int(int64(e.To))
+		}
+	}
+	return codec.Seal(nfaMagic, automatonVersion, w.Bytes())
+}
+
+// DecodeNFA restores an NFA from Encode's output, validating that every
+// state reference — start states, ε-targets, edge targets — is in range and
+// every edge label is a subset of Σ. Corrupt input returns an error wrapping
+// codec.ErrMalformedInput, never a panic.
+func DecodeNFA(blob []byte) (*NFA, error) {
+	payload, err := codec.Open(nfaMagic, automatonVersion, blob)
+	if err != nil {
+		return nil, fmt.Errorf("machine: decoding NFA: %w", err)
+	}
+	r := codec.NewReader(payload)
+	sigma, err := decodeAlphabet(r)
+	if err != nil {
+		return nil, fmt.Errorf("machine: decoding NFA: %w", err)
+	}
+	states := r.Len()
+	n := &NFA{
+		Sigma:  sigma,
+		Start:  r.Ints(),
+		Accept: r.Bools(),
+	}
+	for s := 0; s < states && r.Err() == nil; s++ {
+		n.Eps = append(n.Eps, r.Ints())
+	}
+	for s := 0; s < states && r.Err() == nil; s++ {
+		count := r.Len()
+		var edges []Edge
+		for i := 0; i < count && r.Err() == nil; i++ {
+			on, err := decodeAlphabet(r)
+			if err != nil {
+				return nil, fmt.Errorf("machine: decoding NFA: %w", err)
+			}
+			edges = append(edges, Edge{On: on, To: int(r.Int())})
+		}
+		n.Edges = append(n.Edges, edges)
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("machine: decoding NFA: %w", err)
+	}
+	if len(n.Accept) != states || states == 0 {
+		return nil, fmt.Errorf("%w: NFA with %d accept bits for %d states", codec.ErrMalformedInput, len(n.Accept), states)
+	}
+	inRange := func(s int) bool { return s >= 0 && s < states }
+	for _, s := range n.Start {
+		if !inRange(s) {
+			return nil, fmt.Errorf("%w: NFA start state %d out of range", codec.ErrMalformedInput, s)
+		}
+	}
+	for _, eps := range n.Eps {
+		for _, t := range eps {
+			if !inRange(t) {
+				return nil, fmt.Errorf("%w: NFA ε-target %d out of range", codec.ErrMalformedInput, t)
+			}
+		}
+	}
+	for _, edges := range n.Edges {
+		for _, e := range edges {
+			if !inRange(e.To) {
+				return nil, fmt.Errorf("%w: NFA edge target %d out of range", codec.ErrMalformedInput, e.To)
+			}
+			if !e.On.SubsetOf(sigma) {
+				return nil, fmt.Errorf("%w: NFA edge label outside Σ", codec.ErrMalformedInput)
+			}
+		}
+	}
+	return n, nil
+}
+
+// Encode snapshots the lazy automaton — its underlying NFA plus every subset
+// state materialized so far and the transitions between them — into a framed
+// binary blob. A decoded snapshot resumes with the same working set warm, so
+// a restarted server's first documents step through memoized states instead
+// of re-materializing them. Options are not persisted; DecodeLazy takes the
+// budget and deadline of the restoring process.
+func (l *LazyDFA) Encode() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var w codec.Writer
+	w.Bytes2(l.nfa.Encode())
+	w.Uint(uint64(len(l.sets)))
+	for _, set := range l.sets {
+		w.Bools(set)
+	}
+	for _, row := range l.trans {
+		for _, t := range row {
+			w.Int(int64(t))
+		}
+	}
+	return codec.Seal(lazyMagic, automatonVersion, w.Bytes())
+}
+
+// DecodeLazy restores a lazy automaton snapshot under opt's budget and
+// deadline. Beyond the frame checksum it re-derives everything derivable —
+// subset ε-closures, the accept bits, the state index — and rejects any
+// snapshot whose stored sets are not ε-closed, are duplicated, or whose
+// first state is not the NFA's start closure, so a decoded LazyDFA is always
+// a snapshot some sequence of Step calls could have produced on the decoded
+// NFA. Corrupt input returns an error wrapping codec.ErrMalformedInput.
+func DecodeLazy(blob []byte, opt Options) (*LazyDFA, error) {
+	payload, err := codec.Open(lazyMagic, automatonVersion, blob)
+	if err != nil {
+		return nil, fmt.Errorf("machine: decoding lazy DFA: %w", err)
+	}
+	r := codec.NewReader(payload)
+	nfaBlob := r.Bytes2()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("machine: decoding lazy DFA: %w", err)
+	}
+	n, err := DecodeNFA(nfaBlob)
+	if err != nil {
+		return nil, fmt.Errorf("machine: decoding lazy DFA: %w", err)
+	}
+	count := r.Len()
+	sets := make([][]bool, 0, min(count, 1024))
+	for i := 0; i < count && r.Err() == nil; i++ {
+		sets = append(sets, r.Bools())
+	}
+	trans := make([][]int, 0, min(count, 1024))
+	syms := n.Sigma.Symbols()
+	for s := 0; s < count && r.Err() == nil; s++ {
+		row := make([]int, len(syms))
+		for k := range row {
+			row[k] = int(r.Int())
+		}
+		trans = append(trans, row)
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("machine: decoding lazy DFA: %w", err)
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("%w: lazy snapshot with no states", codec.ErrMalformedInput)
+	}
+	o := obs.FromContext(opt.Ctx)
+	l := &LazyDFA{
+		nfa:         n,
+		opt:         opt,
+		syms:        syms,
+		states:      o.Counter("machine_lazy_states_total"),
+		transitions: o.Counter("machine_lazy_transitions_total"),
+		index:       make(map[string]int, count),
+	}
+	for id, set := range sets {
+		if len(set) != n.NumStates() {
+			return nil, fmt.Errorf("%w: subset state %d over %d NFA states, want %d", codec.ErrMalformedInput, id, len(set), n.NumStates())
+		}
+		closed := append([]bool(nil), set...)
+		n.closure(closed)
+		for s := range set {
+			if set[s] != closed[s] {
+				return nil, fmt.Errorf("%w: subset state %d is not ε-closed", codec.ErrMalformedInput, id)
+			}
+		}
+		key := subsetKey(set)
+		if _, dup := l.index[key]; dup {
+			return nil, fmt.Errorf("%w: duplicate subset state %d", codec.ErrMalformedInput, id)
+		}
+		l.index[key] = id
+		l.sets = append(l.sets, set)
+		acc := false
+		for s, in := range set {
+			if in && n.Accept[s] {
+				acc = true
+				break
+			}
+		}
+		l.accept = append(l.accept, acc)
+	}
+	if start := subsetKey(n.startSet()); l.index[start] != 0 || subsetKey(l.sets[0]) != start {
+		return nil, fmt.Errorf("%w: lazy snapshot state 0 is not the start closure", codec.ErrMalformedInput)
+	}
+	for s, row := range trans {
+		for k, t := range row {
+			if t == unexplored {
+				continue
+			}
+			if t < 0 || t >= count {
+				return nil, fmt.Errorf("%w: lazy transition %d→%d out of range", codec.ErrMalformedInput, s, t)
+			}
+			// A stored transition must be the one Step would materialize:
+			// move(sets[s], sym) = sets[t]. Re-deriving it keeps a decoded
+			// snapshot behaviorally identical to a freshly warmed automaton.
+			if subsetKey(n.move(l.sets[s], syms[k])) != subsetKey(l.sets[t]) {
+				return nil, fmt.Errorf("%w: lazy transition %d→%d disagrees with subset construction", codec.ErrMalformedInput, s, t)
+			}
+		}
+	}
+	l.trans = trans
+	return l, nil
+}

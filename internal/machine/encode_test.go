@@ -1,0 +1,194 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"resilex/internal/codec"
+	"resilex/internal/rx"
+	"resilex/internal/symtab"
+)
+
+// codecEnv compiles src over {p,q,r} into an NFA plus its minimal DFA.
+func codecEnv(t *testing.T, src string) (*NFA, *DFA, []symtab.Symbol) {
+	t.Helper()
+	tab := symtab.NewTable()
+	sigma := symtab.NewAlphabet(tab.InternAll("p", "q", "r")...)
+	ast, err := rx.Parse(src, tab, sigma)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	n, err := Compile(ast, sigma, Options{})
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	d, err := Determinize(n, Options{})
+	if err != nil {
+		t.Fatalf("determinize %q: %v", src, err)
+	}
+	return n, Minimize(d), sigma.Symbols()
+}
+
+func TestDFACodecRoundTrip(t *testing.T) {
+	for _, src := range lazyEquivCases {
+		src := src
+		t.Run(src, func(t *testing.T) {
+			_, d, syms := codecEnv(t, src)
+			got, err := DecodeDFA(d.Encode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !StructurallyEqual(d, got) {
+				t.Fatal("decoded DFA differs structurally")
+			}
+			for _, w := range enumWords(syms, 5) {
+				if d.Accepts(w) != got.Accepts(w) {
+					t.Fatalf("decoded DFA disagrees on %v", w)
+				}
+			}
+		})
+	}
+}
+
+func TestNFACodecRoundTrip(t *testing.T) {
+	for _, src := range lazyEquivCases {
+		src := src
+		t.Run(src, func(t *testing.T) {
+			n, d, syms := codecEnv(t, src)
+			got, err := DecodeNFA(n.Encode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.NumStates() != n.NumStates() {
+				t.Fatalf("decoded NFA has %d states, want %d", got.NumStates(), n.NumStates())
+			}
+			for _, w := range enumWords(syms, 5) {
+				if got.Accepts(w) != d.Accepts(w) {
+					t.Fatalf("decoded NFA disagrees on %v", w)
+				}
+			}
+		})
+	}
+}
+
+func TestLazyCodecRoundTripWarm(t *testing.T) {
+	for _, src := range lazyEquivCases {
+		src := src
+		t.Run(src, func(t *testing.T) {
+			n, d, syms := codecEnv(t, src)
+			lazy := NewLazy(n, Options{})
+			words := enumWords(syms, 4)
+			// Warm a working set, snapshot, and restore.
+			for _, w := range words {
+				if _, err := lazy.Accepts(w); err != nil {
+					t.Fatal(err)
+				}
+			}
+			warm := lazy.NumStates()
+			got, err := DecodeLazy(lazy.Encode(), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.NumStates() != warm {
+				t.Fatalf("restored %d states, want %d warm", got.NumStates(), warm)
+			}
+			// The restored automaton must agree with the eager DFA both on the
+			// warmed words and on longer cold ones that force fresh
+			// materialization on top of the snapshot.
+			for _, w := range append(words, enumWords(syms, 5)...) {
+				acc, err := got.Accepts(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if acc != d.Accepts(w) {
+					t.Fatalf("restored lazy DFA disagrees on %v", w)
+				}
+			}
+		})
+	}
+}
+
+func TestLazyCodecColdSnapshot(t *testing.T) {
+	n, d, syms := codecEnv(t, "(p | q)* p (p | q)")
+	got, err := DecodeLazy(NewLazy(n, Options{}).Encode(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumStates() != 1 {
+		t.Fatalf("cold snapshot restored %d states, want 1", got.NumStates())
+	}
+	for _, w := range enumWords(syms, 5) {
+		acc, err := got.Accepts(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc != d.Accepts(w) {
+			t.Fatalf("disagrees on %v", w)
+		}
+	}
+}
+
+// TestLazyDecodeBudget: the restoring process's options govern further
+// materialization — a tiny budget makes a restored snapshot fail with
+// ErrBudget on cold states, exactly like a fresh LazyDFA.
+func TestLazyDecodeBudget(t *testing.T) {
+	n, _, syms := codecEnv(t, "(p | q)* p (p | q) (p | q) (p | q)")
+	lazy := NewLazy(n, Options{})
+	got, err := DecodeLazy(lazy.Encode(), Options{MaxStates: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stepErr error
+	for _, w := range enumWords(syms, 6) {
+		if _, stepErr = got.Accepts(w); stepErr != nil {
+			break
+		}
+	}
+	if !errors.Is(stepErr, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", stepErr)
+	}
+}
+
+func TestAutomatonDecodeRejectsCorruption(t *testing.T) {
+	n, d, _ := codecEnv(t, "(p q | q p)* r")
+	lazy := NewLazy(n, Options{})
+	if _, err := lazy.Accepts(nil); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		blob   []byte
+		decode func([]byte) error
+	}{
+		{"dfa", d.Encode(), func(b []byte) error { _, err := DecodeDFA(b); return err }},
+		{"nfa", n.Encode(), func(b []byte) error { _, err := DecodeNFA(b); return err }},
+		{"lazy", lazy.Encode(), func(b []byte) error { _, err := DecodeLazy(b, Options{}); return err }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.decode(nil); !errors.Is(err, codec.ErrMalformedInput) {
+				t.Errorf("nil blob: err = %v", err)
+			}
+			if err := c.decode(c.blob[:len(c.blob)/2]); !errors.Is(err, codec.ErrMalformedInput) {
+				t.Errorf("truncated blob: err = %v", err)
+			}
+			for i := range c.blob {
+				mut := append([]byte(nil), c.blob...)
+				mut[i] ^= 0x10
+				if err := c.decode(mut); !errors.Is(err, codec.ErrMalformedInput) {
+					t.Fatalf("bit flip at %d: err = %v, want ErrMalformedInput", i, err)
+				}
+			}
+			// Wrong-kind decode: a DFA blob is not an NFA and vice versa.
+			for _, other := range cases {
+				if other.name == c.name {
+					continue
+				}
+				if err := c.decode(other.blob); !errors.Is(err, codec.ErrMalformedInput) {
+					t.Errorf("decoding %s blob as %s: err = %v", other.name, c.name, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,74 @@
+package symtab
+
+import (
+	"fmt"
+
+	"resilex/internal/codec"
+)
+
+// tableMagic / tableVersion frame the persisted form of a Table. Bump the
+// version on any payload change; decoders reject other versions with
+// codec.ErrVersionMismatch, which the disk cache treats as "discard and
+// recompile".
+const (
+	tableMagic   = "RXTB"
+	tableVersion = 1
+)
+
+// Encode serializes the table — its interned names in id order — into a
+// framed binary blob (see internal/codec for the framing and its corruption
+// policy). Symbols are ids into this ordering, so a decoded table reproduces
+// every Symbol the original would have assigned.
+func (t *Table) Encode() []byte {
+	var w codec.Writer
+	names := t.Names()
+	w.Uint(uint64(len(names)))
+	for _, n := range names {
+		w.String(n)
+	}
+	return codec.Seal(tableMagic, tableVersion, w.Bytes())
+}
+
+// DecodeTable restores a table from Encode's output. It never panics on
+// corrupt input: any malformed blob — bad frame, duplicate names, truncation
+// — returns an error wrapping codec.ErrMalformedInput.
+func DecodeTable(blob []byte) (*Table, error) {
+	payload, err := codec.Open(tableMagic, tableVersion, blob)
+	if err != nil {
+		return nil, fmt.Errorf("symtab: decoding table: %w", err)
+	}
+	r := codec.NewReader(payload)
+	n := r.Len()
+	t := NewTable()
+	for i := 0; i < n && r.Err() == nil; i++ {
+		name := r.String()
+		if r.Err() != nil {
+			break
+		}
+		if t.Lookup(name) != None {
+			return nil, fmt.Errorf("symtab: decoding table: %w: duplicate name %q", codec.ErrMalformedInput, name)
+		}
+		t.Intern(name)
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("symtab: decoding table: %w", err)
+	}
+	return t, nil
+}
+
+// EqualNames reports whether two tables intern exactly the same names with
+// the same ids — the condition under which Symbols from one are valid in the
+// other. Artifact decoding uses it to cross-check a persisted table against
+// one re-derived from the persisted expression source.
+func (t *Table) EqualNames(o *Table) bool {
+	a, b := t.Names(), o.Names()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,72 @@
+package symtab
+
+import (
+	"errors"
+	"testing"
+
+	"resilex/internal/codec"
+)
+
+func TestTableCodecRoundTrip(t *testing.T) {
+	tab := NewTable()
+	names := []string{"p", "q", "FORM", "/FORM", "INPUT", "weird name", ""}
+	tab.InternAll(names...)
+	got, err := DecodeTable(tab.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.EqualNames(got) {
+		t.Fatalf("decoded names %v, want %v", got.Names(), tab.Names())
+	}
+	for _, n := range names {
+		if got.Lookup(n) != tab.Lookup(n) {
+			t.Errorf("symbol id for %q changed: %d vs %d", n, got.Lookup(n), tab.Lookup(n))
+		}
+	}
+}
+
+func TestTableCodecEmpty(t *testing.T) {
+	got, err := DecodeTable(NewTable().Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("decoded %d names, want 0", got.Len())
+	}
+}
+
+func TestDecodeTableRejectsCorruption(t *testing.T) {
+	tab := NewTable()
+	tab.InternAll("p", "q", "r")
+	blob := tab.Encode()
+	for i := range blob {
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 0x40
+		if _, err := DecodeTable(mut); err == nil {
+			t.Fatalf("bit flip at byte %d accepted", i)
+		} else if !errors.Is(err, codec.ErrMalformedInput) {
+			t.Fatalf("bit flip at byte %d: err = %v, want ErrMalformedInput", i, err)
+		}
+	}
+	if _, err := DecodeTable(nil); !errors.Is(err, codec.ErrMalformedInput) {
+		t.Fatalf("nil blob: err = %v", err)
+	}
+}
+
+func TestEqualNames(t *testing.T) {
+	a, b := NewTable(), NewTable()
+	a.InternAll("p", "q")
+	b.InternAll("p", "q")
+	if !a.EqualNames(b) {
+		t.Error("identical tables reported unequal")
+	}
+	b.Intern("r")
+	if a.EqualNames(b) {
+		t.Error("tables of different length reported equal")
+	}
+	c := NewTable()
+	c.InternAll("q", "p")
+	if a.EqualNames(c) {
+		t.Error("reordered tables reported equal")
+	}
+}

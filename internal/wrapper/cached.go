@@ -17,11 +17,13 @@ import (
 // shares the cached symbol table, expression and matcher (all safe for
 // concurrent use) and owns only its tokenizer configuration.
 //
-// A nil cache degrades to plain Load. Error classification matches Load:
-// undecodable payloads are ErrMalformedInput; budget and deadline exhaustion
-// during a cold compile pass through wrapping machine.ErrBudget and
-// machine.ErrDeadline.
-func LoadCached(data []byte, opt machine.Options, cache *extract.Cache) (*Wrapper, error) {
+// The cache may be any ArtifactCache tier stack — the in-memory
+// *extract.Cache or an *extract.TieredCache whose disk tier makes restored
+// wrappers survive process restarts. A nil cache degrades to plain Load.
+// Error classification matches Load: undecodable payloads are
+// ErrMalformedInput; budget and deadline exhaustion during a cold compile
+// pass through wrapping machine.ErrBudget and machine.ErrDeadline.
+func LoadCached(data []byte, opt machine.Options, cache extract.ArtifactCache) (*Wrapper, error) {
 	if cache == nil {
 		return Load(data, opt)
 	}
@@ -49,7 +51,7 @@ func LoadCached(data []byte, opt machine.Options, cache *extract.Cache) (*Wrappe
 // LoadFleetCached is LoadFleet with every member restored through LoadCached,
 // so fleets that share expressions across sites — or fleets reloaded on every
 // deploy — compile each distinct expression once.
-func LoadFleetCached(data []byte, opt machine.Options, cache *extract.Cache) (*Fleet, error) {
+func LoadFleetCached(data []byte, opt machine.Options, cache extract.ArtifactCache) (*Fleet, error) {
 	var p fleetPersisted
 	if err := json.Unmarshal(data, &p); err != nil {
 		return nil, fmt.Errorf("%w: decoding fleet: %v", ErrMalformedInput, err)
