@@ -2,15 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race cover fuzz fuzz-smoke check bench microbench experiments examples metrics-smoke doc-smoke cache-smoke clean
+.PHONY: all build fmt-check vet test race cover fuzz fuzz-smoke check bench microbench experiments examples metrics-smoke doc-smoke cache-smoke cluster-smoke clean
 
 all: build vet test
 
 # The robustness gate: static checks, the full suite under the race
 # detector, a short fuzz smoke over every fuzz target, the observability
 # smoke over the worked example, the godoc smoke over the serving-path
-# APIs, and the cache-hit-rate smoke over a quick E16 run.
-check: fmt-check vet race fuzz-smoke metrics-smoke doc-smoke cache-smoke
+# APIs, the cache-hit-rate smoke over a quick E16 run, and the sharded
+# cluster smoke (boot router + 2 shards, replicate, extract, failover).
+check: fmt-check vet race fuzz-smoke metrics-smoke doc-smoke cache-smoke cluster-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -50,11 +51,12 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeArtifact -fuzztime=5s ./internal/extract/
 
 # The serving-path experiments at a fixed seed: E16 throughput (docs/sec,
-# p50/p99 latency, cache hit rate) and E17 persistence (cold-compile vs
-# warm-disk vs warm-memory first-request latency), written to
-# ./BENCH_E16.json and ./BENCH_E17.json.
+# p50/p99 latency, cache hit rate), E17 persistence (cold-compile vs
+# warm-disk vs warm-memory first-request latency) and E18 cluster scaling
+# (1/2/4-shard throughput plus a kill-one-shard failover run), written to
+# ./BENCH_E16.json, ./BENCH_E17.json and ./BENCH_E18.json.
 bench:
-	$(GO) run ./cmd/resilience -run E16,E17 -seed 1 -bench-dir .
+	$(GO) run ./cmd/resilience -run E16,E17,E18 -seed 1 -bench-dir .
 
 # Go microbenchmarks (go test -bench) over every package.
 microbench:
@@ -82,12 +84,20 @@ doc-smoke:
 	$(GO) doc resilex/internal/machine LazyDFA >/dev/null
 	$(GO) doc resilex/internal/extract Cache >/dev/null
 	$(GO) doc resilex/internal/wrapper Fleet.ExtractBatch >/dev/null
+	$(GO) doc resilex/internal/serve Server >/dev/null
+	$(GO) doc resilex/internal/cluster Router >/dev/null
 	$(GO) doc resilex/cmd/serve >/dev/null
 
 # Cache smoke: a quick E16 run must show a repeated-wrapper hit rate in
 # the nineties.
 cache-smoke:
 	$(GO) run ./cmd/resilience -quick -run E16 -json | grep -qE '"9[0-9]\.[0-9]"'
+
+# Cluster smoke: boot a router + 2 shards, PUT a wrapper through the router
+# (replicated to both owners), extract through the router, kill a shard,
+# extract again (failover), then DELETE and confirm the key is gone.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"resilex/internal/bench"
 	"resilex/internal/machine"
@@ -95,9 +96,15 @@ func run() int {
 	perEdit := 500
 	e16docs := 2000
 	e17trials := 9
+	e18keys := 32
+	e18window := 600 * time.Millisecond
+	e18service := 10 * time.Millisecond
 	if *quick {
 		e16docs = 300
 		e17trials = 3
+		e18keys = 12
+		e18window = 250 * time.Millisecond
+		e18service = 5 * time.Millisecond
 		sizes = sizes[:4]
 		e4ns = e4ns[:5]
 		e6ns = e6ns[:5]
@@ -121,6 +128,7 @@ func run() int {
 		{"E15", func() bench.Table { return bench.E15Supervisor() }},
 		{"E16", func() bench.Table { return bench.E16Throughput(e16docs, 0, *seed) }},
 		{"E17", func() bench.Table { return bench.E17Persistence("", e17trials, *seed) }},
+		{"E18", func() bench.Table { return bench.E18Cluster(e18keys, e18window, e18service) }},
 	}
 
 	want := map[string]bool{}
@@ -202,7 +210,7 @@ func run() int {
 		return 1
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "resilience: no experiment matched -run (valid: E3 E4 E5 E6 E7 E8 E8H E10 E11 E13 E14 E15 E16 E17)")
+		fmt.Fprintln(os.Stderr, "resilience: no experiment matched -run (valid: E3 E4 E5 E6 E7 E8 E8H E10 E11 E13 E14 E15 E16 E17 E18)")
 		return 2
 	}
 	return 0

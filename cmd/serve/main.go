@@ -1,8 +1,13 @@
 // Command serve is the high-throughput serving path: an HTTP server that
 // loads a persisted wrapper fleet through the compiled-artifact cache and
-// extracts from batches of documents on a worker pool.
+// extracts from batches of documents on a worker pool. It runs in three
+// modes:
 //
-// Usage:
+//	serve                                     # -mode single (default): one node
+//	serve -mode shard -cache-dir /var/shard0  # one shard of a cluster
+//	serve -mode router -peers http://h0:8093,http://h1:8093 -replicas 2
+//
+// Single/shard usage:
 //
 //	serve -fleet fleet.json                 # serve the fleet on :8093
 //	serve -fleet fleet.json -listen :9000   # another address
@@ -11,18 +16,30 @@
 //	serve -cache-dir /var/cache/resilex     # persist artifacts + registrations
 //	serve -drain 10s                        # graceful-shutdown deadline
 //
-// Endpoints:
+// Single/shard endpoints:
 //
-//	POST /extract        batch extraction: {"docs":[{"key":"site","html":"…"},…]}
-//	                     → {"results":[{"index":0,"key":"site","ok":true,…},…]},
-//	                     one result per document, in input order
-//	PUT  /wrappers/{key} register or replace a site wrapper from its persisted
-//	                     JSON; compilation is cached and deduplicated, and with
-//	                     -cache-dir the registration survives restarts
-//	GET  /healthz        liveness plus fleet size and memory/disk cache stats
-//	GET  /metrics        Prometheus text exposition (see obs.Handler)
-//	GET  /metrics.json   combined metrics + span snapshot
-//	GET  /debug/pprof/   runtime profiles
+//	POST   /extract        batch extraction: {"docs":[{"key":"site","html":"…"},…]}
+//	                       → {"results":[{"index":0,"key":"site","ok":true,…},…]},
+//	                       one result per document, in input order
+//	PUT    /wrappers/{key} register or replace a site wrapper from its persisted
+//	                       JSON; compilation is cached and deduplicated, and with
+//	                       -cache-dir the registration survives restarts
+//	DELETE /wrappers/{key} remove a site wrapper; with -cache-dir the deletion
+//	                       persists as a tombstone, so restarts don't resurrect it
+//	POST   /cluster/apply  replicated wrapper operation from a cluster router
+//	                       (codec-framed, checksummed; shard mode's write path)
+//	GET    /healthz        liveness plus fleet size and memory/disk cache stats
+//	GET    /metrics        Prometheus text exposition (see obs.Handler)
+//	GET    /metrics.json   combined metrics + span snapshot
+//	GET    /debug/pprof/   runtime profiles
+//
+// Router mode serves the same extraction and wrapper routes but owns no
+// fleet: a consistent-hash ring over -peers places every wrapper key on
+// -replicas shards, POST /extract proxies to the key's owner (failing over
+// to the next replica on error or timeout, hedging stragglers after
+// -hedge-after), and wrapper PUTs/DELETEs fan out to every owner. A
+// background health loop probes each peer's /healthz every -health-interval
+// and routes around nodes that are down. See internal/cluster.
 //
 // The cache and the lazy automata keep expensive automaton construction off
 // the request path: a wrapper's expression is compiled at most once per
@@ -48,11 +65,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"resilex/internal/cluster"
 	"resilex/internal/machine"
 	"resilex/internal/obs"
+	"resilex/internal/serve"
 	"resilex/internal/wrapper"
 )
 
@@ -61,6 +81,7 @@ func main() {
 }
 
 func run() int {
+	mode := flag.String("mode", "single", "single (standalone node), shard (cluster member), or router (cluster front-end)")
 	fleetPath := flag.String("fleet", "", "persisted fleet JSON to serve (optional; wrappers can also be PUT at runtime)")
 	listen := flag.String("listen", ":8093", "address to serve on")
 	workers := flag.Int("workers", 0, "extraction worker-pool size (0 = GOMAXPROCS)")
@@ -69,42 +90,87 @@ func run() int {
 	cacheDir := flag.String("cache-dir", "", "directory for the persistent tier: compiled artifacts and PUT wrappers survive restarts (empty = memory only)")
 	diskCap := flag.Int("disk-cache", -1, "on-disk compiled-artifact capacity (-1 = unbounded, 0 = store nothing)")
 	maxStates := flag.Int("max-states", 0, "state budget for wrapper compilation (0 = default)")
+	maxBody := flag.Int64("max-body", 0, "request-body size limit in bytes (0 = 64 MiB)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown deadline for in-flight requests")
+	// Router-mode flags.
+	peers := flag.String("peers", "", "router: comma-separated shard base URLs (e.g. http://h0:8093,http://h1:8093)")
+	replicas := flag.Int("replicas", 0, "router: owners per wrapper key (0 = default 2, capped at peer count)")
+	vnodes := flag.Int("vnodes", 0, "router: virtual nodes per peer on the hash ring (0 = default 128)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "router: hedge a straggling extract to the next replica after this delay (0 = no hedging)")
+	proxyTimeout := flag.Duration("proxy-timeout", 0, "router: per-attempt proxy deadline (0 = default 5s)")
+	healthInterval := flag.Duration("health-interval", time.Second, "router: shard health-poll period")
 	flag.Parse()
 
 	o := obs.New()
-	opt := machine.Options{MaxStates: *maxStates}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
-	var fleetData []byte
-	if *fleetPath != "" {
-		var err error
-		if fleetData, err = os.ReadFile(*fleetPath); err != nil {
+	var handler http.Handler
+	switch *mode {
+	case "single", "shard":
+		var fleetData []byte
+		if *fleetPath != "" {
+			var err error
+			if fleetData, err = os.ReadFile(*fleetPath); err != nil {
+				fmt.Fprintln(os.Stderr, "serve:", err)
+				return 1
+			}
+		}
+		s, err := serve.New(serve.Config{
+			CacheDir:     *cacheDir,
+			CacheCap:     *cacheCap,
+			DiskCap:      *diskCap,
+			FleetData:    fleetData,
+			MaxBodyBytes: *maxBody,
+			Observer:     o,
+			Options:      machine.Options{MaxStates: *maxStates},
+			Batch: wrapper.BatchOptions{
+				Workers:    *workers,
+				DocTimeout: *docTimeout,
+			},
+		})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "serve:", err)
 			return 1
 		}
+		fmt.Fprintf(os.Stderr, "serve: %s mode, %d wrapper(s) loaded\n", *mode, s.Fleet().Len())
+		handler = s.Mux()
+	case "router":
+		rt, err := cluster.NewRouter(cluster.RouterConfig{
+			Peers:        strings.Split(*peers, ","),
+			Replicas:     *replicas,
+			VirtualNodes: *vnodes,
+			HedgeAfter:   *hedgeAfter,
+			ProxyTimeout: *proxyTimeout,
+			MaxBodyBytes: *maxBody,
+			Membership:   cluster.MembershipConfig{Interval: *healthInterval},
+			Observer:     o,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			return 1
+		}
+		go rt.Run(ctx)
+		fmt.Fprintf(os.Stderr, "serve: router mode, %d peer(s), %d replica(s) per key\n",
+			rt.Ring().Len(), rt.Replicas())
+		handler = rt.Mux()
+	default:
+		fmt.Fprintf(os.Stderr, "serve: unknown -mode %q (want single, shard, or router)\n", *mode)
+		return 2
 	}
-	s, err := buildServer(*cacheDir, *cacheCap, *diskCap, fleetData, o, opt, wrapper.BatchOptions{
-		Workers:    *workers,
-		DocTimeout: *docTimeout,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "serve:", err)
-		return 1
-	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "serve: %d wrapper(s) loaded, listening on %s\n", s.fleet.Len(), ln.Addr())
+	fmt.Fprintf(os.Stderr, "serve: listening on %s\n", ln.Addr())
 
 	// Serve until SIGINT/SIGTERM, then drain: stop accepting, let in-flight
 	// requests finish (bounded by -drain), and exit 0 on a clean stop so
 	// restarts under a supervisor don't flap as failures.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	srv := &http.Server{Handler: s.mux(), ReadHeaderTimeout: 10 * time.Second}
-	if err := serveUntilShutdown(ctx, srv, ln, *drain); err != nil {
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	if err := serve.ServeUntilShutdown(ctx, srv, ln, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		return 1
 	}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"resilex/internal/obs"
+)
+
+func TestMembershipThresholdAndReadmission(t *testing.T) {
+	o := obs.New()
+	m := NewMembership([]string{"n1", "n2"}, MembershipConfig{
+		FailureThreshold: 3,
+		Observer:         o,
+	})
+	if !m.Up("n1") || m.UpCount() != 2 {
+		t.Fatal("nodes must start up")
+	}
+
+	// Two failures: still up (breaker not yet tripped).
+	m.ReportFailure("n1", errors.New("boom"))
+	m.ReportFailure("n1", errors.New("boom"))
+	if !m.Up("n1") {
+		t.Fatal("n1 down before hitting the threshold")
+	}
+	// Third consecutive failure trips it.
+	m.ReportFailure("n1", errors.New("boom"))
+	if m.Up("n1") || m.UpCount() != 1 {
+		t.Fatal("n1 must be down after 3 consecutive failures")
+	}
+
+	snap := o.Metrics.Snapshot()
+	down := obs.WithLabels("cluster_node_transitions_total", "node", "n1", "from", "up", "to", "down")
+	if snap.Counters[down] != 1 {
+		t.Errorf("transition counter = %d, want 1", snap.Counters[down])
+	}
+	if g := snap.Gauges["cluster_ring_nodes_up"]; g != 1 {
+		t.Errorf("cluster_ring_nodes_up = %d, want 1", g)
+	}
+	if g := snap.Gauges[obs.WithLabels("cluster_node_up", "node", "n1")]; g != 0 {
+		t.Errorf("cluster_node_up{node=n1} = %d, want 0", g)
+	}
+
+	// A success (probe or live traffic) readmits the node.
+	m.ReportSuccess("n1")
+	if !m.Up("n1") || m.UpCount() != 2 {
+		t.Fatal("n1 must be up again after a success")
+	}
+
+	// An interleaved success resets the consecutive count: two failures, a
+	// success, two more failures must NOT trip the breaker.
+	m.ReportFailure("n2", nil)
+	m.ReportFailure("n2", nil)
+	m.ReportSuccess("n2")
+	m.ReportFailure("n2", nil)
+	m.ReportFailure("n2", nil)
+	if !m.Up("n2") {
+		t.Fatal("n2 down although failures were not consecutive")
+	}
+}
+
+func TestMembershipOrder(t *testing.T) {
+	m := NewMembership([]string{"a", "b", "c"}, MembershipConfig{FailureThreshold: 1})
+	m.ReportFailure("a", errors.New("dead"))
+	got := m.Order([]string{"a", "b", "c"})
+	if !reflect.DeepEqual(got, []string{"b", "c", "a"}) {
+		t.Fatalf("Order = %v, want down node last", got)
+	}
+	// Unknown nodes are treated as up (membership only vetoes).
+	got = m.Order([]string{"x", "a"})
+	if !reflect.DeepEqual(got, []string{"x", "a"}) {
+		t.Fatalf("Order with unknown = %v", got)
+	}
+}
+
+func TestMembershipPollOnce(t *testing.T) {
+	healthy := map[string]bool{"n1": true, "n2": false}
+	m := NewMembership([]string{"n1", "n2"}, MembershipConfig{
+		FailureThreshold: 1,
+		Probe: func(ctx context.Context, node string) error {
+			if healthy[node] {
+				return nil
+			}
+			return errors.New("unreachable")
+		},
+	})
+	m.PollOnce(context.Background())
+	if !m.Up("n1") || m.Up("n2") {
+		t.Fatalf("after poll: n1 up=%v n2 up=%v, want true/false", m.Up("n1"), m.Up("n2"))
+	}
+
+	// The node recovers; the next poll is the half-open trial that readmits.
+	healthy["n2"] = true
+	m.PollOnce(context.Background())
+	if !m.Up("n2") {
+		t.Fatal("n2 not readmitted after a successful probe")
+	}
+
+	snap := m.Snapshot()
+	if len(snap) != 2 || snap[0].Node != "n1" || snap[1].Node != "n2" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[1].State != "up" {
+		t.Fatalf("n2 state = %s, want up", snap[1].State)
+	}
+}

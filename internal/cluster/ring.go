@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultVirtualNodes is the per-node vnode count when RingConfig leaves it
+// zero: enough points that a 4-node ring splits the key space within a few
+// percent of evenly, cheap enough that ring rebuilds stay sub-millisecond.
+const DefaultVirtualNodes = 128
+
+// Ring is a consistent-hash ring assigning wrapper keys to shard nodes.
+// Each node contributes vnodes virtual points; a key is owned by the first
+// n distinct nodes clockwise from the key's hash. Placement is a pure
+// function of the member set, the vnode count and the key — every router
+// (and every restart of the same router) computes identical owners, which
+// is what lets replication and failover agree on where a key lives without
+// any coordination service.
+//
+// A Ring is safe for concurrent use: Owners takes a read lock, Add/Remove
+// rebuild the point slice under the write lock.
+type Ring struct {
+	vnodes int
+
+	mu      sync.RWMutex
+	members map[string]struct{}
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing returns an empty ring. vnodes <= 0 selects DefaultVirtualNodes.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, members: map[string]struct{}{}}
+}
+
+// ringHash is the placement hash: SHA-256 truncated to 64 bits. A keyed
+// cryptographic hash is overkill for placement, but it is deterministic
+// across processes and architectures and free of the clumping a weak string
+// hash shows on near-identical vnode labels — and placement runs once per
+// request, not per token.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts nodes into the ring (already-present nodes are no-ops).
+func (r *Ring) Add(nodes ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	changed := false
+	for _, n := range nodes {
+		if _, ok := r.members[n]; !ok {
+			r.members[n] = struct{}{}
+			changed = true
+		}
+	}
+	if changed {
+		r.rebuildLocked()
+	}
+}
+
+// Remove deletes a node; keys it owned move to their next clockwise owners
+// while every other key keeps its placement (the consistent-hashing
+// property the vnode layout exists for).
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[node]; !ok {
+		return
+	}
+	delete(r.members, node)
+	r.rebuildLocked()
+}
+
+func (r *Ring) rebuildLocked() {
+	r.points = r.points[:0]
+	for node := range r.members {
+		for i := 0; i < r.vnodes; i++ {
+			r.points = append(r.points, ringPoint{ringHash(node + "#" + strconv.Itoa(i)), node})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit collision between vnode labels is vanishingly rare but
+		// must not make placement depend on map iteration order.
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Len reports the number of member nodes.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Nodes returns the member nodes in sorted order.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for n := range r.members {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owners returns the first n distinct nodes clockwise from the key's hash:
+// the key's primary owner followed by its failover replicas, in the order a
+// router should try them. Fewer than n members returns every member (still
+// in ring order for this key). An empty ring returns nil.
+func (r *Ring) Owners(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}

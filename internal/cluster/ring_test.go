@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingDeterministicPlacement(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r1 := NewRing(0)
+	r1.Add(nodes...)
+	// A second ring built in a different insertion order must agree on every
+	// placement: placement is a pure function of the member set.
+	r2 := NewRing(0)
+	r2.Add(nodes[3], nodes[1], nodes[0], nodes[2])
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("site-%d", i)
+		o1 := r1.Owners(key, 2)
+		o2 := r2.Owners(key, 2)
+		if !reflect.DeepEqual(o1, o2) {
+			t.Fatalf("placement of %q differs across build orders: %v vs %v", key, o1, o2)
+		}
+		if len(o1) != 2 || o1[0] == o1[1] {
+			t.Fatalf("owners of %q = %v, want 2 distinct nodes", key, o1)
+		}
+	}
+}
+
+func TestRingOwnersBounds(t *testing.T) {
+	r := NewRing(8)
+	if got := r.Owners("key", 2); got != nil {
+		t.Fatalf("empty ring owners = %v, want nil", got)
+	}
+	r.Add("http://a:1", "http://b:1")
+	// Asking for more replicas than members returns every member once.
+	owners := r.Owners("key", 5)
+	if len(owners) != 2 || owners[0] == owners[1] {
+		t.Fatalf("owners = %v, want both nodes once", owners)
+	}
+	if got := r.Owners("key", 0); got != nil {
+		t.Fatalf("zero replicas = %v, want nil", got)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0) // default vnode count
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r.Add(nodes...)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owners(fmt.Sprintf("key-%d", i), 1)[0]]++
+	}
+	// With 128 vnodes per member a 4-node ring should be reasonably even;
+	// alarm only on gross skew (a broken hash collapses to one node).
+	for _, n := range nodes {
+		if counts[n] < keys/4/3 {
+			t.Errorf("node %s owns %d/%d keys — ring badly skewed: %v", n, counts[n], keys, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement: removing one of four nodes must only move the
+// keys that node owned — consistent hashing's defining property.
+func TestRingMinimalMovement(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := NewRing(0)
+	r.Add(nodes...)
+	const keys = 2000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Owners(fmt.Sprintf("key-%d", i), 1)[0]
+	}
+	r.Remove("http://c:1")
+	moved := 0
+	for i := range before {
+		after := r.Owners(fmt.Sprintf("key-%d", i), 1)[0]
+		if after == "http://c:1" {
+			t.Fatalf("key-%d still places on the removed node", i)
+		}
+		if after != before[i] {
+			if before[i] != "http://c:1" {
+				t.Fatalf("key-%d moved from %s to %s although its owner survived", i, before[i], after)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved after removing a node that owned ~25% of them")
+	}
+}
+
+func TestRingNodes(t *testing.T) {
+	r := NewRing(4)
+	r.Add("http://b:1", "http://a:1")
+	if got := r.Nodes(); !reflect.DeepEqual(got, []string{"http://a:1", "http://b:1"}) {
+		t.Fatalf("Nodes() = %v, want sorted members", got)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", r.Len())
+	}
+	r.Add("http://a:1") // idempotent re-add
+	if r.Len() != 2 {
+		t.Fatalf("Len() after re-add = %d, want 2", r.Len())
+	}
+}

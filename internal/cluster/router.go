@@ -1,0 +1,525 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"resilex/internal/obs"
+)
+
+// defaultMaxBody bounds request bodies the router will buffer for proxying.
+const defaultMaxBody = 64 << 20
+
+// RouterConfig tunes the failover-aware router front-end.
+type RouterConfig struct {
+	// Peers are the shard base URLs (e.g. http://10.0.0.1:8093). At least
+	// one is required; trailing slashes are stripped.
+	Peers []string
+	// Replicas is the replication factor R: how many owners each wrapper
+	// key has. Wrapper PUTs/DELETEs are written to all R owners; extraction
+	// fails over along the same list. Default 2, capped at len(Peers).
+	Replicas int
+	// VirtualNodes is the per-node vnode count of the placement ring;
+	// <= 0 selects DefaultVirtualNodes.
+	VirtualNodes int
+	// HedgeAfter, when positive, hedges tail extract requests: if the
+	// primary owner has not answered within this delay, a duplicate is
+	// raced against the next replica and the first success wins. Mutating
+	// routes are never hedged.
+	HedgeAfter time.Duration
+	// ProxyTimeout bounds each individual proxy attempt (each failover leg
+	// separately). Default 5s.
+	ProxyTimeout time.Duration
+	// MaxBodyBytes bounds request bodies; 0 selects 64 MiB.
+	MaxBodyBytes int64
+	// Membership tunes the health layer; its Observer defaults to the
+	// router's.
+	Membership MembershipConfig
+	// Observer receives the routing telemetry (cluster_route_total,
+	// cluster_failover_total, cluster_hedge_total, and the membership
+	// gauges). nil disables observation.
+	Observer *obs.Observer
+	// Client issues the proxy requests. Default: a fresh http.Client;
+	// per-attempt contexts bound it.
+	Client *http.Client
+}
+
+// Router is the cluster front-end: it owns the placement ring and the
+// membership view, proxies POST /extract to the owning shard with failover
+// and optional hedging, and replicates PUT/DELETE /wrappers/{key} to every
+// owner. Safe for concurrent use.
+type Router struct {
+	cfg    RouterConfig
+	ring   *Ring
+	health *Membership
+	obs    *obs.Observer
+	client *http.Client
+}
+
+// NewRouter builds a router over the peer set.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("cluster: router needs at least one peer")
+	}
+	peers := make([]string, len(cfg.Peers))
+	for i, p := range cfg.Peers {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p == "" {
+			return nil, errors.New("cluster: empty peer URL")
+		}
+		peers[i] = p
+	}
+	cfg.Peers = peers
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Replicas > len(peers) {
+		cfg.Replicas = len(peers)
+	}
+	if cfg.ProxyTimeout <= 0 {
+		cfg.ProxyTimeout = 5 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBody
+	}
+	if cfg.Membership.Observer == nil {
+		cfg.Membership.Observer = cfg.Observer
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	ring := NewRing(cfg.VirtualNodes)
+	ring.Add(peers...)
+	rt := &Router{
+		cfg:    cfg,
+		ring:   ring,
+		health: NewMembership(peers, cfg.Membership),
+		obs:    cfg.Observer,
+		client: client,
+	}
+	return rt, nil
+}
+
+// Ring exposes the placement ring (read-only use expected).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Health exposes the membership layer.
+func (rt *Router) Health() *Membership { return rt.health }
+
+// Replicas reports the effective replication factor.
+func (rt *Router) Replicas() int { return rt.cfg.Replicas }
+
+// Run polls shard health until ctx is canceled. Callers that only want
+// passive (traffic-driven) detection can skip it.
+func (rt *Router) Run(ctx context.Context) { rt.health.Run(ctx) }
+
+// Mux mounts the routing endpoints on top of the observability handler, so
+// one router address serves traffic, /healthz and /metrics.
+func (rt *Router) Mux() *http.ServeMux {
+	mux := obs.Handler(rt.obs)
+	mux.HandleFunc("POST /extract", rt.handleExtract)
+	mux.HandleFunc("PUT /wrappers/{key}", rt.handlePutWrapper)
+	mux.HandleFunc("DELETE /wrappers/{key}", rt.handleDeleteWrapper)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	return mux
+}
+
+// routeOutcome counts one routed request by outcome: ok, error (no owner
+// could serve it), cross_shard (batch spans shards), reject (oversized,
+// wrong media type, or undecodable).
+func (rt *Router) routeOutcome(outcome string) {
+	rt.obs.Counter(obs.WithLabels("cluster_route_total", "outcome", outcome)).Inc()
+}
+
+// readBody drains a size-bounded request body and enforces the declared
+// media type. A false return means the response has been written (413 on an
+// oversized body, 415 on a foreign Content-Type) and counted as a reject.
+func (rt *Router) readBody(w http.ResponseWriter, r *http.Request, wantType string) ([]byte, bool) {
+	if !checkContentType(w, r, wantType) {
+		rt.routeOutcome("reject")
+		return nil, false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		rt.routeOutcome("reject")
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSONError(w, status, fmt.Errorf("reading body: %w", err))
+		return nil, false
+	}
+	return body, true
+}
+
+// checkContentType enforces the declared media type when one is present; an
+// absent Content-Type is accepted as the expected one. On mismatch it
+// answers 415 and returns false.
+func checkContentType(w http.ResponseWriter, r *http.Request, want string) bool {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return true
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil || mt != want {
+		writeJSONError(w, http.StatusUnsupportedMediaType,
+			fmt.Errorf("unsupported Content-Type %q, want %s", ct, want))
+		return false
+	}
+	return true
+}
+
+func writeJSONError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// handleExtract routes a batch to the shard owning its keys, with failover
+// across the key's replicas and optional hedging. Batches whose keys place
+// on different primaries are rejected (cross-shard fan-out is a ROADMAP
+// follow-up, not silent partial behavior).
+func (rt *Router) handleExtract(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r, "application/json")
+	if !ok {
+		return
+	}
+	var req struct {
+		Docs []struct {
+			Key string `json:"key"`
+		} `json:"docs"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		rt.routeOutcome("reject")
+		writeJSONError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Docs) == 0 {
+		rt.routeOutcome("ok")
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"results":[]}`)
+		return
+	}
+	owners, err := rt.placeBatch(req.Docs)
+	if err != nil {
+		rt.routeOutcome("cross_shard")
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := rt.extract(r.Context(), rt.health.Order(owners), body)
+	if err != nil {
+		rt.routeOutcome("error")
+		writeJSONError(w, http.StatusBadGateway, fmt.Errorf("no replica could serve the batch: %w", err))
+		return
+	}
+	rt.routeOutcome("ok")
+	relay(w, res)
+}
+
+// placeBatch maps a batch to its owner list: the owners of the first key,
+// after checking that every key in the batch has the same primary owner.
+func (rt *Router) placeBatch(docs []struct {
+	Key string `json:"key"`
+}) ([]string, error) {
+	owners := rt.ring.Owners(docs[0].Key, rt.cfg.Replicas)
+	if len(owners) == 0 {
+		return nil, errors.New("cluster: placement ring is empty")
+	}
+	seen := map[string]bool{docs[0].Key: true}
+	for _, d := range docs[1:] {
+		if seen[d.Key] {
+			continue
+		}
+		seen[d.Key] = true
+		other := rt.ring.Owners(d.Key, 1)
+		if len(other) == 0 || other[0] != owners[0] {
+			return nil, fmt.Errorf("cluster: batch spans shards (%q on %s, %q on %s); split the batch per shard — cross-shard fan-out is a planned follow-up",
+				docs[0].Key, owners[0], d.Key, other[0])
+		}
+	}
+	return owners, nil
+}
+
+// proxyResult is one relayed shard response.
+type proxyResult struct {
+	status      int
+	contentType string
+	body        []byte
+	node        string
+}
+
+func relay(w http.ResponseWriter, res *proxyResult) {
+	if res.contentType != "" {
+		w.Header().Set("Content-Type", res.contentType)
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// extract runs the failover chain over the ordered owners, hedging with the
+// first replica when the primary is slow and hedging is enabled.
+func (rt *Router) extract(ctx context.Context, ordered []string, body []byte) (*proxyResult, error) {
+	if rt.cfg.HedgeAfter <= 0 || len(ordered) < 2 {
+		return rt.attemptChain(ctx, http.MethodPost, "/extract", "application/json", body, ordered)
+	}
+	type chainResult struct {
+		res *proxyResult
+		err error
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	resc := make(chan chainResult, 2)
+	run := func(chain []string) {
+		res, err := rt.attemptChain(cctx, http.MethodPost, "/extract", "application/json", body, chain)
+		resc <- chainResult{res, err}
+	}
+	go run(ordered)
+	pending := 1
+	hedged := false
+	timer := time.NewTimer(rt.cfg.HedgeAfter)
+	defer timer.Stop()
+	var lastErr error
+	for pending > 0 {
+		select {
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				rt.obs.Counter("cluster_hedge_total").Inc()
+				pending++
+				go run(ordered[1:])
+			}
+		case cr := <-resc:
+			pending--
+			if cr.err == nil {
+				return cr.res, nil
+			}
+			lastErr = cr.err
+		}
+	}
+	return nil, lastErr
+}
+
+// attemptChain tries each node in order until one answers without a
+// transport error or 5xx, feeding the outcome of every attempt back into
+// the membership view. Each advance past the first node is one failover.
+func (rt *Router) attemptChain(ctx context.Context, method, path, contentType string, body []byte, chain []string) (*proxyResult, error) {
+	var lastErr error
+	for i, node := range chain {
+		if i > 0 {
+			rt.obs.Counter("cluster_failover_total").Inc()
+		}
+		res, err := rt.try(ctx, node, method, path, contentType, body)
+		if err != nil {
+			rt.health.ReportFailure(node, err)
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, lastErr
+			}
+			continue
+		}
+		rt.health.ReportSuccess(node)
+		return res, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("cluster: no owners to try")
+	}
+	return nil, lastErr
+}
+
+// try is one bounded proxy attempt. A response is a failure only when the
+// shard is unreachable or answering 5xx — 4xx means the shard is healthy
+// and the client is wrong, which must not trigger failover.
+func (rt *Router) try(ctx context.Context, node, method, path, contentType string, body []byte) (*proxyResult, error) {
+	actx, cancel := context.WithTimeout(ctx, rt.cfg.ProxyTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, method, node+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 500 {
+		return nil, fmt.Errorf("cluster: %s%s: status %d", node, path, resp.StatusCode)
+	}
+	return &proxyResult{
+		status:      resp.StatusCode,
+		contentType: resp.Header.Get("Content-Type"),
+		body:        b,
+		node:        node,
+	}, nil
+}
+
+// replicaOutcome is one owner's result for a replicated mutation.
+type replicaOutcome struct {
+	Node   string `json:"node"`
+	Status int    `json:"status,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// replicate fans one framed operation out to every owner concurrently and
+// reports each owner's outcome, feeding the membership view as it goes.
+func (rt *Router) replicate(ctx context.Context, owners []string, op Op) []replicaOutcome {
+	frame := EncodeOp(op)
+	out := make([]replicaOutcome, len(owners))
+	var wg sync.WaitGroup
+	for i, node := range owners {
+		wg.Add(1)
+		go func(i int, node string) {
+			defer wg.Done()
+			res, err := rt.try(ctx, node, http.MethodPost, "/cluster/apply", OpContentType, frame)
+			if err != nil {
+				rt.health.ReportFailure(node, err)
+				out[i] = replicaOutcome{Node: node, Error: err.Error()}
+				return
+			}
+			rt.health.ReportSuccess(node)
+			out[i] = replicaOutcome{Node: node, Status: res.status}
+		}(i, node)
+	}
+	wg.Wait()
+	for _, o := range out {
+		result := "ok"
+		if o.Error != "" || o.Status >= 400 {
+			result = "error"
+		}
+		rt.obs.Counter(obs.WithLabels("cluster_replicate_total",
+			"op", op.Kind.String(), "outcome", result)).Inc()
+	}
+	return out
+}
+
+// handlePutWrapper writes the registration to all R owners of the key. The
+// PUT succeeds if at least one owner applied it (every key stays servable
+// through a node loss); owners that were down record an error in the
+// response so a deploy can alarm on incomplete replication and re-PUT.
+func (rt *Router) handlePutWrapper(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	body, ok := rt.readBody(w, r, "application/json")
+	if !ok {
+		return
+	}
+	owners := rt.ring.Owners(key, rt.cfg.Replicas)
+	outcomes := rt.replicate(r.Context(), owners, Op{Kind: OpPut, Key: key, Payload: body})
+	applied, firstErr := summarize(outcomes, http.StatusCreated)
+	if applied == 0 {
+		rt.routeOutcome("error")
+		writeJSONError(w, statusOf(firstErr, http.StatusBadGateway), fmt.Errorf("no owner accepted the registration: %s", firstErr))
+		return
+	}
+	rt.routeOutcome("ok")
+	writeJSONStatus(w, http.StatusCreated, map[string]any{
+		"key": key, "replicated": applied, "owners": outcomes,
+	})
+}
+
+// handleDeleteWrapper deletes the key from all its owners: 200 when any
+// owner deleted it, 404 when every reachable owner reported it unknown.
+func (rt *Router) handleDeleteWrapper(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	owners := rt.ring.Owners(key, rt.cfg.Replicas)
+	outcomes := rt.replicate(r.Context(), owners, Op{Kind: OpDelete, Key: key})
+	applied, firstErr := summarize(outcomes, http.StatusOK)
+	if applied > 0 {
+		rt.routeOutcome("ok")
+		writeJSONStatus(w, http.StatusOK, map[string]any{
+			"key": key, "deleted": applied, "owners": outcomes,
+		})
+		return
+	}
+	allUnknown := len(outcomes) > 0
+	for _, o := range outcomes {
+		if o.Error != "" || o.Status != http.StatusNotFound {
+			allUnknown = false
+		}
+	}
+	if allUnknown {
+		rt.routeOutcome("ok")
+		writeJSONError(w, http.StatusNotFound, fmt.Errorf("no wrapper registered for %q", key))
+		return
+	}
+	rt.routeOutcome("error")
+	writeJSONError(w, statusOf(firstErr, http.StatusBadGateway), fmt.Errorf("no owner could delete: %s", firstErr))
+}
+
+// summarize counts owners that answered with the wanted success status and
+// collects the first failure detail for error reporting.
+func summarize(outcomes []replicaOutcome, want int) (applied int, firstErr string) {
+	for _, o := range outcomes {
+		switch {
+		case o.Error == "" && o.Status == want:
+			applied++
+		case firstErr == "":
+			if o.Error != "" {
+				firstErr = o.Node + ": " + o.Error
+			} else {
+				firstErr = fmt.Sprintf("%s: status %d", o.Node, o.Status)
+			}
+		}
+	}
+	if firstErr == "" {
+		firstErr = "no owners"
+	}
+	return applied, firstErr
+}
+
+// statusOf maps an owner failure summary to a router status: client errors
+// from the shard (a 4xx in the summary) pass through as 400-class, the
+// rest is a gateway failure.
+func statusOf(firstErr string, fallback int) int {
+	if strings.Contains(firstErr, "status 4") {
+		return http.StatusBadRequest
+	}
+	return fallback
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleHealthz reports the router's own liveness plus its view of the
+// ring: member count, up count, replication factor, and per-node health.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	nodes := rt.health.Snapshot()
+	up := 0
+	for _, n := range nodes {
+		if n.State == NodeUp.String() {
+			up++
+		}
+	}
+	writeJSONStatus(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"mode":     "router",
+		"replicas": rt.cfg.Replicas,
+		"ring":     map[string]any{"nodes": rt.ring.Len(), "up": up},
+		"nodes":    nodes,
+	})
+}
+
+// Owners exposes placement for operational tooling: the ordered owner list
+// of one key under the current ring.
+func (rt *Router) Owners(key string) []string {
+	return rt.ring.Owners(key, rt.cfg.Replicas)
+}

@@ -1,0 +1,428 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"resilex/internal/obs"
+)
+
+// fakeShard is an in-process stand-in for a `serve -mode shard` node: it
+// answers /extract with its own id (so tests can see who served a request),
+// records every replicated op applied to it, and reports health.
+type fakeShard struct {
+	id    string
+	srv   *httptest.Server
+	delay time.Duration // extract latency, for hedging tests
+
+	mu       sync.Mutex
+	applied  []Op
+	wrappers map[string]bool
+}
+
+func newFakeShard(t *testing.T, id string) *fakeShard {
+	t.Helper()
+	s := &fakeShard{id: id, wrappers: map[string]bool{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /extract", func(w http.ResponseWriter, r *http.Request) {
+		if s.delay > 0 {
+			time.Sleep(s.delay)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"results":[],"servedBy":%q}`, s.id)
+	})
+	mux.HandleFunc("POST /cluster/apply", func(w http.ResponseWriter, r *http.Request) {
+		blob, _ := io.ReadAll(r.Body)
+		op, err := DecodeOp(blob)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.applied = append(s.applied, op)
+		switch op.Kind {
+		case OpPut:
+			s.wrappers[op.Key] = true
+			w.WriteHeader(http.StatusCreated)
+		case OpDelete:
+			if !s.wrappers[op.Key] {
+				http.Error(w, "unknown", http.StatusNotFound)
+				return
+			}
+			delete(s.wrappers, op.Key)
+			w.WriteHeader(http.StatusOK)
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	s.srv = httptest.NewServer(mux)
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+func (s *fakeShard) url() string { return s.srv.URL }
+
+func (s *fakeShard) appliedOps() []Op {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Op(nil), s.applied...)
+}
+
+// testCluster boots n fake shards and a router over them.
+func testCluster(t *testing.T, n int, tune func(*RouterConfig)) (*Router, []*fakeShard, *obs.Observer) {
+	t.Helper()
+	shards := make([]*fakeShard, n)
+	peers := make([]string, n)
+	for i := range shards {
+		shards[i] = newFakeShard(t, fmt.Sprintf("shard-%d", i))
+		peers[i] = shards[i].url()
+	}
+	o := obs.New()
+	cfg := RouterConfig{Peers: peers, Replicas: 2, Observer: o, ProxyTimeout: 2 * time.Second}
+	if tune != nil {
+		tune(&cfg)
+	}
+	rt, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, shards, o
+}
+
+func shardByURL(shards []*fakeShard, url string) *fakeShard {
+	for _, s := range shards {
+		if s.url() == url {
+			return s
+		}
+	}
+	return nil
+}
+
+func extractBody(keys ...string) []byte {
+	type doc struct {
+		Key  string `json:"key"`
+		HTML string `json:"html"`
+	}
+	docs := make([]doc, len(keys))
+	for i, k := range keys {
+		docs[i] = doc{Key: k, HTML: "<p>x</p>"}
+	}
+	b, _ := json.Marshal(map[string]any{"docs": docs})
+	return b
+}
+
+func routerDo(t *testing.T, rt *Router, method, path string, body []byte, contentType string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	rec := httptest.NewRecorder()
+	rt.Mux().ServeHTTP(rec, req)
+	return rec
+}
+
+func TestRouterRoutesToOwner(t *testing.T) {
+	rt, shards, _ := testCluster(t, 3, nil)
+	key := "site-route"
+	owners := rt.Owners(key)
+	rec := routerDo(t, rt, "POST", "/extract", extractBody(key), "application/json")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		ServedBy string `json:"servedBy"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if want := shardByURL(shards, owners[0]).id; resp.ServedBy != want {
+		t.Fatalf("served by %s, want primary owner %s", resp.ServedBy, want)
+	}
+}
+
+// TestRouterFailoverStaleMembership is the killed-between-placement-and-proxy
+// case: the primary owner dies and the membership view has NOT noticed (no
+// poll has run), so the router places the request on the dead node and must
+// recover by failing over to the next replica mid-request.
+func TestRouterFailoverStaleMembership(t *testing.T) {
+	rt, shards, o := testCluster(t, 3, nil)
+	key := "site-failover"
+	owners := rt.Owners(key)
+	primary := shardByURL(shards, owners[0])
+	replica := shardByURL(shards, owners[1])
+
+	// Kill the primary. Membership still believes it is up.
+	primary.srv.Close()
+	if !rt.Health().Up(owners[0]) {
+		t.Fatal("membership noticed the kill early; test premise broken")
+	}
+
+	rec := routerDo(t, rt, "POST", "/extract", extractBody(key), "application/json")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		ServedBy string `json:"servedBy"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ServedBy != replica.id {
+		t.Fatalf("served by %s, want replica %s", resp.ServedBy, replica.id)
+	}
+	snap := o.Metrics.Snapshot()
+	if snap.Counters["cluster_failover_total"] < 1 {
+		t.Error("failover not counted")
+	}
+	if snap.Counters[obs.WithLabels("cluster_route_total", "outcome", "ok")] < 1 {
+		t.Error("ok route not counted")
+	}
+}
+
+// TestRouterFailoverConcurrent hammers the failover path from many
+// goroutines (run under -race in CI): every request must succeed even
+// though the primary owner is dead and the membership view is stale, and
+// after enough passive failure reports the membership must mark the node
+// down so later requests skip it entirely.
+func TestRouterFailoverConcurrent(t *testing.T) {
+	rt, shards, _ := testCluster(t, 3, func(cfg *RouterConfig) {
+		cfg.Membership.FailureThreshold = 3
+	})
+	key := "site-concurrent"
+	owners := rt.Owners(key)
+	primary := shardByURL(shards, owners[0])
+	primary.srv.Close()
+
+	const n = 16
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := routerDo(t, rt, "POST", "/extract", extractBody(key), "application/json")
+			codes[i] = rec.Code
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d, want 200 (zero failed requests through a shard kill)", i, code)
+		}
+	}
+	if rt.Health().Up(owners[0]) {
+		t.Error("dead primary still marked up after repeated passive failures")
+	}
+	// With the node marked down, Order must route around it up front.
+	ordered := rt.Health().Order(owners)
+	if ordered[0] == owners[0] {
+		t.Errorf("dead node still ordered first: %v", ordered)
+	}
+}
+
+func TestRouterCrossShardBatchRejected(t *testing.T) {
+	rt, _, o := testCluster(t, 3, nil)
+	// Find two keys whose primary owners differ (must exist on a 3-node ring).
+	var k1, k2 string
+	for i := 0; i < 1000 && k2 == ""; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		switch {
+		case k1 == "":
+			k1 = k
+		case rt.Owners(k)[0] != rt.Owners(k1)[0]:
+			k2 = k
+		}
+	}
+	if k2 == "" {
+		t.Fatal("could not find keys on distinct shards")
+	}
+	rec := routerDo(t, rt, "POST", "/extract", extractBody(k1, k2), "application/json")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("cross-shard batch: status %d, want 400: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "spans shards") {
+		t.Errorf("error %s does not explain the cross-shard rejection", rec.Body)
+	}
+	snap := o.Metrics.Snapshot()
+	if snap.Counters[obs.WithLabels("cluster_route_total", "outcome", "cross_shard")] != 1 {
+		t.Error("cross_shard outcome not counted")
+	}
+
+	// Same key repeated — and distinct keys sharing a primary — are fine.
+	rec = routerDo(t, rt, "POST", "/extract", extractBody(k1, k1, k1), "application/json")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("same-key batch: status %d: %s", rec.Code, rec.Body)
+	}
+}
+
+func TestRouterHedging(t *testing.T) {
+	rt, shards, o := testCluster(t, 3, func(cfg *RouterConfig) {
+		cfg.HedgeAfter = 30 * time.Millisecond
+	})
+	key := "site-hedge"
+	owners := rt.Owners(key)
+	primary := shardByURL(shards, owners[0])
+	replica := shardByURL(shards, owners[1])
+	primary.delay = 500 * time.Millisecond // straggler, alive
+
+	start := time.Now()
+	rec := routerDo(t, rt, "POST", "/extract", extractBody(key), "application/json")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		ServedBy string `json:"servedBy"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ServedBy != replica.id {
+		t.Fatalf("served by %s, want hedged replica %s", resp.ServedBy, replica.id)
+	}
+	if took := time.Since(start); took >= 500*time.Millisecond {
+		t.Errorf("hedged request took %v — waited for the straggler", took)
+	}
+	if o.Metrics.Snapshot().Counters["cluster_hedge_total"] != 1 {
+		t.Error("hedge not counted")
+	}
+}
+
+func TestRouterReplicatesPutAndDelete(t *testing.T) {
+	rt, shards, o := testCluster(t, 3, nil)
+	key := "site-repl"
+	owners := rt.Owners(key)
+	payload := []byte(`{"strategy":"lr"}`)
+
+	rec := routerDo(t, rt, "PUT", "/wrappers/"+key, payload, "application/json")
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("PUT: status %d: %s", rec.Code, rec.Body)
+	}
+	var put struct {
+		Replicated int `json:"replicated"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &put); err != nil {
+		t.Fatal(err)
+	}
+	if put.Replicated != 2 {
+		t.Fatalf("replicated = %d, want 2", put.Replicated)
+	}
+	for _, owner := range owners {
+		s := shardByURL(shards, owner)
+		ops := s.appliedOps()
+		if len(ops) != 1 || ops[0].Kind != OpPut || ops[0].Key != key || !bytes.Equal(ops[0].Payload, payload) {
+			t.Errorf("owner %s applied %+v, want one put of %s", s.id, ops, key)
+		}
+	}
+	// The non-owner shard saw nothing.
+	for _, s := range shards {
+		if s.url() != owners[0] && s.url() != owners[1] && len(s.appliedOps()) != 0 {
+			t.Errorf("non-owner %s applied %+v", s.id, s.appliedOps())
+		}
+	}
+
+	rec = routerDo(t, rt, "DELETE", "/wrappers/"+key, nil, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("DELETE: status %d: %s", rec.Code, rec.Body)
+	}
+	// A second delete: every owner answers 404, so the router answers 404.
+	rec = routerDo(t, rt, "DELETE", "/wrappers/"+key, nil, "")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("second DELETE: status %d, want 404: %s", rec.Code, rec.Body)
+	}
+	snap := o.Metrics.Snapshot()
+	if n := snap.Counters[obs.WithLabels("cluster_replicate_total", "op", "put", "outcome", "ok")]; n != 2 {
+		t.Errorf("put replicate ok = %d, want 2", n)
+	}
+}
+
+// TestRouterPutSurvivesOwnerLoss: with R=2 a PUT still lands when one owner
+// is dead — degraded (replicated=1) but servable, reported in the response.
+func TestRouterPutSurvivesOwnerLoss(t *testing.T) {
+	rt, shards, _ := testCluster(t, 3, nil)
+	key := "site-degraded"
+	owners := rt.Owners(key)
+	shardByURL(shards, owners[1]).srv.Close()
+
+	rec := routerDo(t, rt, "PUT", "/wrappers/"+key, []byte(`{}`), "application/json")
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("PUT with one dead owner: status %d: %s", rec.Code, rec.Body)
+	}
+	var put struct {
+		Replicated int              `json:"replicated"`
+		Owners     []replicaOutcome `json:"owners"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &put); err != nil {
+		t.Fatal(err)
+	}
+	if put.Replicated != 1 {
+		t.Fatalf("replicated = %d, want 1", put.Replicated)
+	}
+	sawErr := false
+	for _, o := range put.Owners {
+		if o.Error != "" {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Errorf("degraded replication not reported: %+v", put.Owners)
+	}
+}
+
+func TestRouterRejects(t *testing.T) {
+	rt, _, o := testCluster(t, 2, func(cfg *RouterConfig) {
+		cfg.MaxBodyBytes = 512
+	})
+	big := make([]byte, 2048)
+	if rec := routerDo(t, rt, "POST", "/extract", big, "application/json"); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized: status %d, want 413", rec.Code)
+	}
+	if rec := routerDo(t, rt, "POST", "/extract", []byte(`{}`), "text/plain"); rec.Code != http.StatusUnsupportedMediaType {
+		t.Errorf("foreign type: status %d, want 415", rec.Code)
+	}
+	if rec := routerDo(t, rt, "POST", "/extract", []byte(`{`), "application/json"); rec.Code != http.StatusBadRequest {
+		t.Errorf("undecodable: status %d, want 400", rec.Code)
+	}
+	snap := o.Metrics.Snapshot()
+	if n := snap.Counters[obs.WithLabels("cluster_route_total", "outcome", "reject")]; n != 3 {
+		t.Errorf("reject outcomes = %d, want 3", n)
+	}
+}
+
+func TestRouterHealthz(t *testing.T) {
+	rt, shards, _ := testCluster(t, 2, func(cfg *RouterConfig) {
+		cfg.Membership.FailureThreshold = 1
+	})
+	shards[1].srv.Close()
+	rt.Health().ReportFailure(shards[1].url(), fmt.Errorf("closed"))
+
+	rec := routerDo(t, rt, "GET", "/healthz", nil, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", rec.Code)
+	}
+	var h struct {
+		Mode     string `json:"mode"`
+		Replicas int    `json:"replicas"`
+		Ring     struct {
+			Nodes int `json:"nodes"`
+			Up    int `json:"up"`
+		} `json:"ring"`
+		Nodes []NodeHealth `json:"nodes"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Mode != "router" || h.Replicas != 2 || h.Ring.Nodes != 2 || h.Ring.Up != 1 || len(h.Nodes) != 2 {
+		t.Errorf("healthz = %+v", h)
+	}
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+
+	"resilex/internal/codec"
+)
+
+// The replication wire format: every wrapper mutation the router fans out
+// to a key's owners travels as one codec frame — magic, version, varint
+// framing, SHA-256 checksum — so a truncated or bit-flipped body is
+// rejected by the shard before it can corrupt a registry, exactly the
+// corruption policy the disk tier already applies to artifacts at rest.
+const (
+	// OpMagic is the frame magic of a replicated wrapper operation.
+	OpMagic = "RXCL"
+	// OpVersion is the current operation format version.
+	OpVersion byte = 1
+	// OpContentType is the Content-Type of a framed operation body.
+	OpContentType = "application/x-resilex-frame"
+)
+
+// OpKind discriminates replicated wrapper operations.
+type OpKind byte
+
+// Replicated operation kinds.
+const (
+	// OpPut registers (or replaces) a wrapper under Op.Key from Op.Payload,
+	// the persisted wrapper JSON.
+	OpPut OpKind = 1
+	// OpDelete removes the wrapper under Op.Key; Payload is empty.
+	OpDelete OpKind = 2
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Op is one replicated wrapper mutation.
+type Op struct {
+	Kind    OpKind
+	Key     string
+	Payload []byte
+}
+
+// EncodeOp frames an operation for the wire.
+func EncodeOp(op Op) []byte {
+	var w codec.Writer
+	w.Uint(uint64(op.Kind))
+	w.String(op.Key)
+	w.Bytes2(op.Payload)
+	return codec.Seal(OpMagic, OpVersion, w.Bytes())
+}
+
+// DecodeOp verifies a framed operation and returns it. Every failure wraps
+// codec.ErrMalformedInput; IsOpFrame distinguishes "not an op frame at all"
+// for callers that want to answer 415 rather than 400.
+func DecodeOp(blob []byte) (Op, error) {
+	payload, err := codec.Open(OpMagic, OpVersion, blob)
+	if err != nil {
+		return Op{}, err
+	}
+	r := codec.NewReader(payload)
+	op := Op{
+		Kind:    OpKind(r.Uint()),
+		Key:     r.String(),
+		Payload: r.Bytes2(),
+	}
+	if err := r.Done(); err != nil {
+		return Op{}, err
+	}
+	if op.Kind != OpPut && op.Kind != OpDelete {
+		return Op{}, fmt.Errorf("%w: unknown op kind %d", codec.ErrMalformedInput, op.Kind)
+	}
+	if op.Key == "" {
+		return Op{}, fmt.Errorf("%w: op with empty key", codec.ErrMalformedInput)
+	}
+	return op, nil
+}
+
+// IsOpFrame reports whether the blob even claims to be an op frame (right
+// magic, any version), without verifying it.
+func IsOpFrame(blob []byte) bool {
+	magic, _, ok := codec.Sniff(blob)
+	return ok && magic == OpMagic
+}

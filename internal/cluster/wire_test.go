@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"resilex/internal/codec"
+)
+
+func TestOpRoundTrip(t *testing.T) {
+	for _, op := range []Op{
+		{Kind: OpPut, Key: "site-a", Payload: []byte(`{"strategy":"lr"}`)},
+		{Kind: OpDelete, Key: "site-b"},
+	} {
+		frame := EncodeOp(op)
+		if !IsOpFrame(frame) {
+			t.Fatalf("%v: frame not recognized as op frame", op.Kind)
+		}
+		got, err := DecodeOp(frame)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", op.Kind, err)
+		}
+		if got.Kind != op.Kind || got.Key != op.Key || !bytes.Equal(got.Payload, op.Payload) {
+			t.Fatalf("round trip: got %+v, want %+v", got, op)
+		}
+	}
+}
+
+func TestOpDecodeRejectsCorruption(t *testing.T) {
+	frame := EncodeOp(Op{Kind: OpPut, Key: "k", Payload: []byte("payload")})
+
+	// A flipped payload byte breaks the checksum, but the frame still sniffs
+	// as ours — exactly the 415-vs-400 split the apply endpoint relies on.
+	torn := append([]byte(nil), frame...)
+	torn[len(torn)-1] ^= 0x01
+	if !IsOpFrame(torn) {
+		t.Fatal("corrupt frame should still sniff as an op frame")
+	}
+	if _, err := DecodeOp(torn); !errors.Is(err, codec.ErrMalformedInput) {
+		t.Fatalf("corrupt frame: err = %v, want ErrMalformedInput", err)
+	}
+
+	if _, err := DecodeOp(frame[:len(frame)/2]); err == nil {
+		t.Fatal("truncated frame decoded")
+	}
+	if IsOpFrame([]byte("xx")) || IsOpFrame([]byte(`{"json":true}`)) {
+		t.Fatal("foreign bodies must not sniff as op frames")
+	}
+
+	// A structurally valid frame with an unknown kind or empty key is
+	// malformed, not silently accepted.
+	bad := func(op Op) {
+		t.Helper()
+		var w codec.Writer
+		w.Uint(uint64(op.Kind))
+		w.String(op.Key)
+		w.Bytes2(op.Payload)
+		blob := codec.Seal(OpMagic, OpVersion, w.Bytes())
+		if _, err := DecodeOp(blob); !errors.Is(err, codec.ErrMalformedInput) {
+			t.Fatalf("op %+v: err = %v, want ErrMalformedInput", op, err)
+		}
+	}
+	bad(Op{Kind: OpKind(9), Key: "k"})
+	bad(Op{Kind: OpPut, Key: ""})
+}
+
+func TestOpVersionSkew(t *testing.T) {
+	var w codec.Writer
+	w.Uint(uint64(OpPut))
+	w.String("k")
+	w.Bytes2(nil)
+	blob := codec.Seal(OpMagic, OpVersion+1, w.Bytes())
+	if !IsOpFrame(blob) {
+		t.Fatal("future-version frame should still sniff as ours")
+	}
+	if _, err := DecodeOp(blob); !errors.Is(err, codec.ErrVersionMismatch) {
+		t.Fatalf("version skew: err = %v, want ErrVersionMismatch", err)
+	}
+}

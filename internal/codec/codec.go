@@ -92,6 +92,18 @@ func Open(magic string, version byte, blob []byte) ([]byte, error) {
 	return payload, nil
 }
 
+// Sniff reports the magic and version of a blob that is at least long enough
+// to carry a frame header, without verifying the frame. It lets endpoints
+// that accept framed bodies over the wire distinguish "this is not one of our
+// frames at all" (reject as an unsupported media type) from "this is our
+// frame but it is corrupt" (Open's checksum or length verification failed).
+func Sniff(blob []byte) (magic string, version byte, ok bool) {
+	if len(blob) < 5 {
+		return "", 0, false
+	}
+	return string(blob[:4]), blob[4], true
+}
+
 // Writer accumulates a payload as varints, strings and bitsets. The zero
 // value is ready to use; Bytes returns the accumulated payload for Seal.
 type Writer struct {

@@ -132,3 +132,22 @@ func TestReaderRejectsHugePrefixes(t *testing.T) {
 		t.Error("huge int-slice prefix accepted")
 	}
 }
+
+func TestSniff(t *testing.T) {
+	blob := Seal("RXCL", 7, []byte("op"))
+	magic, version, ok := Sniff(blob)
+	if !ok || magic != "RXCL" || version != 7 {
+		t.Fatalf("Sniff = %q %d %v, want RXCL 7 true", magic, version, ok)
+	}
+	// Sniffing does not verify: a corrupt frame still sniffs, Open rejects it.
+	blob[len(blob)-1] ^= 0xff
+	if _, _, ok := Sniff(blob); !ok {
+		t.Fatal("corrupt frame must still sniff")
+	}
+	if _, err := Open("RXCL", 7, blob); !errors.Is(err, ErrMalformedInput) {
+		t.Fatalf("Open on corrupt frame = %v, want ErrMalformedInput", err)
+	}
+	if _, _, ok := Sniff([]byte("RXC")); ok {
+		t.Fatal("short blob must not sniff")
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"crypto/sha256"
@@ -22,6 +22,11 @@ import (
 // atomically (temp file + rename); an envelope that no longer decodes — a
 // torn write from a hard crash — is skipped at restore, never fatal.
 //
+// Deletions persist the same way: DELETE /wrappers/{key} replaces the
+// entry with a tombstone envelope under the same filename, and restore
+// applies tombstones after the deploy-time fleet file has loaded — so
+// deleting a key that shipped in -fleet stays deleted across restarts.
+//
 // The registry stores wrapper *configuration* (tokenizer settings, strategy,
 // expression source); the expensive compiled automata live next door in the
 // extract.DiskCache, so restoring N sites that share one expression decodes
@@ -33,7 +38,8 @@ type wrapperRegistry struct {
 
 type registryEntry struct {
 	Key     string          `json:"key"`
-	Wrapper json.RawMessage `json:"wrapper"`
+	Wrapper json.RawMessage `json:"wrapper,omitempty"`
+	Deleted bool            `json:"deleted,omitempty"`
 }
 
 func newWrapperRegistry(dir string) (*wrapperRegistry, error) {
@@ -48,12 +54,22 @@ func (r *wrapperRegistry) path(key string) string {
 	return filepath.Join(r.dir, hex.EncodeToString(sum[:])+".json")
 }
 
-// save persists one registration. A nil registry (no -cache-dir) is a no-op.
+// save persists one registration. A nil registry (no cache dir) is a no-op.
 func (r *wrapperRegistry) save(key string, raw []byte) error {
+	return r.write(registryEntry{Key: key, Wrapper: raw})
+}
+
+// delete persists a tombstone for the key, replacing any registration.
+// A nil registry is a no-op.
+func (r *wrapperRegistry) delete(key string) error {
+	return r.write(registryEntry{Key: key, Deleted: true})
+}
+
+func (r *wrapperRegistry) write(ent registryEntry) error {
 	if r == nil {
 		return nil
 	}
-	blob, err := json.Marshal(registryEntry{Key: key, Wrapper: raw})
+	blob, err := json.Marshal(ent)
 	if err != nil {
 		return fmt.Errorf("wrapper registry: %w", err)
 	}
@@ -66,7 +82,7 @@ func (r *wrapperRegistry) save(key string, raw []byte) error {
 	if _, err := tmp.Write(blob); err == nil {
 		err = tmp.Close()
 		if err == nil {
-			err = os.Rename(tmp.Name(), r.path(key))
+			err = os.Rename(tmp.Name(), r.path(ent.Key))
 		}
 	} else {
 		tmp.Close()
@@ -80,16 +96,18 @@ func (r *wrapperRegistry) save(key string, raw []byte) error {
 
 // restore loads every persisted registration into the fleet through the
 // artifact cache, so a restart's compilation cost is one disk-tier decode
-// per distinct expression. Entries that fail to decode or compile are
-// skipped and counted, not fatal: one bad registration must not keep the
-// rest of the fleet down. A nil registry restores nothing.
-func (r *wrapperRegistry) restore(fleet *wrapper.Fleet, opt machine.Options, cache extract.ArtifactCache) (restored, skipped int) {
+// per distinct expression, then applies tombstones (removals win over any
+// same-key entry in the deploy-time fleet file, which loads first). Entries
+// that fail to decode or compile are skipped and counted, not fatal: one
+// bad registration must not keep the rest of the fleet down. A nil registry
+// restores nothing.
+func (r *wrapperRegistry) restore(fleet *wrapper.Fleet, opt machine.Options, cache extract.ArtifactCache) (restored, deleted, skipped int) {
 	if r == nil {
-		return 0, 0
+		return 0, 0, 0
 	}
 	entries, err := os.ReadDir(r.dir)
 	if err != nil {
-		return 0, 0
+		return 0, 0, 0
 	}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
@@ -105,6 +123,11 @@ func (r *wrapperRegistry) restore(fleet *wrapper.Fleet, opt machine.Options, cac
 			skipped++
 			continue
 		}
+		if ent.Deleted {
+			fleet.Remove(ent.Key)
+			deleted++
+			continue
+		}
 		w, err := wrapper.LoadCached(ent.Wrapper, opt, cache)
 		if err != nil {
 			skipped++
@@ -113,5 +136,5 @@ func (r *wrapperRegistry) restore(fleet *wrapper.Fleet, opt machine.Options, cac
 		fleet.Add(ent.Key, w)
 		restored++
 	}
-	return restored, skipped
+	return restored, deleted, skipped
 }

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"context"
@@ -16,19 +16,33 @@ import (
 	"resilex/internal/wrapper"
 )
 
-// TestServeRestartSemantics is the persistence contract end to end: PUT a
-// wrapper into a server with -cache-dir, tear the server down, build a fresh
-// one over the same directory, and the first POST /extract must succeed with
-// the compiled artifact coming off disk — visible as a disk-tier hit (and no
-// disk miss) in /metrics.json — without any re-registration.
-func TestServeRestartSemantics(t *testing.T) {
-	dir := t.TempDir()
-	_, payload := testServer(t)
-
-	s1, err := buildServer(dir, 8, -1, nil, obs.New(), machine.Options{}, wrapper.BatchOptions{Workers: 2})
+func diskServer(t *testing.T, dir string, fleetData []byte, o *obs.Observer) *Server {
+	t.Helper()
+	s, err := New(Config{
+		CacheDir:  dir,
+		CacheCap:  8,
+		DiskCap:   -1,
+		FleetData: fleetData,
+		Observer:  o,
+		Batch:     wrapper.BatchOptions{Workers: 2},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	return s
+}
+
+// TestServeRestartSemantics is the persistence contract end to end: PUT a
+// wrapper into a server with a cache dir, tear the server down, build a
+// fresh one over the same directory, and the first POST /extract must
+// succeed with the compiled artifact coming off disk — visible as a
+// disk-tier hit (and no disk miss) in /metrics.json — without any
+// re-registration.
+func TestServeRestartSemantics(t *testing.T) {
+	dir := t.TempDir()
+	payload := trainedPayload(t)
+
+	s1 := diskServer(t, dir, nil, obs.New())
 	rec := do(t, s1, "PUT", "/wrappers/vs", payload)
 	if rec.Code != http.StatusCreated {
 		t.Fatalf("PUT: status %d: %s", rec.Code, rec.Body)
@@ -39,18 +53,15 @@ func TestServeRestartSemantics(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &put); err != nil || !put.Persisted {
 		t.Fatalf("PUT response %s not persisted (%v)", rec.Body, err)
 	}
-	if n := s1.cache.Disk().Len(); n != 1 {
+	if n := s1.Cache().Disk().Len(); n != 1 {
 		t.Fatalf("disk tier holds %d artifacts after PUT, want 1", n)
 	}
 
 	// "Restart": a new process image — fresh memory cache, fresh observer,
 	// same directory. s1 is simply abandoned.
 	o2 := obs.New()
-	s2, err := buildServer(dir, 8, -1, nil, o2, machine.Options{}, wrapper.BatchOptions{Workers: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := s2.fleet.Len(); got != 1 {
+	s2 := diskServer(t, dir, nil, o2)
+	if got := s2.Fleet().Len(); got != 1 {
 		t.Fatalf("restarted fleet has %d wrappers, want 1", got)
 	}
 	body, _ := json.Marshal(extractRequest{Docs: []wrapper.BatchDoc{{Key: "vs", HTML: pageTop}}})
@@ -106,15 +117,70 @@ func TestServeRestartSemantics(t *testing.T) {
 	}
 }
 
+// TestServeDeleteSurvivesRestart: a DELETE persists as a tombstone, so a
+// restarted server does not resurrect the wrapper — even when the key
+// originally came from the deploy-time fleet file, which loads before the
+// registry replays.
+func TestServeDeleteSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	payload := trainedPayload(t)
+
+	// The fleet file ships the key; the registry must out-vote it.
+	w, err := wrapper.Load(payload, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := wrapper.NewFleet()
+	f.Add("shipped", w)
+	fleetData, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s1 := diskServer(t, dir, fleetData, obs.New())
+	if rec := do(t, s1, "PUT", "/wrappers/runtime", payload); rec.Code != http.StatusCreated {
+		t.Fatalf("PUT: %d", rec.Code)
+	}
+	for _, key := range []string{"shipped", "runtime"} {
+		rec := do(t, s1, "DELETE", "/wrappers/"+key, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("DELETE %s: status %d: %s", key, rec.Code, rec.Body)
+		}
+		var del struct {
+			Persisted bool `json:"persisted"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &del); err != nil || !del.Persisted {
+			t.Fatalf("DELETE %s response %s not persisted (%v)", key, rec.Body, err)
+		}
+	}
+
+	s2 := diskServer(t, dir, fleetData, obs.New())
+	if got := s2.Fleet().Len(); got != 0 {
+		t.Fatalf("restarted fleet has %d wrappers, want 0 (deletes persisted): %v",
+			got, s2.Fleet().Keys())
+	}
+	for _, key := range []string{"shipped", "runtime"} {
+		if rec := do(t, s2, "DELETE", "/wrappers/"+key, nil); rec.Code != http.StatusNotFound {
+			t.Errorf("DELETE %s after restart: status %d, want 404", key, rec.Code)
+		}
+	}
+
+	// Re-registering after a delete replaces the tombstone and persists again.
+	if rec := do(t, s2, "PUT", "/wrappers/runtime", payload); rec.Code != http.StatusCreated {
+		t.Fatalf("re-PUT after delete: %d", rec.Code)
+	}
+	s3 := diskServer(t, dir, nil, obs.New())
+	if s3.Fleet().Get("runtime") == nil {
+		t.Fatal("re-registered wrapper lost after restart")
+	}
+}
+
 // TestServeRestartSkipsCorruptRegistryEntry: a torn registry envelope takes
 // out one registration, not the server.
 func TestServeRestartSkipsCorruptRegistryEntry(t *testing.T) {
 	dir := t.TempDir()
-	_, payload := testServer(t)
-	s1, err := buildServer(dir, 8, -1, nil, obs.New(), machine.Options{}, wrapper.BatchOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	payload := trainedPayload(t)
+	s1 := diskServer(t, dir, nil, obs.New())
 	if rec := do(t, s1, "PUT", "/wrappers/vs", payload); rec.Code != http.StatusCreated {
 		t.Fatalf("PUT: %d", rec.Code)
 	}
@@ -129,18 +195,15 @@ func TestServeRestartSkipsCorruptRegistryEntry(t *testing.T) {
 	if err := os.WriteFile(s1.registry.path("torn"), blob[:len(blob)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	s2, err := buildServer(dir, 8, -1, nil, obs.New(), machine.Options{}, wrapper.BatchOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := s2.fleet.Len(); got != 1 {
+	s2 := diskServer(t, dir, nil, obs.New())
+	if got := s2.Fleet().Len(); got != 1 {
 		t.Fatalf("restarted fleet has %d wrappers, want 1 (corrupt entry skipped)", got)
 	}
 }
 
 // TestServeGracefulShutdown is the regression test for abrupt termination:
 // canceling the serve context must let an in-flight request complete before
-// the listener dies, and serveUntilShutdown must return cleanly rather than
+// the listener dies, and ServeUntilShutdown must return cleanly rather than
 // surfacing http.ErrServerClosed.
 func TestServeGracefulShutdown(t *testing.T) {
 	started := make(chan struct{})
@@ -157,7 +220,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serveUntilShutdown(ctx, srv, ln, 5*time.Second) }()
+	go func() { done <- ServeUntilShutdown(ctx, srv, ln, 5*time.Second) }()
 
 	respc := make(chan string, 1)
 	go func() {
@@ -185,7 +248,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	select {
 	case err := <-done:
 		if err != nil {
-			t.Fatalf("serveUntilShutdown = %v, want nil after clean drain", err)
+			t.Fatalf("ServeUntilShutdown = %v, want nil after clean drain", err)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("server did not exit after drain")
@@ -196,7 +259,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 }
 
 // TestServeShutdownDeadline: a request that outlives the drain window must
-// not wedge shutdown — serveUntilShutdown returns the deadline error.
+// not wedge shutdown — ServeUntilShutdown returns the deadline error.
 func TestServeShutdownDeadline(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
@@ -214,14 +277,14 @@ func TestServeShutdownDeadline(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serveUntilShutdown(ctx, srv, ln, 50*time.Millisecond) }()
+	go func() { done <- ServeUntilShutdown(ctx, srv, ln, 50*time.Millisecond) }()
 	go http.Get("http://" + ln.Addr().String() + "/") //nolint:errcheck
 	<-started
 	cancel()
 	select {
 	case err := <-done:
 		if !errors.Is(err, context.DeadlineExceeded) {
-			t.Fatalf("serveUntilShutdown = %v, want deadline exceeded", err)
+			t.Fatalf("ServeUntilShutdown = %v, want deadline exceeded", err)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("shutdown wedged past its deadline")

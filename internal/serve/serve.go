@@ -1,0 +1,395 @@
+// Package serve is the embeddable core of cmd/serve: the HTTP serving path
+// over a compiled-wrapper fleet — batch extraction on a worker pool, wrapper
+// registration through the tiered compiled-artifact cache, a persistent
+// registry so registrations (and deletions) survive restarts, and the
+// cluster apply endpoint that lets a shard receive replicated wrapper
+// operations from a cluster router.
+//
+// It exists as a library so the cluster benchmark and tests can boot real
+// in-process shards; cmd/serve is a thin flag-parsing wrapper around it.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"resilex/internal/cluster"
+	"resilex/internal/codec"
+	"resilex/internal/extract"
+	"resilex/internal/machine"
+	"resilex/internal/obs"
+	"resilex/internal/wrapper"
+)
+
+// defaultMaxBody bounds every request body: batches beyond this are a
+// client error, not an allocation.
+const defaultMaxBody = 64 << 20
+
+// Config assembles a Server. The zero value is a memory-only server with
+// default limits.
+type Config struct {
+	// CacheDir, when set, adds the persistent tier: compiled artifacts
+	// under CacheDir/artifacts and the wrapper registry under
+	// CacheDir/wrappers, both restored at startup.
+	CacheDir string
+	// CacheCap is the in-memory compiled-artifact cache capacity.
+	CacheCap int
+	// DiskCap is the on-disk artifact capacity (-1 = unbounded, 0 = none).
+	DiskCap int
+	// FleetData, when non-nil, is a persisted fleet (deploy file) loaded
+	// before the registry restore, so runtime registrations override it.
+	FleetData []byte
+	// MaxBodyBytes bounds request bodies; 0 selects 64 MiB.
+	MaxBodyBytes int64
+	// Observer receives all serving telemetry. nil disables observation.
+	Observer *obs.Observer
+	// Options is the construction budget for wrapper compilation.
+	Options machine.Options
+	// Batch tunes POST /extract's worker pool.
+	Batch wrapper.BatchOptions
+}
+
+// Server is the HTTP serving path: a fleet of compiled wrappers, the tiered
+// compiled-artifact cache behind wrapper registration (memory always, disk
+// when CacheDir is set), the registry that persists registrations across
+// restarts, and the observer all request work reports into. It is
+// constructed once and shared by every request goroutine; Fleet, cache and
+// registry are concurrency-safe, the rest is read-only.
+type Server struct {
+	fleet    *wrapper.Fleet
+	cache    *extract.TieredCache
+	registry *wrapperRegistry // nil without CacheDir
+	obs      *obs.Observer
+	opt      machine.Options
+	batch    wrapper.BatchOptions
+	maxBody  int64
+}
+
+// New assembles the serving stack. With Config.CacheDir empty the server is
+// memory-only. With a directory it gains the two persistent pieces and
+// restores every previously registered wrapper — and applies every
+// persisted deletion tombstone — before taking traffic, warm-starting from
+// disk instead of recompiling.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBody
+	}
+	mem := extract.NewCache(cfg.CacheCap, cfg.Observer)
+	var disk *extract.DiskCache
+	var reg *wrapperRegistry
+	if cfg.CacheDir != "" {
+		var err error
+		if disk, err = extract.NewDiskCache(filepath.Join(cfg.CacheDir, "artifacts"), cfg.DiskCap, cfg.Observer); err != nil {
+			return nil, err
+		}
+		if reg, err = newWrapperRegistry(filepath.Join(cfg.CacheDir, "wrappers")); err != nil {
+			return nil, err
+		}
+	}
+	cache := extract.NewTieredCache(mem, disk)
+	fleet := wrapper.NewFleet()
+	if cfg.FleetData != nil {
+		var err error
+		if fleet, err = wrapper.LoadFleetCached(cfg.FleetData, cfg.Options, cache); err != nil {
+			return nil, err
+		}
+	}
+	restored, deleted, skipped := reg.restore(fleet, cfg.Options, cache)
+	if restored+deleted+skipped > 0 {
+		fmt.Fprintf(os.Stderr, "serve: restored %d wrapper(s) from %s (%d deleted, %d skipped)\n",
+			restored, cfg.CacheDir, deleted, skipped)
+	}
+	return &Server{
+		fleet:    fleet,
+		cache:    cache,
+		registry: reg,
+		obs:      cfg.Observer,
+		opt:      cfg.Options,
+		batch:    cfg.Batch,
+		maxBody:  cfg.MaxBodyBytes,
+	}, nil
+}
+
+// Fleet returns the served fleet (live — registrations are picked up).
+func (s *Server) Fleet() *wrapper.Fleet { return s.fleet }
+
+// Cache returns the tiered compiled-artifact cache.
+func (s *Server) Cache() *extract.TieredCache { return s.cache }
+
+// Mux mounts the serving routes on top of the observability endpoints
+// (/metrics, /metrics.json, /debug/pprof — see obs.Handler), so one listen
+// address serves both traffic and telemetry.
+func (s *Server) Mux() *http.ServeMux {
+	mux := obs.Handler(s.obs)
+	mux.HandleFunc("POST /extract", s.handleExtract)
+	mux.HandleFunc("PUT /wrappers/{key}", s.handlePutWrapper)
+	mux.HandleFunc("DELETE /wrappers/{key}", s.handleDeleteWrapper)
+	mux.HandleFunc("POST /cluster/apply", s.handleClusterApply)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// ServeUntilShutdown serves on ln until ctx is canceled, then drains
+// in-flight requests for at most drain before forcing connections closed.
+// It returns nil on a clean drain, the drain context's error if the
+// deadline forced the stop, or the listener's error if serving failed
+// before any shutdown was requested.
+func ServeUntilShutdown(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // listener died on its own; nothing left to drain
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		return serr
+	}
+	return err
+}
+
+// extractRequest is the POST /extract body: a batch of documents, each
+// naming the site wrapper to run.
+type extractRequest struct {
+	Docs []wrapper.BatchDoc `json:"docs"`
+}
+
+// extractResult is one element of the POST /extract response, in input
+// order. OK distinguishes extraction success; on failure Error carries the
+// classified cause and the region fields are absent.
+type extractResult struct {
+	Index      int    `json:"index"`
+	Key        string `json:"key"`
+	OK         bool   `json:"ok"`
+	Error      string `json:"error,omitempty"`
+	TokenIndex int    `json:"tokenIndex,omitempty"`
+	Start      int    `json:"start,omitempty"`
+	End        int    `json:"end,omitempty"`
+	Source     string `json:"source,omitempty"`
+}
+
+// reject answers a hardening rejection and counts it by reason, so an
+// operator can tell a misbehaving client from an undersized limit.
+func (s *Server) reject(w http.ResponseWriter, status int, reason string, err error) {
+	s.obs.Counter(obs.WithLabels("serve_rejected_total", "reason", reason)).Inc()
+	writeError(w, status, err)
+}
+
+// readBody drains a size-bounded request body after checking the declared
+// media type. A false return means the response has been written: 413 for
+// an oversized body, 415 for a foreign Content-Type — both counted in
+// serve_rejected_total. An absent Content-Type is accepted as wantType.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, wantType string) ([]byte, bool) {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || mt != wantType {
+			s.reject(w, http.StatusUnsupportedMediaType, "content_type",
+				fmt.Errorf("unsupported Content-Type %q, want %s", ct, wantType))
+			return nil, false
+		}
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.reject(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Errorf("request body exceeds %d bytes", s.maxBody))
+		} else {
+			s.reject(w, http.StatusBadRequest, "body_read", fmt.Errorf("reading body: %w", err))
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	s.obs.Counter("serve_requests_total").Inc()
+	body, ok := s.readBody(w, r, "application/json")
+	if !ok {
+		return
+	}
+	var req extractRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	ctx := obs.NewContext(r.Context(), s.obs)
+	results := s.fleet.ExtractBatch(ctx, req.Docs, s.batch)
+	out := struct {
+		Results []extractResult `json:"results"`
+	}{Results: make([]extractResult, len(results))}
+	for i, res := range results {
+		er := extractResult{Index: res.Index, Key: res.Key}
+		if res.Err != nil {
+			er.Error = res.Err.Error()
+		} else {
+			er.OK = true
+			er.TokenIndex = res.Region.TokenIndex
+			er.Start = res.Region.Span.Start
+			er.End = res.Region.Span.End
+			er.Source = res.Region.Source
+		}
+		out.Results[i] = er
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// putWrapper registers (or replaces) a site wrapper from its persisted
+// JSON, shared by the direct PUT route and the replicated cluster apply.
+// Compilation goes through the shared cache, so re-registering a known
+// expression — or registering the same wrapper under many keys — costs a
+// lookup, and a deploy that PUTs a whole fleet compiles each distinct
+// expression once even under concurrency.
+func (s *Server) putWrapper(key string, body []byte) (status int, resp map[string]any, err error) {
+	wr, err := wrapper.LoadCached(body, s.opt, s.cache)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, machine.ErrBudget) || errors.Is(err, machine.ErrDeadline) {
+			status = http.StatusServiceUnavailable
+		}
+		return status, nil, err
+	}
+	s.fleet.Add(key, wr)
+	resp = map[string]any{"key": key, "sites": s.fleet.Len()}
+	if s.registry != nil {
+		// The registration is live either way; persisted reports whether it
+		// will also survive a restart, so a deploy can alarm on false.
+		resp["persisted"] = s.registry.save(key, body) == nil
+	}
+	return http.StatusCreated, resp, nil
+}
+
+// deleteWrapper removes a site wrapper, persisting a tombstone so the
+// deletion survives restarts exactly like a registration does — even when
+// the key originally came from the deploy-time fleet file. Unknown keys
+// report false.
+func (s *Server) deleteWrapper(key string) (resp map[string]any, known bool) {
+	if s.fleet.Get(key) == nil {
+		return nil, false
+	}
+	s.fleet.Remove(key)
+	resp = map[string]any{"key": key, "sites": s.fleet.Len()}
+	if s.registry != nil {
+		resp["persisted"] = s.registry.delete(key) == nil
+	}
+	return resp, true
+}
+
+func (s *Server) handlePutWrapper(w http.ResponseWriter, r *http.Request) {
+	s.obs.Counter("serve_requests_total").Inc()
+	key := r.PathValue("key")
+	body, ok := s.readBody(w, r, "application/json")
+	if !ok {
+		return
+	}
+	status, resp, err := s.putWrapper(key, body)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleDeleteWrapper(w http.ResponseWriter, r *http.Request) {
+	s.obs.Counter("serve_requests_total").Inc()
+	key := r.PathValue("key")
+	resp, known := s.deleteWrapper(key)
+	if !known {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no wrapper registered for %q", key))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleClusterApply is the replication endpoint a cluster router fans
+// wrapper mutations out to: one codec-framed, checksummed operation per
+// request. A body that is not an op frame at all is an unsupported media
+// type; a frame that fails verification (torn write on the wire, version
+// skew) is malformed input — distinguishable failure modes, both counted.
+func (s *Server) handleClusterApply(w http.ResponseWriter, r *http.Request) {
+	s.obs.Counter("serve_requests_total").Inc()
+	body, ok := s.readBody(w, r, cluster.OpContentType)
+	if !ok {
+		return
+	}
+	if !cluster.IsOpFrame(body) {
+		s.reject(w, http.StatusUnsupportedMediaType, "content_type",
+			errors.New("body is not a cluster op frame"))
+		return
+	}
+	op, err := cluster.DecodeOp(body)
+	if err != nil {
+		reason := "malformed_frame"
+		if errors.Is(err, codec.ErrVersionMismatch) {
+			reason = "frame_version"
+		}
+		s.reject(w, http.StatusBadRequest, reason, err)
+		return
+	}
+	s.obs.Counter(obs.WithLabels("serve_cluster_apply_total", "op", op.Kind.String())).Inc()
+	switch op.Kind {
+	case cluster.OpPut:
+		status, resp, err := s.putWrapper(op.Key, op.Payload)
+		if err != nil {
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, status, resp)
+	case cluster.OpDelete:
+		resp, known := s.deleteWrapper(op.Key)
+		if !known {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no wrapper registered for %q", op.Key))
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.Stats()
+	body := map[string]any{
+		"status": "ok",
+		"sites":  s.fleet.Len(),
+		"cache": map[string]any{
+			"entries":   st.Entries,
+			"hits":      st.Hits,
+			"misses":    st.Misses,
+			"evictions": st.Evictions,
+			"hitRate":   st.HitRate(),
+		},
+	}
+	if disk := s.cache.Disk(); disk != nil {
+		ds := disk.Stats()
+		body["diskCache"] = map[string]any{
+			"dir":       disk.Dir(),
+			"entries":   ds.Entries,
+			"hits":      ds.Hits,
+			"misses":    ds.Misses,
+			"evictions": ds.Evictions,
+			"corrupt":   ds.Corrupt,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

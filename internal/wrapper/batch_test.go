@@ -5,6 +5,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"resilex/internal/machine"
 	"resilex/internal/obs"
@@ -101,5 +102,76 @@ func TestExtractBatchObserved(t *testing.T) {
 	}
 	if h := snap.Histograms["wrapper_batch_doc_duration_us"]; h.Count != 2 {
 		t.Errorf("duration histogram count = %d, want 2", h.Count)
+	}
+}
+
+// TestExtractBatchMidBatchCancel cancels the batch context while workers are
+// mid-flight: documents already processed keep their results, documents
+// after the cancellation fail fast under machine.ErrDeadline, and the result
+// slice stays complete and ordered — the contract the serving path's request
+// cancellation (client disconnect, router failover abandoning a hedge)
+// depends on.
+func TestExtractBatchMidBatchCancel(t *testing.T) {
+	f := fig1Fleet(t)
+	o := obs.New()
+	ctx, cancel := context.WithCancel(obs.NewContext(context.Background(), o))
+	defer cancel()
+
+	const n = 3000
+	docs := make([]BatchDoc, n)
+	for i := range docs {
+		docs[i] = BatchDoc{Key: "vs", HTML: fig1Top}
+	}
+
+	done := make(chan []BatchResult, 1)
+	go func() { done <- f.ExtractBatch(ctx, docs, BatchOptions{Workers: 2}) }()
+
+	// Wait until some documents have definitely been processed, then pull
+	// the rug out mid-batch.
+	deadline := time.Now().Add(10 * time.Second)
+	for o.Metrics.Snapshot().Counters["wrapper_batch_docs_total"] < 10 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch never processed its first documents")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+
+	var res []BatchResult
+	select {
+	case res = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("ExtractBatch did not return after mid-batch cancellation")
+	}
+
+	if len(res) != n {
+		t.Fatalf("%d results for %d docs — cancellation shortened the slice", len(res), n)
+	}
+	succeeded, failed := 0, 0
+	for i, r := range res {
+		if r.Index != i || r.Key != "vs" {
+			t.Fatalf("result %d carries index %d key %q — ordering broken by cancel", i, r.Index, r.Key)
+		}
+		if r.Err == nil {
+			succeeded++
+			continue
+		}
+		failed++
+		if !errors.Is(r.Err, machine.ErrDeadline) {
+			t.Fatalf("res[%d].Err = %v, want machine.ErrDeadline after cancel", i, r.Err)
+		}
+	}
+	if succeeded == 0 {
+		t.Error("no document finished before the cancel — test raced itself")
+	}
+	if failed == 0 {
+		t.Error("no document failed after the cancel — batch completed before cancellation took effect")
+	}
+	snap := o.Metrics.Snapshot()
+	if got := snap.Counters["wrapper_batch_docs_total"]; got != n {
+		t.Errorf("docs_total = %d, want %d (every doc accounted for, even drained ones)", got, n)
+	}
+	if got := snap.Counters["wrapper_batch_errors_total"]; got != int64(failed) {
+		t.Errorf("errors_total = %d, want %d", got, failed)
 	}
 }

@@ -1,0 +1,98 @@
+#!/bin/sh
+# cluster_smoke.sh — end-to-end smoke of the sharded serving path.
+#
+# Boots a 2-shard cluster behind a router (real processes, real HTTP):
+#   1. PUT a trained wrapper through the router (replicated to both shards),
+#   2. extract a document through the router,
+#   3. kill one shard,
+#   4. extract again — the router must fail over and still answer,
+#   5. DELETE the wrapper through the router and confirm it is gone.
+#
+# Run from the repository root (make cluster-smoke). Exits non-zero on the
+# first broken step.
+set -eu
+
+PORT_ROUTER=${PORT_ROUTER:-18440}
+PORT_SHARD1=${PORT_SHARD1:-18441}
+PORT_SHARD2=${PORT_SHARD2:-18442}
+DIR=.smoke-cluster
+ROUTER=http://127.0.0.1:$PORT_ROUTER
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+echo "cluster-smoke: building serve"
+go build -o "$DIR/serve" ./cmd/serve
+
+echo "cluster-smoke: training wrapper"
+go run ./cmd/wrapgen -o "$DIR/wrapper.json" -extra DIV,/DIV,HR \
+    cmd/extract/testdata/fig1_page1.html cmd/extract/testdata/fig1_page2.html
+
+echo "cluster-smoke: booting 2 shards + router"
+"$DIR/serve" -mode shard -listen 127.0.0.1:$PORT_SHARD1 -cache-dir "$DIR/shard1" 2>"$DIR/shard1.log" &
+PIDS="$PIDS $!"
+SHARD1_PID=$!
+"$DIR/serve" -mode shard -listen 127.0.0.1:$PORT_SHARD2 -cache-dir "$DIR/shard2" 2>"$DIR/shard2.log" &
+PIDS="$PIDS $!"
+"$DIR/serve" -mode router -listen 127.0.0.1:$PORT_ROUTER \
+    -peers http://127.0.0.1:$PORT_SHARD1,http://127.0.0.1:$PORT_SHARD2 \
+    -replicas 2 -health-interval 200ms 2>"$DIR/router.log" &
+PIDS="$PIDS $!"
+
+wait_up() {
+    url=$1
+    for _ in $(seq 1 50); do
+        if curl -sf "$url/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "cluster-smoke: $url never became healthy" >&2
+    return 1
+}
+wait_up http://127.0.0.1:$PORT_SHARD1
+wait_up http://127.0.0.1:$PORT_SHARD2
+wait_up "$ROUTER"
+
+echo "cluster-smoke: registering wrapper through the router"
+put=$(curl -s -o "$DIR/put.json" -w '%{http_code}' -X PUT \
+    -H 'Content-Type: application/json' --data-binary @"$DIR/wrapper.json" \
+    "$ROUTER/wrappers/vs")
+[ "$put" = 201 ] || { echo "cluster-smoke: PUT status $put: $(cat "$DIR/put.json")" >&2; exit 1; }
+grep -q '"replicated":2' "$DIR/put.json" || {
+    echo "cluster-smoke: PUT not replicated to both shards: $(cat "$DIR/put.json")" >&2; exit 1; }
+
+echo "cluster-smoke: extracting through the router"
+curl -s -H 'Content-Type: application/json' \
+    --data-binary @scripts/testdata/cluster_smoke_request.json \
+    "$ROUTER/extract" >"$DIR/extract1.json"
+grep -q '"ok":true' "$DIR/extract1.json" || {
+    echo "cluster-smoke: extraction failed: $(cat "$DIR/extract1.json")" >&2; exit 1; }
+
+echo "cluster-smoke: killing shard 1, extracting again (failover)"
+kill "$SHARD1_PID"
+wait "$SHARD1_PID" 2>/dev/null || true
+curl -s -H 'Content-Type: application/json' \
+    --data-binary @scripts/testdata/cluster_smoke_request.json \
+    "$ROUTER/extract" >"$DIR/extract2.json"
+grep -q '"ok":true' "$DIR/extract2.json" || {
+    echo "cluster-smoke: extraction after shard kill failed: $(cat "$DIR/extract2.json")" >&2; exit 1; }
+
+echo "cluster-smoke: deleting wrapper through the router"
+del=$(curl -s -o "$DIR/del.json" -w '%{http_code}' -X DELETE "$ROUTER/wrappers/vs")
+[ "$del" = 200 ] || { echo "cluster-smoke: DELETE status $del: $(cat "$DIR/del.json")" >&2; exit 1; }
+curl -s -H 'Content-Type: application/json' \
+    --data-binary @scripts/testdata/cluster_smoke_request.json \
+    "$ROUTER/extract" >"$DIR/extract3.json"
+grep -q '"ok":true' "$DIR/extract3.json" && {
+    echo "cluster-smoke: extraction still succeeds after DELETE" >&2; exit 1; }
+
+echo "cluster-smoke: OK (replicated put, routed extract, failover extract, replicated delete)"
