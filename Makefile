@@ -2,16 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race cover fuzz fuzz-smoke check bench microbench experiments examples metrics-smoke doc-smoke cache-smoke cluster-smoke clean
+.PHONY: all build fmt-check vet test race cover fuzz fuzz-smoke check bench microbench experiments examples metrics-smoke doc-smoke cache-smoke cluster-smoke refresh-smoke clean
 
 all: build vet test
 
 # The robustness gate: static checks, the full suite under the race
 # detector, a short fuzz smoke over every fuzz target, the observability
 # smoke over the worked example, the godoc smoke over the serving-path
-# APIs, the cache-hit-rate smoke over a quick E16 run, and the sharded
-# cluster smoke (boot router + 2 shards, replicate, extract, failover).
-check: fmt-check vet race fuzz-smoke metrics-smoke doc-smoke cache-smoke cluster-smoke
+# APIs, the cache-hit-rate smoke over a quick E16 run, the sharded
+# cluster smoke (boot router + 2 shards, replicate, extract, failover),
+# and the refresh smoke (drift -> canary -> promote, break -> rollback).
+check: fmt-check vet race fuzz-smoke metrics-smoke doc-smoke cache-smoke cluster-smoke refresh-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -40,6 +41,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzLoadWrapper -fuzztime=10s ./internal/wrapper/
 	$(GO) test -fuzz=FuzzLoadFleet -fuzztime=10s ./internal/wrapper/
 	$(GO) test -fuzz=FuzzDecodeArtifact -fuzztime=10s ./internal/extract/
+	$(GO) test -fuzz=FuzzDecodeVersionRecord -fuzztime=10s ./internal/cluster/
 
 # 5s per target, for the check gate.
 fuzz-smoke:
@@ -49,14 +51,16 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzLoadWrapper -fuzztime=5s ./internal/wrapper/
 	$(GO) test -fuzz=FuzzLoadFleet -fuzztime=5s ./internal/wrapper/
 	$(GO) test -fuzz=FuzzDecodeArtifact -fuzztime=5s ./internal/extract/
+	$(GO) test -fuzz=FuzzDecodeVersionRecord -fuzztime=5s ./internal/cluster/
 
 # The serving-path experiments at a fixed seed: E16 throughput (docs/sec,
 # p50/p99 latency, cache hit rate), E17 persistence (cold-compile vs
-# warm-disk vs warm-memory first-request latency) and E18 cluster scaling
-# (1/2/4-shard throughput plus a kill-one-shard failover run), written to
-# ./BENCH_E16.json, ./BENCH_E17.json and ./BENCH_E18.json.
+# warm-disk vs warm-memory first-request latency), E18 cluster scaling
+# (1/2/4-shard throughput plus a kill-one-shard failover run) and E19
+# continuous refresh (drift -> canary -> promote, break -> rollback, zero
+# failed requests), written to ./BENCH_E16.json ... ./BENCH_E19.json.
 bench:
-	$(GO) run ./cmd/resilience -run E16,E17,E18 -seed 1 -bench-dir .
+	$(GO) run ./cmd/resilience -run E16,E17,E18,E19 -seed 1 -bench-dir .
 
 # Go microbenchmarks (go test -bench) over every package.
 microbench:
@@ -98,6 +102,13 @@ cache-smoke:
 # extract again (failover), then DELETE and confirm the key is gone.
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
+
+# Refresh smoke: boot one node with the drift watcher on, PUT v1, drop a
+# drifted sample and drive drifted traffic until the watcher canaries and
+# promotes the re-induced wrapper, then swap the spool to an alien family
+# and confirm the bad canary rolls back — with every request answered.
+refresh-smoke:
+	sh scripts/refresh_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

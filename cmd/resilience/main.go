@@ -99,12 +99,14 @@ func run() int {
 	e18keys := 32
 	e18window := 600 * time.Millisecond
 	e18service := 10 * time.Millisecond
+	e19reqs := 30
 	if *quick {
 		e16docs = 300
 		e17trials = 3
 		e18keys = 12
 		e18window = 250 * time.Millisecond
 		e18service = 5 * time.Millisecond
+		e19reqs = 10
 		sizes = sizes[:4]
 		e4ns = e4ns[:5]
 		e6ns = e6ns[:5]
@@ -129,6 +131,7 @@ func run() int {
 		{"E16", func() bench.Table { return bench.E16Throughput(e16docs, 0, *seed) }},
 		{"E17", func() bench.Table { return bench.E17Persistence("", e17trials, *seed) }},
 		{"E18", func() bench.Table { return bench.E18Cluster(e18keys, e18window, e18service) }},
+		{"E19", func() bench.Table { return bench.E19Drift(e19reqs, 4, *seed) }},
 	}
 
 	want := map[string]bool{}
@@ -210,7 +213,7 @@ func run() int {
 		return 1
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "resilience: no experiment matched -run (valid: E3 E4 E5 E6 E7 E8 E8H E10 E11 E13 E14 E15 E16 E17 E18)")
+		fmt.Fprintln(os.Stderr, "resilience: no experiment matched -run (valid: E3 E4 E5 E6 E7 E8 E8H E10 E11 E13 E14 E15 E16 E17 E18 E19)")
 		return 2
 	}
 	return 0

@@ -25,7 +25,16 @@
 //	                       JSON; compilation is cached and deduplicated, and with
 //	                       -cache-dir the registration survives restarts
 //	DELETE /wrappers/{key} remove a site wrapper; with -cache-dir the deletion
-//	                       persists as a tombstone, so restarts don't resurrect it
+//	                       persists as a versioned tombstone, so restarts don't
+//	                       resurrect it (a later re-PUT does, at a higher version)
+//	PUT    /wrappers/{key}/canary    stage a candidate version on a slice of the
+//	                                 key's traffic (-canary-fraction, default 0.25)
+//	POST   /wrappers/{key}/promote   make the staged canary active (?version=N
+//	                                 guards against promoting an unseen canary)
+//	POST   /wrappers/{key}/rollback  discard the staged canary, or revert the
+//	                                 most recent promotion to the prior version
+//	GET    /wrappers/{key}/versions  the key's version state machine and canary
+//	                                 observation-window statistics
 //	POST   /cluster/apply  replicated wrapper operation from a cluster router
 //	                       (codec-framed, checksummed; shard mode's write path)
 //	GET    /healthz        liveness plus fleet size and memory/disk cache stats
@@ -55,6 +64,16 @@
 // measures the ≥5× first-request win). Corrupt or stale-version blobs are
 // discarded and recompiled. On SIGINT/SIGTERM the server stops accepting,
 // drains in-flight requests for at most -drain, and exits 0.
+//
+// With -sample-dir the continuous-refresh pipeline runs in-process: a
+// background drift watcher (internal/refresh) reads live page samples from
+// <dir>/<key>/*.html every -refresh-interval, re-induces a candidate
+// wrapper when the active version starts missing them, canary-deploys it on
+// -canary-fraction of the key's traffic, and promotes or rolls back on the
+// observation window's verdict. Registry versions, canary state and rollout
+// outcomes all persist under -cache-dir and replicate through
+// POST /cluster/apply in shard mode. Experiment E19 measures the pipeline;
+// scripts/refresh_smoke.sh drives it against real processes.
 package main
 
 import (
@@ -72,6 +91,7 @@ import (
 	"resilex/internal/cluster"
 	"resilex/internal/machine"
 	"resilex/internal/obs"
+	"resilex/internal/refresh"
 	"resilex/internal/serve"
 	"resilex/internal/wrapper"
 )
@@ -92,6 +112,11 @@ func run() int {
 	maxStates := flag.Int("max-states", 0, "state budget for wrapper compilation (0 = default)")
 	maxBody := flag.Int64("max-body", 0, "request-body size limit in bytes (0 = 64 MiB)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown deadline for in-flight requests")
+	// Refresh-pipeline flags (single/shard modes).
+	canaryFraction := flag.Float64("canary-fraction", 0, "fraction of a key's traffic routed to its staged canary version (0 = default 0.25)")
+	sampleDir := flag.String("sample-dir", "", "spool directory of live page samples (<dir>/<key>/*.html); enables the background drift watcher")
+	refreshInterval := flag.Duration("refresh-interval", 30*time.Second, "drift-watch period when -sample-dir is set")
+	refreshMinSamples := flag.Int("refresh-min-samples", 0, "smallest spool sample set worth judging drift on (0 = default 3)")
 	// Router-mode flags.
 	peers := flag.String("peers", "", "router: comma-separated shard base URLs (e.g. http://h0:8093,http://h1:8093)")
 	replicas := flag.Int("replicas", 0, "router: owners per wrapper key (0 = default 2, capped at peer count)")
@@ -128,10 +153,26 @@ func run() int {
 				Workers:    *workers,
 				DocTimeout: *docTimeout,
 			},
+			CanaryFraction: *canaryFraction,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "serve:", err)
 			return 1
+		}
+		if *sampleDir != "" {
+			ctrl, err := refresh.New(s, refresh.Config{
+				Sampler:    refresh.NewDirSampler(*sampleDir),
+				Interval:   *refreshInterval,
+				MinSamples: *refreshMinSamples,
+				Options:    machine.Options{MaxStates: *maxStates},
+				Observer:   o,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "serve:", err)
+				return 1
+			}
+			go ctrl.Run(ctx)
+			fmt.Fprintf(os.Stderr, "serve: drift watcher sampling %s every %s\n", *sampleDir, *refreshInterval)
 		}
 		fmt.Fprintf(os.Stderr, "serve: %s mode, %d wrapper(s) loaded\n", *mode, s.Fleet().Len())
 		handler = s.Mux()

@@ -1,0 +1,73 @@
+package bench
+
+import "testing"
+
+// TestE19RefreshZeroFailedRequests asserts the acceptance properties of the
+// continuous-refresh pipeline directly, independent of the emitted bench
+// table: benign drift ends promoted, a semantic break ends rolled back, and
+// neither direction fails a single request.
+func TestE19RefreshZeroFailedRequests(t *testing.T) {
+	t.Run("benign drift promotes", func(t *testing.T) {
+		res := runDriftBench(true, 30, 4, 1)
+		if res.outcome != "promoted" {
+			t.Fatalf("outcome = %q, want promoted", res.outcome)
+		}
+		if res.activeVersion != 2 {
+			t.Errorf("active version = %d after promotion, want 2", res.activeVersion)
+		}
+		if res.deploys != 1 || res.promotes != 1 || res.rollbacks != 0 {
+			t.Errorf("rollout counters deploys=%d promotes=%d rollbacks=%d, want 1/1/0",
+				res.deploys, res.promotes, res.rollbacks)
+		}
+		if res.canaryObs < 20 {
+			t.Errorf("observation window saw %d canary extractions, want >= 20", res.canaryObs)
+		}
+		for _, ph := range res.phases {
+			if ph.requests == 0 {
+				t.Fatalf("phase %q issued no requests", ph.label)
+			}
+			if ph.failed != 0 {
+				t.Errorf("phase %q: %d of %d requests failed, want 0", ph.label, ph.failed, ph.requests)
+			}
+		}
+		// Before the refresh, v1 misses all drifted traffic; after the
+		// promotion, everything extracts.
+		if pre := res.phases[0]; pre.okDocs != 0 {
+			t.Errorf("phase %q: %d docs extracted on v1, want 0 (traffic drifted)", pre.label, pre.okDocs)
+		}
+		if post := res.phases[len(res.phases)-1]; post.okDocs != post.docs {
+			t.Errorf("phase %q: %d/%d docs extracted after promotion, want all", post.label, post.okDocs, post.docs)
+		}
+	})
+
+	t.Run("semantic break rolls back", func(t *testing.T) {
+		res := runDriftBench(false, 30, 4, 1)
+		if res.outcome != "rolled-back" {
+			t.Fatalf("outcome = %q, want rolled-back", res.outcome)
+		}
+		if res.activeVersion != 1 {
+			t.Errorf("active version = %d after rollback, want 1", res.activeVersion)
+		}
+		if res.deploys != 1 || res.promotes != 0 || res.rollbacks != 1 {
+			t.Errorf("rollout counters deploys=%d promotes=%d rollbacks=%d, want 1/0/1",
+				res.deploys, res.promotes, res.rollbacks)
+		}
+		if res.fallbacks == 0 {
+			t.Error("no canary-miss fallbacks recorded — the bad canary never took traffic")
+		}
+		for _, ph := range res.phases {
+			if ph.requests == 0 {
+				t.Fatalf("phase %q issued no requests", ph.label)
+			}
+			if ph.failed != 0 {
+				t.Errorf("phase %q: %d of %d requests failed, want 0", ph.label, ph.failed, ph.requests)
+			}
+			// Stronger than zero failed requests: the in-request fallback
+			// means the bad canary never even costs an extraction.
+			if ph.okDocs != ph.docs {
+				t.Errorf("phase %q: %d/%d docs extracted, want all (canary misses must fall back)",
+					ph.label, ph.okDocs, ph.docs)
+			}
+		}
+	})
+}

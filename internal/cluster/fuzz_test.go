@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"resilex/internal/codec"
+)
+
+// FuzzDecodeVersionRecord drives DecodeOp — the versioned-record frame every
+// canary/promote/rollback replication travels as — with arbitrary bytes.
+// The invariants: no panic, no unbounded allocation, and every accepted
+// frame is internally consistent (valid kind, non-empty key, payload
+// presence matching the kind) and re-encodes to a decodable frame. A frame
+// that fails any structural check must classify under ErrMalformedInput so
+// the apply endpoint can answer 400 instead of applying a torn operation
+// partially.
+func FuzzDecodeVersionRecord(f *testing.F) {
+	f.Add(EncodeOp(Op{Kind: OpPut, Key: "site", Payload: []byte(`{"version":1}`)}))
+	f.Add(EncodeOp(Op{Kind: OpDelete, Key: "site"}))
+	f.Add(EncodeOp(Op{Kind: OpCanary, Key: "site", Version: 3, Payload: []byte(`{}`)}))
+	f.Add(EncodeOp(Op{Kind: OpPromote, Key: "site", Version: 3}))
+	f.Add(EncodeOp(Op{Kind: OpRollback, Key: "site", Version: 3}))
+	// A legacy (version-1) put frame.
+	legacy := func() []byte {
+		var w codec.Writer
+		w.Uint(uint64(OpPut))
+		w.String("site")
+		w.Bytes2([]byte(`{}`))
+		return codec.Seal(OpMagic, opVersionLegacy, w.Bytes())
+	}
+	f.Add(legacy())
+	// Torn and corrupt variants.
+	whole := EncodeOp(Op{Kind: OpCanary, Key: "site", Version: 9, Payload: []byte(`{"x":1}`)})
+	f.Add(whole[:len(whole)/2])
+	flipped := append([]byte(nil), whole...)
+	flipped[len(flipped)-3] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte("RXCL"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		op, err := DecodeOp(blob)
+		if err != nil {
+			if !errors.Is(err, codec.ErrMalformedInput) {
+				t.Fatalf("decode error %v does not classify under ErrMalformedInput", err)
+			}
+			return
+		}
+		// Accepted frames satisfy the op invariants...
+		if op.Key == "" {
+			t.Fatalf("accepted op with empty key: %+v", op)
+		}
+		switch op.Kind {
+		case OpPut, OpCanary:
+			if len(op.Payload) == 0 {
+				t.Fatalf("accepted %v without payload", op.Kind)
+			}
+		case OpDelete, OpPromote, OpRollback:
+			if len(op.Payload) != 0 {
+				t.Fatalf("accepted %v with payload", op.Kind)
+			}
+		default:
+			t.Fatalf("accepted unknown kind %d", op.Kind)
+		}
+		// ...and survive a re-encode round trip (legacy frames re-encode as
+		// current-version frames with record version 0 — same operation).
+		again, err := DecodeOp(EncodeOp(op))
+		if err != nil {
+			t.Fatalf("re-encode of accepted op failed to decode: %v", err)
+		}
+		if again.Kind != op.Kind || again.Key != op.Key || again.Version != op.Version ||
+			!bytes.Equal(again.Payload, op.Payload) {
+			t.Fatalf("re-encode round trip: got %+v, want %+v", again, op)
+		}
+	})
+}

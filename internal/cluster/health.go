@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
@@ -49,8 +50,16 @@ type MembershipConfig struct {
 	// where any response below 500 counts as alive (a shard that answers
 	// 4xx is misconfigured but reachable — routing to it beats dropping it).
 	Probe func(ctx context.Context, node string) error
+	// Jitter spreads each poll interval uniformly within ±Jitter·Interval,
+	// so a fleet of routers restarted together does not probe every shard in
+	// lockstep (thundering herd). 0 selects the default 0.1; negative
+	// disables jitter. Values above 1 are clamped to 1.
+	Jitter float64
 	// Now is injectable for deterministic tests. Default time.Now.
 	Now func() time.Time
+	// Rand is the jitter source, injectable for deterministic tests: a
+	// function returning a uniform float64 in [0, 1). Default math/rand.
+	Rand func() float64
 	// Observer receives the membership telemetry: the cluster_ring_nodes /
 	// cluster_ring_nodes_up gauges, per-node cluster_node_up gauges, and
 	// cluster_node_transitions_total counters. nil disables observation.
@@ -88,7 +97,33 @@ func (c MembershipConfig) withDefaults() MembershipConfig {
 	if c.Now == nil {
 		c.Now = time.Now
 	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.1
+	}
+	if c.Jitter < 0 {
+		c.Jitter = 0
+	}
+	if c.Jitter > 1 {
+		c.Jitter = 1
+	}
+	if c.Rand == nil {
+		c.Rand = rand.Float64
+	}
 	return c
+}
+
+// Jittered spreads d uniformly within ±jitter·d using r as the randomness
+// source: d · (1 + (2r−1)·jitter). With jitter 0 (or a degenerate result)
+// the input is returned unchanged — the schedule never collapses to zero.
+func Jittered(d time.Duration, jitter float64, r func() float64) time.Duration {
+	if jitter <= 0 || d <= 0 {
+		return d
+	}
+	j := time.Duration(float64(d) * (1 + (2*r()-1)*jitter))
+	if j <= 0 {
+		return d
+	}
+	return j
 }
 
 // nodeHealth is the per-node breaker record.
@@ -265,9 +300,11 @@ func (m *Membership) PollOnce(ctx context.Context) {
 	wg.Wait()
 }
 
-// Run polls every Interval until ctx is canceled.
+// Run polls roughly every Interval until ctx is canceled. Each wait is
+// jittered within ±Jitter·Interval so a fleet of routers restarted at the
+// same instant desynchronizes instead of probing every shard in lockstep.
 func (m *Membership) Run(ctx context.Context) {
-	t := time.NewTicker(m.cfg.Interval)
+	t := time.NewTimer(Jittered(m.cfg.Interval, m.cfg.Jitter, m.cfg.Rand))
 	defer t.Stop()
 	for {
 		select {
@@ -275,6 +312,7 @@ func (m *Membership) Run(ctx context.Context) {
 			return
 		case <-t.C:
 			m.PollOnce(ctx)
+			t.Reset(Jittered(m.cfg.Interval, m.cfg.Jitter, m.cfg.Rand))
 		}
 	}
 }

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"resilex/internal/obs"
 )
@@ -104,5 +106,57 @@ func TestMembershipPollOnce(t *testing.T) {
 	}
 	if snap[1].State != "up" {
 		t.Fatalf("n2 state = %s, want up", snap[1].State)
+	}
+}
+
+// TestJitteredBounds: the jittered interval stays within ±jitter·d and
+// degenerate inputs pass through unchanged — the poll schedule must never
+// collapse to zero or go negative.
+func TestJitteredBounds(t *testing.T) {
+	d := time.Second
+	for _, r := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
+		got := Jittered(d, 0.1, func() float64 { return r })
+		lo, hi := time.Duration(float64(d)*0.9), time.Duration(float64(d)*1.1)
+		if got < lo || got > hi {
+			t.Errorf("Jittered(1s, 0.1, r=%v) = %v, want within [%v, %v]", r, got, lo, hi)
+		}
+	}
+	if got := Jittered(d, 0.1, func() float64 { return 0.5 }); got != d {
+		t.Errorf("midpoint jitter = %v, want exactly %v", got, d)
+	}
+	if got := Jittered(d, 0, nil); got != d {
+		t.Errorf("zero jitter = %v, want %v", got, d)
+	}
+	if got := Jittered(0, 0.1, func() float64 { return 0 }); got != 0 {
+		t.Errorf("zero interval = %v, want 0", got)
+	}
+	// Full jitter with the worst draw must not zero the schedule.
+	if got := Jittered(d, 1, func() float64 { return 0 }); got <= 0 {
+		t.Errorf("full jitter worst draw = %v, want > 0", got)
+	}
+}
+
+// TestMembershipRunJittered: Run keeps polling with jitter enabled — the
+// jittered timer must re-arm after every poll.
+func TestMembershipRunJittered(t *testing.T) {
+	var mu sync.Mutex
+	polls := 0
+	m := NewMembership([]string{"http://n1"}, MembershipConfig{
+		Interval: time.Millisecond,
+		Jitter:   0.5,
+		Probe: func(ctx context.Context, node string) error {
+			mu.Lock()
+			polls++
+			mu.Unlock()
+			return nil
+		},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	m.Run(ctx)
+	mu.Lock()
+	defer mu.Unlock()
+	if polls < 3 {
+		t.Fatalf("polls = %d, want at least 3 (timer must re-arm)", polls)
 	}
 }

@@ -9,6 +9,8 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -130,6 +132,10 @@ func (rt *Router) Mux() *http.ServeMux {
 	mux.HandleFunc("POST /extract", rt.handleExtract)
 	mux.HandleFunc("PUT /wrappers/{key}", rt.handlePutWrapper)
 	mux.HandleFunc("DELETE /wrappers/{key}", rt.handleDeleteWrapper)
+	mux.HandleFunc("PUT /wrappers/{key}/canary", rt.handleCanaryWrapper)
+	mux.HandleFunc("POST /wrappers/{key}/promote", rt.handleRollout("promote", OpPromote))
+	mux.HandleFunc("POST /wrappers/{key}/rollback", rt.handleRollout("rollback", OpRollback))
+	mux.HandleFunc("GET /wrappers/{key}/versions", rt.handleVersions)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	return mux
 }
@@ -321,7 +327,7 @@ func (rt *Router) attemptChain(ctx context.Context, method, path, contentType st
 		}
 		res, err := rt.try(ctx, node, method, path, contentType, body)
 		if err != nil {
-			rt.health.ReportFailure(node, err)
+			rt.reportAttempt(node, err)
 			lastErr = err
 			if ctx.Err() != nil {
 				return nil, lastErr
@@ -335,6 +341,35 @@ func (rt *Router) attemptChain(ctx context.Context, method, path, contentType st
 		lastErr = errors.New("cluster: no owners to try")
 	}
 	return nil, lastErr
+}
+
+// statusError is a proxy attempt the shard answered with a 5xx. It still
+// fails the attempt (the request fails over to the next replica) but must
+// not count against the node's membership breaker: the node is reachable
+// and answering, and a 5xx can be a per-request verdict on the payload —
+// e.g. a 503 construction-budget rejection of one pathological wrapper.
+// Were it a passive failure, a client replaying such a request could walk a
+// healthy shard's breaker down. Liveness of answering-but-erroring nodes is
+// the active /healthz prober's call, not traffic's.
+type statusError struct {
+	node, path string
+	status     int
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("cluster: %s%s: status %d", e.node, e.path, e.status)
+}
+
+// reportAttempt feeds one failed proxy attempt into the membership view:
+// transport-level failures (unreachable, timeout, torn response) count
+// toward the breaker, while an answered 5xx proves the node alive.
+func (rt *Router) reportAttempt(node string, err error) {
+	var se *statusError
+	if errors.As(err, &se) {
+		rt.health.ReportSuccess(node)
+		return
+	}
+	rt.health.ReportFailure(node, err)
 }
 
 // try is one bounded proxy attempt. A response is a failure only when the
@@ -360,7 +395,7 @@ func (rt *Router) try(ctx context.Context, node, method, path, contentType strin
 		return nil, err
 	}
 	if resp.StatusCode >= 500 {
-		return nil, fmt.Errorf("cluster: %s%s: status %d", node, path, resp.StatusCode)
+		return nil, &statusError{node: node, path: path, status: resp.StatusCode}
 	}
 	return &proxyResult{
 		status:      resp.StatusCode,
@@ -389,7 +424,7 @@ func (rt *Router) replicate(ctx context.Context, owners []string, op Op) []repli
 			defer wg.Done()
 			res, err := rt.try(ctx, node, http.MethodPost, "/cluster/apply", OpContentType, frame)
 			if err != nil {
-				rt.health.ReportFailure(node, err)
+				rt.reportAttempt(node, err)
 				out[i] = replicaOutcome{Node: node, Error: err.Error()}
 				return
 			}
@@ -460,6 +495,80 @@ func (rt *Router) handleDeleteWrapper(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.routeOutcome("error")
 	writeJSONError(w, statusOf(firstErr, http.StatusBadGateway), fmt.Errorf("no owner could delete: %s", firstErr))
+}
+
+// handleCanaryWrapper replicates a canary registration to all R owners of
+// the key, exactly like a PUT — the canary is staged next to each owner's
+// active version and starts receiving its traffic fraction there.
+func (rt *Router) handleCanaryWrapper(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	body, ok := rt.readBody(w, r, "application/json")
+	if !ok {
+		return
+	}
+	owners := rt.ring.Owners(key, rt.cfg.Replicas)
+	outcomes := rt.replicate(r.Context(), owners, Op{Kind: OpCanary, Key: key, Payload: body})
+	applied, firstErr := summarize(outcomes, http.StatusCreated)
+	if applied == 0 {
+		rt.routeOutcome("error")
+		writeJSONError(w, statusOf(firstErr, http.StatusBadGateway), fmt.Errorf("no owner staged the canary: %s", firstErr))
+		return
+	}
+	rt.routeOutcome("ok")
+	writeJSONStatus(w, http.StatusCreated, map[string]any{
+		"key": key, "replicated": applied, "owners": outcomes,
+	})
+}
+
+// handleRollout builds the promote/rollback handler: the decision replicates
+// to all owners through the same framed apply path as registrations, with
+// the optional ?version=N guard carried in the op.
+func (rt *Router) handleRollout(name string, kind OpKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		var version uint64
+		if q := r.URL.Query().Get("version"); q != "" {
+			v, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				rt.routeOutcome("reject")
+				writeJSONError(w, http.StatusBadRequest, fmt.Errorf("bad version %q: %w", q, err))
+				return
+			}
+			version = v
+		}
+		owners := rt.ring.Owners(key, rt.cfg.Replicas)
+		outcomes := rt.replicate(r.Context(), owners, Op{Kind: kind, Key: key, Version: version})
+		applied, firstErr := summarize(outcomes, http.StatusOK)
+		if applied == 0 {
+			rt.routeOutcome("error")
+			writeJSONError(w, statusOf(firstErr, http.StatusBadGateway), fmt.Errorf("no owner applied the %s: %s", name, firstErr))
+			return
+		}
+		rt.routeOutcome("ok")
+		writeJSONStatus(w, http.StatusOK, map[string]any{
+			"key": key, name: applied, "owners": outcomes,
+		})
+	}
+}
+
+// handleVersions proxies the version-state read to the key's owners with
+// failover, so rollout tooling can poll one router address.
+func (rt *Router) handleVersions(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	owners := rt.ring.Owners(key, rt.cfg.Replicas)
+	if len(owners) == 0 {
+		rt.routeOutcome("error")
+		writeJSONError(w, http.StatusBadGateway, errors.New("cluster: placement ring is empty"))
+		return
+	}
+	res, err := rt.attemptChain(r.Context(), http.MethodGet, "/wrappers/"+url.PathEscape(key)+"/versions", "", nil, rt.health.Order(owners))
+	if err != nil {
+		rt.routeOutcome("error")
+		writeJSONError(w, http.StatusBadGateway, fmt.Errorf("no replica could report versions: %w", err))
+		return
+	}
+	rt.routeOutcome("ok")
+	relay(w, res)
 }
 
 // summarize counts owners that answered with the wanted success status and

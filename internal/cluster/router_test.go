@@ -26,11 +26,12 @@ type fakeShard struct {
 	mu       sync.Mutex
 	applied  []Op
 	wrappers map[string]bool
+	canaries map[string]uint64
 }
 
 func newFakeShard(t *testing.T, id string) *fakeShard {
 	t.Helper()
-	s := &fakeShard{id: id, wrappers: map[string]bool{}}
+	s := &fakeShard{id: id, wrappers: map[string]bool{}, canaries: map[string]uint64{}}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /extract", func(w http.ResponseWriter, r *http.Request) {
 		if s.delay > 0 {
@@ -59,6 +60,29 @@ func newFakeShard(t *testing.T, id string) *fakeShard {
 				return
 			}
 			delete(s.wrappers, op.Key)
+			w.WriteHeader(http.StatusOK)
+		case OpCanary:
+			if !s.wrappers[op.Key] {
+				http.Error(w, "no active wrapper", http.StatusNotFound)
+				return
+			}
+			v := op.Version
+			if v == 0 {
+				v = 2
+			}
+			s.canaries[op.Key] = v
+			w.WriteHeader(http.StatusCreated)
+		case OpPromote, OpRollback:
+			v, staged := s.canaries[op.Key]
+			if !staged {
+				http.Error(w, "no canary", http.StatusNotFound)
+				return
+			}
+			if op.Version != 0 && op.Version != v {
+				http.Error(w, "version conflict", http.StatusConflict)
+				return
+			}
+			delete(s.canaries, op.Key)
 			w.WriteHeader(http.StatusOK)
 		}
 	})
@@ -424,5 +448,141 @@ func TestRouterHealthz(t *testing.T) {
 	}
 	if h.Mode != "router" || h.Replicas != 2 || h.Ring.Nodes != 2 || h.Ring.Up != 1 || len(h.Nodes) != 2 {
 		t.Errorf("healthz = %+v", h)
+	}
+}
+
+// TestRouterReplicatesCanaryRollout drives the canary → promote lifecycle
+// through the router: both ops must reach every owner of the key as framed
+// versioned records, and a version-guarded promote must carry the guard.
+func TestRouterReplicatesCanaryRollout(t *testing.T) {
+	rt, shards, _ := testCluster(t, 3, nil)
+	// Register the active wrapper first — a canary needs one to stage next to.
+	if rec := routerDo(t, rt, "PUT", "/wrappers/site-a", []byte(`{"v":1}`), "application/json"); rec.Code != http.StatusCreated {
+		t.Fatalf("PUT: %d: %s", rec.Code, rec.Body)
+	}
+	if rec := routerDo(t, rt, "PUT", "/wrappers/site-a/canary", []byte(`{"v":2}`), "application/json"); rec.Code != http.StatusCreated {
+		t.Fatalf("canary: %d: %s", rec.Code, rec.Body)
+	}
+	// A promote guarded on a version no owner staged conflicts everywhere.
+	if rec := routerDo(t, rt, "POST", "/wrappers/site-a/promote?version=99", nil, ""); rec.Code == http.StatusOK {
+		t.Fatalf("stale promote succeeded: %s", rec.Body)
+	}
+	if rec := routerDo(t, rt, "POST", "/wrappers/site-a/promote", nil, ""); rec.Code != http.StatusOK {
+		t.Fatalf("promote: %d: %s", rec.Code, rec.Body)
+	}
+	owners := rt.Owners("site-a")
+	if len(owners) != 2 {
+		t.Fatalf("owners = %v", owners)
+	}
+	for _, node := range owners {
+		sh := shardByURL(shards, node)
+		var kinds []OpKind
+		for _, op := range sh.appliedOps() {
+			kinds = append(kinds, op.Kind)
+		}
+		want := []OpKind{OpPut, OpCanary, OpPromote, OpPromote}
+		if fmt.Sprint(kinds) != fmt.Sprint(want) {
+			t.Errorf("%s applied %v, want %v", sh.id, kinds, want)
+		}
+	}
+	// Stage another canary and roll it back through the router.
+	if rec := routerDo(t, rt, "PUT", "/wrappers/site-a/canary", []byte(`{"v":3}`), "application/json"); rec.Code != http.StatusCreated {
+		t.Fatalf("second canary: %d", rec.Code)
+	}
+	if rec := routerDo(t, rt, "POST", "/wrappers/site-a/rollback", nil, ""); rec.Code != http.StatusOK {
+		t.Fatalf("rollback: %d: %s", rec.Code, rec.Body)
+	}
+	for _, node := range owners {
+		ops := shardByURL(shards, node).appliedOps()
+		if last := ops[len(ops)-1]; last.Kind != OpRollback {
+			t.Errorf("%s last op = %v, want rollback", node, last.Kind)
+		}
+	}
+}
+
+// erroringShard answers every request with the given status — a reachable
+// node that keeps failing at the application layer.
+func erroringShard(t *testing.T, status int) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "application-level failure", status)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRouterShard5xxDoesNotPoisonMembership is the breaker-poisoning
+// regression test: a shard that answers 5xx at the application layer (e.g. a
+// 503 construction-budget rejection of one client's pathological wrapper) is
+// reachable and must stay Up — only transport-level failures may walk the
+// membership breaker down. Requests still fail over away from the 5xx answer.
+func TestRouterShard5xxDoesNotPoisonMembership(t *testing.T) {
+	bad := erroringShard(t, http.StatusServiceUnavailable)
+	good := newFakeShard(t, "good")
+	o := obs.New()
+	rt, err := NewRouter(RouterConfig{
+		Peers:    []string{bad.URL, good.url()},
+		Replicas: 2,
+		Observer: o,
+		Membership: MembershipConfig{
+			FailureThreshold: 3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A storm of replicated mutations: the bad owner answers 503 every time.
+	for i := 0; i < 10; i++ {
+		rec := routerDo(t, rt, "PUT", "/wrappers/k", []byte(`{"v":1}`), "application/json")
+		if rec.Code != http.StatusCreated {
+			t.Fatalf("PUT %d: %d: %s (one healthy owner must carry it)", i, rec.Code, rec.Body)
+		}
+	}
+	// And an extract storm, which runs the failover chain through the 5xx
+	// node whenever it is primary.
+	for i := 0; i < 10; i++ {
+		if rec := routerDo(t, rt, "POST", "/extract", extractBody("k"), "application/json"); rec.Code != http.StatusOK {
+			t.Fatalf("extract %d: %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	if !rt.Health().Up(bad.URL) {
+		t.Fatal("an answering 5xx shard was marked down by passive traffic")
+	}
+	if up := rt.Health().UpCount(); up != 2 {
+		t.Fatalf("UpCount = %d, want 2", up)
+	}
+}
+
+// TestRouterClient4xxDoesNotPoisonMembership: relayed client errors (404
+// deletes, 400 bodies) are verdicts on the client, not the shard — a client
+// replaying bad requests must not walk a healthy owner's breaker down.
+func TestRouterClient4xxDoesNotPoisonMembership(t *testing.T) {
+	rt, _, _ := testCluster(t, 2, func(cfg *RouterConfig) {
+		cfg.Membership.FailureThreshold = 2
+	})
+	for i := 0; i < 8; i++ {
+		// Unknown key: every owner answers 404.
+		if rec := routerDo(t, rt, "DELETE", "/wrappers/nosuch", nil, ""); rec.Code != http.StatusNotFound {
+			t.Fatalf("DELETE %d: %d", i, rec.Code)
+		}
+	}
+	if up := rt.Health().UpCount(); up != 2 {
+		t.Fatalf("UpCount = %d after 4xx storm, want 2", up)
+	}
+}
+
+// TestRouterProxiesVersions: the version-state read proxies to an owner.
+func TestRouterVersionsProxied(t *testing.T) {
+	rt, shards, _ := testCluster(t, 2, nil)
+	for _, sh := range shards {
+		sh.srv.Config.Handler.(*http.ServeMux).HandleFunc("GET /wrappers/{key}/versions",
+			func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				fmt.Fprintf(w, `{"key":%q,"servedBy":%q}`, r.PathValue("key"), sh.id)
+			})
+	}
+	rec := routerDo(t, rt, "GET", "/wrappers/site-a/versions", nil, "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"key":"site-a"`) {
+		t.Fatalf("versions proxy: %d: %s", rec.Code, rec.Body)
 	}
 }

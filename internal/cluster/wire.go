@@ -11,11 +11,20 @@ import (
 // framing, SHA-256 checksum — so a truncated or bit-flipped body is
 // rejected by the shard before it can corrupt a registry, exactly the
 // corruption policy the disk tier already applies to artifacts at rest.
+//
+// Format version 2 is the versioned-record frame: each operation carries a
+// record version number so canary, promote and rollback replicate through
+// the same apply path as put/delete, and a receiver can detect stale or
+// conflicting rollout operations. Version-1 frames (put/delete, no record
+// version) are still decoded for rolling upgrades.
 const (
 	// OpMagic is the frame magic of a replicated wrapper operation.
 	OpMagic = "RXCL"
 	// OpVersion is the current operation format version.
-	OpVersion byte = 1
+	OpVersion byte = 2
+	// opVersionLegacy is the pre-versioned-record format still accepted on
+	// decode: put/delete only, no record version field.
+	opVersionLegacy byte = 1
 	// OpContentType is the Content-Type of a framed operation body.
 	OpContentType = "application/x-resilex-frame"
 )
@@ -25,11 +34,25 @@ type OpKind byte
 
 // Replicated operation kinds.
 const (
-	// OpPut registers (or replaces) a wrapper under Op.Key from Op.Payload,
-	// the persisted wrapper JSON.
+	// OpPut registers (or replaces) the active wrapper under Op.Key from
+	// Op.Payload, the persisted wrapper JSON.
 	OpPut OpKind = 1
-	// OpDelete removes the wrapper under Op.Key; Payload is empty.
+	// OpDelete removes the wrapper under Op.Key; Payload is empty. The
+	// registry keeps a versioned tombstone so a later re-PUT resurrects the
+	// key with a strictly higher version.
 	OpDelete OpKind = 2
+	// OpCanary stages Op.Payload as the canary version for Op.Key without
+	// touching the active wrapper.
+	OpCanary OpKind = 3
+	// OpPromote makes the staged canary the active wrapper. Op.Version, when
+	// non-zero, must match the staged canary's version (a guard against
+	// promoting a canary the sender never saw); zero promotes whatever is
+	// staged. Payload is empty.
+	OpPromote OpKind = 4
+	// OpRollback discards the staged canary (or, after a promote, reverts the
+	// active wrapper to the prior version). Op.Version, when non-zero, names
+	// the canary version being rolled back. Payload is empty.
+	OpRollback OpKind = 5
 )
 
 // String names the kind.
@@ -39,14 +62,23 @@ func (k OpKind) String() string {
 		return "put"
 	case OpDelete:
 		return "delete"
+	case OpCanary:
+		return "canary"
+	case OpPromote:
+		return "promote"
+	case OpRollback:
+		return "rollback"
 	}
 	return fmt.Sprintf("op(%d)", int(k))
 }
 
-// Op is one replicated wrapper mutation.
+// Op is one replicated wrapper mutation. Version is the record version the
+// operation refers to: assigned by the receiver when zero (put/canary), a
+// guard when non-zero (promote/rollback).
 type Op struct {
 	Kind    OpKind
 	Key     string
+	Version uint64
 	Payload []byte
 }
 
@@ -55,15 +87,39 @@ func EncodeOp(op Op) []byte {
 	var w codec.Writer
 	w.Uint(uint64(op.Kind))
 	w.String(op.Key)
+	w.Uint(op.Version)
 	w.Bytes2(op.Payload)
 	return codec.Seal(OpMagic, OpVersion, w.Bytes())
 }
 
 // DecodeOp verifies a framed operation and returns it. Every failure wraps
 // codec.ErrMalformedInput; IsOpFrame distinguishes "not an op frame at all"
-// for callers that want to answer 415 rather than 400.
+// for callers that want to answer 415 rather than 400. Version-1 frames
+// decode with Version 0 and only the put/delete kinds.
 func DecodeOp(blob []byte) (Op, error) {
+	_, fv, ok := codec.Sniff(blob)
+	if ok && fv == opVersionLegacy {
+		return decodeLegacyOp(blob)
+	}
 	payload, err := codec.Open(OpMagic, OpVersion, blob)
+	if err != nil {
+		return Op{}, err
+	}
+	r := codec.NewReader(payload)
+	op := Op{
+		Kind:    OpKind(r.Uint()),
+		Key:     r.String(),
+		Version: r.Uint(),
+		Payload: r.Bytes2(),
+	}
+	if err := r.Done(); err != nil {
+		return Op{}, err
+	}
+	return op, validateOp(op)
+}
+
+func decodeLegacyOp(blob []byte) (Op, error) {
+	payload, err := codec.Open(OpMagic, opVersionLegacy, blob)
 	if err != nil {
 		return Op{}, err
 	}
@@ -77,12 +133,28 @@ func DecodeOp(blob []byte) (Op, error) {
 		return Op{}, err
 	}
 	if op.Kind != OpPut && op.Kind != OpDelete {
-		return Op{}, fmt.Errorf("%w: unknown op kind %d", codec.ErrMalformedInput, op.Kind)
+		return Op{}, fmt.Errorf("%w: unknown legacy op kind %d", codec.ErrMalformedInput, op.Kind)
 	}
+	return op, validateOp(op)
+}
+
+func validateOp(op Op) error {
 	if op.Key == "" {
-		return Op{}, fmt.Errorf("%w: op with empty key", codec.ErrMalformedInput)
+		return fmt.Errorf("%w: op with empty key", codec.ErrMalformedInput)
 	}
-	return op, nil
+	switch op.Kind {
+	case OpPut, OpCanary:
+		if len(op.Payload) == 0 {
+			return fmt.Errorf("%w: %s op with empty payload", codec.ErrMalformedInput, op.Kind)
+		}
+	case OpDelete, OpPromote, OpRollback:
+		if len(op.Payload) != 0 {
+			return fmt.Errorf("%w: %s op with %d-byte payload", codec.ErrMalformedInput, op.Kind, len(op.Payload))
+		}
+	default:
+		return fmt.Errorf("%w: unknown op kind %d", codec.ErrMalformedInput, op.Kind)
+	}
+	return nil
 }
 
 // IsOpFrame reports whether the blob even claims to be an op frame (right

@@ -12,6 +12,10 @@ func TestOpRoundTrip(t *testing.T) {
 	for _, op := range []Op{
 		{Kind: OpPut, Key: "site-a", Payload: []byte(`{"strategy":"lr"}`)},
 		{Kind: OpDelete, Key: "site-b"},
+		{Kind: OpCanary, Key: "site-a", Version: 7, Payload: []byte(`{"strategy":"lr2"}`)},
+		{Kind: OpPromote, Key: "site-a", Version: 7},
+		{Kind: OpRollback, Key: "site-a", Version: 7},
+		{Kind: OpPromote, Key: "site-a"}, // version 0: promote whatever is staged
 	} {
 		frame := EncodeOp(op)
 		if !IsOpFrame(frame) {
@@ -21,9 +25,36 @@ func TestOpRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: decode: %v", op.Kind, err)
 		}
-		if got.Kind != op.Kind || got.Key != op.Key || !bytes.Equal(got.Payload, op.Payload) {
+		if got.Kind != op.Kind || got.Key != op.Key || got.Version != op.Version ||
+			!bytes.Equal(got.Payload, op.Payload) {
 			t.Fatalf("round trip: got %+v, want %+v", got, op)
 		}
+	}
+}
+
+// A version-1 frame (pre-versioned-record) must still decode during a
+// rolling upgrade: put/delete only, record version 0.
+func TestOpDecodeLegacyFrame(t *testing.T) {
+	encodeLegacy := func(op Op) []byte {
+		var w codec.Writer
+		w.Uint(uint64(op.Kind))
+		w.String(op.Key)
+		w.Bytes2(op.Payload)
+		return codec.Seal(OpMagic, opVersionLegacy, w.Bytes())
+	}
+	got, err := DecodeOp(encodeLegacy(Op{Kind: OpPut, Key: "k", Payload: []byte("p")}))
+	if err != nil {
+		t.Fatalf("legacy put: %v", err)
+	}
+	if got.Kind != OpPut || got.Key != "k" || got.Version != 0 || string(got.Payload) != "p" {
+		t.Fatalf("legacy put decoded as %+v", got)
+	}
+	if _, err := DecodeOp(encodeLegacy(Op{Kind: OpDelete, Key: "k"})); err != nil {
+		t.Fatalf("legacy delete: %v", err)
+	}
+	// Canary and beyond do not exist in the legacy format.
+	if _, err := DecodeOp(encodeLegacy(Op{Kind: OpCanary, Key: "k", Payload: []byte("p")})); !errors.Is(err, codec.ErrMalformedInput) {
+		t.Fatalf("legacy canary: err = %v, want ErrMalformedInput", err)
 	}
 }
 
@@ -48,28 +79,29 @@ func TestOpDecodeRejectsCorruption(t *testing.T) {
 		t.Fatal("foreign bodies must not sniff as op frames")
 	}
 
-	// A structurally valid frame with an unknown kind or empty key is
-	// malformed, not silently accepted.
+	// A structurally valid frame violating op invariants is malformed, not
+	// silently accepted.
 	bad := func(op Op) {
 		t.Helper()
-		var w codec.Writer
-		w.Uint(uint64(op.Kind))
-		w.String(op.Key)
-		w.Bytes2(op.Payload)
-		blob := codec.Seal(OpMagic, OpVersion, w.Bytes())
-		if _, err := DecodeOp(blob); !errors.Is(err, codec.ErrMalformedInput) {
+		if _, err := DecodeOp(EncodeOp(op)); !errors.Is(err, codec.ErrMalformedInput) {
 			t.Fatalf("op %+v: err = %v, want ErrMalformedInput", op, err)
 		}
 	}
 	bad(Op{Kind: OpKind(9), Key: "k"})
 	bad(Op{Kind: OpPut, Key: ""})
+	bad(Op{Kind: OpPut, Key: "k"})                            // put without payload
+	bad(Op{Kind: OpCanary, Key: "k"})                         // canary without payload
+	bad(Op{Kind: OpPromote, Key: "k", Payload: []byte("x")})  // promote carries no payload
+	bad(Op{Kind: OpRollback, Key: "k", Payload: []byte("x")}) // neither does rollback
+	bad(Op{Kind: OpDelete, Key: "k", Payload: []byte("x")})
 }
 
 func TestOpVersionSkew(t *testing.T) {
 	var w codec.Writer
 	w.Uint(uint64(OpPut))
 	w.String("k")
-	w.Bytes2(nil)
+	w.Uint(0)
+	w.Bytes2([]byte("p"))
 	blob := codec.Seal(OpMagic, OpVersion+1, w.Bytes())
 	if !IsOpFrame(blob) {
 		t.Fatal("future-version frame should still sniff as ours")

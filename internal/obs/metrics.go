@@ -8,7 +8,15 @@
 //
 // The package deliberately has no dependencies outside the standard library
 // and imports nothing else from this module, so every layer (machine,
-// extract, wrapper, bench, the CLIs) can use it without cycles.
+// extract, wrapper, serve, refresh, bench, the CLIs) can use it without
+// cycles.
+//
+// Metric families are owned by their emitting layers and documented in
+// DESIGN.md §6: machine_*/extract_* (construction), supervisor_*
+// (degradation ladder), serve_*/cluster_* (serving and replication), and
+// refresh_* (the drift-watcher/canary rollout pipeline, whose promote and
+// rollback decisions are themselves gated on counters read back from this
+// registry).
 package obs
 
 import (

@@ -1,0 +1,356 @@
+package refresh
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"resilex/internal/machine"
+	"resilex/internal/wrapper"
+)
+
+// The base layout family the active wrapper is trained on (the E1⟨p⟩E2
+// fixtures used across the serve tests).
+const pageTop = `<P>
+<H1>Virtual Supplier, Inc.</H1>
+<P>
+<form method="post" action="search.cgi">
+<input type="image" align="left" src="search.gif" />
+<input type="text" size="15" name="value" data-target />
+<br />
+<input type="radio" name="attr" value="1" checked> Keywords<br />
+<input type="radio" name="attr" value="2"> Manufacturer Part#
+</form>`
+
+const pageBottom = `<table>
+<tr><td><h1>Virtual Supplier, Inc.</h1></td></tr>
+<tr><td><form method="post" action="search.cgi">
+<input type="image" src="search.gif" />
+<input type="text" size="15" name="value" data-target />
+<input type="radio" name="attr" value="1" checked> Keywords<br />
+<input type="radio" name="attr" value="2"> Manufacturer Part#
+</form></td></tr>
+</table>`
+
+// driftPage builds one page of the redesigned (div/span) family, outside
+// the base wrapper's alphabet.
+func driftPage(n int) string {
+	return fmt.Sprintf(`<div class="search"><span>find parts %d</span>
+<form method="post" action="search.cgi">
+<input type="image" src="search.gif" />
+<input type="text" size="15" name="value" data-target />
+</form></div>`, n)
+}
+
+func driftPages(n int) []string {
+	pages := make([]string, n)
+	for i := range pages {
+		pages[i] = driftPage(i)
+	}
+	return pages
+}
+
+// fakeDeploy implements Deployment over real wrappers, recording the
+// controller's rollout decisions.
+type fakeDeploy struct {
+	site    string
+	active  *wrapper.Wrapper
+	payload []byte
+
+	canary        []byte
+	canaryWrapper *wrapper.Wrapper
+	deployErr     error
+
+	stats      [4]uint64 // canaryOK, canaryErr, activeOK, activeErr
+	promotes   int
+	rollbacks  int
+	lastAction string
+}
+
+func newFakeDeploy(t *testing.T) *fakeDeploy {
+	t.Helper()
+	w, err := wrapper.Train([]wrapper.Sample{
+		{HTML: pageTop, Target: wrapper.TargetMarker()},
+		{HTML: pageBottom, Target: wrapper.TargetMarker()},
+	}, wrapper.Config{})
+	if err != nil {
+		t.Fatalf("train active: %v", err)
+	}
+	payload, err := w.MarshalJSON()
+	if err != nil {
+		t.Fatalf("marshal active: %v", err)
+	}
+	return &fakeDeploy{site: "vs", active: w, payload: payload}
+}
+
+func (d *fakeDeploy) Sites() []string                  { return []string{d.site} }
+func (d *fakeDeploy) ActivePayload(site string) []byte { return d.payload }
+func (d *fakeDeploy) HasCanary(site string) bool       { return d.canary != nil }
+
+func (d *fakeDeploy) Extract(site, html string) error {
+	_, err := d.active.Extract(html)
+	return err
+}
+
+func (d *fakeDeploy) DeployCanary(site string, payload []byte) (uint64, error) {
+	if d.deployErr != nil {
+		return 0, d.deployErr
+	}
+	w, err := wrapper.Load(payload, machine.Options{})
+	if err != nil {
+		return 0, err
+	}
+	d.canary = payload
+	d.canaryWrapper = w
+	return 2, nil
+}
+
+func (d *fakeDeploy) CanaryStats(site string) (uint64, uint64, uint64, uint64) {
+	return d.stats[0], d.stats[1], d.stats[2], d.stats[3]
+}
+
+func (d *fakeDeploy) Promote(site string, version uint64) error {
+	d.promotes++
+	d.lastAction = "promote"
+	d.active = d.canaryWrapper
+	d.payload = d.canary
+	d.canary, d.canaryWrapper = nil, nil
+	return nil
+}
+
+func (d *fakeDeploy) Rollback(site string, version uint64) error {
+	d.rollbacks++
+	d.lastAction = "rollback"
+	d.canary, d.canaryWrapper = nil, nil
+	return nil
+}
+
+func newController(t *testing.T, d Deployment, pages []string) *Controller {
+	t.Helper()
+	c, err := New(d, Config{
+		Sampler: SamplerFunc(func(site string) ([]string, error) { return pages, nil }),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestTickDetectsDriftAndDeploysCanary(t *testing.T) {
+	d := newFakeDeploy(t)
+	drift := driftPages(4)
+	c := newController(t, d, drift)
+
+	c.Tick(context.Background())
+
+	if d.canary == nil {
+		t.Fatal("drifted samples did not trigger a canary deploy")
+	}
+	// The candidate was induced from the drifted family: it extracts every
+	// sampled page and — because Σ comes from the samples alone — none of
+	// the old family.
+	for i, page := range drift {
+		if _, err := d.canaryWrapper.Extract(page); err != nil {
+			t.Fatalf("candidate misses drift sample %d: %v", i, err)
+		}
+	}
+	if _, err := d.canaryWrapper.Extract(pageTop); err == nil {
+		t.Fatal("candidate unexpectedly extracts the old layout family")
+	}
+}
+
+func TestTickNoDriftLeavesDeploymentAlone(t *testing.T) {
+	d := newFakeDeploy(t)
+	c := newController(t, d, []string{pageTop, pageBottom, pageTop})
+
+	c.Tick(context.Background())
+
+	if d.canary != nil {
+		t.Fatal("healthy samples triggered a canary deploy")
+	}
+}
+
+func TestTickBelowMinSamplesSkips(t *testing.T) {
+	d := newFakeDeploy(t)
+	c := newController(t, d, driftPages(2)) // MinSamples defaults to 3
+
+	c.Tick(context.Background())
+
+	if d.canary != nil {
+		t.Fatal("canary deployed from an undersized sample set")
+	}
+}
+
+func TestTickBelowDriftThresholdSkips(t *testing.T) {
+	d := newFakeDeploy(t)
+	// 1 miss out of 4 = 25% drift, below the 0.5 threshold.
+	c := newController(t, d, []string{pageTop, pageBottom, pageTop, driftPage(0)})
+
+	c.Tick(context.Background())
+
+	if d.canary != nil {
+		t.Fatal("canary deployed below the drift threshold")
+	}
+}
+
+func TestTickUnmarkedSamplesSkipInduction(t *testing.T) {
+	d := newFakeDeploy(t)
+	// Pages drift (the active wrapper misses them) but carry no data-target
+	// marker, so there is nothing to re-induce from.
+	pages := []string{
+		`<div><span>one</span></div>`,
+		`<div><span>two</span></div>`,
+		`<div><span>three</span></div>`,
+	}
+	c := newController(t, d, pages)
+
+	c.Tick(context.Background())
+
+	if d.canary != nil {
+		t.Fatal("canary deployed from unmarked samples")
+	}
+}
+
+func TestTickJudgesMatureCanary(t *testing.T) {
+	cases := []struct {
+		name  string
+		stats [4]uint64 // canaryOK, canaryErr, activeOK, activeErr
+		want  string
+	}{
+		{"canary beats failing active", [4]uint64{20, 0, 0, 20}, "promote"},
+		{"canary matches healthy active", [4]uint64{20, 0, 20, 0}, "promote"},
+		{"canary loses to active", [4]uint64{0, 20, 20, 0}, "rollback"},
+		{"no active traffic, healthy canary", [4]uint64{20, 0, 0, 0}, "promote"},
+		{"no active traffic, failing canary", [4]uint64{1, 19, 0, 0}, "rollback"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := newFakeDeploy(t)
+			if _, err := d.DeployCanary(d.site, d.payload); err != nil {
+				t.Fatalf("stage canary: %v", err)
+			}
+			d.stats = tc.stats
+			c := newController(t, d, nil)
+
+			c.Tick(context.Background())
+
+			if d.lastAction != tc.want {
+				t.Fatalf("judge verdict = %q, want %q", d.lastAction, tc.want)
+			}
+			if d.canary != nil {
+				t.Fatal("verdict did not clear the canary slot")
+			}
+		})
+	}
+}
+
+func TestTickLeavesImmatureCanaryAlone(t *testing.T) {
+	d := newFakeDeploy(t)
+	if _, err := d.DeployCanary(d.site, d.payload); err != nil {
+		t.Fatalf("stage canary: %v", err)
+	}
+	d.stats = [4]uint64{5, 0, 0, 5} // 5 observations < MinCanaryObservations 20
+	c := newController(t, d, nil)
+
+	c.Tick(context.Background())
+
+	if d.promotes != 0 || d.rollbacks != 0 {
+		t.Fatalf("immature window judged: promotes=%d rollbacks=%d", d.promotes, d.rollbacks)
+	}
+	if d.canary == nil {
+		t.Fatal("immature canary was cleared")
+	}
+}
+
+func TestTickSamplerErrorIsContained(t *testing.T) {
+	d := newFakeDeploy(t)
+	c, err := New(d, Config{
+		Sampler: SamplerFunc(func(site string) ([]string, error) {
+			return nil, errors.New("spool offline")
+		}),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	c.Tick(context.Background()) // must not panic or deploy
+
+	if d.canary != nil {
+		t.Fatal("canary deployed despite sampler error")
+	}
+}
+
+func TestRunTicksUntilCanceled(t *testing.T) {
+	d := newFakeDeploy(t)
+	var ticks atomic.Int64
+	c, err := New(d, Config{
+		Sampler: SamplerFunc(func(site string) ([]string, error) {
+			ticks.Add(1)
+			return nil, nil
+		}),
+		Interval: time.Millisecond,
+		Rand:     func() float64 { return 0.5 },
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	c.Run(ctx)
+	if ticks.Load() < 3 {
+		t.Fatalf("Run ticked %d times in 100ms at a 1ms interval", ticks.Load())
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(nil, Config{Sampler: SamplerFunc(func(string) ([]string, error) { return nil, nil })}); err == nil {
+		t.Fatal("nil deployment accepted")
+	}
+	if _, err := New(newFakeDeploy(t), Config{}); err == nil {
+		t.Fatal("nil sampler accepted")
+	}
+}
+
+func TestDirSampler(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "vs")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Written out of order; sampled in name order. The .txt file and the
+	// subdirectory are ignored.
+	for name, body := range map[string]string{
+		"b.html": "page-b", "a.html": "page-a", "notes.txt": "ignored",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "sub.html"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s := NewDirSampler(root)
+
+	pages, err := s.Sample("vs")
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if len(pages) != 2 || pages[0] != "page-a" || pages[1] != "page-b" {
+		t.Fatalf("Sample = %q, want [page-a page-b]", pages)
+	}
+
+	if pages, err := s.Sample("absent"); err != nil || len(pages) != 0 {
+		t.Fatalf("missing spool dir: pages=%v err=%v, want empty, nil", pages, err)
+	}
+
+	for _, key := range []string{"", "..", "a/b", ".hidden"} {
+		if _, err := s.Sample(key); err == nil {
+			t.Fatalf("unsafe key %q accepted", key)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package refresh
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DirSampler reads samples from a spool directory: an ingest process (or an
+// operator, or the smoke script) drops recent live pages into
+// root/<site>/*.html and the controller picks them up on its next tick.
+// Files are read in name order so a fixed spool yields a deterministic
+// sample set.
+type DirSampler struct {
+	root string
+}
+
+// NewDirSampler samples from root/<site>/*.html.
+func NewDirSampler(root string) *DirSampler { return &DirSampler{root: root} }
+
+// Sample reads every .html file under the site's spool directory. A missing
+// directory is an empty sample, not an error — sites without a spool simply
+// never drift. Site keys that would escape the spool root are rejected.
+func (s *DirSampler) Sample(site string) ([]string, error) {
+	if site == "" || site != filepath.Base(site) || strings.HasPrefix(site, ".") {
+		return nil, fmt.Errorf("refresh: unsafe spool key %q", site)
+	}
+	dir := filepath.Join(s.root, site)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".html") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	pages := make([]string, 0, len(names))
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		pages = append(pages, string(data))
+	}
+	return pages, nil
+}

@@ -9,22 +9,22 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
-
-	"resilex/internal/extract"
-	"resilex/internal/machine"
-	"resilex/internal/wrapper"
 )
 
-// wrapperRegistry persists the raw payload of every PUT /wrappers/{key} so a
-// restarted server reloads the same fleet it was serving. Each registration
-// is one JSON envelope file named by the SHA-256 of its site key (keys are
-// client-chosen strings; hashing keeps them path-safe). Entries are written
-// atomically (temp file + rename); an envelope that no longer decodes — a
-// torn write from a hard crash — is skipped at restore, never fatal.
+// wrapperRegistry persists the version state of every registered key so a
+// restarted server reloads the same fleet — including an in-flight canary —
+// it was serving. Each key is one JSON envelope file named by the SHA-256 of
+// its site key (keys are client-chosen strings; hashing keeps them
+// path-safe). Entries are written atomically (temp file + rename); an
+// envelope that no longer decodes — a torn write from a hard crash — is
+// skipped at restore, never fatal.
 //
-// Deletions persist the same way: DELETE /wrappers/{key} replaces the
-// entry with a tombstone envelope under the same filename, and restore
-// applies tombstones after the deploy-time fleet file has loaded — so
+// The envelope is versioned end to end: it carries the key's monotone
+// version counter, the active/canary/prior wrapper versions, and the
+// deletion flag. A tombstone is a versioned record like any other — it keeps
+// the counter, so a DELETE followed by a re-PUT across a restart resurrects
+// the key with a strictly higher version instead of staying tombstoned.
+// Restore applies tombstones after the deploy-time fleet file has loaded, so
 // deleting a key that shipped in -fleet stays deleted across restarts.
 //
 // The registry stores wrapper *configuration* (tokenizer settings, strategy,
@@ -36,10 +36,19 @@ type wrapperRegistry struct {
 	mu  sync.Mutex // serializes directory mutation
 }
 
+// registryEntry is the persisted envelope. The legacy (pre-versioning)
+// schema stored the raw payload in Wrapper; it restores as active version 1.
 type registryEntry struct {
-	Key     string          `json:"key"`
-	Wrapper json.RawMessage `json:"wrapper,omitempty"`
-	Deleted bool            `json:"deleted,omitempty"`
+	Key string `json:"key"`
+	// Wrapper is the legacy unversioned payload slot, kept for decode
+	// compatibility with envelopes written before versioning.
+	Wrapper json.RawMessage   `json:"wrapper,omitempty"`
+	Deleted bool              `json:"deleted,omitempty"`
+	Version uint64            `json:"lastVersion,omitempty"`
+	Active  *versionedWrapper `json:"active,omitempty"`
+	Canary  *versionedWrapper `json:"canary,omitempty"`
+	Prior   *versionedWrapper `json:"prior,omitempty"`
+	Outcome string            `json:"lastOutcome,omitempty"`
 }
 
 func newWrapperRegistry(dir string) (*wrapperRegistry, error) {
@@ -54,15 +63,22 @@ func (r *wrapperRegistry) path(key string) string {
 	return filepath.Join(r.dir, hex.EncodeToString(sum[:])+".json")
 }
 
-// save persists one registration. A nil registry (no cache dir) is a no-op.
-func (r *wrapperRegistry) save(key string, raw []byte) error {
-	return r.write(registryEntry{Key: key, Wrapper: raw})
-}
-
-// delete persists a tombstone for the key, replacing any registration.
-// A nil registry is a no-op.
-func (r *wrapperRegistry) delete(key string) error {
-	return r.write(registryEntry{Key: key, Deleted: true})
+// writeState persists the version state of one key. A nil registry (no
+// cache dir) is a no-op. The caller holds the version lock, so the envelope
+// is a consistent snapshot.
+func (r *wrapperRegistry) writeState(key string, kv *keyVersions) error {
+	if r == nil {
+		return nil
+	}
+	return r.write(registryEntry{
+		Key:     key,
+		Deleted: kv.deleted,
+		Version: kv.lastVersion,
+		Active:  kv.active,
+		Canary:  kv.canary,
+		Prior:   kv.prior,
+		Outcome: kv.lastOutcome,
+	})
 }
 
 func (r *wrapperRegistry) write(ent registryEntry) error {
@@ -94,47 +110,41 @@ func (r *wrapperRegistry) write(ent registryEntry) error {
 	return nil
 }
 
-// restore loads every persisted registration into the fleet through the
-// artifact cache, so a restart's compilation cost is one disk-tier decode
-// per distinct expression, then applies tombstones (removals win over any
-// same-key entry in the deploy-time fleet file, which loads first). Entries
-// that fail to decode or compile are skipped and counted, not fatal: one
-// bad registration must not keep the rest of the fleet down. A nil registry
-// restores nothing.
-func (r *wrapperRegistry) restore(fleet *wrapper.Fleet, opt machine.Options, cache extract.ArtifactCache) (restored, deleted, skipped int) {
+// load reads every decodable envelope, normalizing legacy entries (payload
+// in Wrapper, no version counter) to active version 1. Undecodable files
+// are counted and skipped — one torn envelope must not keep the rest of the
+// fleet down. A nil registry loads nothing.
+func (r *wrapperRegistry) load() (entries []registryEntry, unreadable int) {
 	if r == nil {
-		return 0, 0, 0
+		return nil, 0
 	}
-	entries, err := os.ReadDir(r.dir)
+	files, err := os.ReadDir(r.dir)
 	if err != nil {
-		return 0, 0, 0
+		return nil, 0
 	}
-	for _, e := range entries {
+	for _, e := range files {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
 			continue
 		}
 		blob, err := os.ReadFile(filepath.Join(r.dir, e.Name()))
 		if err != nil {
-			skipped++
+			unreadable++
 			continue
 		}
 		var ent registryEntry
 		if err := json.Unmarshal(blob, &ent); err != nil || ent.Key == "" {
-			skipped++
+			unreadable++
 			continue
 		}
-		if ent.Deleted {
-			fleet.Remove(ent.Key)
-			deleted++
-			continue
+		if ent.Active == nil && len(ent.Wrapper) > 0 && !ent.Deleted {
+			// Legacy envelope: the payload becomes active version 1.
+			ent.Active = &versionedWrapper{Version: 1, Payload: ent.Wrapper}
+			if ent.Version == 0 {
+				ent.Version = 1
+			}
+			ent.Wrapper = nil
 		}
-		w, err := wrapper.LoadCached(ent.Wrapper, opt, cache)
-		if err != nil {
-			skipped++
-			continue
-		}
-		fleet.Add(ent.Key, w)
-		restored++
+		entries = append(entries, ent)
 	}
-	return restored, deleted, skipped
+	return entries, unreadable
 }

@@ -184,7 +184,10 @@ func TestServeRestartSkipsCorruptRegistryEntry(t *testing.T) {
 	if rec := do(t, s1, "PUT", "/wrappers/vs", payload); rec.Code != http.StatusCreated {
 		t.Fatalf("PUT: %d", rec.Code)
 	}
-	if err := s1.registry.save("torn", payload); err != nil {
+	if err := s1.registry.writeState("torn", &keyVersions{
+		lastVersion: 1,
+		active:      &versionedWrapper{Version: 1, Payload: payload},
+	}); err != nil {
 		t.Fatal(err)
 	}
 	// Truncate the second envelope as a crash mid-write would.

@@ -20,6 +20,8 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
+	"sync"
 	"time"
 
 	"resilex/internal/cluster"
@@ -56,6 +58,10 @@ type Config struct {
 	Options machine.Options
 	// Batch tunes POST /extract's worker pool.
 	Batch wrapper.BatchOptions
+	// CanaryFraction is the fraction of a key's traffic routed to its staged
+	// canary version (stride-based, deterministic). 0 selects the default
+	// 0.25; the value is clamped to (0, 1].
+	CanaryFraction float64
 }
 
 // Server is the HTTP serving path: a fleet of compiled wrappers, the tiered
@@ -72,6 +78,15 @@ type Server struct {
 	opt      machine.Options
 	batch    wrapper.BatchOptions
 	maxBody  int64
+
+	// The versioned-rollout state: compiled canary wrappers live in their
+	// own fleet so the serving fleet stays the active-versions-only view,
+	// stride selects the canary traffic fraction, and versions carries the
+	// per-key state machine (guarded by vmu).
+	canaryFleet *wrapper.Fleet
+	stride      uint64
+	vmu         sync.Mutex
+	versions    map[string]*keyVersions
 }
 
 // New assembles the serving stack. With Config.CacheDir empty the server is
@@ -103,20 +118,70 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	restored, deleted, skipped := reg.restore(fleet, cfg.Options, cache)
+	s := &Server{
+		fleet:       fleet,
+		cache:       cache,
+		registry:    reg,
+		obs:         cfg.Observer,
+		opt:         cfg.Options,
+		batch:       cfg.Batch,
+		maxBody:     cfg.MaxBodyBytes,
+		canaryFleet: wrapper.NewFleet(),
+		stride:      canaryStride(cfg.CanaryFraction),
+		versions:    map[string]*keyVersions{},
+	}
+	restored, deleted, skipped := s.restoreRegistry()
 	if restored+deleted+skipped > 0 {
 		fmt.Fprintf(os.Stderr, "serve: restored %d wrapper(s) from %s (%d deleted, %d skipped)\n",
 			restored, cfg.CacheDir, deleted, skipped)
 	}
-	return &Server{
-		fleet:    fleet,
-		cache:    cache,
-		registry: reg,
-		obs:      cfg.Observer,
-		opt:      cfg.Options,
-		batch:    cfg.Batch,
-		maxBody:  cfg.MaxBodyBytes,
-	}, nil
+	return s, nil
+}
+
+// restoreRegistry replays the persisted version state: active versions load
+// into the serving fleet (overriding same-key entries from the deploy-time
+// fleet file), an in-flight canary is re-staged into the canary fleet with
+// its observation window reset, and tombstones remove the key while keeping
+// its monotone version counter. Entries whose payload no longer compiles
+// are skipped and counted, not fatal.
+func (s *Server) restoreRegistry() (restored, deleted, skipped int) {
+	entries, unreadable := s.registry.load()
+	skipped = unreadable
+	for _, ent := range entries {
+		kv := &keyVersions{
+			lastVersion: ent.Version,
+			deleted:     ent.Deleted,
+			lastOutcome: ent.Outcome,
+			prior:       ent.Prior,
+		}
+		if ent.Deleted {
+			s.fleet.Remove(ent.Key)
+			s.versions[ent.Key] = kv
+			deleted++
+			continue
+		}
+		if ent.Active != nil {
+			w, err := wrapper.LoadCached(ent.Active.Payload, s.opt, s.cache)
+			if err != nil {
+				skipped++
+				continue
+			}
+			kv.active = ent.Active
+			s.fleet.Add(ent.Key, w)
+		}
+		if ent.Canary != nil {
+			if w, err := wrapper.LoadCached(ent.Canary.Payload, s.opt, s.cache); err == nil {
+				kv.canary = ent.Canary
+				s.canaryFleet.Add(ent.Key, w)
+			} else {
+				skipped++
+			}
+		}
+		s.versions[ent.Key] = kv
+		s.gaugeVersions(ent.Key, kv)
+		restored++
+	}
+	return restored, deleted, skipped
 }
 
 // Fleet returns the served fleet (live — registrations are picked up).
@@ -133,6 +198,10 @@ func (s *Server) Mux() *http.ServeMux {
 	mux.HandleFunc("POST /extract", s.handleExtract)
 	mux.HandleFunc("PUT /wrappers/{key}", s.handlePutWrapper)
 	mux.HandleFunc("DELETE /wrappers/{key}", s.handleDeleteWrapper)
+	mux.HandleFunc("PUT /wrappers/{key}/canary", s.handleCanaryWrapper)
+	mux.HandleFunc("POST /wrappers/{key}/promote", s.handlePromoteWrapper)
+	mux.HandleFunc("POST /wrappers/{key}/rollback", s.handleRollbackWrapper)
+	mux.HandleFunc("GET /wrappers/{key}/versions", s.handleVersions)
 	mux.HandleFunc("POST /cluster/apply", s.handleClusterApply)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -226,7 +295,7 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := obs.NewContext(r.Context(), s.obs)
-	results := s.fleet.ExtractBatch(ctx, req.Docs, s.batch)
+	results := s.extractBatch(ctx, req.Docs)
 	out := struct {
 		Results []extractResult `json:"results"`
 	}{Results: make([]extractResult, len(results))}
@@ -246,13 +315,113 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// extractBatch is the canary-aware batch path. Documents whose key has a
+// staged canary are stride-split: one of every stride requests for the key
+// runs on the canary version, the rest on the active version, and both
+// outcomes feed the canary observation window. A canary miss falls back to
+// the active wrapper within the same request — the structural guarantee
+// that a bad canary degrades its own statistics (triggering rollback) but
+// never fails a request the active version would have served.
+func (s *Server) extractBatch(ctx context.Context, docs []wrapper.BatchDoc) []wrapper.BatchResult {
+	// Partition: canary-routed documents peel off; everything else runs on
+	// the active fleet as one batch.
+	var canaryIdx []int
+	var canaryDocs []wrapper.BatchDoc
+	watched := map[int]*keyVersions{} // active-routed docs of keys under canary
+	s.vmu.Lock()
+	for i, d := range docs {
+		kv := s.versions[d.Key]
+		if kv == nil || kv.canary == nil || s.canaryFleet.Get(d.Key) == nil {
+			continue
+		}
+		if (kv.rr.Add(1)-1)%s.stride == 0 {
+			canaryIdx = append(canaryIdx, i)
+			canaryDocs = append(canaryDocs, d)
+		} else {
+			watched[i] = kv
+		}
+	}
+	s.vmu.Unlock()
+	if len(canaryIdx) == 0 && len(watched) == 0 {
+		return s.fleet.ExtractBatch(ctx, docs, s.batch)
+	}
+
+	activeDocs := make([]wrapper.BatchDoc, 0, len(docs)-len(canaryIdx))
+	activeIdx := make([]int, 0, len(docs)-len(canaryIdx))
+	inCanary := map[int]bool{}
+	for _, i := range canaryIdx {
+		inCanary[i] = true
+	}
+	for i, d := range docs {
+		if !inCanary[i] {
+			activeDocs = append(activeDocs, d)
+			activeIdx = append(activeIdx, i)
+		}
+	}
+
+	results := make([]wrapper.BatchResult, len(docs))
+	for sub, res := range s.fleet.ExtractBatch(ctx, activeDocs, s.batch) {
+		i := activeIdx[sub]
+		res.Index = i
+		results[i] = res
+		if kv := watched[i]; kv != nil {
+			if res.Err != nil {
+				kv.stats.activeErr.Add(1)
+				s.obs.Counter(obs.WithLabels("refresh_active_serve_total", "site", res.Key, "outcome", "miss")).Inc()
+			} else {
+				kv.stats.activeOK.Add(1)
+				s.obs.Counter(obs.WithLabels("refresh_active_serve_total", "site", res.Key, "outcome", "ok")).Inc()
+			}
+		}
+	}
+
+	var fallbackDocs []wrapper.BatchDoc
+	var fallbackIdx []int
+	for sub, res := range s.canaryFleet.ExtractBatch(ctx, canaryDocs, s.batch) {
+		i := canaryIdx[sub]
+		res.Index = i
+		s.vmu.Lock()
+		kv := s.versions[res.Key]
+		s.vmu.Unlock()
+		if res.Err != nil {
+			if kv != nil {
+				kv.stats.canaryErr.Add(1)
+			}
+			s.obs.Counter(obs.WithLabels("refresh_canary_serve_total", "site", res.Key, "outcome", "miss")).Inc()
+			// Canary missed: serve the request from the active version.
+			fallbackDocs = append(fallbackDocs, docs[i])
+			fallbackIdx = append(fallbackIdx, i)
+			if kv != nil {
+				kv.stats.fallback.Add(1)
+			}
+			s.obs.Counter(obs.WithLabels("refresh_canary_fallback_total", "site", res.Key)).Inc()
+		} else {
+			if kv != nil {
+				kv.stats.canaryOK.Add(1)
+			}
+			s.obs.Counter(obs.WithLabels("refresh_canary_serve_total", "site", res.Key, "outcome", "ok")).Inc()
+			results[i] = res
+		}
+	}
+	for sub, res := range s.fleet.ExtractBatch(ctx, fallbackDocs, s.batch) {
+		i := fallbackIdx[sub]
+		res.Index = i
+		results[i] = res
+	}
+	return results
+}
+
 // putWrapper registers (or replaces) a site wrapper from its persisted
 // JSON, shared by the direct PUT route and the replicated cluster apply.
 // Compilation goes through the shared cache, so re-registering a known
 // expression — or registering the same wrapper under many keys — costs a
 // lookup, and a deploy that PUTs a whole fleet compiles each distinct
-// expression once even under concurrency.
-func (s *Server) putWrapper(key string, body []byte) (status int, resp map[string]any, err error) {
+// expression once even under concurrency. The registration becomes the
+// key's new active version — one past the monotone counter (so a re-PUT
+// after a DELETE resurrects the key with a higher version), or the
+// replicated version when the originating node assigned a higher one — and
+// drops any staged canary: a direct PUT supersedes an in-flight rollout.
+func (s *Server) putWrapper(key string, body []byte, version uint64) (status int, resp map[string]any, err error) {
 	wr, err := wrapper.LoadCached(body, s.opt, s.cache)
 	if err != nil {
 		status := http.StatusBadRequest
@@ -261,29 +430,49 @@ func (s *Server) putWrapper(key string, body []byte) (status int, resp map[strin
 		}
 		return status, nil, err
 	}
+	s.vmu.Lock()
+	kv := s.ensureVersions(key)
+	v := kv.nextVersion(version)
+	kv.prior = kv.active
+	kv.active = &versionedWrapper{Version: v, Payload: append(json.RawMessage(nil), body...)}
+	kv.canary = nil
+	kv.deleted = false
 	s.fleet.Add(key, wr)
-	resp = map[string]any{"key": key, "sites": s.fleet.Len()}
+	s.canaryFleet.Remove(key)
+	s.gaugeVersions(key, kv)
+	resp = map[string]any{"key": key, "sites": s.fleet.Len(), "version": v}
 	if s.registry != nil {
 		// The registration is live either way; persisted reports whether it
 		// will also survive a restart, so a deploy can alarm on false.
-		resp["persisted"] = s.registry.save(key, body) == nil
+		resp["persisted"] = s.registry.writeState(key, kv) == nil
 	}
+	s.vmu.Unlock()
 	return http.StatusCreated, resp, nil
 }
 
-// deleteWrapper removes a site wrapper, persisting a tombstone so the
-// deletion survives restarts exactly like a registration does — even when
-// the key originally came from the deploy-time fleet file. Unknown keys
-// report false.
+// deleteWrapper removes a site wrapper, persisting a versioned tombstone so
+// the deletion survives restarts exactly like a registration does — even
+// when the key originally came from the deploy-time fleet file. The
+// tombstone keeps the key's monotone version counter (and bumps it), so a
+// later re-PUT resurrects the key with a strictly higher version. Unknown
+// keys report false.
 func (s *Server) deleteWrapper(key string) (resp map[string]any, known bool) {
 	if s.fleet.Get(key) == nil {
 		return nil, false
 	}
+	s.vmu.Lock()
+	kv := s.ensureVersions(key)
+	kv.nextVersion(0)
+	kv.active, kv.canary, kv.prior = nil, nil, nil
+	kv.deleted = true
 	s.fleet.Remove(key)
+	s.canaryFleet.Remove(key)
+	s.gaugeVersions(key, kv)
 	resp = map[string]any{"key": key, "sites": s.fleet.Len()}
 	if s.registry != nil {
-		resp["persisted"] = s.registry.delete(key) == nil
+		resp["persisted"] = s.registry.writeState(key, kv) == nil
 	}
+	s.vmu.Unlock()
 	return resp, true
 }
 
@@ -294,12 +483,88 @@ func (s *Server) handlePutWrapper(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	status, resp, err := s.putWrapper(key, body)
+	status, resp, err := s.putWrapper(key, body, 0)
 	if err != nil {
 		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, status, resp)
+}
+
+// handleCanaryWrapper stages a canary version: PUT /wrappers/{key}/canary
+// with the candidate's persisted JSON. The canary immediately starts
+// receiving the configured traffic fraction.
+func (s *Server) handleCanaryWrapper(w http.ResponseWriter, r *http.Request) {
+	s.obs.Counter("serve_requests_total").Inc()
+	key := r.PathValue("key")
+	body, ok := s.readBody(w, r, "application/json")
+	if !ok {
+		return
+	}
+	status, resp, err := s.canaryWrapper(key, body, 0)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, status, resp)
+}
+
+// versionParam reads the optional ?version=N guard of promote/rollback.
+// 0 (absent) means "whatever is staged".
+func versionParam(r *http.Request) (uint64, error) {
+	q := r.URL.Query().Get("version")
+	if q == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(q, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad version %q: %w", q, err)
+	}
+	return v, nil
+}
+
+func (s *Server) handlePromoteWrapper(w http.ResponseWriter, r *http.Request) {
+	s.obs.Counter("serve_requests_total").Inc()
+	v, err := versionParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	status, resp, err := s.promoteWrapper(r.PathValue("key"), v)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleRollbackWrapper(w http.ResponseWriter, r *http.Request) {
+	s.obs.Counter("serve_requests_total").Inc()
+	v, err := versionParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	status, resp, err := s.rollbackWrapper(r.PathValue("key"), v)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleVersions reports the version state of one key — active/canary/prior
+// versions, the monotone counter, the last rollout outcome, and the canary
+// observation window — for rollout tooling and the refresh smoke to poll.
+func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
+	s.obs.Counter("serve_requests_total").Inc()
+	key := r.PathValue("key")
+	body, ok := s.versionsStatus(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no versions recorded for %q", key))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleDeleteWrapper(w http.ResponseWriter, r *http.Request) {
@@ -341,7 +606,7 @@ func (s *Server) handleClusterApply(w http.ResponseWriter, r *http.Request) {
 	s.obs.Counter(obs.WithLabels("serve_cluster_apply_total", "op", op.Kind.String())).Inc()
 	switch op.Kind {
 	case cluster.OpPut:
-		status, resp, err := s.putWrapper(op.Key, op.Payload)
+		status, resp, err := s.putWrapper(op.Key, op.Payload, op.Version)
 		if err != nil {
 			writeError(w, status, err)
 			return
@@ -354,6 +619,27 @@ func (s *Server) handleClusterApply(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
+	case cluster.OpCanary:
+		status, resp, err := s.canaryWrapper(op.Key, op.Payload, op.Version)
+		if err != nil {
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, status, resp)
+	case cluster.OpPromote:
+		status, resp, err := s.promoteWrapper(op.Key, op.Version)
+		if err != nil {
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, status, resp)
+	case cluster.OpRollback:
+		status, resp, err := s.rollbackWrapper(op.Key, op.Version)
+		if err != nil {
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, status, resp)
 	}
 }
 

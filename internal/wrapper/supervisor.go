@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
@@ -94,6 +95,14 @@ type SupervisorConfig struct {
 	// RefreshBackoff is the sleep before the i-th refresh retry, doubling
 	// each attempt. Default 50ms.
 	RefreshBackoff time.Duration
+	// BackoffJitter spreads each refresh backoff uniformly within
+	// ±BackoffJitter·backoff, so a fleet of supervisors that all hit the
+	// same site redesign does not retry in lockstep. 0 selects the default
+	// 0.1; negative disables jitter. Values above 1 are clamped to 1.
+	BackoffJitter float64
+	// Rand is the jitter source, injectable for deterministic tests: a
+	// function returning a uniform float64 in [0, 1). Default math/rand.
+	Rand func() float64
 	// RefreshOptions, when non-zero, replaces the wrapper's own budget for
 	// refresh work — the lever for bounding maintenance separately from
 	// serving. The fault-injection harness uses it to starve refreshes.
@@ -135,7 +144,31 @@ func (c SupervisorConfig) withDefaults() SupervisorConfig {
 	if c.Sleep == nil {
 		c.Sleep = time.Sleep
 	}
+	if c.BackoffJitter == 0 {
+		c.BackoffJitter = 0.1
+	}
+	if c.BackoffJitter < 0 {
+		c.BackoffJitter = 0
+	}
+	if c.BackoffJitter > 1 {
+		c.BackoffJitter = 1
+	}
+	if c.Rand == nil {
+		c.Rand = rand.Float64
+	}
 	return c
+}
+
+// jitteredBackoff spreads d uniformly within ±jitter·d: d·(1+(2r−1)·jitter).
+func jitteredBackoff(d time.Duration, jitter float64, r func() float64) time.Duration {
+	if jitter <= 0 || d <= 0 {
+		return d
+	}
+	j := time.Duration(float64(d) * (1 + (2*r()-1)*jitter))
+	if j <= 0 {
+		return d
+	}
+	return j
 }
 
 // siteState is the supervisor's per-site health record.
@@ -559,7 +592,7 @@ func (s *Supervisor) tryRefresh(ctx context.Context, key string, w *Wrapper, htm
 	sample := Sample{HTML: html, Target: target}
 	for attempt := 0; attempt < s.cfg.RefreshAttempts; attempt++ {
 		if attempt > 0 {
-			s.cfg.Sleep(s.cfg.RefreshBackoff << (attempt - 1))
+			s.cfg.Sleep(jitteredBackoff(s.cfg.RefreshBackoff<<(attempt-1), s.cfg.BackoffJitter, s.cfg.Rand))
 			s.countRetry(ctx, key)
 		}
 		fresh, err := s.refreshOnce(ctx, refresher, sample)

@@ -258,6 +258,9 @@ func TestSupervisorRefreshRetryBackoff(t *testing.T) {
 		RefreshAttempts: 3,
 		RefreshBackoff:  10 * time.Millisecond,
 		Sleep:           func(d time.Duration) { slept = append(slept, d) },
+		// Rand 0.5 makes the jitter multiplier exactly 1, keeping the
+		// doubling sequence deterministic.
+		Rand: func() float64 { return 0.5 },
 	})
 	// The page fails the wrapper and the marker marks a P element — the
 	// refresh rejects the symbol mismatch every time, a retryable failure.

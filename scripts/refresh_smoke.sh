@@ -1,0 +1,138 @@
+#!/bin/sh
+# refresh_smoke.sh — end-to-end smoke of the continuous-refresh pipeline.
+#
+# Boots one serve node (real process, real HTTP) with the drift watcher on:
+#   1. PUT a trained wrapper (v1), extract a base-layout document,
+#   2. drop a redesigned page into the sample spool and switch live traffic
+#      to the same redesign — the watcher must detect the drift, re-induce,
+#      canary the candidate, and promote it on the observation window,
+#   3. swap the spool to an alien page family while live traffic stays on
+#      the redesign — the re-induced canary misses real traffic and the
+#      watcher must roll it back automatically,
+#   4. every /extract request across all phases must answer 200, and after
+#      the rollback every document must still extract (canary misses fall
+#      back to the active version inside the request).
+#
+# Run from the repository root (make refresh-smoke). Exits non-zero on the
+# first broken step.
+set -eu
+
+PORT=${PORT:-18450}
+DIR=.smoke-refresh
+NODE=http://127.0.0.1:$PORT
+
+rm -rf "$DIR"
+mkdir -p "$DIR/spool/vs"
+
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+echo "refresh-smoke: building serve"
+go build -o "$DIR/serve" ./cmd/serve
+
+echo "refresh-smoke: training v1 wrapper"
+go run ./cmd/wrapgen -o "$DIR/wrapper.json" \
+    cmd/extract/testdata/fig1_page1.html cmd/extract/testdata/fig1_page2.html
+
+echo "refresh-smoke: booting node with drift watcher (300ms interval, canary fraction 0.5)"
+"$DIR/serve" -mode single -listen 127.0.0.1:$PORT -cache-dir "$DIR/node" \
+    -sample-dir "$DIR/spool" -refresh-interval 300ms -refresh-min-samples 1 \
+    -canary-fraction 0.5 2>"$DIR/node.log" &
+PIDS="$PIDS $!"
+
+wait_up() {
+    for _ in $(seq 1 50); do
+        if curl -sf "$NODE/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "refresh-smoke: $NODE never became healthy" >&2
+    return 1
+}
+wait_up
+
+echo "refresh-smoke: registering v1"
+put=$(curl -s -o "$DIR/put.json" -w '%{http_code}' -X PUT \
+    -H 'Content-Type: application/json' --data-binary @"$DIR/wrapper.json" \
+    "$NODE/wrappers/vs")
+[ "$put" = 201 ] || { echo "refresh-smoke: PUT status $put: $(cat "$DIR/put.json")" >&2; exit 1; }
+grep -q '"version":1' "$DIR/put.json" || {
+    echo "refresh-smoke: PUT did not assign version 1: $(cat "$DIR/put.json")" >&2; exit 1; }
+
+curl -s -H 'Content-Type: application/json' \
+    --data-binary @scripts/testdata/refresh_smoke_base_request.json \
+    "$NODE/extract" >"$DIR/extract_base.json"
+grep -q '"ok":true' "$DIR/extract_base.json" || {
+    echo "refresh-smoke: base extraction failed: $(cat "$DIR/extract_base.json")" >&2; exit 1; }
+
+# pump sends n live-traffic requests of the drifted layout, failing the smoke
+# on any non-200 answer (the zero-failed-requests property).
+REQS=0
+pump() {
+    n=$1
+    i=0
+    while [ "$i" -lt "$n" ]; do
+        code=$(curl -s -o "$DIR/extract_last.json" -w '%{http_code}' \
+            -H 'Content-Type: application/json' \
+            --data-binary @scripts/testdata/refresh_smoke_drift_request.json \
+            "$NODE/extract")
+        [ "$code" = 200 ] || {
+            echo "refresh-smoke: extract answered $code mid-rollout: $(cat "$DIR/extract_last.json")" >&2
+            exit 1; }
+        REQS=$((REQS + 1))
+        i=$((i + 1))
+    done
+}
+
+echo "refresh-smoke: dropping drifted sample, driving drifted traffic (expect canary then promote)"
+cp scripts/testdata/refresh_smoke_drift.html "$DIR/spool/vs/drift.html"
+promoted=""
+for _ in $(seq 1 100); do
+    pump 10
+    curl -s "$NODE/wrappers/vs/versions" >"$DIR/versions.json"
+    if grep -q '"lastOutcome":"promoted"' "$DIR/versions.json"; then promoted=yes; break; fi
+    sleep 0.1
+done
+[ -n "$promoted" ] || {
+    echo "refresh-smoke: drifted sample never promoted: $(cat "$DIR/versions.json")" >&2
+    tail -5 "$DIR/node.log" >&2; exit 1; }
+grep -q '"version":2' "$DIR/versions.json" || {
+    echo "refresh-smoke: promotion did not activate version 2: $(cat "$DIR/versions.json")" >&2; exit 1; }
+
+curl -s -H 'Content-Type: application/json' \
+    --data-binary @scripts/testdata/refresh_smoke_drift_request.json \
+    "$NODE/extract" >"$DIR/extract_promoted.json"
+grep -q '"ok":false' "$DIR/extract_promoted.json" && {
+    echo "refresh-smoke: drifted traffic still misses after promotion: $(cat "$DIR/extract_promoted.json")" >&2; exit 1; }
+
+echo "refresh-smoke: swapping spool to an alien family (expect canary then rollback)"
+rm "$DIR/spool/vs/drift.html"
+cp scripts/testdata/refresh_smoke_break.html "$DIR/spool/vs/break.html"
+rolled=""
+for _ in $(seq 1 100); do
+    pump 10
+    # Live traffic never changed, so every document must keep extracting —
+    # a canary miss has to fall back to the active version in-request.
+    grep -q '"ok":false' "$DIR/extract_last.json" && {
+        echo "refresh-smoke: bad canary cost an extraction: $(cat "$DIR/extract_last.json")" >&2; exit 1; }
+    curl -s "$NODE/wrappers/vs/versions" >"$DIR/versions.json"
+    if grep -q '"lastOutcome":"rolled-back"' "$DIR/versions.json"; then rolled=yes; break; fi
+    sleep 0.1
+done
+[ -n "$rolled" ] || {
+    echo "refresh-smoke: alien sample never rolled back: $(cat "$DIR/versions.json")" >&2
+    tail -5 "$DIR/node.log" >&2; exit 1; }
+
+curl -s "$NODE/metrics" >"$DIR/metrics.txt"
+grep -q 'refresh_promote_total' "$DIR/metrics.txt" || {
+    echo "refresh-smoke: refresh_promote_total missing from /metrics" >&2; exit 1; }
+grep -q 'refresh_rollback_total' "$DIR/metrics.txt" || {
+    echo "refresh-smoke: refresh_rollback_total missing from /metrics" >&2; exit 1; }
+
+echo "refresh-smoke: OK (drift -> canary -> promote, break -> canary -> rollback, $REQS/$REQS requests answered)"
