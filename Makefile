@@ -2,17 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race cover fuzz fuzz-smoke check bench microbench experiments examples metrics-smoke doc-smoke cache-smoke cluster-smoke refresh-smoke clean
+.PHONY: all build fmt-check vet test race cover fuzz fuzz-smoke check bench microbench experiments examples metrics-smoke metrics-lint doc-smoke cache-smoke cluster-smoke refresh-smoke clean
 
 all: build vet test
 
 # The robustness gate: static checks, the full suite under the race
 # detector, a short fuzz smoke over every fuzz target, the observability
-# smoke over the worked example, the godoc smoke over the serving-path
-# APIs, the cache-hit-rate smoke over a quick E16 run, the sharded
-# cluster smoke (boot router + 2 shards, replicate, extract, failover),
-# and the refresh smoke (drift -> canary -> promote, break -> rollback).
-check: fmt-check vet race fuzz-smoke metrics-smoke doc-smoke cache-smoke cluster-smoke refresh-smoke
+# smoke over the worked example, the metrics lint (registered names vs
+# the DESIGN.md §6 reference, both directions), the godoc smoke over the
+# serving-path APIs, the cache-hit-rate smoke over a quick E16 run, the
+# sharded cluster smoke (boot router + 2 shards, replicate, extract,
+# failover, assemble the request trace across both processes), and the
+# refresh smoke (drift -> canary -> promote, break -> rollback).
+check: fmt-check vet race fuzz-smoke metrics-smoke metrics-lint doc-smoke cache-smoke cluster-smoke refresh-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -58,9 +60,10 @@ fuzz-smoke:
 # warm-disk vs warm-memory first-request latency), E18 cluster scaling
 # (1/2/4-shard throughput plus a kill-one-shard failover run) and E19
 # continuous refresh (drift -> canary -> promote, break -> rollback, zero
-# failed requests), written to ./BENCH_E16.json ... ./BENCH_E19.json.
+# failed requests) and E20 tracing overhead (traced vs untraced cached-batch
+# p50), written to ./BENCH_E16.json ... ./BENCH_E20.json.
 bench:
-	$(GO) run ./cmd/resilience -run E16,E17,E18,E19 -seed 1 -bench-dir .
+	$(GO) run ./cmd/resilience -run E16,E17,E18,E19,E20 -seed 1 -bench-dir .
 
 # Go microbenchmarks (go test -bench) over every package.
 microbench:
@@ -82,6 +85,12 @@ metrics-smoke:
 		cmd/extract/testdata/fig1_novel.html
 	grep -q machine_subset_states_total .smoke/metrics.json
 	rm -rf .smoke
+
+# Metrics lint: every metric name registered in code must have a row in
+# the DESIGN.md §6 reference tables, and every documented name must still
+# exist in code. Fails listing undocumented or stale names.
+metrics-lint:
+	sh scripts/metrics_lint.sh
 
 # godoc smoke: the serving-path APIs keep rendering documentation.
 doc-smoke:

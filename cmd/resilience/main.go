@@ -132,6 +132,7 @@ func run() int {
 		{"E17", func() bench.Table { return bench.E17Persistence("", e17trials, *seed) }},
 		{"E18", func() bench.Table { return bench.E18Cluster(e18keys, e18window, e18service) }},
 		{"E19", func() bench.Table { return bench.E19Drift(e19reqs, 4, *seed) }},
+		{"E20", func() bench.Table { return bench.E20TracingOverhead(e16docs*4, 0, *seed) }},
 	}
 
 	want := map[string]bool{}
@@ -213,7 +214,7 @@ func run() int {
 		return 1
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "resilience: no experiment matched -run (valid: E3 E4 E5 E6 E7 E8 E8H E10 E11 E13 E14 E15 E16 E17 E18 E19)")
+		fmt.Fprintln(os.Stderr, "resilience: no experiment matched -run (valid: E3 E4 E5 E6 E7 E8 E8H E10 E11 E13 E14 E15 E16 E17 E18 E19 E20)")
 		return 2
 	}
 	return 0

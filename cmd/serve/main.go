@@ -38,9 +38,22 @@
 //	POST   /cluster/apply  replicated wrapper operation from a cluster router
 //	                       (codec-framed, checksummed; shard mode's write path)
 //	GET    /healthz        liveness plus fleet size and memory/disk cache stats
-//	GET    /metrics        Prometheus text exposition (see obs.Handler)
+//	GET    /metrics        Prometheus text exposition (see obs.Handler);
+//	                       OpenMetrics with trace-ID exemplars when requested
+//	                       via Accept: application/openmetrics-text
 //	GET    /metrics.json   combined metrics + span snapshot
+//	GET    /debug/traces   recent request traces (one entry per trace ID)
+//	GET    /debug/traces/{id}  the assembled span tree of one request — on a
+//	                       router this merges the peers' halves of the trace
 //	GET    /debug/pprof/   runtime profiles
+//
+// Every request is traced: the server joins a trace propagated in the
+// X-Resilex-Trace header or mints a fresh trace ID at ingress, echoes it in
+// the response header, and keeps the request's spans retrievable at
+// GET /debug/traces/{id}. -trace-export appends every traced span to a JSONL
+// file as it completes; -wide-event-sample N emits one wide request event
+// (trace ID, doc bytes, serving rung, duration, result count) to stderr as
+// JSON for every Nth request (0 disables).
 //
 // Router mode serves the same extraction and wrapper routes but owns no
 // fleet: a consistent-hash ring over -peers places every wrapper key on
@@ -80,6 +93,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -112,6 +126,8 @@ func run() int {
 	maxStates := flag.Int("max-states", 0, "state budget for wrapper compilation (0 = default)")
 	maxBody := flag.Int64("max-body", 0, "request-body size limit in bytes (0 = 64 MiB)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown deadline for in-flight requests")
+	traceExport := flag.String("trace-export", "", "append every traced span to this JSONL file as it completes (empty = off)")
+	wideEventSample := flag.Int("wide-event-sample", 0, "emit one wide request event to stderr as JSON per N requests (0 = off, 1 = every request)")
 	// Refresh-pipeline flags (single/shard modes).
 	canaryFraction := flag.Float64("canary-fraction", 0, "fraction of a key's traffic routed to its staged canary version (0 = default 0.25)")
 	sampleDir := flag.String("sample-dir", "", "spool directory of live page samples (<dir>/<key>/*.html); enables the background drift watcher")
@@ -127,6 +143,20 @@ func run() int {
 	flag.Parse()
 
 	o := obs.New()
+	if *traceExport != "" {
+		f, err := os.OpenFile(*traceExport, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			return 1
+		}
+		defer f.Close()
+		o.Traces.SetExport(f)
+		fmt.Fprintf(os.Stderr, "serve: exporting traced spans to %s\n", *traceExport)
+	}
+	if *wideEventSample > 0 {
+		lg := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		o.Log = obs.FuncLogger(func(name string, kv ...any) { lg.Info(name, kv...) })
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -153,7 +183,8 @@ func run() int {
 				Workers:    *workers,
 				DocTimeout: *docTimeout,
 			},
-			CanaryFraction: *canaryFraction,
+			CanaryFraction:  *canaryFraction,
+			WideEventSample: *wideEventSample,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "serve:", err)

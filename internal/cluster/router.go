@@ -10,6 +10,7 @@ import (
 	"mime"
 	"net/http"
 	"net/url"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -126,9 +127,11 @@ func (rt *Router) Replicas() int { return rt.cfg.Replicas }
 func (rt *Router) Run(ctx context.Context) { rt.health.Run(ctx) }
 
 // Mux mounts the routing endpoints on top of the observability handler, so
-// one router address serves traffic, /healthz and /metrics.
+// one router address serves traffic, /healthz and /metrics. The router's
+// GET /debug/traces/{id} assembles the cross-process view: its own spans
+// merged with each peer's half of the trace.
 func (rt *Router) Mux() *http.ServeMux {
-	mux := obs.Handler(rt.obs)
+	mux := obs.HandlerWith(rt.obs, rt.mergeTrace)
 	mux.HandleFunc("POST /extract", rt.handleExtract)
 	mux.HandleFunc("PUT /wrappers/{key}", rt.handlePutWrapper)
 	mux.HandleFunc("DELETE /wrappers/{key}", rt.handleDeleteWrapper)
@@ -145,6 +148,76 @@ func (rt *Router) Mux() *http.ServeMux {
 // wrong media type, or undecodable).
 func (rt *Router) routeOutcome(outcome string) {
 	rt.obs.Counter(obs.WithLabels("cluster_route_total", "outcome", outcome)).Inc()
+}
+
+// traceContext establishes the request's trace position at the cluster
+// ingress: joining a trace propagated by the client or minting a fresh trace
+// ID, echoed in the response header so the caller can fetch the assembled
+// trace from this router's GET /debug/traces/{id}.
+func (rt *Router) traceContext(w http.ResponseWriter, r *http.Request) (context.Context, obs.TraceContext) {
+	tc := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+	if tc.TraceID == "" {
+		tc.TraceID = obs.NewTraceID()
+	}
+	w.Header().Set(obs.TraceHeader, tc.TraceID)
+	return obs.ContextWithTrace(obs.NewContext(r.Context(), rt.obs), tc), tc
+}
+
+// mergeTrace assembles the cross-process view of one trace: the router's
+// local spans plus each peer's half, fetched from the peers'
+// /debug/traces/{id} endpoints and deduplicated by span ID. Peers that are
+// down or don't know the trace contribute nothing — assembly is best-effort
+// on read, with no write-path coordination.
+func (rt *Router) mergeTrace(id string, local []obs.SpanRecord) []obs.SpanRecord {
+	type fetched struct {
+		spans []obs.SpanRecord
+	}
+	peers := rt.cfg.Peers
+	results := make([]fetched, len(peers))
+	var wg sync.WaitGroup
+	for i, node := range peers {
+		wg.Add(1)
+		go func(i int, node string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProxyTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/debug/traces/"+url.PathEscape(id), nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			var body struct {
+				Spans []obs.SpanRecord `json:"spans"`
+			}
+			if err := json.NewDecoder(io.LimitReader(resp.Body, rt.cfg.MaxBodyBytes)).Decode(&body); err != nil {
+				return
+			}
+			results[i].spans = body.Spans
+		}(i, node)
+	}
+	wg.Wait()
+	seen := make(map[int64]bool, len(local))
+	out := local
+	for _, s := range local {
+		seen[s.ID] = true
+	}
+	for _, f := range results {
+		for _, s := range f.spans {
+			if s.TraceID == id && !seen[s.ID] {
+				seen[s.ID] = true
+				out = append(out, s)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
 }
 
 // readBody drains a size-bounded request body and enforces the declared
@@ -223,12 +296,23 @@ func (rt *Router) handleExtract(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := rt.extract(r.Context(), rt.health.Order(owners), body)
+	ctx, tc := rt.traceContext(w, r)
+	ctx, sp := rt.obs.StartSpan(ctx, "router.extract")
+	sp.SetAttr("docs", int64(len(req.Docs)))
+	start := time.Now()
+	res, err := rt.extract(ctx, rt.health.Order(owners), body)
+	elapsed := time.Since(start)
 	if err != nil {
+		sp.SetError(err)
+		sp.End()
+		rt.obs.Histogram("cluster_route_duration_us").ObserveExemplar(elapsed.Microseconds(), tc.TraceID)
 		rt.routeOutcome("error")
 		writeJSONError(w, http.StatusBadGateway, fmt.Errorf("no replica could serve the batch: %w", err))
 		return
 	}
+	sp.SetStr("node", res.node)
+	sp.End()
+	rt.obs.Histogram("cluster_route_duration_us").ObserveExemplar(elapsed.Microseconds(), tc.TraceID)
 	rt.routeOutcome("ok")
 	relay(w, res)
 }
@@ -372,30 +456,54 @@ func (rt *Router) reportAttempt(node string, err error) {
 	rt.health.ReportFailure(node, err)
 }
 
-// try is one bounded proxy attempt. A response is a failure only when the
-// shard is unreachable or answering 5xx — 4xx means the shard is healthy
-// and the client is wrong, which must not trigger failover.
+// try is one bounded proxy attempt, recorded as a "router.attempt" child
+// span naming the target node and counted per node in
+// cluster_route_attempts_total{node=…,outcome=…} so failover hot spots are
+// attributable. When ctx carries a trace, the attempt's position propagates
+// to the shard in the X-Resilex-Trace header — the shard's spans parent to
+// this attempt. A response is a failure only when the shard is unreachable
+// or answering 5xx — 4xx means the shard is healthy and the client is
+// wrong, which must not trigger failover.
 func (rt *Router) try(ctx context.Context, node, method, path, contentType string, body []byte) (*proxyResult, error) {
+	ctx, sp := rt.obs.StartSpan(ctx, "router.attempt")
+	sp.SetStr("node", node)
+	sp.SetStr("path", path)
+	outcome := "ok"
+	defer func() {
+		rt.obs.Counter(obs.WithLabels("cluster_route_attempts_total", "node", node, "outcome", outcome)).Inc()
+		sp.End()
+	}()
+	fail := func(err error) (*proxyResult, error) {
+		sp.SetError(err)
+		return nil, err
+	}
 	actx, cancel := context.WithTimeout(ctx, rt.cfg.ProxyTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, method, node+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		outcome = "transport"
+		return fail(err)
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	if tc := obs.TraceFromContext(ctx); tc.TraceID != "" {
+		req.Header.Set(obs.TraceHeader, obs.FormatTraceHeader(tc))
+	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
-		return nil, err
+		outcome = "transport"
+		return fail(err)
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.MaxBodyBytes))
 	if err != nil {
-		return nil, err
+		outcome = "transport"
+		return fail(err)
 	}
 	if resp.StatusCode >= 500 {
-		return nil, &statusError{node: node, path: path, status: resp.StatusCode}
+		outcome = "status_5xx"
+		return fail(&statusError{node: node, path: path, status: resp.StatusCode})
 	}
 	return &proxyResult{
 		status:      resp.StatusCode,
@@ -413,8 +521,15 @@ type replicaOutcome struct {
 }
 
 // replicate fans one framed operation out to every owner concurrently and
-// reports each owner's outcome, feeding the membership view as it goes.
+// reports each owner's outcome, feeding the membership view as it goes. The
+// fan-out is one "router.replicate" span; each owner write is a child
+// "router.attempt" span naming the node (see try).
 func (rt *Router) replicate(ctx context.Context, owners []string, op Op) []replicaOutcome {
+	ctx, sp := rt.obs.StartSpan(ctx, "router.replicate")
+	sp.SetStr("op", op.Kind.String())
+	sp.SetStr("key", op.Key)
+	sp.SetAttr("owners", int64(len(owners)))
+	defer sp.End()
 	frame := EncodeOp(op)
 	out := make([]replicaOutcome, len(owners))
 	var wg sync.WaitGroup
@@ -455,7 +570,8 @@ func (rt *Router) handlePutWrapper(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	owners := rt.ring.Owners(key, rt.cfg.Replicas)
-	outcomes := rt.replicate(r.Context(), owners, Op{Kind: OpPut, Key: key, Payload: body})
+	ctx, _ := rt.traceContext(w, r)
+	outcomes := rt.replicate(ctx, owners, Op{Kind: OpPut, Key: key, Payload: body})
 	applied, firstErr := summarize(outcomes, http.StatusCreated)
 	if applied == 0 {
 		rt.routeOutcome("error")
@@ -473,7 +589,8 @@ func (rt *Router) handlePutWrapper(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleDeleteWrapper(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
 	owners := rt.ring.Owners(key, rt.cfg.Replicas)
-	outcomes := rt.replicate(r.Context(), owners, Op{Kind: OpDelete, Key: key})
+	ctx, _ := rt.traceContext(w, r)
+	outcomes := rt.replicate(ctx, owners, Op{Kind: OpDelete, Key: key})
 	applied, firstErr := summarize(outcomes, http.StatusOK)
 	if applied > 0 {
 		rt.routeOutcome("ok")
@@ -507,7 +624,8 @@ func (rt *Router) handleCanaryWrapper(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	owners := rt.ring.Owners(key, rt.cfg.Replicas)
-	outcomes := rt.replicate(r.Context(), owners, Op{Kind: OpCanary, Key: key, Payload: body})
+	ctx, _ := rt.traceContext(w, r)
+	outcomes := rt.replicate(ctx, owners, Op{Kind: OpCanary, Key: key, Payload: body})
 	applied, firstErr := summarize(outcomes, http.StatusCreated)
 	if applied == 0 {
 		rt.routeOutcome("error")
@@ -537,7 +655,8 @@ func (rt *Router) handleRollout(name string, kind OpKind) http.HandlerFunc {
 			version = v
 		}
 		owners := rt.ring.Owners(key, rt.cfg.Replicas)
-		outcomes := rt.replicate(r.Context(), owners, Op{Kind: kind, Key: key, Version: version})
+		ctx, _ := rt.traceContext(w, r)
+		outcomes := rt.replicate(ctx, owners, Op{Kind: kind, Key: key, Version: version})
 		applied, firstErr := summarize(outcomes, http.StatusOK)
 		if applied == 0 {
 			rt.routeOutcome("error")

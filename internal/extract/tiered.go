@@ -1,6 +1,11 @@
 package extract
 
-import "resilex/internal/machine"
+import (
+	"context"
+
+	"resilex/internal/machine"
+	"resilex/internal/obs"
+)
 
 // ArtifactCache is the serving-path contract the wrapper layer loads
 // through: hand back the compiled artifact for a persisted expression,
@@ -33,6 +38,13 @@ func (t *TieredCache) Mem() *Cache { return t.mem }
 // Disk returns the disk tier, or nil when running memory-only.
 func (t *TieredCache) Disk() *DiskCache { return t.disk }
 
+// Tier names for LoadCtx attribution: which tier satisfied a load.
+const (
+	TierMemory  = "memory"
+	TierDisk    = "disk"
+	TierCompile = "compile"
+)
+
 // Load returns the artifact for the persisted expression src over
 // sigmaNames: from memory if resident, else decoded from disk (and
 // re-admitted to memory), else compiled (and written through to both
@@ -41,22 +53,63 @@ func (t *TieredCache) Disk() *DiskCache { return t.disk }
 // the disk tier is an optimization, and a full or read-only volume must not
 // fail requests that compiled fine.
 func (t *TieredCache) Load(src string, sigmaNames []string, opt machine.Options) (*Compiled, error) {
+	c, _, err := t.loadTier(src, sigmaNames, opt)
+	return c, err
+}
+
+// LoadCtx is Load under request-path observability: the lookup runs as a
+// "cache.lookup" phase whose span records the satisfying tier (and joins the
+// request's trace when ctx carries one), and the
+// extract_tiered_load_total{tier=…} counter attributes load traffic per
+// tier. The tier also fills any note slot installed by WithTierNote.
+func (t *TieredCache) LoadCtx(ctx context.Context, src string, sigmaNames []string, opt machine.Options) (*Compiled, error) {
+	ctx, ph := obs.StartPhase(ctx, "cache.lookup")
+	c, tier, err := t.loadTier(src, sigmaNames, opt)
+	ph.Str("tier", tier)
+	ph.Fail(err)
+	ph.Count(obs.WithLabels("extract_tiered_load_total", "tier", tier), 1)
+	ph.End()
+	if slot, ok := ctx.Value(tierNoteKey{}).(*string); ok {
+		*slot = tier
+	}
+	return c, err
+}
+
+// loadTier is the shared load path, additionally reporting which tier
+// satisfied the call. Joining another caller's in-flight compile counts as a
+// memory hit, matching the memory tier's own hit accounting.
+func (t *TieredCache) loadTier(src string, sigmaNames []string, opt machine.Options) (*Compiled, string, error) {
 	key, err := Key(src, sigmaNames)
 	if err != nil {
-		return nil, err
+		return nil, TierMemory, err
 	}
-	return t.mem.GetOrCompile(key, func() (*Compiled, error) {
+	tier := TierMemory
+	c, err := t.mem.GetOrCompile(key, func() (*Compiled, error) {
 		if t.disk != nil {
 			if c, ok := t.disk.Get(key, opt); ok {
+				tier = TierDisk
 				return c, nil
 			}
 		}
+		tier = TierCompile
 		c, err := CompileArtifact(src, sigmaNames, opt)
 		if err == nil && t.disk != nil {
 			t.disk.Put(key, c) //nolint:errcheck // best-effort write-through
 		}
 		return c, err
 	})
+	return c, tier, err
+}
+
+type tierNoteKey struct{}
+
+// WithTierNote returns a context carrying a slot that LoadCtx fills with the
+// tier that satisfied the load — how a caller several layers above the cache
+// (serve's wide request events) learns where a registration's compile went
+// without threading a return value through the ArtifactCache interface.
+func WithTierNote(ctx context.Context) (context.Context, *string) {
+	slot := new(string)
+	return context.WithValue(ctx, tierNoteKey{}, slot), slot
 }
 
 // Stats returns the memory tier's counters (the tier requests hit first);

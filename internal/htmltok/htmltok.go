@@ -147,7 +147,10 @@ func Scan(html string) []Token {
 		// Raw-text element: consume everything up to the matching close.
 		if tok.Kind == StartTag && rawTextElements[tok.Name] {
 			closeSeq := "</" + strings.ToLower(tok.Name)
-			rest := strings.ToLower(html[i:])
+			// ASCII-only fold: strings.ToLower would rewrite invalid UTF-8
+			// bytes as 3-byte replacement runes, desynchronizing the found
+			// index from offsets into html.
+			rest := asciiLower(html[i:])
 			at := strings.Index(rest, closeSeq)
 			if at < 0 {
 				i = n
@@ -165,6 +168,19 @@ func Scan(html string) []Token {
 
 func isAlpha(c byte) bool {
 	return ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+// asciiLower lowercases ASCII letters byte-for-byte, leaving every other
+// byte (including invalid UTF-8) untouched, so indexes into the result are
+// valid indexes into s.
+func asciiLower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
 }
 
 func isSpace(c byte) bool {

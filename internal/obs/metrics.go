@@ -105,11 +105,22 @@ func bucketIndex(v int64) int {
 	return i
 }
 
-// Histogram accumulates observations into fixed log-scale buckets.
+// Exemplar links one histogram bucket to a concrete traced request: the
+// observed value and the trace ID that produced it (OpenMetrics exemplar
+// semantics). Last write wins per bucket — recency is the useful property
+// for "show me a slow request in this bucket".
+type Exemplar struct {
+	TraceID string `json:"traceId"`
+	Value   int64  `json:"value"`
+}
+
+// Histogram accumulates observations into fixed log-scale buckets, with an
+// optional per-bucket trace-ID exemplar.
 type Histogram struct {
-	count   atomic.Int64
-	sum     atomic.Int64
-	buckets [NumHistogramBuckets]atomic.Int64
+	count     atomic.Int64
+	sum       atomic.Int64
+	buckets   [NumHistogramBuckets]atomic.Int64
+	exemplars [NumHistogramBuckets]atomic.Pointer[Exemplar]
 }
 
 // Observe records one value (no-op on a nil histogram).
@@ -120,6 +131,20 @@ func (h *Histogram) Observe(v int64) {
 	h.count.Add(1)
 	h.sum.Add(v)
 	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// ObserveExemplar records one value and pins it as the bucket's exemplar
+// when traceID is non-empty, linking the latency distribution back to a
+// retrievable trace. With an empty traceID it degrades to Observe.
+func (h *Histogram) ObserveExemplar(v int64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	h.exemplars[bucketIndex(v)].Store(&Exemplar{TraceID: traceID, Value: v})
 }
 
 // Count returns the number of observations.
@@ -140,30 +165,44 @@ func (h *Histogram) Sum() int64 {
 
 // HistogramSnapshot is a point-in-time copy of a histogram.
 type HistogramSnapshot struct {
-	Count   int64                      `json:"count"`
-	Sum     int64                      `json:"sum"`
-	Buckets [NumHistogramBuckets]int64 `json:"-"`
+	Count     int64                          `json:"count"`
+	Sum       int64                          `json:"sum"`
+	Buckets   [NumHistogramBuckets]int64     `json:"-"`
+	Exemplars [NumHistogramBuckets]*Exemplar `json:"-"`
 }
 
 // MarshalJSON renders the snapshot with non-empty buckets keyed by their
-// upper bound ("+Inf" for the last).
+// upper bound ("+Inf" for the last), and any bucket exemplars keyed the same
+// way.
 func (h HistogramSnapshot) MarshalJSON() ([]byte, error) {
+	bound := func(i int) string {
+		if b := BucketBound(i); b >= 0 {
+			return fmt.Sprint(b)
+		}
+		return "+Inf"
+	}
 	buckets := map[string]int64{}
 	for i, n := range h.Buckets {
-		if n == 0 {
-			continue
-		}
-		if b := BucketBound(i); b < 0 {
-			buckets["+Inf"] = n
-		} else {
-			buckets[fmt.Sprint(b)] = n
+		if n != 0 {
+			buckets[bound(i)] = n
 		}
 	}
+	var exemplars map[string]*Exemplar
+	for i, e := range h.Exemplars {
+		if e == nil {
+			continue
+		}
+		if exemplars == nil {
+			exemplars = map[string]*Exemplar{}
+		}
+		exemplars[bound(i)] = e
+	}
 	return json.Marshal(struct {
-		Count   int64            `json:"count"`
-		Sum     int64            `json:"sum"`
-		Buckets map[string]int64 `json:"buckets"`
-	}{h.Count, h.Sum, buckets})
+		Count     int64                `json:"count"`
+		Sum       int64                `json:"sum"`
+		Buckets   map[string]int64     `json:"buckets"`
+		Exemplars map[string]*Exemplar `json:"exemplars,omitempty"`
+	}{h.Count, h.Sum, buckets, exemplars})
 }
 
 // Registry is a concurrency-safe named-metric store. Metric names follow the
@@ -303,6 +342,7 @@ func (r *Registry) Snapshot() Snapshot {
 		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
 		for i := range h.buckets {
 			hs.Buckets[i] = h.buckets[i].Load()
+			hs.Exemplars[i] = h.exemplars[i].Load()
 		}
 		s.Histograms[name] = hs
 	}
@@ -343,6 +383,23 @@ func splitName(name string) (base, labels string) {
 // gauge samples verbatim, histograms as cumulative _bucket{le="..."} series
 // plus _sum and _count. Output is sorted by family then sample name.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WriteOpenMetrics writes the registry in the OpenMetrics text format: the
+// same families and sample lines as WritePrometheus, plus per-bucket
+// trace-ID exemplars (`... # {trace_id="..."} value`) and the mandatory
+// terminating `# EOF`. Served from /metrics when the scraper's Accept
+// header asks for application/openmetrics-text.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if err := r.writeExposition(w, true); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func (r *Registry) writeExposition(w io.Writer, openMetrics bool) error {
 	s := r.Snapshot()
 	writeFamily := func(names []string, kind string, sample func(name string) error) error {
 		sort.Strings(names)
@@ -388,12 +445,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return writeFamily(histNames, "histogram", func(name string) error {
 		base, labels := splitName(name)
 		h := s.Histograms[name]
-		series := func(le string, cum int64) error {
+		series := func(le string, cum int64, ex *Exemplar) error {
 			sep := ""
 			if labels != "" {
 				sep = ","
 			}
-			_, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", base, labels, sep, le, cum)
+			exemplar := ""
+			if openMetrics && ex != nil {
+				exemplar = fmt.Sprintf(" # {trace_id=%q} %d", ex.TraceID, ex.Value)
+			}
+			_, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d%s\n", base, labels, sep, le, cum, exemplar)
 			return err
 		}
 		cum := int64(0)
@@ -403,7 +464,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if b := BucketBound(i); b >= 0 {
 				le = fmt.Sprint(b)
 			}
-			if err := series(le, cum); err != nil {
+			if err := series(le, cum, h.Exemplars[i]); err != nil {
 				return err
 			}
 		}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -158,6 +159,95 @@ compile_us_bucket{kind="dfa",le="8"} 3
 	if n := strings.Count(got, "# TYPE rung_entries_total"); n != 1 {
 		t.Errorf("rung_entries_total TYPE lines = %d, want 1", n)
 	}
+}
+
+// TestWriteOpenMetricsGolden pins the OpenMetrics exposition byte-for-byte
+// for a small registry: the same families and ordering as the Prometheus
+// format, per-bucket trace-ID exemplars on the buckets that have one, and the
+// mandatory terminating # EOF.
+func TestWriteOpenMetricsGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve_requests_total").Add(2)
+	h := r.Histogram("serve_extract_duration_us")
+	h.ObserveExemplar(3, "aaaabbbbccccdddd")
+	h.ObserveExemplar(5, "eeeeffff00001111")
+
+	var b strings.Builder
+	if err := r.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	var want strings.Builder
+	want.WriteString("# TYPE serve_requests_total counter\n")
+	want.WriteString("serve_requests_total 2\n")
+	want.WriteString("# TYPE serve_extract_duration_us histogram\n")
+	cum := 0
+	for i := 0; i < NumHistogramBuckets; i++ {
+		le := "+Inf"
+		if bound := BucketBound(i); bound >= 0 {
+			le = fmt.Sprint(bound)
+		}
+		exemplar := ""
+		switch i {
+		case 2: // 3 lands in le=4
+			cum++
+			exemplar = ` # {trace_id="aaaabbbbccccdddd"} 3`
+		case 3: // 5 lands in le=8
+			cum++
+			exemplar = ` # {trace_id="eeeeffff00001111"} 5`
+		}
+		fmt.Fprintf(&want, "serve_extract_duration_us_bucket{le=%q} %d%s\n", le, cum, exemplar)
+	}
+	want.WriteString("serve_extract_duration_us_sum 8\n")
+	want.WriteString("serve_extract_duration_us_count 2\n")
+	want.WriteString("# EOF\n")
+	if got != want.String() {
+		t.Fatalf("OpenMetrics exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want.String())
+	}
+
+	// The classic Prometheus exposition must stay exemplar-free and EOF-free:
+	// scrapers that negotiated text/plain get the 0.0.4 format untouched.
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "trace_id") || strings.Contains(b.String(), "# EOF") {
+		t.Fatalf("Prometheus exposition leaked OpenMetrics syntax:\n%s", b.String())
+	}
+}
+
+// TestObserveExemplarSnapshot: exemplars ride histogram snapshots into the
+// JSON surface (metrics.json), keyed by bucket bound, and an empty trace ID
+// degrades to a plain observation.
+func TestObserveExemplarSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dur_us")
+	h.ObserveExemplar(5, "aaaabbbbccccdddd")
+	h.ObserveExemplar(7, "") // plain observation, no exemplar
+	snap := r.Snapshot().Histograms["dur_us"]
+	if snap.Count != 2 || snap.Sum != 12 {
+		t.Fatalf("count/sum = %d/%d, want 2/12", snap.Count, snap.Sum)
+	}
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Exemplars map[string]struct {
+			TraceID string `json:"traceId"`
+			Value   int64  `json:"value"`
+		} `json:"exemplars"`
+	}
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Exemplars) != 1 || m.Exemplars["8"].TraceID != "aaaabbbbccccdddd" || m.Exemplars["8"].Value != 5 {
+		t.Fatalf("snapshot exemplars = %+v, want one at le=8", m.Exemplars)
+	}
+	// Nil histogram stays inert.
+	var nh *Histogram
+	nh.ObserveExemplar(1, "aaaabbbbccccdddd")
 }
 
 func TestSnapshotIsolation(t *testing.T) {

@@ -16,12 +16,17 @@ type Observer struct {
 	Metrics *Registry
 	Trace   *Tracer
 	Log     Logger
+	Traces  *TraceStore
 }
 
-// New returns an observer with a fresh registry, a default-capacity tracer,
-// and no event logger.
+// New returns an observer with a fresh registry, a default-capacity tracer
+// wired to a trace store (so traced spans are retrievable by trace ID and
+// ring overwrites count into obs_spans_dropped_total), and no event logger.
 func New() *Observer {
-	return &Observer{Metrics: NewRegistry(), Trace: NewTracer(0)}
+	o := &Observer{Metrics: NewRegistry(), Trace: NewTracer(0), Traces: NewTraceStore(0, 0)}
+	o.Trace.SetDropCounter(o.Metrics.Counter("obs_spans_dropped_total"))
+	o.Trace.SetSink(o.Traces.Add)
+	return o
 }
 
 // Counter returns the named counter (nil, hence no-op, when the observer or
@@ -120,6 +125,22 @@ func (p *Phase) Attr(key string, v int64) {
 	p.sp.SetAttr(key, v)
 }
 
+// Str attaches a string attribute to the phase's span.
+func (p *Phase) Str(key, v string) {
+	if p == nil {
+		return
+	}
+	p.sp.SetStr(key, v)
+}
+
+// Fail marks the phase's span as errored.
+func (p *Phase) Fail(err error) {
+	if p == nil {
+		return
+	}
+	p.sp.SetError(err)
+}
+
 // Count adds n to the named registry counter (skipping zero adds).
 func (p *Phase) Count(name string, n int64) {
 	if p == nil || n == 0 {
@@ -140,11 +161,14 @@ func (p *Phase) End() {
 
 // snapshotSpan is the JSON shape of one span in WriteSnapshotJSON output.
 type snapshotSpan struct {
-	ID         int64            `json:"id"`
-	Parent     int64            `json:"parent,omitempty"`
-	Name       string           `json:"name"`
-	DurationUS int64            `json:"duration_us"`
-	Attrs      map[string]int64 `json:"attrs,omitempty"`
+	ID         int64             `json:"id"`
+	Parent     int64             `json:"parent,omitempty"`
+	TraceID    string            `json:"traceId,omitempty"`
+	Name       string            `json:"name"`
+	DurationUS int64             `json:"duration_us"`
+	Attrs      map[string]int64  `json:"attrs,omitempty"`
+	Strs       map[string]string `json:"strs,omitempty"`
+	Error      string            `json:"error,omitempty"`
 }
 
 // WriteSnapshotJSON writes the combined observability snapshot the CLIs emit
@@ -159,13 +183,19 @@ func WriteSnapshotJSON(w io.Writer, o *Observer) error {
 		doc.Metrics = o.Metrics.Snapshot()
 		for _, s := range o.Trace.Snapshot() {
 			out := snapshotSpan{
-				ID: s.ID, Parent: s.Parent, Name: s.Name,
-				DurationUS: s.Duration.Microseconds(),
+				ID: s.ID, Parent: s.Parent, TraceID: s.TraceID, Name: s.Name,
+				DurationUS: s.Duration.Microseconds(), Error: s.Error,
 			}
 			if len(s.Attrs) > 0 {
 				out.Attrs = map[string]int64{}
 				for _, a := range s.Attrs {
 					out.Attrs[a.Key] = a.Value
+				}
+			}
+			if len(s.SAttrs) > 0 {
+				out.Strs = map[string]string{}
+				for _, a := range s.SAttrs {
+					out.Strs[a.Key] = a.Value
 				}
 			}
 			doc.Spans = append(doc.Spans, out)

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Defaults for NewTraceStore(0, 0): enough traces to hold the recent tail of
+// a busy node, bounded hard so a trace-ID storm cannot grow memory.
+const (
+	DefaultTraceCapacity = 256
+	DefaultSpansPerTrace = 512
+)
+
+// TraceStore assembles completed spans into per-trace groups on top of the
+// tracer ring, so one request's whole span tree is retrievable by trace ID
+// (GET /debug/traces/{id}) after the individual spans have long rotated out
+// of the ring. Bounded two ways: at most maxTraces live traces (oldest
+// evicted first) and at most maxSpans spans kept per trace (the rest are
+// counted, not stored). Safe for concurrent use.
+type TraceStore struct {
+	mu        sync.Mutex
+	maxTraces int
+	maxSpans  int
+	traces    map[string]*traceEntry
+	order     []string // trace IDs in first-seen order (eviction order)
+
+	evictions int64 // whole traces evicted past maxTraces (guarded by mu)
+	truncated int64 // spans dropped from over-full traces (guarded by mu)
+
+	exportMu sync.Mutex
+	export   *json.Encoder // optional JSONL sink for every traced span
+}
+
+type traceEntry struct {
+	spans   []SpanRecord
+	dropped int64 // spans past maxSpans
+	first   time.Time
+}
+
+// TraceSummary is one row of the GET /debug/traces listing.
+type TraceSummary struct {
+	TraceID string    `json:"traceId"`
+	Spans   int       `json:"spans"`
+	Dropped int64     `json:"droppedSpans,omitempty"`
+	Root    string    `json:"root,omitempty"`
+	Start   time.Time `json:"start"`
+}
+
+// NewTraceStore returns a store holding up to maxTraces traces of up to
+// maxSpansPerTrace spans each (defaults when <= 0).
+func NewTraceStore(maxTraces, maxSpansPerTrace int) *TraceStore {
+	if maxTraces <= 0 {
+		maxTraces = DefaultTraceCapacity
+	}
+	if maxSpansPerTrace <= 0 {
+		maxSpansPerTrace = DefaultSpansPerTrace
+	}
+	return &TraceStore{
+		maxTraces: maxTraces,
+		maxSpans:  maxSpansPerTrace,
+		traces:    map[string]*traceEntry{},
+	}
+}
+
+// SetExport installs a JSONL sink: every traced span is appended to w as one
+// JSON object per line as it completes (the -trace-export flag of
+// cmd/serve). Writes are serialized; errors are swallowed — export is
+// telemetry, not the request path.
+func (ts *TraceStore) SetExport(w io.Writer) {
+	if ts == nil {
+		return
+	}
+	ts.exportMu.Lock()
+	defer ts.exportMu.Unlock()
+	if w == nil {
+		ts.export = nil
+		return
+	}
+	ts.export = json.NewEncoder(w)
+}
+
+// Add records one completed span into its trace group. Spans without a
+// trace ID are ignored. Nil-safe.
+func (ts *TraceStore) Add(r SpanRecord) {
+	if ts == nil || r.TraceID == "" {
+		return
+	}
+	ts.mu.Lock()
+	ent := ts.traces[r.TraceID]
+	if ent == nil {
+		if len(ts.order) >= ts.maxTraces {
+			oldest := ts.order[0]
+			ts.order = ts.order[1:]
+			delete(ts.traces, oldest)
+			ts.evictions++
+		}
+		ent = &traceEntry{first: r.Start}
+		ts.traces[r.TraceID] = ent
+		ts.order = append(ts.order, r.TraceID)
+	}
+	if len(ent.spans) >= ts.maxSpans {
+		ent.dropped++
+		ts.truncated++
+	} else {
+		ent.spans = append(ent.spans, r)
+	}
+	if r.Start.Before(ent.first) {
+		ent.first = r.Start
+	}
+	ts.mu.Unlock()
+
+	ts.exportMu.Lock()
+	if ts.export != nil {
+		_ = ts.export.Encode(r) //nolint:errcheck // best-effort telemetry sink
+	}
+	ts.exportMu.Unlock()
+}
+
+// Trace returns the buffered spans of one trace (nil when unknown), oldest
+// start first.
+func (ts *TraceStore) Trace(id string) []SpanRecord {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	ent := ts.traces[id]
+	var out []SpanRecord
+	if ent != nil {
+		out = append(out, ent.spans...)
+	}
+	ts.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// List summarizes every buffered trace, most recent first.
+func (ts *TraceStore) List() []TraceSummary {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	out := make([]TraceSummary, 0, len(ts.order))
+	for i := len(ts.order) - 1; i >= 0; i-- {
+		id := ts.order[i]
+		ent := ts.traces[id]
+		if ent == nil {
+			continue
+		}
+		sum := TraceSummary{TraceID: id, Spans: len(ent.spans), Dropped: ent.dropped, Start: ent.first}
+		for _, s := range ent.spans {
+			if s.Parent == 0 {
+				sum.Root = s.Name
+				break
+			}
+		}
+		out = append(out, sum)
+	}
+	ts.mu.Unlock()
+	return out
+}
+
+// Evictions reports how many whole traces were evicted past capacity.
+func (ts *TraceStore) Evictions() int64 {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.evictions
+}
+
+// Truncated reports how many spans were dropped from over-full traces.
+func (ts *TraceStore) Truncated() int64 {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.truncated
+}

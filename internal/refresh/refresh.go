@@ -192,11 +192,19 @@ func (c *Controller) Run(ctx context.Context) {
 // E19 benchmark drive the pipeline tick by tick.
 func (c *Controller) Tick(ctx context.Context) {
 	c.obs.Counter("refresh_tick_total").Inc()
+	// Each pass is its own trace, so a rollout decision is reconstructable
+	// end to end from GET /debug/traces/{id} exactly like a served request.
+	ctx = obs.ContextWithTrace(obs.NewContext(ctx, c.obs), obs.TraceContext{TraceID: obs.NewTraceID()})
+	ctx, sp := c.obs.StartSpan(ctx, "refresh.tick")
+	defer sp.End()
 	for _, site := range c.deploy.Sites() {
 		if ctx.Err() != nil {
 			return
 		}
-		c.checkSite(ctx, site)
+		sctx, ssp := c.obs.StartSpan(ctx, "refresh.site")
+		ssp.SetStr("site", site)
+		c.checkSite(sctx, site)
+		ssp.End()
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"resilex/internal/cluster"
@@ -62,6 +63,11 @@ type Config struct {
 	// canary version (stride-based, deterministic). 0 selects the default
 	// 0.25; the value is clamped to (0, 1].
 	CanaryFraction float64
+	// WideEventSample emits one wide request event (trace ID, doc bytes,
+	// serving rung, phase micros, result count) through the observer's
+	// Logger for every Nth request. 0 selects 1 (every request); events are
+	// only emitted when a Logger is installed.
+	WideEventSample int
 }
 
 // Server is the HTTP serving path: a fleet of compiled wrappers, the tiered
@@ -87,6 +93,11 @@ type Server struct {
 	stride      uint64
 	vmu         sync.Mutex
 	versions    map[string]*keyVersions
+
+	// Wide-event sampling: every wideEvery-th request (per surface) emits
+	// one wide event through the observer's Logger.
+	wideEvery uint64
+	wideN     atomic.Uint64
 }
 
 // New assembles the serving stack. With Config.CacheDir empty the server is
@@ -129,6 +140,7 @@ func New(cfg Config) (*Server, error) {
 		canaryFleet: wrapper.NewFleet(),
 		stride:      canaryStride(cfg.CanaryFraction),
 		versions:    map[string]*keyVersions{},
+		wideEvery:   uint64(max(cfg.WideEventSample, 1)),
 	}
 	restored, deleted, skipped := s.restoreRegistry()
 	if restored+deleted+skipped > 0 {
@@ -283,6 +295,32 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request, wantType strin
 	return body, true
 }
 
+// traceContext establishes the request's trace position: joining the trace
+// propagated in X-Resilex-Trace (router-routed requests) or minting a fresh
+// trace ID at ingress, echoed back in the response header so callers can
+// fetch the assembled trace from GET /debug/traces/{id}.
+func (s *Server) traceContext(w http.ResponseWriter, r *http.Request) (context.Context, obs.TraceContext) {
+	tc := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+	if tc.TraceID == "" {
+		tc.TraceID = obs.NewTraceID()
+	}
+	w.Header().Set(obs.TraceHeader, tc.TraceID)
+	return obs.ContextWithTrace(obs.NewContext(r.Context(), s.obs), tc), tc
+}
+
+// wideEvent emits one sampled wide request event — the single log line that
+// carries everything about a request — when a Logger is installed and the
+// sampling counter selects this request.
+func (s *Server) wideEvent(name string, kv ...any) {
+	if s.obs == nil || s.obs.Log == nil {
+		return
+	}
+	if (s.wideN.Add(1)-1)%s.wideEvery != 0 {
+		return
+	}
+	s.obs.Event(name, kv...)
+}
+
 func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	s.obs.Counter("serve_requests_total").Inc()
 	body, ok := s.readBody(w, r, "application/json")
@@ -294,17 +332,24 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	ctx := obs.NewContext(r.Context(), s.obs)
-	results := s.extractBatch(ctx, req.Docs)
+	ctx, tc := s.traceContext(w, r)
+	ctx, sp := s.obs.StartSpan(ctx, "serve.extract")
+	sp.SetAttr("docs", int64(len(req.Docs)))
+	sp.SetAttr("doc_bytes", int64(len(body)))
+	start := time.Now()
+	results, outcome := s.extractBatch(ctx, req.Docs)
+	elapsed := time.Since(start)
 	out := struct {
 		Results []extractResult `json:"results"`
 	}{Results: make([]extractResult, len(results))}
+	okCount := 0
 	for i, res := range results {
 		er := extractResult{Index: res.Index, Key: res.Key}
 		if res.Err != nil {
 			er.Error = res.Err.Error()
 		} else {
 			er.OK = true
+			okCount++
 			er.TokenIndex = res.Region.TokenIndex
 			er.Start = res.Region.Span.Start
 			er.End = res.Region.Span.End
@@ -312,7 +357,47 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		}
 		out.Results[i] = er
 	}
+	sp.SetStr("rung", outcome.rung())
+	sp.SetAttr("ok", int64(okCount))
+	sp.End()
+	s.obs.Histogram("serve_extract_duration_us").ObserveExemplar(elapsed.Microseconds(), tc.TraceID)
+	s.wideEvent("serve.request",
+		"trace", tc.TraceID,
+		"docs", len(req.Docs),
+		"doc_bytes", len(body),
+		"ok", okCount,
+		"rung", outcome.rung(),
+		"version", outcome.version,
+		"canary_docs", outcome.canaryDocs,
+		"fallbacks", outcome.fallbacks,
+		"duration_us", elapsed.Microseconds(),
+	)
 	writeJSON(w, http.StatusOK, out)
+}
+
+// batchOutcome summarizes how a batch was served for the request span and
+// wide event: how many documents the canary handled, how many canary misses
+// fell back to the active version, and the active version of the first key.
+type batchOutcome struct {
+	canaryDocs int
+	fallbacks  int
+	version    uint64
+}
+
+// rung names the serving rung the batch landed on — the versioned-registry
+// analog of the supervisor's degradation rung: "active" (no canary in
+// play), "canary" (some documents served by a staged canary), or
+// "canary_fallback" (at least one canary miss was re-served by the active
+// version).
+func (bo batchOutcome) rung() string {
+	switch {
+	case bo.fallbacks > 0:
+		return "canary_fallback"
+	case bo.canaryDocs > 0:
+		return "canary"
+	default:
+		return "active"
+	}
 }
 
 // extractBatch is the canary-aware batch path. Documents whose key has a
@@ -322,13 +407,19 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 // the active wrapper within the same request — the structural guarantee
 // that a bad canary degrades its own statistics (triggering rollback) but
 // never fails a request the active version would have served.
-func (s *Server) extractBatch(ctx context.Context, docs []wrapper.BatchDoc) []wrapper.BatchResult {
+func (s *Server) extractBatch(ctx context.Context, docs []wrapper.BatchDoc) ([]wrapper.BatchResult, batchOutcome) {
 	// Partition: canary-routed documents peel off; everything else runs on
 	// the active fleet as one batch.
+	var outcome batchOutcome
 	var canaryIdx []int
 	var canaryDocs []wrapper.BatchDoc
 	watched := map[int]*keyVersions{} // active-routed docs of keys under canary
 	s.vmu.Lock()
+	if len(docs) > 0 {
+		if kv := s.versions[docs[0].Key]; kv != nil && kv.active != nil {
+			outcome.version = kv.active.Version
+		}
+	}
 	for i, d := range docs {
 		kv := s.versions[d.Key]
 		if kv == nil || kv.canary == nil || s.canaryFleet.Get(d.Key) == nil {
@@ -342,8 +433,13 @@ func (s *Server) extractBatch(ctx context.Context, docs []wrapper.BatchDoc) []wr
 		}
 	}
 	s.vmu.Unlock()
+	outcome.canaryDocs = len(canaryIdx)
 	if len(canaryIdx) == 0 && len(watched) == 0 {
-		return s.fleet.ExtractBatch(ctx, docs, s.batch)
+		bctx, ph := obs.StartPhase(ctx, "serve.batch")
+		ph.Attr("docs", int64(len(docs)))
+		res := s.fleet.ExtractBatch(bctx, docs, s.batch)
+		ph.End()
+		return res, outcome
 	}
 
 	activeDocs := make([]wrapper.BatchDoc, 0, len(docs)-len(canaryIdx))
@@ -360,7 +456,11 @@ func (s *Server) extractBatch(ctx context.Context, docs []wrapper.BatchDoc) []wr
 	}
 
 	results := make([]wrapper.BatchResult, len(docs))
-	for sub, res := range s.fleet.ExtractBatch(ctx, activeDocs, s.batch) {
+	actx, aph := obs.StartPhase(ctx, "serve.batch")
+	aph.Attr("docs", int64(len(activeDocs)))
+	activeRes := s.fleet.ExtractBatch(actx, activeDocs, s.batch)
+	aph.End()
+	for sub, res := range activeRes {
 		i := activeIdx[sub]
 		res.Index = i
 		results[i] = res
@@ -377,7 +477,11 @@ func (s *Server) extractBatch(ctx context.Context, docs []wrapper.BatchDoc) []wr
 
 	var fallbackDocs []wrapper.BatchDoc
 	var fallbackIdx []int
-	for sub, res := range s.canaryFleet.ExtractBatch(ctx, canaryDocs, s.batch) {
+	cctx, cph := obs.StartPhase(ctx, "serve.canary")
+	cph.Attr("docs", int64(len(canaryDocs)))
+	canaryRes := s.canaryFleet.ExtractBatch(cctx, canaryDocs, s.batch)
+	cph.End()
+	for sub, res := range canaryRes {
 		i := canaryIdx[sub]
 		res.Index = i
 		s.vmu.Lock()
@@ -403,12 +507,19 @@ func (s *Server) extractBatch(ctx context.Context, docs []wrapper.BatchDoc) []wr
 			results[i] = res
 		}
 	}
-	for sub, res := range s.fleet.ExtractBatch(ctx, fallbackDocs, s.batch) {
-		i := fallbackIdx[sub]
-		res.Index = i
-		results[i] = res
+	outcome.fallbacks = len(fallbackDocs)
+	if len(fallbackDocs) > 0 {
+		fctx, fph := obs.StartPhase(ctx, "serve.fallback")
+		fph.Attr("docs", int64(len(fallbackDocs)))
+		fallbackRes := s.fleet.ExtractBatch(fctx, fallbackDocs, s.batch)
+		fph.End()
+		for sub, res := range fallbackRes {
+			i := fallbackIdx[sub]
+			res.Index = i
+			results[i] = res
+		}
 	}
-	return results
+	return results, outcome
 }
 
 // putWrapper registers (or replaces) a site wrapper from its persisted
@@ -421,8 +532,9 @@ func (s *Server) extractBatch(ctx context.Context, docs []wrapper.BatchDoc) []wr
 // after a DELETE resurrects the key with a higher version), or the
 // replicated version when the originating node assigned a higher one — and
 // drops any staged canary: a direct PUT supersedes an in-flight rollout.
-func (s *Server) putWrapper(key string, body []byte, version uint64) (status int, resp map[string]any, err error) {
-	wr, err := wrapper.LoadCached(body, s.opt, s.cache)
+func (s *Server) putWrapper(ctx context.Context, key string, body []byte, version uint64) (status int, resp map[string]any, err error) {
+	ctx, tier := extract.WithTierNote(ctx)
+	wr, err := wrapper.LoadCachedCtx(ctx, body, s.opt, s.cache)
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, machine.ErrBudget) || errors.Is(err, machine.ErrDeadline) {
@@ -447,6 +559,13 @@ func (s *Server) putWrapper(key string, body []byte, version uint64) (status int
 		resp["persisted"] = s.registry.writeState(key, kv) == nil
 	}
 	s.vmu.Unlock()
+	s.wideEvent("serve.wrapper_put",
+		"trace", obs.TraceFromContext(ctx).TraceID,
+		"key", key,
+		"version", v,
+		"cache_tier", *tier,
+		"doc_bytes", len(body),
+	)
 	return http.StatusCreated, resp, nil
 }
 
@@ -483,7 +602,12 @@ func (s *Server) handlePutWrapper(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	status, resp, err := s.putWrapper(key, body, 0)
+	ctx, _ := s.traceContext(w, r)
+	ctx, sp := s.obs.StartSpan(ctx, "serve.put")
+	sp.SetStr("key", key)
+	status, resp, err := s.putWrapper(ctx, key, body, 0)
+	sp.SetError(err)
+	sp.End()
 	if err != nil {
 		writeError(w, status, err)
 		return
@@ -501,7 +625,12 @@ func (s *Server) handleCanaryWrapper(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	status, resp, err := s.canaryWrapper(key, body, 0)
+	ctx, _ := s.traceContext(w, r)
+	ctx, sp := s.obs.StartSpan(ctx, "serve.canary_put")
+	sp.SetStr("key", key)
+	status, resp, err := s.canaryWrapper(ctx, key, body, 0)
+	sp.SetError(err)
+	sp.End()
 	if err != nil {
 		writeError(w, status, err)
 		return
@@ -604,10 +733,16 @@ func (s *Server) handleClusterApply(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.obs.Counter(obs.WithLabels("serve_cluster_apply_total", "op", op.Kind.String())).Inc()
+	ctx, _ := s.traceContext(w, r)
+	ctx, sp := s.obs.StartSpan(ctx, "shard.apply")
+	sp.SetStr("op", op.Kind.String())
+	sp.SetStr("key", op.Key)
+	defer sp.End()
 	switch op.Kind {
 	case cluster.OpPut:
-		status, resp, err := s.putWrapper(op.Key, op.Payload, op.Version)
+		status, resp, err := s.putWrapper(ctx, op.Key, op.Payload, op.Version)
 		if err != nil {
+			sp.SetError(err)
 			writeError(w, status, err)
 			return
 		}
@@ -620,8 +755,9 @@ func (s *Server) handleClusterApply(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	case cluster.OpCanary:
-		status, resp, err := s.canaryWrapper(op.Key, op.Payload, op.Version)
+		status, resp, err := s.canaryWrapper(ctx, op.Key, op.Payload, op.Version)
 		if err != nil {
+			sp.SetError(err)
 			writeError(w, status, err)
 			return
 		}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -124,8 +125,8 @@ func (s *Server) gaugeVersions(key string, kv *keyVersions) {
 // already have an active wrapper — a canary is a candidate replacement, not
 // a first registration. version, when non-zero, is the version the
 // originating node assigned (replication); zero assigns locally.
-func (s *Server) canaryWrapper(key string, body []byte, version uint64) (status int, resp map[string]any, err error) {
-	wr, err := wrapper.LoadCached(body, s.opt, s.cache)
+func (s *Server) canaryWrapper(ctx context.Context, key string, body []byte, version uint64) (status int, resp map[string]any, err error) {
+	wr, err := wrapper.LoadCachedCtx(ctx, body, s.opt, s.cache)
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, machine.ErrBudget) || errors.Is(err, machine.ErrDeadline) {
@@ -301,7 +302,7 @@ func (s *Server) HasCanary(key string) bool {
 
 // DeployCanary stages payload as the key's canary version.
 func (s *Server) DeployCanary(key string, payload []byte) (uint64, error) {
-	_, resp, err := s.canaryWrapper(key, payload, 0)
+	_, resp, err := s.canaryWrapper(context.Background(), key, payload, 0)
 	if err != nil {
 		return 0, err
 	}

@@ -113,65 +113,78 @@ func TestExtractBatchObserved(t *testing.T) {
 // depends on.
 func TestExtractBatchMidBatchCancel(t *testing.T) {
 	f := fig1Fleet(t)
-	o := obs.New()
-	ctx, cancel := context.WithCancel(obs.NewContext(context.Background(), o))
-	defer cancel()
 
-	const n = 3000
-	docs := make([]BatchDoc, n)
-	for i := range docs {
-		docs[i] = BatchDoc{Key: "vs", HTML: fig1Top}
-	}
+	// One attempt: run the batch, cancel once the first documents have been
+	// processed, assert the hard invariants (complete ordered slice, typed
+	// errors, exact metric accounting), and report how the timing landed.
+	// Whether the cancel catches the batch mid-flight is a race against the
+	// extraction speed — cached documents finish in microseconds — so the
+	// attempt is retried until it does instead of asserting one roll of the
+	// scheduler dice.
+	attempt := func(n int) (succeeded, failed int) {
+		o := obs.New()
+		ctx, cancel := context.WithCancel(obs.NewContext(context.Background(), o))
+		defer cancel()
 
-	done := make(chan []BatchResult, 1)
-	go func() { done <- f.ExtractBatch(ctx, docs, BatchOptions{Workers: 2}) }()
-
-	// Wait until some documents have definitely been processed, then pull
-	// the rug out mid-batch.
-	deadline := time.Now().Add(10 * time.Second)
-	for o.Metrics.Snapshot().Counters["wrapper_batch_docs_total"] < 10 {
-		if time.Now().After(deadline) {
-			t.Fatal("batch never processed its first documents")
+		docs := make([]BatchDoc, n)
+		for i := range docs {
+			docs[i] = BatchDoc{Key: "vs", HTML: fig1Top}
 		}
-		time.Sleep(time.Millisecond)
-	}
-	cancel()
 
-	var res []BatchResult
-	select {
-	case res = <-done:
-	case <-time.After(30 * time.Second):
-		t.Fatal("ExtractBatch did not return after mid-batch cancellation")
+		done := make(chan []BatchResult, 1)
+		go func() { done <- f.ExtractBatch(ctx, docs, BatchOptions{Workers: 2}) }()
+
+		// Wait until some documents have definitely been processed, then
+		// pull the rug out mid-batch.
+		deadline := time.Now().Add(10 * time.Second)
+		for o.Metrics.Snapshot().Counters["wrapper_batch_docs_total"] < 10 {
+			if time.Now().After(deadline) {
+				t.Fatal("batch never processed its first documents")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+
+		var res []BatchResult
+		select {
+		case res = <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("ExtractBatch did not return after mid-batch cancellation")
+		}
+
+		if len(res) != n {
+			t.Fatalf("%d results for %d docs — cancellation shortened the slice", len(res), n)
+		}
+		for i, r := range res {
+			if r.Index != i || r.Key != "vs" {
+				t.Fatalf("result %d carries index %d key %q — ordering broken by cancel", i, r.Index, r.Key)
+			}
+			if r.Err == nil {
+				succeeded++
+				continue
+			}
+			failed++
+			if !errors.Is(r.Err, machine.ErrDeadline) {
+				t.Fatalf("res[%d].Err = %v, want machine.ErrDeadline after cancel", i, r.Err)
+			}
+		}
+		snap := o.Metrics.Snapshot()
+		if got := snap.Counters["wrapper_batch_docs_total"]; got != int64(n) {
+			t.Errorf("docs_total = %d, want %d (every doc accounted for, even drained ones)", got, n)
+		}
+		if got := snap.Counters["wrapper_batch_errors_total"]; got != int64(failed) {
+			t.Errorf("errors_total = %d, want %d", got, failed)
+		}
+		return succeeded, failed
 	}
 
-	if len(res) != n {
-		t.Fatalf("%d results for %d docs — cancellation shortened the slice", len(res), n)
-	}
-	succeeded, failed := 0, 0
-	for i, r := range res {
-		if r.Index != i || r.Key != "vs" {
-			t.Fatalf("result %d carries index %d key %q — ordering broken by cancel", i, r.Index, r.Key)
+	n := 3000
+	for try := 0; try < 5; try++ {
+		succeeded, failed := attempt(n)
+		if succeeded > 0 && failed > 0 {
+			return
 		}
-		if r.Err == nil {
-			succeeded++
-			continue
-		}
-		failed++
-		if !errors.Is(r.Err, machine.ErrDeadline) {
-			t.Fatalf("res[%d].Err = %v, want machine.ErrDeadline after cancel", i, r.Err)
-		}
+		n *= 2 // widen the window between first-doc and batch-end
 	}
-	if succeeded == 0 {
-		t.Error("no document finished before the cancel — test raced itself")
-	}
-	if failed == 0 {
-		t.Error("no document failed after the cancel — batch completed before cancellation took effect")
-	}
-	snap := o.Metrics.Snapshot()
-	if got := snap.Counters["wrapper_batch_docs_total"]; got != n {
-		t.Errorf("docs_total = %d, want %d (every doc accounted for, even drained ones)", got, n)
-	}
-	if got := snap.Counters["wrapper_batch_errors_total"]; got != int64(failed) {
-		t.Errorf("errors_total = %d, want %d", got, failed)
-	}
+	t.Error("cancel never landed mid-batch in 5 attempts — every batch completed before or started after it")
 }

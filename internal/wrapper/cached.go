@@ -1,6 +1,7 @@
 package wrapper
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -24,6 +25,20 @@ import (
 // ErrMalformedInput; budget and deadline exhaustion during a cold compile
 // pass through wrapping machine.ErrBudget and machine.ErrDeadline.
 func LoadCached(data []byte, opt machine.Options, cache extract.ArtifactCache) (*Wrapper, error) {
+	return LoadCachedCtx(context.Background(), data, opt, cache)
+}
+
+// ctxArtifactCache is the optional context-aware load surface of a cache
+// tier stack (extract.TieredCache.LoadCtx): the lookup joins the request's
+// trace and attributes the satisfying tier.
+type ctxArtifactCache interface {
+	LoadCtx(ctx context.Context, src string, sigmaNames []string, opt machine.Options) (*extract.Compiled, error)
+}
+
+// LoadCachedCtx is LoadCached with the caller's context threaded through to
+// the cache, so tier stacks that implement a context-aware load record the
+// lookup (tier, trace span) against the request that triggered it.
+func LoadCachedCtx(ctx context.Context, data []byte, opt machine.Options, cache extract.ArtifactCache) (*Wrapper, error) {
 	if cache == nil {
 		return Load(data, opt)
 	}
@@ -34,7 +49,13 @@ func LoadCached(data []byte, opt machine.Options, cache extract.ArtifactCache) (
 	if p.Version != 1 {
 		return nil, fmt.Errorf("%w: unsupported wrapper version %d", ErrMalformedInput, p.Version)
 	}
-	comp, err := cache.Load(p.Expr, p.Sigma, opt)
+	var comp *extract.Compiled
+	var err error
+	if cc, ok := cache.(ctxArtifactCache); ok {
+		comp, err = cc.LoadCtx(ctx, p.Expr, p.Sigma, opt)
+	} else {
+		comp, err = cache.Load(p.Expr, p.Sigma, opt)
+	}
 	if err != nil {
 		if errors.Is(err, machine.ErrBudget) || errors.Is(err, machine.ErrDeadline) {
 			return nil, fmt.Errorf("wrapper: reparsing expression: %w", err)

@@ -4,9 +4,12 @@
 # Boots a 2-shard cluster behind a router (real processes, real HTTP):
 #   1. PUT a trained wrapper through the router (replicated to both shards),
 #   2. extract a document through the router,
-#   3. kill one shard,
-#   4. extract again — the router must fail over and still answer,
-#   5. DELETE the wrapper through the router and confirm it is gone.
+#   3. fetch the assembled trace for that request from the router's
+#      /debug/traces/{id} and assert the span tree covers both processes
+#      (router routing spans + shard request/cache spans),
+#   4. kill one shard,
+#   5. extract again — the router must fail over and still answer,
+#   6. DELETE the wrapper through the router and confirm it is gone.
 #
 # Run from the repository root (make cluster-smoke). Exits non-zero on the
 # first broken step.
@@ -62,20 +65,47 @@ wait_up http://127.0.0.1:$PORT_SHARD1
 wait_up http://127.0.0.1:$PORT_SHARD2
 wait_up "$ROUTER"
 
+# One client-minted trace ID sent on the PUT and the extract: the replicated
+# applies and the routed extraction all join the same trace, so the assembled
+# tree covers the whole lifecycle.
+TRACE_ID=$(od -An -tx1 -N16 /dev/urandom | tr -d ' \n')
+
 echo "cluster-smoke: registering wrapper through the router"
 put=$(curl -s -o "$DIR/put.json" -w '%{http_code}' -X PUT \
-    -H 'Content-Type: application/json' --data-binary @"$DIR/wrapper.json" \
+    -H 'Content-Type: application/json' -H "X-Resilex-Trace: $TRACE_ID" \
+    --data-binary @"$DIR/wrapper.json" \
     "$ROUTER/wrappers/vs")
 [ "$put" = 201 ] || { echo "cluster-smoke: PUT status $put: $(cat "$DIR/put.json")" >&2; exit 1; }
 grep -q '"replicated":2' "$DIR/put.json" || {
     echo "cluster-smoke: PUT not replicated to both shards: $(cat "$DIR/put.json")" >&2; exit 1; }
 
 echo "cluster-smoke: extracting through the router"
-curl -s -H 'Content-Type: application/json' \
+curl -s -D "$DIR/extract1.hdr" -H 'Content-Type: application/json' \
+    -H "X-Resilex-Trace: $TRACE_ID" \
     --data-binary @scripts/testdata/cluster_smoke_request.json \
     "$ROUTER/extract" >"$DIR/extract1.json"
 grep -q '"ok":true' "$DIR/extract1.json" || {
     echo "cluster-smoke: extraction failed: $(cat "$DIR/extract1.json")" >&2; exit 1; }
+
+echo "cluster-smoke: assembling the request trace across both processes"
+# The router joined our trace and echoed its ID in the response header; its
+# /debug/traces/{id} endpoint merges its own spans with both shards' halves
+# fetched over HTTP. The assembled tree must contain the router's routing
+# spans AND the shards' apply/request/cache spans — i.e. spans from multiple
+# processes under one trace ID.
+echoed=$(tr -d '\r' <"$DIR/extract1.hdr" |
+    awk -F': ' 'tolower($1)=="x-resilex-trace"{print $2}')
+[ "$echoed" = "$TRACE_ID" ] || {
+    echo "cluster-smoke: extract response echoed trace \"$echoed\", want $TRACE_ID" >&2
+    exit 1; }
+curl -sf "$ROUTER/debug/traces/$TRACE_ID" >"$DIR/trace.json" || {
+    echo "cluster-smoke: trace $TRACE_ID not retrievable from the router" >&2; exit 1; }
+for span in router.extract router.attempt router.replicate \
+    serve.extract shard.apply cache.lookup; do
+    grep -q "\"$span\"" "$DIR/trace.json" || {
+        echo "cluster-smoke: assembled trace missing span $span: $(cat "$DIR/trace.json")" >&2
+        exit 1; }
+done
 
 echo "cluster-smoke: killing shard 1, extracting again (failover)"
 kill "$SHARD1_PID"
@@ -95,4 +125,4 @@ curl -s -H 'Content-Type: application/json' \
 grep -q '"ok":true' "$DIR/extract3.json" && {
     echo "cluster-smoke: extraction still succeeds after DELETE" >&2; exit 1; }
 
-echo "cluster-smoke: OK (replicated put, routed extract, failover extract, replicated delete)"
+echo "cluster-smoke: OK (replicated put, routed extract, cross-process trace, failover extract, replicated delete)"
