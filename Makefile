@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race cover fuzz fuzz-smoke check bench microbench experiments examples metrics-smoke metrics-lint doc-smoke cache-smoke cluster-smoke refresh-smoke clean
+.PHONY: all build fmt-check vet test race cover fuzz fuzz-smoke check bench microbench experiments examples metrics-smoke metrics-lint doc-smoke cache-smoke cluster-smoke refresh-smoke alloc-gate clean
 
 all: build vet test
 
@@ -12,9 +12,11 @@ all: build vet test
 # the DESIGN.md §6 reference, both directions), the godoc smoke over the
 # serving-path APIs, the cache-hit-rate smoke over a quick E16 run, the
 # sharded cluster smoke (boot router + 2 shards, replicate, extract,
-# failover, assemble the request trace across both processes), and the
-# refresh smoke (drift -> canary -> promote, break -> rollback).
-check: fmt-check vet race fuzz-smoke metrics-smoke metrics-lint doc-smoke cache-smoke cluster-smoke refresh-smoke
+# failover, assemble the request trace across both processes), the
+# refresh smoke (drift -> canary -> promote, break -> rollback), and the
+# streaming alloc gate (zero-alloc warm paths + one-pass/two-pass
+# differential fuzz smoke).
+check: fmt-check vet race fuzz-smoke metrics-smoke metrics-lint doc-smoke cache-smoke cluster-smoke refresh-smoke alloc-gate
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -43,6 +45,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzLoadWrapper -fuzztime=10s ./internal/wrapper/
 	$(GO) test -fuzz=FuzzLoadFleet -fuzztime=10s ./internal/wrapper/
 	$(GO) test -fuzz=FuzzDecodeArtifact -fuzztime=10s ./internal/extract/
+	$(GO) test -fuzz=FuzzStreamTwoPassEquiv -fuzztime=10s ./internal/extract/
+	$(GO) test -fuzz=FuzzStreamerChunks -fuzztime=10s ./internal/htmltok/
 	$(GO) test -fuzz=FuzzDecodeVersionRecord -fuzztime=10s ./internal/cluster/
 
 # 5s per target, for the check gate.
@@ -53,6 +57,8 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzLoadWrapper -fuzztime=5s ./internal/wrapper/
 	$(GO) test -fuzz=FuzzLoadFleet -fuzztime=5s ./internal/wrapper/
 	$(GO) test -fuzz=FuzzDecodeArtifact -fuzztime=5s ./internal/extract/
+	$(GO) test -fuzz=FuzzStreamTwoPassEquiv -fuzztime=5s ./internal/extract/
+	$(GO) test -fuzz=FuzzStreamerChunks -fuzztime=5s ./internal/htmltok/
 	$(GO) test -fuzz=FuzzDecodeVersionRecord -fuzztime=5s ./internal/cluster/
 
 # The serving-path experiments at a fixed seed: E16 throughput (docs/sec,
@@ -60,10 +66,11 @@ fuzz-smoke:
 # warm-disk vs warm-memory first-request latency), E18 cluster scaling
 # (1/2/4-shard throughput plus a kill-one-shard failover run) and E19
 # continuous refresh (drift -> canary -> promote, break -> rollback, zero
-# failed requests) and E20 tracing overhead (traced vs untraced cached-batch
-# p50), written to ./BENCH_E16.json ... ./BENCH_E20.json.
+# failed requests), E20 tracing overhead (traced vs untraced cached-batch
+# p50) and E21 streaming extraction (one-pass zero-alloc path vs the
+# materialized two-scan), written to ./BENCH_E16.json ... ./BENCH_E21.json.
 bench:
-	$(GO) run ./cmd/resilience -run E16,E17,E18,E19,E20 -seed 1 -bench-dir .
+	$(GO) run ./cmd/resilience -run E16,E17,E18,E19,E20,E21 -seed 1 -bench-dir .
 
 # Go microbenchmarks (go test -bench) over every package.
 microbench:
@@ -97,6 +104,8 @@ doc-smoke:
 	$(GO) doc resilex/internal/machine LazyDFA >/dev/null
 	$(GO) doc resilex/internal/extract Cache >/dev/null
 	$(GO) doc resilex/internal/wrapper Fleet.ExtractBatch >/dev/null
+	$(GO) doc resilex/internal/extract StreamMatcher >/dev/null
+	$(GO) doc resilex/internal/wrapper StreamExtractor.ExtractReaderTo >/dev/null
 	$(GO) doc resilex/internal/serve Server >/dev/null
 	$(GO) doc resilex/internal/cluster Router >/dev/null
 	$(GO) doc resilex/cmd/serve >/dev/null
@@ -111,6 +120,18 @@ cache-smoke:
 # extract again (failover), then DELETE and confirm the key is gone.
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
+
+# Streaming alloc gate: the zero-allocation assertions on every warm
+# streaming layer (matcher run, tokenizer feed, wrapper serve path) plus a
+# short differential fuzz of the one-pass matcher against the two-scan
+# oracle and of the chunked tokenizer against Scan. Guards the 0 allocs/op
+# and boundary-straddling invariants ISSUE 8 introduced.
+alloc-gate:
+	$(GO) test -run 'TestStreamRunZeroAlloc|TestStreamMatcherEquivalence' -count=1 ./internal/extract/
+	$(GO) test -run 'TestStreamerFeedNoAllocWarm|TestStreamerMatchesScan' -count=1 ./internal/htmltok/
+	$(GO) test -run 'TestStreamZeroAllocWarm|TestStreamMatchesExtract|TestStreamLargePageConstantState' -count=1 ./internal/wrapper/
+	$(GO) test -fuzz=FuzzStreamTwoPassEquiv -fuzztime=5s ./internal/extract/
+	$(GO) test -fuzz=FuzzStreamerChunks -fuzztime=5s ./internal/htmltok/
 
 # Refresh smoke: boot one node with the drift watcher on, PUT v1, drop a
 # drifted sample and drive drifted traffic until the watcher canaries and

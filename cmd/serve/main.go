@@ -21,6 +21,12 @@
 //	POST   /extract        batch extraction: {"docs":[{"key":"site","html":"…"},…]}
 //	                       → {"results":[{"index":0,"key":"site","ok":true,…},…]},
 //	                       one result per document, in input order
+//	POST   /extract/stream/{key}  single-document streaming extraction: the raw
+//	                       page is the request body and is piped chunk by chunk
+//	                       through the one-pass matcher without ever being
+//	                       materialized — memory stays O(1) beyond the match
+//	                       region and the warm path allocates nothing (see the
+//	                       README's "Streaming extraction" walkthrough)
 //	PUT    /wrappers/{key} register or replace a site wrapper from its persisted
 //	                       JSON; compilation is cached and deduplicated, and with
 //	                       -cache-dir the registration survives restarts

@@ -1,7 +1,9 @@
 package resilex_test
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"resilex"
 )
@@ -49,6 +51,36 @@ func ExampleTrain() {
 	novel := `<table><tr><td><h1>Shop</h1></td></tr><tr><td>SALE</td></tr><tr><td>` +
 		`<form><input type="image"><input type="text"></form></td></tr></table>`
 	r, err := w.Extract(novel)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(r.Source)
+	// Output:
+	// <input type="text">
+}
+
+// Streaming extraction: the same wrapper fed from an io.Reader chunk by
+// chunk. The page is never materialized — tokenization and matching run in
+// one forward pass, so memory stays constant however large the page is,
+// and the result is identical to Extract's.
+func ExampleWrapper_Stream() {
+	sample1 := `<h1>Shop</h1><form><input type="image"><input type="text" data-target></form>`
+	sample2 := `<table><tr><td><h1>Shop</h1></td></tr><tr><td>` +
+		`<form><input type="image"><input type="text" data-target></form></td></tr></table>`
+	w, err := resilex.Train([]resilex.Sample{
+		{HTML: sample1, Target: resilex.TargetMarker()},
+		{HTML: sample2, Target: resilex.TargetMarker()},
+	}, resilex.Config{})
+	if err != nil {
+		panic(err)
+	}
+	se, err := w.Stream()
+	if err != nil {
+		panic(err)
+	}
+	novel := `<table><tr><td><h1>Shop</h1></td></tr><tr><td>SALE</td></tr><tr><td>` +
+		`<form><input type="image"><input type="text"></form></td></tr></table>`
+	r, err := se.ExtractReader(context.Background(), strings.NewReader(novel))
 	if err != nil {
 		panic(err)
 	}

@@ -7,10 +7,15 @@
 // left-filtering maximization (Algorithm 6.2), its mirror image, and the
 // pivot maximization framework (Propositions 6.6–6.8).
 //
-// Two runtime surfaces serve compiled expressions. Compile builds the
+// Three runtime surfaces serve compiled expressions. Compile builds the
 // eager two-scan Matcher (forward E1-DFA plus one backward sweep, O(n) per
 // document); CompileLazy builds a LazyMatcher over on-the-fly DFAs for
-// expressions whose eager determinization would blow the state budget. For
+// expressions whose eager determinization would blow the state budget; and
+// Expr.CompileStream builds the one-pass StreamMatcher, which resolves the
+// suffix conjunct online with a bounded thread set so documents can be
+// matched token by token as they arrive, in O(1) memory beyond the match
+// region — provably equivalent to the two-scan Matcher (THEORY.md,
+// "One-pass streaming extraction ≡ the two-scan matcher"). For
 // high-throughput serving, Cache memoizes compiled artifacts under a
 // content address — a hash of the canonicalized expression and its
 // alphabet — with LRU eviction and singleflight deduplication of

@@ -1,0 +1,5 @@
+//go:build !race
+
+package extract
+
+const raceEnabled = false

@@ -1,0 +1,312 @@
+package extract
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"resilex/internal/machine"
+	"resilex/internal/symtab"
+)
+
+// checkStreamAgrees feeds every word through the one-pass StreamMatcher in
+// both modes and demands agreement with the two-scan Matcher — the
+// differential oracle of the streaming refactor.
+func checkStreamAgrees(t *testing.T, x Expr, words [][]symtab.Symbol) {
+	t.Helper()
+	m, err := x.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := x.CompileStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range words {
+		want := m.All(w)
+		got := sm.All(w)
+		if len(got) != len(want) {
+			t.Fatalf("on %v: stream %v, two-pass %v", w, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("on %v: stream %v, two-pass %v", w, got, want)
+			}
+		}
+		wantPos, wantOK := m.Find(w)
+		gotPos, gotOK := sm.Find(w)
+		if gotOK != wantOK || (wantOK && gotPos != wantPos) {
+			t.Fatalf("Find on %v: stream %d,%v; two-pass %d,%v", w, gotPos, gotOK, wantPos, wantOK)
+		}
+		// A CollectAll run must answer Find identically to FindLeftmost.
+		r := sm.Get(CollectAll)
+		for _, sym := range w {
+			r.Feed(sym)
+		}
+		caPos, caOK := r.Find()
+		sm.Put(r)
+		if caOK != wantOK || (wantOK && caPos != wantPos) {
+			t.Fatalf("CollectAll Find on %v: %d,%v; want %d,%v", w, caPos, caOK, wantPos, wantOK)
+		}
+	}
+}
+
+// TestStreamMatcherEquivalenceTokenFixtures sweeps every token-level fixture
+// expression over all short words plus random longer ones; the one-pass
+// matcher must agree with the two-scan matcher everywhere.
+func TestStreamMatcherEquivalenceTokenFixtures(t *testing.T) {
+	e := newTenv()
+	words2 := allWords(e.sigma2, 6)
+	words3 := allWords(e.sigma3, 5)
+	rng := rand.New(rand.NewSource(43))
+	randWords := func(sigma symtab.Alphabet) [][]symtab.Symbol {
+		syms := sigma.Symbols()
+		var out [][]symtab.Symbol
+		for i := 0; i < 40; i++ {
+			w := make([]symtab.Symbol, 7+rng.Intn(30))
+			for j := range w {
+				w[j] = syms[rng.Intn(len(syms))]
+			}
+			out = append(out, w)
+		}
+		return out
+	}
+	for _, f := range tokenFixtures {
+		f := f
+		t.Run(f.src, func(t *testing.T) {
+			sigma, words := e.sigma2, words2
+			if f.sigma == 3 {
+				sigma, words = e.sigma3, words3
+			}
+			x := e.expr(t, f.src, sigma)
+			checkStreamAgrees(t, x, append(words, randWords(sigma)...))
+		})
+	}
+}
+
+// TestStreamMatcherEquivalenceHTMLFixtures replays the Figure 1 documents —
+// plus out-of-Σ and perturbed variants — through the HTML-level fixtures.
+// The out-of-Σ cases are the load-bearing ones: an unknown tag anywhere in a
+// suffix must kill every candidate whose suffix contains it, exactly as the
+// two-pass backward sweep rejects it.
+func TestStreamMatcherEquivalenceHTMLFixtures(t *testing.T) {
+	h := newHTMLEnv()
+	docs := [][]symtab.Symbol{
+		h.doc(t, fig1Doc1),
+		h.doc(t, fig1Doc2),
+		h.doc(t, "TR TR TR"),
+		h.doc(t, "TR TR"),
+		h.doc(t, "FORM INPUT INPUT /FORM"),
+		nil,
+	}
+	out := h.tab.Intern("BLINK")
+	docs = append(docs, append(h.doc(t, fig1Doc1), out))
+	withMid := append([]symtab.Symbol{}, h.doc(t, fig1Doc1)...)
+	withMid[3] = out
+	docs = append(docs, withMid)
+	docs = append(docs, []symtab.Symbol{out})
+	for _, src := range htmlFixtures {
+		src := src
+		t.Run(src, func(t *testing.T) {
+			x, err := Parse(src, h.tab, h.sigma, machine.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkStreamAgrees(t, x, docs)
+		})
+	}
+}
+
+// TestStreamMatcherAmbiguous: CollectAll must report every valid position of
+// an ambiguous expression, in ascending order, matching the two-pass answer
+// and the direct oracle.
+func TestStreamMatcherAmbiguous(t *testing.T) {
+	e := newTenv()
+	x := e.expr(t, "p* <p> p*", e.sigma2)
+	sm, err := x.CompileStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range allWords(e.sigma2, 7) {
+		got := sm.All(w)
+		want := oracleSplits(x, w)
+		if len(got) != len(want) {
+			t.Fatalf("on %v: stream %v, oracle %v", w, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("on %v: stream %v, oracle %v", w, got, want)
+			}
+		}
+	}
+}
+
+// TestStreamRunIncremental: Feed reports candidate births, Live tracks the
+// surviving candidate set, and results are stable before/after Put-Get
+// recycling of a run.
+func TestStreamRunIncremental(t *testing.T) {
+	e := newTenv()
+	// q* <p> q*: the single p in a sea of q's is the candidate.
+	x := e.expr(t, "q* <p> q*", e.sigma2)
+	sm, err := x.CompileStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sm.Get(FindLeftmost)
+	if born := r.Feed(e.q); born {
+		t.Error("q reported as candidate birth")
+	}
+	if born := r.Feed(e.p); !born {
+		t.Error("p after q* not reported as candidate birth")
+	}
+	if live := r.Live(nil); len(live) != 1 || live[0] != 1 {
+		t.Errorf("Live = %v, want [1]", live)
+	}
+	r.Feed(e.q)
+	if pos, ok := r.Find(); !ok || pos != 1 {
+		t.Errorf("Find = %d,%v, want 1,true", pos, ok)
+	}
+	// A second p kills the first candidate's suffix (q* only) and is itself
+	// stillborn as prefix "q p q" ∉ q*.
+	if born := r.Feed(e.p); born {
+		t.Error("second p reported as candidate birth")
+	}
+	if _, ok := r.Find(); ok {
+		t.Error("Find succeeded after suffix violation")
+	}
+	if live := r.Live(nil); len(live) != 0 {
+		t.Errorf("Live = %v, want empty", live)
+	}
+	sm.Put(r)
+	// The recycled run starts fresh.
+	r2 := sm.Get(FindLeftmost)
+	r2.Feed(e.p)
+	if pos, ok := r2.Find(); !ok || pos != 0 {
+		t.Errorf("recycled run Find = %d,%v, want 0,true", pos, ok)
+	}
+	sm.Put(r2)
+	hits, misses := sm.PoolStats()
+	if hits < 1 || misses < 1 {
+		t.Errorf("PoolStats = %d,%d, want at least one of each", hits, misses)
+	}
+}
+
+// TestStreamRunZeroAlloc: a warmed run processing a document in FindLeftmost
+// mode — the serving configuration — must not allocate at all.
+func TestStreamRunZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates on the warm path")
+	}
+	h := newHTMLEnv()
+	x, err := Parse(htmlFixtures[0], h.tab, h.sigma, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := x.CompileStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := h.doc(t, fig1Doc1)
+	for i := 0; i < 1024; i++ { // a long document exercising steady state
+		doc = append(doc, doc[i%12])
+	}
+	// Warm the pool.
+	r := sm.Get(FindLeftmost)
+	for _, sym := range doc {
+		r.Feed(sym)
+	}
+	sm.Put(r)
+	allocs := testing.AllocsPerRun(100, func() {
+		r := sm.Get(FindLeftmost)
+		for _, sym := range doc {
+			r.Feed(sym)
+		}
+		_, _ = r.Find()
+		sm.Put(r)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm streaming run allocated %.1f times per document, want 0", allocs)
+	}
+}
+
+// TestStreamCompileErrors: expired deadlines and state-limit overflows are
+// reported, so callers can fall back to the two-pass matcher.
+func TestStreamCompileErrors(t *testing.T) {
+	e := newTenv()
+	x := e.expr(t, "q* <p> .*", e.sigma2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dead := x.WithOptions(machine.Options{Ctx: ctx})
+	if _, err := dead.CompileStream(); err == nil {
+		t.Error("CompileStream succeeded with a canceled context")
+	}
+}
+
+// FuzzStreamTwoPassEquiv is the streaming-vs-two-pass differential fuzz
+// target: random words (including out-of-Σ bytes) through every fixture
+// expression must produce identical All answers from both matchers.
+func FuzzStreamTwoPassEquiv(f *testing.F) {
+	e := newTenv()
+	type compiled struct {
+		m  *Matcher
+		sm *StreamMatcher
+	}
+	var fixtures []compiled
+	for _, fx := range tokenFixtures {
+		sigma := e.sigma2
+		if fx.sigma == 3 {
+			sigma = e.sigma3
+		}
+		x, err := Parse(fx.src, e.tab, sigma, machine.Options{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		m, err := x.Compile()
+		if err != nil {
+			f.Fatal(err)
+		}
+		sm, err := x.CompileStream()
+		if err != nil {
+			f.Fatal(err)
+		}
+		fixtures = append(fixtures, compiled{m, sm})
+	}
+	// A symbol outside every fixture alphabet: suffixes containing it are
+	// invalid no matter what E2 says.
+	alien := e.tab.Intern("alien")
+	f.Add(uint8(0), []byte("pq"))
+	f.Add(uint8(2), []byte("ppqp"))
+	f.Add(uint8(14), []byte("qpp\x03q"))
+	f.Add(uint8(19), []byte("qrprq"))
+	f.Fuzz(func(t *testing.T, which uint8, data []byte) {
+		c := fixtures[int(which)%len(fixtures)]
+		word := make([]symtab.Symbol, len(data))
+		for i, b := range data {
+			switch b % 4 {
+			case 0:
+				word[i] = e.p
+			case 1:
+				word[i] = e.q
+			case 2:
+				word[i] = e.r
+			default:
+				word[i] = alien
+			}
+		}
+		want := c.m.All(word)
+		got := c.sm.All(word)
+		if len(got) != len(want) {
+			t.Fatalf("stream %v, two-pass %v on %v", got, want, word)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("stream %v, two-pass %v on %v", got, want, word)
+			}
+		}
+		wantPos, wantOK := c.m.Find(word)
+		gotPos, gotOK := c.sm.Find(word)
+		if gotOK != wantOK || (wantOK && gotPos != wantPos) {
+			t.Fatalf("Find: stream %d,%v; two-pass %d,%v on %v", gotPos, gotOK, wantPos, wantOK, word)
+		}
+	})
+}

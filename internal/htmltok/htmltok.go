@@ -287,6 +287,11 @@ type Mapper struct {
 	AttrKeys []string
 	// Skip lists upper-case tag names to drop entirely (e.g. BR, HR).
 	Skip map[string]bool
+
+	// endBuf is StreamSym's end-tag scratch ("/NAME"). It makes StreamSym
+	// single-goroutine state, unlike Map; streaming callers hold one Mapper
+	// per in-flight extraction.
+	endBuf []byte
 }
 
 // NewMapper returns a Mapper with the paper's defaults: end tags kept, text

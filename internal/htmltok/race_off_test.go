@@ -1,0 +1,5 @@
+//go:build !race
+
+package htmltok
+
+const raceEnabled = false

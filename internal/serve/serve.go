@@ -208,6 +208,7 @@ func (s *Server) Cache() *extract.TieredCache { return s.cache }
 func (s *Server) Mux() *http.ServeMux {
 	mux := obs.Handler(s.obs)
 	mux.HandleFunc("POST /extract", s.handleExtract)
+	mux.HandleFunc("POST /extract/stream/{key}", s.handleExtractStream)
 	mux.HandleFunc("PUT /wrappers/{key}", s.handlePutWrapper)
 	mux.HandleFunc("DELETE /wrappers/{key}", s.handleDeleteWrapper)
 	mux.HandleFunc("PUT /wrappers/{key}/canary", s.handleCanaryWrapper)

@@ -65,6 +65,20 @@ func (t *Table) Lookup(name string) Symbol {
 	return None
 }
 
+// LookupBytes is Lookup over a byte slice. It never allocates (the
+// byte-to-string conversion in the map index is elided by the compiler),
+// which makes it the symbol-resolution step of the zero-allocation streaming
+// extraction path. Unlike Intern it never mutates the table: unknown names
+// report None, which downstream matchers treat as an out-of-Σ token.
+func (t *Table) LookupBytes(name []byte) Symbol {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if s, ok := t.ids[string(name)]; ok {
+		return s
+	}
+	return None
+}
+
 // Name returns the token name for s. It panics if s was not produced by this
 // table.
 func (t *Table) Name(s Symbol) string {

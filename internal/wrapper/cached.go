@@ -64,7 +64,8 @@ func LoadCachedCtx(ctx context.Context, data []byte, opt machine.Options, cache 
 	}
 	cfg := Config{DropEndTags: p.DropEndTags, KeepText: p.KeepText, AttrKeys: p.AttrKeys, Skip: p.Skip, Options: opt}
 	return &Wrapper{
-		tab: comp.Tab, mapper: cfg.mapper(comp.Tab), expr: comp.Expr, matcher: comp.Matcher,
+		sbox: &streamBox{},
+		tab:  comp.Tab, mapper: cfg.mapper(comp.Tab), expr: comp.Expr, matcher: comp.Matcher,
 		strategy: p.Strategy, cfg: cfg,
 	}, nil
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package wrapper
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package wrapper
+
+// raceEnabled skips the AllocsPerRun assertions under the race detector,
+// whose instrumentation allocates on paths that are allocation-free in
+// normal builds.
+const raceEnabled = true

@@ -116,7 +116,8 @@ func (w *Wrapper) refresh(sample Sample) (*Wrapper, error) {
 		return nil, err
 	}
 	return &Wrapper{
-		tab: w.tab, mapper: w.mapper, expr: expr, matcher: m,
+		sbox: &streamBox{},
+		tab:  w.tab, mapper: w.mapper, expr: expr, matcher: m,
 		strategy: strategy, cfg: w.cfg,
 	}, nil
 }

@@ -1,0 +1,220 @@
+package wrapper
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"resilex/internal/obs"
+)
+
+// chunkReader yields at most chunk bytes per Read, forcing constructs to
+// straddle boundaries.
+type chunkReader struct {
+	data  []byte
+	chunk int
+}
+
+func (r *chunkReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	n := r.chunk
+	if n > len(r.data) {
+		n = len(r.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, r.data[:n])
+	r.data = r.data[n:]
+	return n, nil
+}
+
+func trainFig1(t *testing.T) *Wrapper {
+	t.Helper()
+	w, err := Train([]Sample{
+		{HTML: fig1Top, Target: TargetMarker()},
+		{HTML: fig1Bottom, Target: TargetMarker()},
+	}, fig1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestStreamMatchesExtract: on every Figure 1 page (trained and novel) and
+// at every chunk granularity, the streaming path must return exactly the
+// region the materialized Extract path does.
+func TestStreamMatchesExtract(t *testing.T) {
+	w := trainFig1(t)
+	se, err := w.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, page := range []string{fig1Top, fig1Bottom, fig1Novel} {
+		want, err := w.Extract(page)
+		if err != nil {
+			t.Fatalf("materialized Extract failed: %v", err)
+		}
+		for _, chunk := range []int{1, 3, 7, 64, 1 << 20} {
+			got, err := se.ExtractReader(context.Background(), &chunkReader{data: []byte(page), chunk: chunk})
+			if err != nil {
+				t.Fatalf("chunk %d: %v", chunk, err)
+			}
+			if got != want {
+				t.Fatalf("chunk %d: stream %+v, materialized %+v", chunk, got, want)
+			}
+		}
+	}
+}
+
+// TestStreamRejectsLikeExtract: pages the wrapper does not parse fail with
+// ErrNotExtracted on both paths — including pages with never-seen tags,
+// which streaming resolves to out-of-Σ None symbols instead of interning.
+func TestStreamRejectsLikeExtract(t *testing.T) {
+	w := trainFig1(t)
+	se, err := w.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, page := range []string{
+		"<html><body>no form here</body></html>",
+		"<BLINK>" + fig1Top, // out-of-Σ prefix
+		"",
+	} {
+		_, werr := w.Extract(page)
+		_, serr := se.ExtractReader(context.Background(), strings.NewReader(page))
+		if !errors.Is(werr, ErrNotExtracted) || !errors.Is(serr, ErrNotExtracted) {
+			t.Fatalf("page %.30q: materialized err %v, stream err %v", page, werr, serr)
+		}
+	}
+}
+
+// TestStreamLargePageConstantState: a multi-megabyte page made of repeated
+// filler rows must extract correctly while the capture arena stays bounded —
+// the O(1)-beyond-match-region claim at the wrapper level.
+func TestStreamLargePageConstantState(t *testing.T) {
+	w := trainFig1(t)
+	se, err := w.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pad the real trained page with filler rows (tags all within Σ) before
+	// its form row, keeping a page the expression still parses.
+	formAt := strings.Index(fig1Bottom, "<tr><td><form")
+	if formAt < 0 {
+		t.Fatal("fig1Bottom lost its form row")
+	}
+	var b strings.Builder
+	b.WriteString(fig1Bottom[:formAt])
+	for i := 0; i < 25000; i++ {
+		b.WriteString("<tr><td><a href=\"cust.html\">filler row</a></td></tr>\n")
+	}
+	b.WriteString(fig1Bottom[formAt:])
+	page := b.String()
+	if len(page) < 1<<20 {
+		t.Fatalf("test page only %d bytes", len(page))
+	}
+	want, err := w.Extract(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := se.ExtractReader(context.Background(), strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("stream %+v, materialized %+v", got, want)
+	}
+	// The pooled session retains buffers proportional to tokens/candidates
+	// in flight, not to the page: its capture arena must be tiny.
+	s := se.get()
+	if cap(s.src) > 1<<16 {
+		t.Errorf("capture arena grew to %d bytes on a %d-byte page", cap(s.src), len(page))
+	}
+	se.put(s)
+}
+
+// TestStreamZeroAllocWarm: the warm streaming serve path — pooled session,
+// registered metrics — performs zero allocations per extraction.
+func TestStreamZeroAllocWarm(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates on the warm path")
+	}
+	w := trainFig1(t)
+	se, err := w.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := obs.NewContext(context.Background(), obs.New())
+	page := []byte(fig1Bottom)
+	rd := bytes.NewReader(page)
+	sink := 0
+	extract := func(sr StreamRegion) error {
+		sink += sr.TokenIndex
+		return nil
+	}
+	for i := 0; i < 4; i++ { // warm pool, counters, histogram buckets
+		rd.Reset(page)
+		if err := se.ExtractReaderTo(ctx, rd, extract); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		rd.Reset(page)
+		if err := se.ExtractReaderTo(ctx, rd, extract); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm streaming extraction allocated %.1f times per page, want 0", allocs)
+	}
+}
+
+// TestStreamMetrics: one extraction over a chunked reader bumps the
+// extract_stream_* counter family.
+func TestStreamMetrics(t *testing.T) {
+	w := trainFig1(t)
+	se, err := w.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	ctx := obs.NewContext(context.Background(), o)
+	if _, err := se.ExtractReader(ctx, &chunkReader{data: []byte(fig1Top), chunk: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if v := o.Counter("extract_stream_runs_total").Value(); v != 1 {
+		t.Errorf("runs = %d, want 1", v)
+	}
+	if v := o.Counter("extract_stream_chunks_total").Value(); v < 10 {
+		t.Errorf("chunks = %d, want many for a 5-byte chunk reader", v)
+	}
+	if v := o.Counter("extract_stream_carry_total").Value(); v < 1 {
+		t.Errorf("carries = %d, want ≥ 1 with 5-byte chunks", v)
+	}
+	if v := o.Counter("extract_stream_bytes_total").Value(); v != int64(len(fig1Top)) {
+		t.Errorf("bytes = %d, want %d", v, len(fig1Top))
+	}
+	if v := o.Counter("extract_stream_pool_misses_total").Value(); v != 1 {
+		t.Errorf("pool misses = %d, want 1", v)
+	}
+}
+
+// TestStreamContextCancel: a canceled context aborts between chunks.
+func TestStreamContextCancel(t *testing.T) {
+	w := trainFig1(t)
+	se, err := w.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := se.ExtractReader(ctx, strings.NewReader(fig1Top)); err == nil {
+		t.Fatal("extraction succeeded under a canceled context")
+	}
+}

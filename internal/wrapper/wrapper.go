@@ -87,6 +87,10 @@ type Wrapper struct {
 	strategy string
 	cfg      Config
 
+	// sbox lazily compiles the one-pass streaming matcher (see Stream);
+	// shared by all copies of the wrapper.
+	sbox *streamBox
+
 	// Training provenance, kept so Refresh can re-induce; nil for wrappers
 	// restored with Load.
 	examples []learn.Example
@@ -178,7 +182,8 @@ func trainExamples(tab *symtab.Table, mapper *htmltok.Mapper, examples []learn.E
 		return nil, err
 	}
 	return &Wrapper{
-		tab: tab, mapper: mapper, expr: expr, matcher: m, strategy: strategy, cfg: cfg,
+		sbox: &streamBox{},
+		tab:  tab, mapper: mapper, expr: expr, matcher: m, strategy: strategy, cfg: cfg,
 		examples: examples, sigma: sigma,
 	}, nil
 }
@@ -323,7 +328,8 @@ func Load(data []byte, opt machine.Options) (*Wrapper, error) {
 	}
 	cfg := Config{DropEndTags: p.DropEndTags, KeepText: p.KeepText, AttrKeys: p.AttrKeys, Skip: p.Skip, Options: opt}
 	return &Wrapper{
-		tab: tab, mapper: cfg.mapper(tab), expr: expr, matcher: m,
+		sbox: &streamBox{},
+		tab:  tab, mapper: cfg.mapper(tab), expr: expr, matcher: m,
 		strategy: p.Strategy, cfg: cfg,
 	}, nil
 }

@@ -56,6 +56,12 @@ type (
 	Config = wrapper.Config
 	// Region is an extraction result on a live page.
 	Region = wrapper.Region
+	// StreamExtractor extracts from chunked document streams in one
+	// forward pass, without materializing the page (Wrapper.Stream).
+	StreamExtractor = wrapper.StreamExtractor
+	// StreamRegion is a streaming extraction result whose Source bytes
+	// borrow a pooled buffer; see StreamExtractor.ExtractReaderTo.
+	StreamRegion = wrapper.StreamRegion
 	// Perturber generates seeded random page variants under the paper's
 	// Section 3 change model, for resilience testing.
 	Perturber = perturb.Perturber
