@@ -2,21 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race cover fuzz fuzz-smoke check bench microbench experiments examples metrics-smoke metrics-lint doc-smoke cache-smoke cluster-smoke refresh-smoke alloc-gate clean
+.PHONY: all build fmt-check vet test race cover fuzz fuzz-smoke fuzz-lint check bench microbench experiments examples metrics-smoke metrics-lint doc-smoke cache-smoke cluster-smoke refresh-smoke alloc-gate clean
 
 all: build vet test
 
 # The robustness gate: static checks, the full suite under the race
-# detector, a short fuzz smoke over every fuzz target, the observability
-# smoke over the worked example, the metrics lint (registered names vs
-# the DESIGN.md §6 reference, both directions), the godoc smoke over the
-# serving-path APIs, the cache-hit-rate smoke over a quick E16 run, the
-# sharded cluster smoke (boot router + 2 shards, replicate, extract,
-# failover, assemble the request trace across both processes), the
-# refresh smoke (drift -> canary -> promote, break -> rollback), and the
-# streaming alloc gate (zero-alloc warm paths + one-pass/two-pass
-# differential fuzz smoke).
-check: fmt-check vet race fuzz-smoke metrics-smoke metrics-lint doc-smoke cache-smoke cluster-smoke refresh-smoke alloc-gate
+# detector, the fuzz lint (every Fuzz* function in the tree registered in
+# FUZZ_TARGETS, both directions), a short fuzz smoke over every fuzz
+# target, the observability smoke over the worked example, the metrics
+# lint (registered names vs the DESIGN.md §6 reference, both directions),
+# the godoc smoke over the serving-path APIs, the cache-hit-rate smoke
+# over a quick E16 run, the sharded cluster smoke (boot router + 2 shards,
+# replicate, extract, failover, assemble the request trace across both
+# processes), the refresh smoke (drift -> canary -> promote, break ->
+# rollback), and the streaming alloc gate (zero-alloc warm paths +
+# one-pass/two-pass differential fuzz smoke).
+check: fmt-check vet race fuzz-lint fuzz-smoke metrics-smoke metrics-lint doc-smoke cache-smoke cluster-smoke refresh-smoke alloc-gate
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -37,29 +38,46 @@ race:
 cover:
 	$(GO) test -cover ./...
 
-# Short fuzz session over every fuzz target.
+# Every fuzz target in the tree as Name:./package-dir/ pairs — the single
+# source of truth `fuzz`, `fuzz-smoke` and the scheduled CI long-fuzz
+# iterate over, reconciled against the tree by `make fuzz-lint`: a Fuzz*
+# function added without a row here fails `make check`.
+FUZZ_TARGETS := \
+	FuzzParse:./internal/rx/ \
+	FuzzParseMarked:./internal/rx/ \
+	FuzzScan:./internal/htmltok/ \
+	FuzzStreamerChunks:./internal/htmltok/ \
+	FuzzLoadWrapper:./internal/wrapper/ \
+	FuzzLoadFleet:./internal/wrapper/ \
+	FuzzDecodeArtifact:./internal/extract/ \
+	FuzzStreamTwoPassEquiv:./internal/extract/ \
+	FuzzLazyEagerEquiv:./internal/machine/ \
+	FuzzDecodeVersionRecord:./internal/cluster/ \
+	FuzzAPISequence:./internal/seqfuzz/
+
+# One fuzz session per registered target; $(1) is the per-target budget.
+define run-fuzz
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		name=$${t%%:*}; dir=$${t#*:}; \
+		echo "==> fuzz $$name ($$dir, $(1))"; \
+		$(GO) test -fuzz=^$$name\$$ -fuzztime=$(1) $$dir; \
+	done
+endef
+
+# Fuzz session over every registered target. Override FUZZTIME for longer
+# campaigns (the weekly CI job runs `make fuzz FUZZTIME=10m`).
+FUZZTIME ?= 10s
 fuzz:
-	$(GO) test -fuzz=FuzzParse$$ -fuzztime=10s ./internal/rx/
-	$(GO) test -fuzz=FuzzParseMarked -fuzztime=10s ./internal/rx/
-	$(GO) test -fuzz=FuzzScan -fuzztime=10s ./internal/htmltok/
-	$(GO) test -fuzz=FuzzLoadWrapper -fuzztime=10s ./internal/wrapper/
-	$(GO) test -fuzz=FuzzLoadFleet -fuzztime=10s ./internal/wrapper/
-	$(GO) test -fuzz=FuzzDecodeArtifact -fuzztime=10s ./internal/extract/
-	$(GO) test -fuzz=FuzzStreamTwoPassEquiv -fuzztime=10s ./internal/extract/
-	$(GO) test -fuzz=FuzzStreamerChunks -fuzztime=10s ./internal/htmltok/
-	$(GO) test -fuzz=FuzzDecodeVersionRecord -fuzztime=10s ./internal/cluster/
+	$(call run-fuzz,$(FUZZTIME))
 
 # 5s per target, for the check gate.
 fuzz-smoke:
-	$(GO) test -fuzz=FuzzParse$$ -fuzztime=5s ./internal/rx/
-	$(GO) test -fuzz=FuzzParseMarked -fuzztime=5s ./internal/rx/
-	$(GO) test -fuzz=FuzzScan -fuzztime=5s ./internal/htmltok/
-	$(GO) test -fuzz=FuzzLoadWrapper -fuzztime=5s ./internal/wrapper/
-	$(GO) test -fuzz=FuzzLoadFleet -fuzztime=5s ./internal/wrapper/
-	$(GO) test -fuzz=FuzzDecodeArtifact -fuzztime=5s ./internal/extract/
-	$(GO) test -fuzz=FuzzStreamTwoPassEquiv -fuzztime=5s ./internal/extract/
-	$(GO) test -fuzz=FuzzStreamerChunks -fuzztime=5s ./internal/htmltok/
-	$(GO) test -fuzz=FuzzDecodeVersionRecord -fuzztime=5s ./internal/cluster/
+	$(call run-fuzz,5s)
+
+# Fuzz lint: FUZZ_TARGETS and the tree's Fuzz* functions must agree, both
+# directions. Fails listing unregistered targets or stale rows.
+fuzz-lint:
+	sh scripts/fuzz_lint.sh $(FUZZ_TARGETS)
 
 # The serving-path experiments at a fixed seed: E16 throughput (docs/sec,
 # p50/p99 latency, cache hit rate), E17 persistence (cold-compile vs

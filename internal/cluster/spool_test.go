@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"resilex/internal/codec"
+)
+
+func encodeLegacyOp(op Op) []byte {
+	var w codec.Writer
+	w.Uint(uint64(op.Kind))
+	w.String(op.Key)
+	w.Bytes2(op.Payload)
+	return codec.Seal(OpMagic, opVersionLegacy, w.Bytes())
+}
+
+// TestMixedVersionSpoolReplay pins the rolling-upgrade replay contract: an
+// op spool written partly by a version-1 sender (put/delete, no record
+// version) and partly by a version-2 sender (versioned records, rollout
+// kinds) splits frame by frame with codec.NextFrame and decodes in order
+// with cluster.DecodeOp — and replaying the mixture through the registry's
+// version-assignment rule never regresses the version counter, because
+// legacy frames carry version 0 ("assign the next one") rather than a stale
+// absolute number.
+func TestMixedVersionSpoolReplay(t *testing.T) {
+	p1, p2, p3 := []byte(`{"v":"one"}`), []byte(`{"v":"two"}`), []byte(`{"v":"three"}`)
+	want := []struct {
+		op     Op
+		legacy bool
+	}{
+		{op: Op{Kind: OpPut, Key: "vs", Payload: p1}, legacy: true},
+		{op: Op{Kind: OpPut, Key: "vs", Version: 2, Payload: p2}},
+		{op: Op{Kind: OpCanary, Key: "vs", Version: 3, Payload: p3}},
+		{op: Op{Kind: OpDelete, Key: "other"}, legacy: true},
+		{op: Op{Kind: OpPromote, Key: "vs", Version: 3}},
+		{op: Op{Kind: OpPut, Key: "vs", Payload: p1}, legacy: true},
+		{op: Op{Kind: OpRollback, Key: "vs"}},
+	}
+	var spool []byte
+	for _, rec := range want {
+		if rec.legacy {
+			spool = append(spool, encodeLegacyOp(rec.op)...)
+		} else {
+			spool = append(spool, EncodeOp(rec.op)...)
+		}
+	}
+
+	var got []Op
+	versions := map[string]uint64{}
+	for rest := spool; len(rest) > 0; {
+		frame, tail, err := codec.NextFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: NextFrame: %v", len(got), err)
+		}
+		rest = tail
+		op, err := DecodeOp(frame)
+		if err != nil {
+			t.Fatalf("frame %d: DecodeOp: %v", len(got), err)
+		}
+		got = append(got, op)
+		// The registry's assignment rule: version 0 means "assign the next
+		// one", non-zero is the sender's record version. Either way the
+		// per-key counter must only move forward.
+		if op.Kind == OpPut || op.Kind == OpCanary || op.Kind == OpDelete {
+			next := op.Version
+			if next == 0 {
+				next = versions[op.Key] + 1
+			}
+			if next <= versions[op.Key] {
+				t.Fatalf("frame %d (%v %q): version regressed %d → %d",
+					len(got)-1, op.Kind, op.Key, versions[op.Key], next)
+			}
+			versions[op.Key] = next
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d ops, want %d", len(got), len(want))
+	}
+	for i, rec := range want {
+		wop := rec.op
+		if rec.legacy {
+			wop.Version = 0 // the legacy format has no record-version field
+		}
+		g := got[i]
+		if g.Kind != wop.Kind || g.Key != wop.Key || g.Version != wop.Version ||
+			!bytes.Equal(g.Payload, wop.Payload) {
+			t.Errorf("op %d: got %+v, want %+v", i, g, wop)
+		}
+	}
+	// The mixed history lands on version 4 for "vs": legacy put 1, v2 put 2,
+	// canary 3, legacy put 4 — proof the v1 frames slotted into the v2
+	// numbering instead of restarting it.
+	if versions["vs"] != 4 {
+		t.Errorf(`replayed version for "vs" = %d, want 4`, versions["vs"])
+	}
+
+	// A spool torn mid-frame replays its intact prefix and then stops with
+	// ErrMalformedInput — no resynchronization on garbage.
+	torn := spool[:len(spool)-3]
+	n := 0
+	for rest := torn; ; n++ {
+		frame, tail, err := codec.NextFrame(rest)
+		if err != nil {
+			if !errors.Is(err, codec.ErrMalformedInput) {
+				t.Fatalf("torn spool: err = %v, want ErrMalformedInput", err)
+			}
+			break
+		}
+		if _, err := DecodeOp(frame); err != nil {
+			t.Fatalf("torn spool frame %d: %v", n, err)
+		}
+		rest = tail
+	}
+	if n != len(want)-1 {
+		t.Fatalf("torn spool replayed %d intact frames, want %d", n, len(want)-1)
+	}
+
+	// Frames of a foreign magic interleave at the NextFrame layer (it reads
+	// only the header) and are filtered with IsOpFrame before DecodeOp.
+	mixed := append(codec.Seal("RXOT", 1, []byte("artifact blob")), EncodeOp(want[0].op)...)
+	frame, tail, err := codec.NextFrame(mixed)
+	if err != nil {
+		t.Fatalf("foreign frame: NextFrame: %v", err)
+	}
+	if IsOpFrame(frame) {
+		t.Fatal("foreign-magic frame sniffed as an op frame")
+	}
+	frame, _, err = codec.NextFrame(tail)
+	if err != nil {
+		t.Fatalf("frame after foreign: NextFrame: %v", err)
+	}
+	if !IsOpFrame(frame) {
+		t.Fatal("op frame after a foreign frame not recognized")
+	}
+	if _, err := DecodeOp(frame); err != nil {
+		t.Fatalf("op frame after a foreign frame: %v", err)
+	}
+}

@@ -104,6 +104,30 @@ func Sniff(blob []byte) (magic string, version byte, ok bool) {
 	return string(blob[:4]), blob[4], true
 }
 
+// NextFrame splits the first Seal-framed blob off a spool of concatenated
+// frames, returning the whole frame (header through checksum, ready for
+// Open) and the remaining bytes. It reads only the header — magic length,
+// version byte, payload-length varint — so a spool can interleave frames of
+// different magics and format versions; verification stays Open's job. A
+// spool whose head is not a plausible frame (truncated header, implausible
+// length, fewer bytes than the header promises) fails with
+// ErrMalformedInput: replay must stop at the first torn record rather than
+// resynchronize on attacker-chosen bytes.
+func NextFrame(spool []byte) (frame, rest []byte, err error) {
+	if len(spool) < 5 {
+		return nil, nil, fmt.Errorf("%w: spool head truncated at %d bytes", ErrMalformedInput, len(spool))
+	}
+	n, used := binary.Uvarint(spool[5:])
+	if used <= 0 || n > maxLen {
+		return nil, nil, fmt.Errorf("%w: bad payload length in spool head", ErrMalformedInput)
+	}
+	total := 5 + used + int(n) + checksumSize
+	if len(spool) < total {
+		return nil, nil, fmt.Errorf("%w: spool frame is %d bytes, header promises %d", ErrMalformedInput, len(spool), total)
+	}
+	return spool[:total], spool[total:], nil
+}
+
 // Writer accumulates a payload as varints, strings and bitsets. The zero
 // value is ready to use; Bytes returns the accumulated payload for Seal.
 type Writer struct {

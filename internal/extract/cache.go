@@ -213,6 +213,43 @@ func (c *Cache) addLocked(key string, val *Compiled) {
 	c.obsEntries.Set(int64(c.ll.Len()))
 }
 
+// Evict removes the artifact cached under key, counting it as an eviction.
+// It reports whether the key was resident. An in-flight compilation of the
+// same key is unaffected: it completes and re-admits its result. Borrowers
+// that already hold the *Compiled keep a valid value — eviction only drops
+// the cache's reference.
+func (c *Cache) Evict(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.entries, key)
+	c.evictions.Add(1)
+	c.obsEvictions.Inc()
+	c.obsEntries.Set(int64(c.ll.Len()))
+	return true
+}
+
+// Flush evicts every resident artifact and returns how many were dropped.
+// Like Evict it never interrupts an in-flight compilation and never
+// invalidates values already handed out — it is the operational "cold the
+// cache now" lever (and the eviction seam the API-sequence fuzz harness
+// drives between extractions).
+func (c *Cache) Flush() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.ll.Len()
+	c.ll.Init()
+	clear(c.entries)
+	c.evictions.Add(int64(n))
+	c.obsEvictions.Add(int64(n))
+	c.obsEntries.Set(0)
+	return n
+}
+
 // Load is the serving-path entry point: the artifact for the persisted
 // expression src over the alphabet sigmaNames, compiled at most once per
 // content address. opt bounds the compilation of this call only — the cached

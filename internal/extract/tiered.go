@@ -115,3 +115,9 @@ func WithTierNote(ctx context.Context) (context.Context, *string) {
 // Stats returns the memory tier's counters (the tier requests hit first);
 // use Disk().Stats() for the disk tier.
 func (t *TieredCache) Stats() CacheStats { return t.mem.Stats() }
+
+// FlushMem evicts every artifact from the memory tier, reporting how many
+// were dropped. The disk tier is untouched, so the next load of a flushed
+// key decodes from disk instead of recompiling — the restart-shaped cold
+// path, exercisable without a restart.
+func (t *TieredCache) FlushMem() int { return t.mem.Flush() }

@@ -1,0 +1,90 @@
+package extract
+
+import (
+	"sync"
+	"testing"
+
+	"resilex/internal/machine"
+)
+
+// TestTieredEvictRacesStreamingSession pins the memory-safety contract
+// between cache eviction and pooled streaming sessions: evicting (or
+// flushing) an artifact from the memory tier while StreamRun sessions
+// borrowed from that artifact's StreamMatcher are mid-feed must neither
+// race nor corrupt results. Eviction only drops the cache's reference — a
+// session keeps its own, and a concurrent re-Load decodes a *fresh*
+// artifact from disk whose sessions must agree answer-for-answer with the
+// evicted one's. Run under -race (the race job does) this is the
+// regression test for evict-while-StreamRun-pooled.
+func TestTieredEvictRacesStreamingSession(t *testing.T) {
+	disk, err := NewDiskCache(t.TempDir(), -1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTieredCache(NewCache(2, nil), disk)
+	src, names := "q* r <p> r q*", []string{"p", "q", "r"}
+	key, err := Key(src, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, err := tc.Load(src, names, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	word := c0.Tab.InternAll("q", "q", "r", "p", "r", "q")
+	wantPos, wantOK := c0.Matcher.Find(word)
+	if !wantOK {
+		t.Fatalf("fixture word does not extract: %v", word)
+	}
+
+	const streamers, rounds = 6, 200
+	var evictor, wg sync.WaitGroup
+	stop := make(chan struct{})
+	evictor.Add(1)
+	go func() { // evictor: keep yanking the artifact out from under the sessions
+		defer evictor.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%3 == 0 {
+				tc.FlushMem()
+			} else {
+				tc.Mem().Evict(key)
+			}
+		}
+	}()
+	for g := 0; g < streamers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				c, err := tc.Load(src, names, machine.Options{})
+				if err != nil {
+					t.Errorf("load under eviction: %v", err)
+					return
+				}
+				sm, err := c.Expr.CompileStream()
+				if err != nil {
+					t.Errorf("stream compile under eviction: %v", err)
+					return
+				}
+				run := sm.Get(FindLeftmost)
+				for _, sym := range word {
+					run.Feed(sym)
+				}
+				pos, ok := run.Find()
+				sm.Put(run)
+				if ok != wantOK || pos != wantPos {
+					t.Errorf("streaming find under eviction = (%d,%v), want (%d,%v)", pos, ok, wantPos, wantOK)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	evictor.Wait()
+}

@@ -1,0 +1,201 @@
+package seqfuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"resilex/internal/cluster"
+	"resilex/internal/htmltok"
+	"resilex/internal/serve"
+	"resilex/internal/wrapper"
+)
+
+// The in-process cluster sub-world: three real shards (serve.Server each
+// behind an httptest listener) fronted by a real router with replication
+// factor 2, driven through the router's HTTP mux exactly like external
+// traffic. Determinism rules keep expectations exactly computable:
+//
+//   - registrations happen only while every shard is alive, so each key is
+//     resident on both of its owners before any failure;
+//   - at most one shard dies per sequence (later kill ops reinterpret as
+//     routed extracts), so R=2 guarantees every registered key keeps at
+//     least one live owner and a routed extract must ALWAYS succeed — a
+//     failed failover is a bug, not bad luck.
+
+const (
+	clusterShards   = 3
+	clusterReplicas = 2
+)
+
+type clusterWorld struct {
+	backends []*httptest.Server
+	mux      http.Handler
+	model    map[string]int // key → pool payload index of the registered wrapper
+	killed   bool
+}
+
+// ensureCluster boots the sub-world on first use, so sequences without
+// cluster ops never pay for listeners.
+func (w *World) ensureCluster(t *testing.T) *clusterWorld {
+	if w.cl != nil {
+		return w.cl
+	}
+	cw := &clusterWorld{model: map[string]int{}}
+	peers := make([]string, clusterShards)
+	for i := range peers {
+		shard, err := serve.New(serve.Config{
+			CacheCap:       4,
+			CanaryFraction: 1,
+			Options:        opt(),
+			Batch:          wrapper.BatchOptions{Workers: 2},
+		})
+		if err != nil {
+			t.Fatalf("booting shard %d: %v", i, err)
+		}
+		backend := httptest.NewServer(shard.Mux())
+		cw.backends = append(cw.backends, backend)
+		peers[i] = backend.URL
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{Peers: peers, Replicas: clusterReplicas})
+	if err != nil {
+		t.Fatalf("booting router: %v", err)
+	}
+	cw.mux = rt.Mux()
+	w.cl = cw
+	return cw
+}
+
+func (cw *clusterWorld) Close() {
+	for _, b := range cw.backends {
+		b.Close()
+	}
+}
+
+func (cw *clusterWorld) do(method, path, contentType string, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	rec := httptest.NewRecorder()
+	cw.mux.ServeHTTP(rec, req)
+	return rec
+}
+
+func (w *World) clusterStep(t *testing.T, i int, op Op) {
+	cw := w.ensureCluster(t)
+	switch op.Kind {
+	case OpClusterPut:
+		// Registering onto a partially dead owner set would make residency
+		// depend on which shard died — reinterpret as a routed extract so the
+		// op still exercises the cluster.
+		if cw.killed {
+			w.clusterExtract(t, i, op)
+			return
+		}
+		w.clusterPut(t, i, op)
+	case OpClusterExtract:
+		w.clusterExtract(t, i, op)
+	case OpShardKill:
+		if cw.killed {
+			w.clusterExtract(t, i, op)
+			return
+		}
+		cw.backends[int(op.A)%len(cw.backends)].CloseClientConnections()
+		cw.backends[int(op.A)%len(cw.backends)].Close()
+		cw.killed = true
+		// The kill is only interesting if routed traffic survives it.
+		w.clusterExtract(t, i, op)
+	}
+}
+
+func (w *World) clusterPut(t *testing.T, i int, op Op) {
+	cw := w.cl
+	key := w.key(op.A)
+	pi, spec := w.payload(op.B)
+	rec := cw.do(http.MethodPut, "/wrappers/"+key, "application/json", spec.data)
+	if !spec.valid {
+		if rec.Code < 400 {
+			t.Fatalf("op %d: cluster put %s invalid payload: status %d, want 4xx", i, key, rec.Code)
+		}
+		return
+	}
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("op %d: cluster put %s: status %d: %s", i, key, rec.Code, rec.Body)
+	}
+	var resp struct {
+		Replicated int `json:"replicated"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("op %d: cluster put %s: decoding response: %v", i, key, err)
+	}
+	if resp.Replicated != clusterReplicas {
+		t.Fatalf("op %d: cluster put %s: replicated to %d owners, want %d (all shards alive)",
+			i, key, resp.Replicated, clusterReplicas)
+	}
+	cw.model[key] = pi
+}
+
+// clusterExtract routes one document through the router and checks the
+// result against the reference: registered keys must extract the reference
+// region (through failover if a shard is down), unregistered keys must fail
+// per-document with the unknown-key error, and the route itself must always
+// answer 200 — R=2 with at most one dead shard leaves no excuse.
+func (w *World) clusterExtract(t *testing.T, i int, op Op) {
+	cw := w.cl
+	key := w.key(op.A)
+	docIdx := w.doc(op.C)
+	body, err := json.Marshal(map[string]any{
+		"docs": []wrapper.BatchDoc{{Key: key, HTML: w.pool.docs[docIdx]}},
+	})
+	if err != nil {
+		t.Fatalf("op %d: encoding cluster batch: %v", i, err)
+	}
+	rec := cw.do(http.MethodPost, "/extract", "application/json", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("op %d: cluster extract %s (killed=%v): status %d: %s", i, key, cw.killed, rec.Code, rec.Body)
+	}
+	var resp struct {
+		Results []struct {
+			OK         bool   `json:"ok"`
+			Error      string `json:"error"`
+			TokenIndex int    `json:"tokenIndex"`
+			Start      int    `json:"start"`
+			End        int    `json:"end"`
+			Source     string `json:"source"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("op %d: cluster extract %s: decoding response: %v", i, key, err)
+	}
+	if len(resp.Results) != 1 {
+		t.Fatalf("op %d: cluster extract %s: %d results, want 1", i, key, len(resp.Results))
+	}
+	res := resp.Results[0]
+	pi, registered := cw.model[key]
+	if !registered {
+		if res.OK {
+			t.Fatalf("op %d: cluster extract %s: unregistered key extracted: %+v", i, key, res)
+		}
+		return
+	}
+	ref := w.pool.payloads[pi].docs[docIdx]
+	if (ref.class == "ok") != res.OK {
+		t.Fatalf("op %d: cluster extract %s doc %d: ok=%v (%s), reference class %q",
+			i, key, docIdx, res.OK, res.Error, ref.class)
+	}
+	if !res.OK {
+		return
+	}
+	got := wrapper.Region{
+		TokenIndex: res.TokenIndex,
+		Span:       htmltok.Span{Start: res.Start, End: res.End},
+		Source:     res.Source,
+	}
+	if got != ref.region {
+		t.Fatalf("op %d: cluster extract %s doc %d: region %+v, reference %+v",
+			i, key, docIdx, got, ref.region)
+	}
+}

@@ -1,0 +1,94 @@
+package seqfuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzAPISequence is the API-sequence differential fuzzer: bytes decode
+// into a bounded op sequence, the sequence runs against the live stack, and
+// every step is cross-checked against the reference model (see doc.go).
+// The committed corpus under testdata/fuzz/FuzzAPISequence replays as part
+// of the ordinary test run.
+func FuzzAPISequence(f *testing.F) {
+	for _, seed := range Seeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		Run(t, data)
+	})
+}
+
+// TestOpCoverage proves the decoder and the seed set together reach every
+// op kind: after running every seed, the per-kind execution ledger must
+// have a nonzero count for each vocabulary entry. A new op kind added
+// without a seed — or a decoder change that makes a kind unreachable —
+// fails here, not silently in fuzzing throughput.
+func TestOpCoverage(t *testing.T) {
+	for _, seed := range Seeds() {
+		Run(t, seed)
+	}
+	cov := Coverage()
+	for k := OpKind(0); k < opCount; k++ {
+		if cov[k] == 0 {
+			t.Errorf("op kind %v was never executed by the seed set", k)
+		}
+	}
+}
+
+// TestDecodeBounds pins the decoder's totality guarantees: any byte string
+// decodes, sequences are bounded, and EncodeOps round-trips through
+// DecodeOps.
+func TestDecodeBounds(t *testing.T) {
+	if got := DecodeOps(nil); len(got) != 0 {
+		t.Fatalf("DecodeOps(nil) = %v, want empty", got)
+	}
+	if got := DecodeOps([]byte{1, 2, 3}); len(got) != 0 {
+		t.Fatalf("partial op decoded: %v", got)
+	}
+	long := make([]byte, (maxOps+10)*opBytes)
+	if got := DecodeOps(long); len(got) != maxOps {
+		t.Fatalf("len(DecodeOps(long)) = %d, want %d", len(got), maxOps)
+	}
+	ops := []Op{{Kind: OpPut, A: 1, B: 2, C: 3}, {Kind: OpShardKill, A: 255, B: 0, C: 7}}
+	got := DecodeOps(EncodeOps(ops))
+	if len(got) != len(ops) || got[0] != ops[0] || got[1] != ops[1] {
+		t.Fatalf("round trip = %v, want %v", got, ops)
+	}
+	// Kind bytes beyond the vocabulary must fold back into it.
+	if op := DecodeOps([]byte{byte(opCount), 0, 0, 0}); op[0].Kind != OpKind(0) {
+		t.Fatalf("kind byte %d decoded to %v, want wraparound to %v", byte(opCount), op[0].Kind, OpKind(0))
+	}
+}
+
+// TestSeedCorpusCommitted asserts the committed corpus mirrors Seeds(): one
+// file per seed, byte-identical after corpus-format decoding. Regenerate
+// with SEQFUZZ_WRITE_CORPUS=1 go test ./internal/seqfuzz -run TestSeedCorpusCommitted
+func TestSeedCorpusCommitted(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzAPISequence")
+	seeds := Seeds()
+	if os.Getenv("SEQFUZZ_WRITE_CORPUS") != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+			if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed-%02d", i)), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, seed := range seeds {
+		path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		body, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("seed corpus file missing (regenerate with SEQFUZZ_WRITE_CORPUS=1): %v", err)
+		}
+		want := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		if string(body) != want {
+			t.Errorf("%s is stale: regenerate with SEQFUZZ_WRITE_CORPUS=1", path)
+		}
+	}
+}

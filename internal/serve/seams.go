@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"context"
+
+	"resilex/internal/wrapper"
+)
+
+// In-process driving surface. The HTTP handlers stay the production entry
+// points; these exported seams let an embedding test harness — chiefly the
+// API-sequence differential fuzzer in internal/seqfuzz — drive the same
+// mutation and extraction paths the handlers call, without a listener in the
+// loop, and snapshot the versioned-registry state for cross-checking against
+// a reference model.
+
+// PutWrapper registers (or replaces) the key's active wrapper from its
+// persisted JSON — the in-process seam of PUT /wrappers/{key}. It returns
+// the version assigned to the registration. Error classification matches the
+// handler: undecodable payloads wrap wrapper.ErrMalformedInput, exhausted
+// construction budgets wrap machine.ErrBudget / machine.ErrDeadline.
+func (s *Server) PutWrapper(ctx context.Context, key string, payload []byte) (uint64, error) {
+	_, resp, err := s.putWrapper(ctx, key, payload, 0)
+	if err != nil {
+		return 0, err
+	}
+	v, _ := resp["version"].(uint64)
+	return v, nil
+}
+
+// DeleteWrapper removes the key's wrapper, persisting a versioned tombstone
+// — the in-process seam of DELETE /wrappers/{key}. It reports whether the
+// key was registered.
+func (s *Server) DeleteWrapper(key string) bool {
+	_, known := s.deleteWrapper(key)
+	return known
+}
+
+// ExtractBatch runs the canary-aware batch path over docs — the in-process
+// seam of POST /extract. Results are in input order; per-document failures
+// are reported in the result, exactly like the handler's response rows.
+func (s *Server) ExtractBatch(ctx context.Context, docs []wrapper.BatchDoc) []wrapper.BatchResult {
+	results, _ := s.extractBatch(ctx, docs)
+	return results
+}
+
+// VersionState is a point-in-time snapshot of one key's versioned-registry
+// state: the monotone counter, the versions occupying the active, canary and
+// prior slots (0 = empty), the tombstone flag, and how the last concluded
+// rollout ended. It is the comparable form of GET /wrappers/{key}/versions.
+type VersionState struct {
+	LastVersion uint64
+	Active      uint64
+	Canary      uint64
+	Prior       uint64
+	Deleted     bool
+	LastOutcome string
+}
+
+// VersionState snapshots the version state recorded for key; ok is false
+// when the key has never been registered through the versioned registry.
+func (s *Server) VersionState(key string) (VersionState, bool) {
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	kv := s.versions[key]
+	if kv == nil {
+		return VersionState{}, false
+	}
+	vs := VersionState{
+		LastVersion: kv.lastVersion,
+		Deleted:     kv.deleted,
+		LastOutcome: kv.lastOutcome,
+	}
+	if kv.active != nil {
+		vs.Active = kv.active.Version
+	}
+	if kv.canary != nil {
+		vs.Canary = kv.canary.Version
+	}
+	if kv.prior != nil {
+		vs.Prior = kv.prior.Version
+	}
+	return vs, true
+}

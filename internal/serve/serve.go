@@ -68,6 +68,10 @@ type Config struct {
 	// Logger for every Nth request. 0 selects 1 (every request); events are
 	// only emitted when a Logger is installed.
 	WideEventSample int
+	// RestoreLog receives the one-line registry-restore summary printed at
+	// startup. nil selects os.Stderr; harnesses that boot servers in a loop
+	// (the API-sequence fuzzer restarts one per op) pass io.Discard.
+	RestoreLog io.Writer
 }
 
 // Server is the HTTP serving path: a fleet of compiled wrappers, the tiered
@@ -144,7 +148,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	restored, deleted, skipped := s.restoreRegistry()
 	if restored+deleted+skipped > 0 {
-		fmt.Fprintf(os.Stderr, "serve: restored %d wrapper(s) from %s (%d deleted, %d skipped)\n",
+		logw := cfg.RestoreLog
+		if logw == nil {
+			logw = os.Stderr
+		}
+		fmt.Fprintf(logw, "serve: restored %d wrapper(s) from %s (%d deleted, %d skipped)\n",
 			restored, cfg.CacheDir, deleted, skipped)
 	}
 	return s, nil

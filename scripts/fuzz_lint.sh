@@ -1,0 +1,44 @@
+#!/bin/sh
+# fuzz_lint.sh — reconcile the Makefile's FUZZ_TARGETS list with the tree.
+#
+# Two-way: every `func Fuzz*` in a *_test.go file must be registered in
+# FUZZ_TARGETS (so `make fuzz` / `make fuzz-smoke` and the scheduled CI
+# long-fuzz actually exercise it — an unregistered target is a fuzzer that
+# silently never runs), and every registered Name:./dir/ pair must still
+# name a fuzz function that exists (no stale entries after a rename).
+#
+# Invoked by `make fuzz-lint`, which passes the expanded list as arguments:
+#     sh scripts/fuzz_lint.sh FuzzParse:./internal/rx/ ...
+# Exits non-zero listing the offending entries.
+set -eu
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+# Tree side: fuzz function declarations, normalized to Name:./dir/ form.
+grep -rn '^func Fuzz' --include='*_test.go' internal/ cmd/ 2>/dev/null |
+    sed -E 's|^([^:]*)/[^/:]+:[0-9]+:func (Fuzz[A-Za-z0-9_]*)\(.*|\2:./\1/|' |
+    sort -u >"$TMP/tree"
+
+# Makefile side: the FUZZ_TARGETS entries, passed as our arguments.
+printf '%s\n' "$@" | sed '/^$/d' | sort -u >"$TMP/make"
+
+fail=0
+while IFS= read -r entry; do
+    grep -qx "$entry" "$TMP/make" || {
+        echo "fuzz-lint: unregistered fuzz target $entry (add it to FUZZ_TARGETS in the Makefile)" >&2
+        fail=1
+    }
+done <"$TMP/tree"
+while IFS= read -r entry; do
+    grep -qx "$entry" "$TMP/tree" || {
+        echo "fuzz-lint: stale FUZZ_TARGETS entry $entry (no such fuzz function in the tree)" >&2
+        fail=1
+    }
+done <"$TMP/make"
+
+if [ "$fail" = 0 ]; then
+    echo "fuzz-lint: OK ($(wc -l <"$TMP/tree" | tr -d ' ') fuzz targets registered)"
+fi
+exit "$fail"
