@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race cover fuzz fuzz-smoke fuzz-lint check bench microbench experiments examples metrics-smoke metrics-lint doc-smoke cache-smoke cluster-smoke refresh-smoke alloc-gate clean
+.PHONY: all build fmt-check vet test race cover fuzz fuzz-smoke fuzz-lint check bench microbench experiments examples metrics-smoke metrics-lint doc-smoke cache-smoke cluster-smoke refresh-smoke alloc-gate spanner-gate clean
 
 all: build vet test
 
@@ -15,9 +15,10 @@ all: build vet test
 # over a quick E16 run, the sharded cluster smoke (boot router + 2 shards,
 # replicate, extract, failover, assemble the request trace across both
 # processes), the refresh smoke (drift -> canary -> promote, break ->
-# rollback), and the streaming alloc gate (zero-alloc warm paths +
-# one-pass/two-pass differential fuzz smoke).
-check: fmt-check vet race fuzz-lint fuzz-smoke metrics-smoke metrics-lint doc-smoke cache-smoke cluster-smoke refresh-smoke alloc-gate
+# rollback), the streaming alloc gate (zero-alloc warm paths +
+# one-pass/two-pass differential fuzz smoke), and the spanner gate (the
+# one-pass k-ary spanner differentials against the naive k-nested oracle).
+check: fmt-check vet race fuzz-lint fuzz-smoke metrics-smoke metrics-lint doc-smoke cache-smoke cluster-smoke refresh-smoke alloc-gate spanner-gate
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -53,6 +54,7 @@ FUZZ_TARGETS := \
 	FuzzStreamTwoPassEquiv:./internal/extract/ \
 	FuzzLazyEagerEquiv:./internal/machine/ \
 	FuzzDecodeVersionRecord:./internal/cluster/ \
+	FuzzSpannerOracleEquiv:./internal/spanner/ \
 	FuzzAPISequence:./internal/seqfuzz/
 
 # One fuzz session per registered target; $(1) is the per-target budget.
@@ -85,10 +87,12 @@ fuzz-lint:
 # (1/2/4-shard throughput plus a kill-one-shard failover run) and E19
 # continuous refresh (drift -> canary -> promote, break -> rollback, zero
 # failed requests), E20 tracing overhead (traced vs untraced cached-batch
-# p50) and E21 streaming extraction (one-pass zero-alloc path vs the
-# materialized two-scan), written to ./BENCH_E16.json ... ./BENCH_E21.json.
+# p50), E21 streaming extraction (one-pass zero-alloc path vs the
+# materialized two-scan) and E22 k-ary spanner extraction (one-pass
+# multi-split automaton vs k-nested sequential passes), written to
+# ./BENCH_E16.json ... ./BENCH_E22.json.
 bench:
-	$(GO) run ./cmd/resilience -run E16,E17,E18,E19,E20,E21 -seed 1 -bench-dir .
+	$(GO) run ./cmd/resilience -run E16,E17,E18,E19,E20,E21,E22 -seed 1 -bench-dir .
 
 # Go microbenchmarks (go test -bench) over every package.
 microbench:
@@ -150,6 +154,15 @@ alloc-gate:
 	$(GO) test -run 'TestStreamZeroAllocWarm|TestStreamMatchesExtract|TestStreamLargePageConstantState' -count=1 ./internal/wrapper/
 	$(GO) test -fuzz=FuzzStreamTwoPassEquiv -fuzztime=5s ./internal/extract/
 	$(GO) test -fuzz=FuzzStreamerChunks -fuzztime=5s ./internal/htmltok/
+
+# Spanner gate: the one-pass k-ary spanner against the naive k-nested
+# oracle — the deterministic differentials plus a short fuzz of arbitrary
+# tuple expressions over arbitrary words, and the relational-algebra layer
+# over extracted regions. Guards the multi-split automaton ISSUE 10
+# introduced.
+spanner-gate:
+	$(GO) test -run 'TestProgramMatchesOracle|TestUnambiguousTupleInvariant|TestRecordEnumeration|TestAlgebraOverExtracted' -count=1 ./internal/spanner/
+	$(GO) test -fuzz=FuzzSpannerOracleEquiv -fuzztime=5s ./internal/spanner/
 
 # Refresh smoke: boot one node with the drift watcher on, PUT v1, drop a
 # drifted sample and drive drifted traffic until the watcher canaries and

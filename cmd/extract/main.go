@@ -7,6 +7,9 @@
 //
 // For every page the tool prints the byte span and source text of the
 // extracted element, or an error when the wrapper does not parse the page.
+// A tuple wrapper prints one line per slot of the first record; with
+// -records it enumerates every record on the page in document order (the
+// one-pass k-ary spanner path).
 // -timeout bounds wrapper loading and each extraction with a deadline;
 // -max-states (alias -budget) caps automaton construction. With -metrics the
 // tool records every construction phase (subset states, minimization passes,
@@ -35,6 +38,7 @@ func run() int {
 	maxStates := flag.Int("max-states", 0, "alias of -budget: state budget for automaton constructions")
 	timeout := flag.Duration("timeout", 0, "deadline per page: loading and each extraction abandon with a deadline error when exceeded (0 = none)")
 	quiet := flag.Bool("q", false, "print only the extracted source text")
+	records := flag.Bool("records", false, "with a tuple wrapper: enumerate every record on the page (one-pass k-ary spanner) instead of only the first")
 	metrics := flag.Bool("metrics", false, "record construction/extraction metrics and dump a snapshot on exit")
 	metricsFormat := flag.String("metrics-format", "json", "snapshot format: json (metrics + spans) or prometheus (text exposition)")
 	metricsOut := flag.String("metrics-out", "", "write the metric snapshot to this file instead of stderr")
@@ -81,15 +85,34 @@ func run() int {
 		if err != nil {
 			return fatal(err)
 		}
-		runPage = func(html string) ([]resilex.Region, error) {
-			ctx, cancel := bound()
-			defer cancel()
-			if err := (resilex.Options{Ctx: ctx}).Err(); err != nil {
-				return nil, err
+		if *records {
+			runPage = func(html string) ([]resilex.Region, error) {
+				ctx, cancel := bound()
+				defer cancel()
+				recs, err := resilex.ExtractRecordsWithin(ctx, w, html)
+				if err != nil {
+					return nil, err
+				}
+				var out []resilex.Region
+				for _, rec := range recs {
+					out = append(out, rec...)
+				}
+				return out, nil
 			}
-			return w.Extract(html)
+		} else {
+			runPage = func(html string) ([]resilex.Region, error) {
+				ctx, cancel := bound()
+				defer cancel()
+				if err := (resilex.Options{Ctx: ctx}).Err(); err != nil {
+					return nil, err
+				}
+				return w.Extract(html)
+			}
 		}
 	} else {
+		if *records {
+			return fatal(fmt.Errorf("-records needs a tuple wrapper; %s is single-pivot", *wpath))
+		}
 		w, err := resilex.LoadWrapper(data, opt)
 		if err != nil {
 			return fatal(err)

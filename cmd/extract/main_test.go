@@ -189,3 +189,78 @@ func slicesContains(xs []string, want string) bool {
 	}
 	return false
 }
+
+// tupleFixture writes a hand-written record wrapper (one (name cell, price
+// cell) pair per table row) and a three-row parts page.
+func tupleFixture(t *testing.T) (wrapperPath, pagePath string) {
+	t.Helper()
+	dir := t.TempDir()
+	payload, err := json.Marshal(map[string]any{
+		"version": 1,
+		"kind":    "tuple",
+		"expr":    ".* <TD> /TD <TD> .*",
+		"sigma":   []string{"TABLE", "/TABLE", "TR", "/TR", "TD", "/TD", "H1", "/H1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapperPath = filepath.Join(dir, "tuple.json")
+	if err := os.WriteFile(wrapperPath, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	page := `<h1>Parts</h1><table>
+<tr><td>bolt M4</td><td>$0.10</td></tr>
+<tr><td>nut M4</td><td>$0.08</td></tr>
+<tr><td>washer M4</td><td>$0.02</td></tr>
+</table>`
+	pagePath = filepath.Join(dir, "parts.html")
+	if err := os.WriteFile(pagePath, []byte(page), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return wrapperPath, pagePath
+}
+
+// TestRecordsMode: -records on a tuple wrapper enumerates every record via
+// the one-pass k-ary spanner; without it only the first record prints; on a
+// single-pivot wrapper the flag is a hard usage error.
+func TestRecordsMode(t *testing.T) {
+	wrapperPath, pagePath := tupleFixture(t)
+	stdout, stderr, code := runExtract(t, "-w", wrapperPath, "-records", "-q", pagePath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("-records printed %d slots, want 6 (3 records x 2 slots):\n%s", len(lines), stdout)
+	}
+	for i, line := range lines {
+		if !strings.HasPrefix(line, "<td") {
+			t.Errorf("slot %d = %q, want a td cell", i, line)
+		}
+	}
+
+	// Default mode is the strict single-record path: it demands the page
+	// holds exactly one record (three is an ambiguity error), while one row
+	// prints that record's two slots.
+	if _, stderr, code := runExtract(t, "-w", wrapperPath, "-q", pagePath); code != 1 ||
+		!strings.Contains(stderr, "ambiguous") {
+		t.Fatalf("default tuple mode on a 3-record page: exit %d, stderr: %s", code, stderr)
+	}
+	onePath := filepath.Join(filepath.Dir(pagePath), "one.html")
+	if err := os.WriteFile(onePath, []byte(`<table><tr><td>bolt</td><td>$0.10</td></tr></table>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code = runExtract(t, "-w", wrapperPath, "-q", onePath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if lines := strings.Split(strings.TrimSpace(stdout), "\n"); len(lines) != 2 {
+		t.Fatalf("default tuple mode printed %d slots, want 2:\n%s", len(lines), stdout)
+	}
+
+	single := trainFixture(t)
+	if _, stderr, code := runExtract(t, "-w", single, "-records", "-q", pagePath); code != 1 ||
+		!strings.Contains(stderr, "single-pivot") {
+		t.Fatalf("-records on single-pivot wrapper: exit %d, stderr: %s", code, stderr)
+	}
+}

@@ -101,9 +101,11 @@ func run() int {
 	e18service := 10 * time.Millisecond
 	e19reqs := 30
 	e21iters := 50
+	e22iters := 50
 	if *quick {
 		e16docs = 300
 		e21iters = 10
+		e22iters = 10
 		e17trials = 3
 		e18keys = 12
 		e18window = 250 * time.Millisecond
@@ -136,6 +138,7 @@ func run() int {
 		{"E19", func() bench.Table { return bench.E19Drift(e19reqs, 4, *seed) }},
 		{"E20", func() bench.Table { return bench.E20TracingOverhead(e16docs*4, 0, *seed) }},
 		{"E21", func() bench.Table { return bench.E21Streaming(e21iters) }},
+		{"E22", func() bench.Table { return bench.E22Spanner(e22iters) }},
 	}
 
 	want := map[string]bool{}
@@ -217,7 +220,7 @@ func run() int {
 		return 1
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "resilience: no experiment matched -run (valid: E3 E4 E5 E6 E7 E8 E8H E10 E11 E13 E14 E15 E16 E17 E18 E19 E20 E21)")
+		fmt.Fprintln(os.Stderr, "resilience: no experiment matched -run (valid: E3 E4 E5 E6 E7 E8 E8H E10 E11 E13 E14 E15 E16 E17 E18 E19 E20 E21 E22)")
 		return 2
 	}
 	return 0

@@ -27,6 +27,14 @@
 //	                       materialized — memory stays O(1) beyond the match
 //	                       region and the warm path allocates nothing (see the
 //	                       README's "Streaming extraction" walkthrough)
+//	POST   /extract/tuples/{key}  single-document record extraction for a key
+//	                       registered with a tuple (k-ary) wrapper: the raw page
+//	                       is the request body, the response enumerates every
+//	                       extraction vector — one k-slot record per vector, in
+//	                       document order — computed by the one-pass multi-split
+//	                       spanner; a single-pivot key answers 422 (counted under
+//	                       serve_rejected_total{reason="arity"}), an unknown key
+//	                       404 (see the README's "Extracting records" walkthrough)
 //	PUT    /wrappers/{key} register or replace a site wrapper from its persisted
 //	                       JSON; compilation is cached and deduplicated, and with
 //	                       -cache-dir the registration survives restarts

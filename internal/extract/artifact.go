@@ -1,6 +1,7 @@
 package extract
 
 import (
+	"errors"
 	"fmt"
 
 	"resilex/internal/codec"
@@ -12,12 +13,19 @@ import (
 
 // artifactMagic / artifactVersion frame a persisted compiled artifact: the
 // expression source, its alphabet, the symbol table it was compiled against,
-// and the two component minimal DFAs — everything the serving path needs to
-// rebuild a Compiled without determinizing. Bump the version on any payload
-// change; the disk cache discards other versions and recompiles.
+// and the component minimal DFAs — everything the serving path needs to
+// rebuild a Compiled without determinizing. Version 2 prefixes the payload
+// with a kind discriminator so one frame format carries both single-pivot
+// and k-ary (tuple) artifacts; version-1 frames (kindless single-pivot
+// payloads) still decode. Bump the version on any payload change; the disk
+// cache discards unknown versions and recompiles.
 const (
-	artifactMagic   = "RXAR"
-	artifactVersion = 1
+	artifactMagic         = "RXAR"
+	artifactVersion       = 2
+	artifactVersionLegacy = 1
+
+	artifactKindSingle = 0 // E1⟨p⟩E2, two component DFAs
+	artifactKindTuple  = 1 // E0⟨p1⟩…⟨pk⟩Ek, k+1 segment DFAs (see tupleartifact.go)
 )
 
 // EncodeArtifact serializes a compiled artifact into a framed binary blob
@@ -35,6 +43,7 @@ func EncodeArtifact(c *Compiled) ([]byte, error) {
 		return nil, fmt.Errorf("extract: encoding artifact: expression has no compiled components")
 	}
 	var w codec.Writer
+	w.Uint(artifactKindSingle)
 	w.String(c.Src)
 	w.Uint(uint64(len(c.SigmaNames)))
 	for _, n := range c.SigmaNames {
@@ -69,9 +78,31 @@ func EncodeArtifact(c *Compiled) ([]byte, error) {
 func DecodeArtifact(blob []byte, opt machine.Options) (*Compiled, error) {
 	payload, err := codec.Open(artifactMagic, artifactVersion, blob)
 	if err != nil {
+		// Version-1 frames predate the kind discriminator and are always
+		// single-pivot; keep them decodable so a cache directory written by
+		// an older binary warms a newer one.
+		if errors.Is(err, codec.ErrVersionMismatch) {
+			if legacy, lerr := codec.Open(artifactMagic, artifactVersionLegacy, blob); lerr == nil {
+				return decodeSingleArtifact(codec.NewReader(legacy), opt)
+			}
+		}
 		return nil, fmt.Errorf("extract: decoding artifact: %w", err)
 	}
 	r := codec.NewReader(payload)
+	switch kind := r.Uint(); {
+	case r.Err() != nil:
+		return nil, fmt.Errorf("extract: decoding artifact: %w", r.Err())
+	case kind == artifactKindTuple:
+		return nil, fmt.Errorf("extract: decoding artifact: %w: frame holds a k-ary tuple artifact; use DecodeTupleArtifact", codec.ErrMalformedInput)
+	case kind != artifactKindSingle:
+		return nil, fmt.Errorf("extract: decoding artifact: %w: unknown artifact kind %d", codec.ErrMalformedInput, kind)
+	}
+	return decodeSingleArtifact(r, opt)
+}
+
+// decodeSingleArtifact reads the single-pivot payload body — identical in
+// v1 frames and after the v2 kind byte.
+func decodeSingleArtifact(r *codec.Reader, opt machine.Options) (*Compiled, error) {
 	src := r.String()
 	nNames := r.Len()
 	if r.Err() != nil {

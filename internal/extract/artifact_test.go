@@ -228,28 +228,72 @@ func FuzzDecodeArtifact(f *testing.F) {
 		mut[len(mut)/3] ^= 0xff
 		f.Add(mut)
 	}
+	// k-ary frames share the RXAR v2 framing; seed one plus damaged variants
+	// so both decode entry points chew on tuple payloads.
+	for _, fix := range []struct {
+		src   string
+		names []string
+	}{
+		{"q* <p> q* <r> .*", []string{"p", "q", "r"}},
+		{".* <p> .* <p> .*", []string{"p", "q"}},
+	} {
+		ct, err := CompileTupleArtifact(fix.src, fix.names, machine.Options{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		blob, err := EncodeTupleArtifact(ct)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		f.Add(blob[:len(blob)/2])
+		mut := append([]byte(nil), blob...)
+		mut[len(mut)/3] ^= 0xff
+		f.Add(mut)
+	}
 	f.Add([]byte("RXAR"))
 	f.Add([]byte{})
 	opt := machine.Options{MaxStates: 1 << 12}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := DecodeArtifact(data, opt)
-		if err != nil {
-			if got != nil {
-				t.Fatal("decode returned both artifact and error")
+		if err == nil {
+			fresh, err := CompileArtifact(got.Src, got.SigmaNames, opt)
+			if errors.Is(err, machine.ErrBudget) || errors.Is(err, machine.ErrDeadline) {
+				return // cannot re-derive the reference machine under the fuzz budget
+			}
+			if err != nil {
+				t.Fatalf("decoded artifact's source does not compile: %v", err)
+			}
+			if got.Expr.P() != fresh.Expr.P() ||
+				!machine.StructurallyEqual(fresh.Expr.Left().DFA(), got.Expr.Left().DFA()) ||
+				!machine.StructurallyEqual(fresh.Expr.Right().DFA(), got.Expr.Right().DFA()) {
+				t.Fatal("decoded artifact not equivalent to fresh compilation")
+			}
+		} else if got != nil {
+			t.Fatal("decode returned both artifact and error")
+		}
+
+		tgot, terr := DecodeTupleArtifact(data, opt)
+		if terr != nil {
+			if tgot != nil {
+				t.Fatal("tuple decode returned both artifact and error")
 			}
 			return
 		}
-		fresh, err := CompileArtifact(got.Src, got.SigmaNames, opt)
+		tfresh, err := CompileTupleArtifact(tgot.Src, tgot.SigmaNames, opt)
 		if errors.Is(err, machine.ErrBudget) || errors.Is(err, machine.ErrDeadline) {
-			return // cannot re-derive the reference machine under the fuzz budget
+			return
 		}
 		if err != nil {
-			t.Fatalf("decoded artifact's source does not compile: %v", err)
+			t.Fatalf("decoded tuple artifact's source does not compile: %v", err)
 		}
-		if got.Expr.P() != fresh.Expr.P() ||
-			!machine.StructurallyEqual(fresh.Expr.Left().DFA(), got.Expr.Left().DFA()) ||
-			!machine.StructurallyEqual(fresh.Expr.Right().DFA(), got.Expr.Right().DFA()) {
-			t.Fatal("decoded artifact not equivalent to fresh compilation")
+		if tgot.Tuple.Arity() != tfresh.Tuple.Arity() {
+			t.Fatal("decoded tuple artifact arity disagrees with fresh compilation")
+		}
+		for j := 0; j <= tgot.Tuple.Arity(); j++ {
+			if !machine.StructurallyEqual(tfresh.Tuple.Segment(j).DFA(), tgot.Tuple.Segment(j).DFA()) {
+				t.Fatalf("decoded tuple segment %d not equivalent to fresh compilation", j)
+			}
 		}
 	})
 }

@@ -153,11 +153,20 @@ func (d *DiskCache) Put(key string, c *Compiled) error {
 	if d.capacity == 0 {
 		return nil
 	}
-	path, err := d.keyPath(key)
+	blob, err := EncodeArtifact(c)
 	if err != nil {
 		return err
 	}
-	blob, err := EncodeArtifact(c)
+	return d.putBlob(key, blob)
+}
+
+// putBlob atomically writes one already-encoded artifact blob under key —
+// the shared body of Put and PutTuple.
+func (d *DiskCache) putBlob(key string, blob []byte) error {
+	if d.capacity == 0 {
+		return nil
+	}
+	path, err := d.keyPath(key)
 	if err != nil {
 		return err
 	}

@@ -23,13 +23,15 @@ type ArtifactCache interface {
 // process. A nil disk tier degrades to the memory tier alone. A TieredCache
 // is safe for concurrent use.
 type TieredCache struct {
-	mem  *Cache
-	disk *DiskCache
+	mem      *Cache
+	tupleMem *tupleMemCache // k-ary artifacts, same tiering (see tuplecache.go)
+	disk     *DiskCache
 }
 
-// NewTieredCache composes the two tiers; disk may be nil.
+// NewTieredCache composes the two tiers; disk may be nil. The tuple memory
+// tier shares the single-pivot tier's capacity.
 func NewTieredCache(mem *Cache, disk *DiskCache) *TieredCache {
-	return &TieredCache{mem: mem, disk: disk}
+	return &TieredCache{mem: mem, tupleMem: newTupleMemCache(mem.capacity), disk: disk}
 }
 
 // Mem returns the memory tier.
@@ -116,8 +118,9 @@ func WithTierNote(ctx context.Context) (context.Context, *string) {
 // use Disk().Stats() for the disk tier.
 func (t *TieredCache) Stats() CacheStats { return t.mem.Stats() }
 
-// FlushMem evicts every artifact from the memory tier, reporting how many
-// were dropped. The disk tier is untouched, so the next load of a flushed
-// key decodes from disk instead of recompiling — the restart-shaped cold
-// path, exercisable without a restart.
-func (t *TieredCache) FlushMem() int { return t.mem.Flush() }
+// FlushMem evicts every artifact — single-pivot and tuple — from the
+// memory tiers, reporting how many were dropped. The disk tier is
+// untouched, so the next load of a flushed key decodes from disk instead of
+// recompiling — the restart-shaped cold path, exercisable without a
+// restart.
+func (t *TieredCache) FlushMem() int { return t.mem.Flush() + t.tupleMem.flush() }

@@ -1,0 +1,241 @@
+package extract
+
+import (
+	"container/list"
+	"context"
+	"os"
+	"sync"
+	"time"
+
+	"resilex/internal/machine"
+	"resilex/internal/obs"
+)
+
+// TupleArtifactCache is the k-ary counterpart of ArtifactCache: the
+// contract the wrapper layer loads tuple wrappers through. *TieredCache
+// implements it; tuple and single-pivot artifacts share one key space
+// (KeyTuple is domain-separated from Key) and one disk directory.
+type TupleArtifactCache interface {
+	LoadTuple(src string, sigmaNames []string, opt machine.Options) (*CompiledTuple, error)
+}
+
+// GetTuple loads and decodes the tuple artifact stored under key with the
+// same recency, integrity, and corruption handling as Get: undecodable
+// blobs and blobs whose content re-keys differently are deleted and counted
+// corrupt + miss.
+func (d *DiskCache) GetTuple(key string, opt machine.Options) (*CompiledTuple, bool) {
+	path, err := d.keyPath(key)
+	if err != nil {
+		d.miss()
+		return nil, false
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		d.miss()
+		return nil, false
+	}
+	c, err := DecodeTupleArtifact(blob, opt)
+	if err == nil {
+		rekey, kerr := KeyTuple(c.Src, c.SigmaNames)
+		if kerr != nil || rekey != key {
+			err = errTupleRekey
+		}
+	}
+	if err != nil {
+		d.mu.Lock()
+		os.Remove(path)
+		d.mu.Unlock()
+		d.corrupt.Add(1)
+		d.obsCorrupt.Inc()
+		d.miss()
+		d.obsEntries.Set(int64(d.countEntries()))
+		return nil, false
+	}
+	now := time.Now()
+	os.Chtimes(path, now, now) // best-effort LRU recency bump
+	d.hits.Add(1)
+	d.obsHits.Inc()
+	return c, true
+}
+
+var errTupleRekey = &rekeyError{}
+
+type rekeyError struct{}
+
+func (*rekeyError) Error() string {
+	return "extract: disk cache: tuple artifact content does not match its key"
+}
+
+// PutTuple encodes the tuple artifact and stores it under key with Put's
+// atomicity and eviction behavior; tuple blobs count against the same
+// capacity as single-pivot ones.
+func (d *DiskCache) PutTuple(key string, c *CompiledTuple) error {
+	if d.capacity == 0 {
+		return nil
+	}
+	blob, err := EncodeTupleArtifact(c)
+	if err != nil {
+		return err
+	}
+	return d.putBlob(key, blob)
+}
+
+// tupleMemCache is the in-memory tuple tier: an LRU with singleflight
+// admission mirroring Cache, private to TieredCache. It shares the memory
+// tier's capacity and stays unobserved — per-tier traffic is attributed by
+// LoadTupleCtx through extract_tiered_load_total like every other load.
+type tupleMemCache struct {
+	capacity int
+
+	mu       sync.Mutex
+	ll       *list.List
+	entries  map[string]*list.Element
+	inflight map[string]*tupleFlight
+}
+
+type tupleMemEntry struct {
+	key string
+	val *CompiledTuple
+}
+
+type tupleFlight struct {
+	done chan struct{}
+	val  *CompiledTuple
+	err  error
+}
+
+func newTupleMemCache(capacity int) *tupleMemCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &tupleMemCache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  map[string]*list.Element{},
+		inflight: map[string]*tupleFlight{},
+	}
+}
+
+// getOrCompile mirrors Cache.GetOrCompile: one compile per key across
+// concurrent misses, errors not cached. The second return reports whether
+// the value came from residency (or a joined flight) rather than this
+// caller's own compile call.
+func (c *tupleMemCache) getOrCompile(key string, compile func() (*CompiledTuple, error)) (*CompiledTuple, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		v := el.Value.(*tupleMemEntry).val
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.val, true, f.err
+	}
+	f := &tupleFlight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.val, f.err = compile()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		if el, ok := c.entries[key]; ok {
+			c.ll.MoveToFront(el)
+			el.Value.(*tupleMemEntry).val = f.val
+		} else {
+			c.entries[key] = c.ll.PushFront(&tupleMemEntry{key: key, val: f.val})
+			for c.ll.Len() > c.capacity {
+				tail := c.ll.Back()
+				c.ll.Remove(tail)
+				delete(c.entries, tail.Value.(*tupleMemEntry).key)
+			}
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, false, f.err
+}
+
+func (c *tupleMemCache) flush() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.ll.Len()
+	c.ll.Init()
+	clear(c.entries)
+	return n
+}
+
+func (c *tupleMemCache) evict(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.entries, key)
+	return true
+}
+
+// LoadTuple returns the compiled tuple artifact for the persisted k-ary
+// expression src over sigmaNames: memory → disk → compile, with write-
+// through, mirroring Load. opt bounds this call's work only.
+func (t *TieredCache) LoadTuple(src string, sigmaNames []string, opt machine.Options) (*CompiledTuple, error) {
+	c, _, err := t.loadTupleTier(src, sigmaNames, opt)
+	return c, err
+}
+
+// LoadTupleCtx is LoadTuple under the same "cache.lookup" phase, tier
+// counter, and tier-note plumbing as LoadCtx.
+func (t *TieredCache) LoadTupleCtx(ctx context.Context, src string, sigmaNames []string, opt machine.Options) (*CompiledTuple, error) {
+	ctx, ph := obs.StartPhase(ctx, "cache.lookup")
+	c, tier, err := t.loadTupleTier(src, sigmaNames, opt)
+	ph.Str("tier", tier)
+	ph.Fail(err)
+	ph.Count(obs.WithLabels("extract_tiered_load_total", "tier", tier), 1)
+	ph.End()
+	if slot, ok := ctx.Value(tierNoteKey{}).(*string); ok {
+		*slot = tier
+	}
+	return c, err
+}
+
+func (t *TieredCache) loadTupleTier(src string, sigmaNames []string, opt machine.Options) (*CompiledTuple, string, error) {
+	key, err := KeyTuple(src, sigmaNames)
+	if err != nil {
+		return nil, TierMemory, err
+	}
+	tier := TierMemory
+	c, resident, err := t.tupleMem.getOrCompile(key, func() (*CompiledTuple, error) {
+		if t.disk != nil {
+			if c, ok := t.disk.GetTuple(key, opt); ok {
+				tier = TierDisk
+				return c, nil
+			}
+		}
+		tier = TierCompile
+		c, err := CompileTupleArtifact(src, sigmaNames, opt)
+		if err == nil && t.disk != nil {
+			t.disk.PutTuple(key, c) //nolint:errcheck // best-effort write-through
+		}
+		return c, err
+	})
+	if resident {
+		tier = TierMemory
+	}
+	return c, tier, err
+}
+
+// EvictTuple removes the tuple artifact cached in memory under the content
+// address of (src, sigmaNames), reporting whether it was resident. The disk
+// tier is untouched.
+func (t *TieredCache) EvictTuple(src string, sigmaNames []string) bool {
+	key, err := KeyTuple(src, sigmaNames)
+	if err != nil {
+		return false
+	}
+	return t.tupleMem.evict(key)
+}

@@ -64,6 +64,11 @@ const (
 	// At most one shard dies per sequence (R=2 keeps every key servable);
 	// later kill ops reinterpret as cluster extracts.
 	OpShardKill
+	// OpTupleSpanner compiles a pooled k-ary tuple expression into the
+	// one-pass multi-split spanner — directly, or through a tuple-artifact
+	// encode→decode round trip — and differentials its full vector
+	// enumeration against the naive k-nested oracle.
+	OpTupleSpanner
 
 	opCount // number of kinds; keep last
 )
@@ -81,6 +86,7 @@ func (k OpKind) String() string {
 		"extract", "extract-stream", "extract-batch",
 		"cache-evict", "codec-roundtrip", "restart",
 		"cluster-put", "cluster-extract", "shard-kill",
+		"tuple-spanner",
 	}
 	if int(k) < len(names) {
 		return names[k]

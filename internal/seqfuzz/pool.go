@@ -9,6 +9,7 @@ import (
 	"resilex/internal/extract"
 	"resilex/internal/htmltok"
 	"resilex/internal/machine"
+	"resilex/internal/spanner"
 	"resilex/internal/symtab"
 	"resilex/internal/wrapper"
 )
@@ -47,6 +48,15 @@ const poolPageFuture = `<div class="search"><span>find parts</span>
 <input type="image" src="search.gif" />
 <input type="text" size="15" name="value" data-target />
 </form></div>`
+
+// poolPageRecords is a three-column record table for the k-ary tuple
+// family: the two-pivot expression finds two cell pairs per row, the
+// three-pivot one a full row each — enough ambiguity that the one-pass
+// spanner's enumeration order is actually exercised.
+const poolPageRecords = `<table>
+<tr><td>bolt</td><td>M4</td><td>$0.10</td></tr>
+<tr><td>nut</td><td>M4</td><td>$0.08</td></tr>
+</table>`
 
 // opt is the construction budget every compile in the harness runs under:
 // generous enough that the pooled expressions always fit, small enough that
@@ -104,6 +114,53 @@ type opPool struct {
 	docs     []string
 	payloads []*payloadSpec
 	nValid   int // payloads[:nValid] are the compilable ones
+	tuples   []*tupleSpec
+}
+
+// tupleSpec is one pooled k-ary tuple expression with its reference
+// machinery: the pristine compiled artifact (never tokenized against, so
+// its table stays exactly what CompileTupleArtifact produced and the
+// encode→decode round trip stays honest), the pool documents tokenized
+// over an identically compiled twin table, and the naive k-nested
+// oracle's full vector enumeration per document.
+type tupleSpec struct {
+	src   string
+	sigma []string
+	comp  *extract.CompiledTuple
+	words [][]symtab.Symbol // indexed like pool.docs
+	want  [][][]int         // NaiveTuples reference, indexed like pool.docs
+}
+
+// tupleSigma covers every tag the pool documents emit, so the oracle sees
+// the same words the spanner does instead of everything collapsing to
+// out-of-Σ rejects.
+var tupleSigma = []string{
+	"P", "/P", "H1", "/H1", "FORM", "/FORM", "INPUT", "BR",
+	"TABLE", "/TABLE", "TR", "/TR", "TD", "/TD",
+	"DIV", "/DIV", "SPAN", "/SPAN", "SCRIPT", "/SCRIPT",
+	"HTML", "/HTML", "BODY", "/BODY",
+}
+
+func buildTupleSpec(src string, sigma []string, docs []string) *tupleSpec {
+	comp, err := extract.CompileTupleArtifact(src, sigma, opt())
+	if err != nil {
+		panic(fmt.Sprintf("seqfuzz: compiling pool tuple %q: %v", src, err))
+	}
+	// Tokenize against a twin artifact for the same reason buildSpec does:
+	// mapping interns out-of-Σ tag names, and comp's table must stay
+	// pristine. Σ ids agree across the twins (same names, same order).
+	tok, err := extract.CompileTupleArtifact(src, sigma, opt())
+	if err != nil {
+		panic(fmt.Sprintf("seqfuzz: compiling tuple tokenization twin: %v", err))
+	}
+	ts := &tupleSpec{src: src, sigma: sigma, comp: comp}
+	mapper := htmltok.NewMapper(tok.Tab) // defaults: end tags kept, text dropped
+	for _, html := range docs {
+		word := mapper.Map(html).Syms
+		ts.words = append(ts.words, word)
+		ts.want = append(ts.want, spanner.NaiveTuples(tok.Tuple, word))
+	}
+	return ts
 }
 
 // getPool builds the fixed pools once per process: train the wrapper
@@ -125,6 +182,7 @@ func buildPool() *opPool {
 			// extracts from them re-runs the regression.
 			"<p>x</p/",
 			"<sCript>\xfd\xd4\xec\xb0\xe8</sCript",
+			poolPageRecords,
 		},
 	}
 	train := func(samples ...wrapper.Sample) []byte {
@@ -154,6 +212,15 @@ func buildPool() *opPool {
 		&payloadSpec{data: []byte("{")},
 		&payloadSpec{data: []byte(`{"version":99,"expr":"x","sigma":["X"]}`)},
 	)
+	// The k-ary tuple family: ambiguous pairs (two per record row, many per
+	// search form), and an exact three-column row.
+	for _, src := range []string{
+		".* <TD> /TD <TD> .*",
+		".* <TD> /TD <TD> /TD <TD> .*",
+		".* <INPUT> .* <INPUT> .*",
+	} {
+		p.tuples = append(p.tuples, buildTupleSpec(src, tupleSigma, p.docs))
+	}
 	return p
 }
 

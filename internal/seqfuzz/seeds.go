@@ -73,6 +73,16 @@ func Seeds() [][]byte {
 			{Kind: OpCodecRoundTrip, A: 13, B: 2, C: 2},
 			{Kind: OpCodecRoundTrip, A: 31, B: 0, C: 4},
 		},
+		// K-ary spanner vs the naive oracle: every pooled tuple expression
+		// over the record table (doc 7) and a search-form page, direct and
+		// through the artifact round trip (odd A).
+		{
+			{Kind: OpTupleSpanner, A: 0, B: 0, C: 7},
+			{Kind: OpTupleSpanner, A: 1, B: 1, C: 7},
+			{Kind: OpTupleSpanner, A: 0, B: 2, C: 0},
+			{Kind: OpTupleSpanner, A: 1, B: 2, C: 1},
+			{Kind: OpTupleSpanner, A: 1, B: 0, C: 4},
+		},
 		// Malformed payloads must bounce off every mutation path without
 		// perturbing registry state.
 		{

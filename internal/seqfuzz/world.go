@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -11,6 +12,7 @@ import (
 	"resilex/internal/codec"
 	"resilex/internal/extract"
 	"resilex/internal/serve"
+	"resilex/internal/spanner"
 	"resilex/internal/wrapper"
 )
 
@@ -237,6 +239,48 @@ func (w *World) step(t *testing.T, i int, op Op) {
 
 	case OpClusterPut, OpClusterExtract, OpShardKill:
 		w.clusterStep(t, i, op)
+
+	case OpTupleSpanner:
+		w.tupleSpanner(t, i, op)
+	}
+}
+
+// tupleSpanner differentials the one-pass k-ary spanner against the naive
+// k-nested oracle on one pool document — compiled straight from the
+// pooled artifact, or from a tuple-artifact encode→decode round trip when
+// the mode bit selects it. The full vector enumeration must agree.
+func (w *World) tupleSpanner(t *testing.T, i int, op Op) {
+	spec := w.pool.tuples[int(op.B)%len(w.pool.tuples)]
+	docIdx := w.doc(op.C)
+	tup := spec.comp.Tuple
+	mode := "direct"
+	if op.A%2 == 1 {
+		mode = "roundtrip"
+		blob, err := extract.EncodeTupleArtifact(spec.comp)
+		if err != nil {
+			t.Fatalf("op %d: encoding tuple artifact %q: %v", i, spec.src, err)
+		}
+		dec, err := extract.DecodeTupleArtifact(blob, opt())
+		if err != nil {
+			t.Fatalf("op %d: decoding tuple artifact %q: %v", i, spec.src, err)
+		}
+		tup = dec.Tuple
+	}
+	prog, err := spanner.Compile(tup, opt())
+	if err != nil {
+		t.Fatalf("op %d: tuple spanner compile (%s) %q: %v", i, mode, spec.src, err)
+	}
+	m, err := prog.Run(spec.words[docIdx])
+	if err != nil {
+		t.Fatalf("op %d: tuple spanner run (%s) %q doc %d: %v", i, mode, spec.src, docIdx, err)
+	}
+	got, err := m.All()
+	if err != nil {
+		t.Fatalf("op %d: tuple spanner enumerate (%s) %q doc %d: %v", i, mode, spec.src, docIdx, err)
+	}
+	if !reflect.DeepEqual(got, spec.want[docIdx]) {
+		t.Fatalf("op %d: tuple spanner (%s) %q doc %d: vectors %v, oracle %v",
+			i, mode, spec.src, docIdx, got, spec.want[docIdx])
 	}
 }
 

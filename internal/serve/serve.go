@@ -89,6 +89,14 @@ type Server struct {
 	batch    wrapper.BatchOptions
 	maxBody  int64
 
+	// k-ary record wrappers live in their own fleets (a key serves one kind
+	// at a time; registration of one kind removes the other). They share the
+	// registry, version state machine, and replication path with the
+	// single-pivot fleets — only the serving surface differs (POST
+	// /extract/tuples/{key} instead of the batch/stream routes).
+	tupleFleet       *wrapper.TupleFleet
+	canaryTupleFleet *wrapper.TupleFleet
+
 	// The versioned-rollout state: compiled canary wrappers live in their
 	// own fleet so the serving fleet stays the active-versions-only view,
 	// stride selects the canary traffic fraction, and versions carries the
@@ -134,17 +142,19 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		fleet:       fleet,
-		cache:       cache,
-		registry:    reg,
-		obs:         cfg.Observer,
-		opt:         cfg.Options,
-		batch:       cfg.Batch,
-		maxBody:     cfg.MaxBodyBytes,
-		canaryFleet: wrapper.NewFleet(),
-		stride:      canaryStride(cfg.CanaryFraction),
-		versions:    map[string]*keyVersions{},
-		wideEvery:   uint64(max(cfg.WideEventSample, 1)),
+		fleet:            fleet,
+		cache:            cache,
+		registry:         reg,
+		obs:              cfg.Observer,
+		opt:              cfg.Options,
+		batch:            cfg.Batch,
+		maxBody:          cfg.MaxBodyBytes,
+		tupleFleet:       wrapper.NewTupleFleet(),
+		canaryTupleFleet: wrapper.NewTupleFleet(),
+		canaryFleet:      wrapper.NewFleet(),
+		stride:           canaryStride(cfg.CanaryFraction),
+		versions:         map[string]*keyVersions{},
+		wideEvery:        uint64(max(cfg.WideEventSample, 1)),
 	}
 	restored, deleted, skipped := s.restoreRegistry()
 	if restored+deleted+skipped > 0 {
@@ -176,23 +186,24 @@ func (s *Server) restoreRegistry() (restored, deleted, skipped int) {
 		}
 		if ent.Deleted {
 			s.fleet.Remove(ent.Key)
+			s.tupleFleet.Remove(ent.Key)
 			s.versions[ent.Key] = kv
 			deleted++
 			continue
 		}
 		if ent.Active != nil {
-			w, err := wrapper.LoadCached(ent.Active.Payload, s.opt, s.cache)
+			lw, err := s.loadAny(context.Background(), ent.Active.Payload)
 			if err != nil {
 				skipped++
 				continue
 			}
 			kv.active = ent.Active
-			s.fleet.Add(ent.Key, w)
+			s.addActive(ent.Key, lw)
 		}
 		if ent.Canary != nil {
-			if w, err := wrapper.LoadCached(ent.Canary.Payload, s.opt, s.cache); err == nil {
+			if lw, err := s.loadAny(context.Background(), ent.Canary.Payload); err == nil {
 				kv.canary = ent.Canary
-				s.canaryFleet.Add(ent.Key, w)
+				s.addCanary(ent.Key, lw)
 			} else {
 				skipped++
 			}
@@ -217,6 +228,7 @@ func (s *Server) Mux() *http.ServeMux {
 	mux := obs.Handler(s.obs)
 	mux.HandleFunc("POST /extract", s.handleExtract)
 	mux.HandleFunc("POST /extract/stream/{key}", s.handleExtractStream)
+	mux.HandleFunc("POST /extract/tuples/{key}", s.handleExtractTuples)
 	mux.HandleFunc("PUT /wrappers/{key}", s.handlePutWrapper)
 	mux.HandleFunc("DELETE /wrappers/{key}", s.handleDeleteWrapper)
 	mux.HandleFunc("PUT /wrappers/{key}/canary", s.handleCanaryWrapper)
@@ -543,7 +555,7 @@ func (s *Server) extractBatch(ctx context.Context, docs []wrapper.BatchDoc) ([]w
 // drops any staged canary: a direct PUT supersedes an in-flight rollout.
 func (s *Server) putWrapper(ctx context.Context, key string, body []byte, version uint64) (status int, resp map[string]any, err error) {
 	ctx, tier := extract.WithTierNote(ctx)
-	wr, err := wrapper.LoadCachedCtx(ctx, body, s.opt, s.cache)
+	lw, err := s.loadAny(ctx, body)
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, machine.ErrBudget) || errors.Is(err, machine.ErrDeadline) {
@@ -558,10 +570,11 @@ func (s *Server) putWrapper(ctx context.Context, key string, body []byte, versio
 	kv.active = &versionedWrapper{Version: v, Payload: append(json.RawMessage(nil), body...)}
 	kv.canary = nil
 	kv.deleted = false
-	s.fleet.Add(key, wr)
+	s.addActive(key, lw)
 	s.canaryFleet.Remove(key)
+	s.canaryTupleFleet.Remove(key)
 	s.gaugeVersions(key, kv)
-	resp = map[string]any{"key": key, "sites": s.fleet.Len(), "version": v}
+	resp = map[string]any{"key": key, "sites": s.siteCount(), "version": v}
 	if s.registry != nil {
 		// The registration is live either way; persisted reports whether it
 		// will also survive a restart, so a deploy can alarm on false.
@@ -585,7 +598,7 @@ func (s *Server) putWrapper(ctx context.Context, key string, body []byte, versio
 // later re-PUT resurrects the key with a strictly higher version. Unknown
 // keys report false.
 func (s *Server) deleteWrapper(key string) (resp map[string]any, known bool) {
-	if s.fleet.Get(key) == nil {
+	if s.fleet.Get(key) == nil && s.tupleFleet.Get(key) == nil {
 		return nil, false
 	}
 	s.vmu.Lock()
@@ -594,9 +607,11 @@ func (s *Server) deleteWrapper(key string) (resp map[string]any, known bool) {
 	kv.active, kv.canary, kv.prior = nil, nil, nil
 	kv.deleted = true
 	s.fleet.Remove(key)
+	s.tupleFleet.Remove(key)
 	s.canaryFleet.Remove(key)
+	s.canaryTupleFleet.Remove(key)
 	s.gaugeVersions(key, kv)
-	resp = map[string]any{"key": key, "sites": s.fleet.Len()}
+	resp = map[string]any{"key": key, "sites": s.siteCount()}
 	if s.registry != nil {
 		resp["persisted"] = s.registry.writeState(key, kv) == nil
 	}
@@ -792,7 +807,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.cache.Stats()
 	body := map[string]any{
 		"status": "ok",
-		"sites":  s.fleet.Len(),
+		"sites":  s.siteCount(),
 		"cache": map[string]any{
 			"entries":   st.Entries,
 			"hits":      st.Hits,

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"resilex/internal/cluster"
+	"resilex/internal/obs"
+	"resilex/internal/wrapper"
+)
+
+// tuplePayload persists a hand-written record wrapper: one (name cell,
+// price cell) pair per table row.
+func tuplePayload(t *testing.T) []byte {
+	t.Helper()
+	data, err := json.Marshal(map[string]any{
+		"version": 1,
+		"kind":    "tuple",
+		"expr":    ".* <TD> /TD <TD> .*",
+		"sigma":   []string{"TABLE", "/TABLE", "TR", "/TR", "TD", "/TD", "H1", "/H1", "P", "/P"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+const tuplesPage = `<h1>Parts List</h1>
+<table>
+<tr><td>bolt M4</td><td>$0.10</td></tr>
+<tr><td>nut M4</td><td>$0.08</td></tr>
+<tr><td>washer M4</td><td>$0.02</td></tr>
+</table>`
+
+type tuplesResponse struct {
+	Key     string          `json:"key"`
+	Arity   int             `json:"arity"`
+	Count   int             `json:"count"`
+	Records [][]tupleRegion `json:"records"`
+}
+
+func TestServeExtractTuples(t *testing.T) {
+	s, _ := testServer(t)
+	if rec := do(t, s, "PUT", "/wrappers/parts", tuplePayload(t)); rec.Code != http.StatusCreated {
+		t.Fatalf("register tuple wrapper: %d: %s", rec.Code, rec.Body)
+	}
+	rec := do(t, s, "POST", "/extract/tuples/parts", []byte(tuplesPage))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("tuples: %d: %s", rec.Code, rec.Body)
+	}
+	var resp tuplesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Arity != 2 || resp.Count != 3 || len(resp.Records) != 3 {
+		t.Fatalf("resp = %+v, want arity 2 count 3", resp)
+	}
+	for i, rec := range resp.Records {
+		if len(rec) != 2 {
+			t.Fatalf("record %d has %d slots", i, len(rec))
+		}
+		if rec[0].Start >= rec[1].Start {
+			t.Errorf("record %d slots out of order", i)
+		}
+		if i > 0 && resp.Records[i-1][0].Start >= rec[0].Start {
+			t.Error("records out of document order")
+		}
+		for j, reg := range rec {
+			if !strings.HasPrefix(reg.Source, "<td") {
+				t.Errorf("record %d slot %d = %q", i, j, reg.Source)
+			}
+		}
+	}
+	// A recordless page answers an empty list, not an error.
+	rec = do(t, s, "POST", "/extract/tuples/parts", []byte(`<h1>empty</h1>`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("empty page: %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 0 || len(resp.Records) != 0 {
+		t.Fatalf("empty page resp = %+v", resp)
+	}
+	// The tuple key must not serve the single-pivot batch surface as if it
+	// were a plain wrapper.
+	if s.fleet.Get("parts") != nil {
+		t.Fatal("tuple registration leaked into the single-pivot fleet")
+	}
+}
+
+func TestServeTuples404vs422(t *testing.T) {
+	s, _ := testServer(t) // "vs" is a single-pivot wrapper
+	o := s.obs
+	// Unregistered key: 404.
+	if rec := do(t, s, "POST", "/extract/tuples/nosuch", []byte(tuplesPage)); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown key: %d, want 404", rec.Code)
+	}
+	// Known single-pivot key: 422, counted by reason.
+	rec := do(t, s, "POST", "/extract/tuples/vs", []byte(tuplesPage))
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("single-pivot key: %d, want 422: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "single-pivot") {
+		t.Errorf("422 body does not explain the arity mismatch: %s", rec.Body)
+	}
+	snap := o.Metrics.Snapshot()
+	if n := snap.Counters[obs.WithLabels("serve_rejected_total", "reason", "arity")]; n != 1 {
+		t.Errorf("serve_rejected_total{reason=arity} = %d, want 1", n)
+	}
+	// And the converse: the tuple key rejects on the batch surface with a
+	// per-document unknown-key error (it is not in the single-pivot fleet),
+	// keeping the surfaces honestly separated.
+	if rec := do(t, s, "PUT", "/wrappers/parts", tuplePayload(t)); rec.Code != http.StatusCreated {
+		t.Fatalf("register tuple wrapper: %d", rec.Code)
+	}
+	res := extractOne(t, s, "parts", tuplesPage)
+	if res.OK || !strings.Contains(res.Error, "no wrapper registered") {
+		t.Errorf("batch surface served a tuple key: %+v", res)
+	}
+}
+
+// TestServeTuplesRollout drives a tuple wrapper through the versioned
+// rollout machinery — replicated put, canary, promote — confirming k-ary
+// payloads ride the same replication path as single-pivot ones.
+func TestServeTuplesRollout(t *testing.T) {
+	s, _ := testServer(t)
+	tp := tuplePayload(t)
+	if rec := doFrame(t, s, cluster.EncodeOp(cluster.Op{Kind: cluster.OpPut, Key: "parts", Payload: tp})); rec.Code != http.StatusCreated {
+		t.Fatalf("replicated tuple put: %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, s, "POST", "/extract/tuples/parts", []byte(tuplesPage)); rec.Code != http.StatusOK {
+		t.Fatalf("tuples after replicated put: %d", rec.Code)
+	}
+	// Stage the same payload as a canary and promote it.
+	if rec := doFrame(t, s, cluster.EncodeOp(cluster.Op{Kind: cluster.OpCanary, Key: "parts", Version: 9, Payload: tp})); rec.Code != http.StatusCreated {
+		t.Fatalf("replicated tuple canary: %d: %s", rec.Code, rec.Body)
+	}
+	if s.canaryTupleFleet.Get("parts") == nil {
+		t.Fatal("tuple canary not staged in the tuple canary fleet")
+	}
+	if rec := do(t, s, "POST", "/wrappers/parts/promote", nil); rec.Code != http.StatusOK {
+		t.Fatalf("promote tuple canary: %d", rec.Code)
+	}
+	if s.canaryTupleFleet.Get("parts") != nil {
+		t.Fatal("promoted canary still staged")
+	}
+	body := decodeVersions(t, s, "parts")
+	if versionOf(body, "active") != 9 || body["lastOutcome"] != "promoted" {
+		t.Fatalf("after tuple promote: %v", body)
+	}
+	if rec := do(t, s, "POST", "/extract/tuples/parts", []byte(tuplesPage)); rec.Code != http.StatusOK {
+		t.Fatalf("tuples after promote: %d", rec.Code)
+	}
+	// A single-pivot PUT over the tuple key flips the kind and frees the
+	// tuple fleet slot.
+	single := trainedPayload(t)
+	if rec := do(t, s, "PUT", "/wrappers/parts", single); rec.Code != http.StatusCreated {
+		t.Fatalf("kind-flip put: %d", rec.Code)
+	}
+	if s.tupleFleet.Get("parts") != nil {
+		t.Fatal("kind flip left the tuple wrapper registered")
+	}
+	if rec := do(t, s, "POST", "/extract/tuples/parts", []byte(tuplesPage)); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("tuples on flipped key: %d, want 422", rec.Code)
+	}
+	// DELETE removes the (now single-pivot) key entirely.
+	if rec := do(t, s, "DELETE", "/wrappers/parts", nil); rec.Code != http.StatusOK {
+		t.Fatalf("delete: %d", rec.Code)
+	}
+	if rec := do(t, s, "POST", "/extract/tuples/parts", []byte(tuplesPage)); rec.Code != http.StatusNotFound {
+		t.Fatalf("tuples on deleted key: %d, want 404", rec.Code)
+	}
+}
+
+// TestServeTuplesRestart registers a tuple wrapper on a disk-backed server
+// and confirms a restarted server restores it — registry replay through
+// loadAny, artifact decode through the shared disk tier.
+func TestServeTuplesRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{CacheDir: dir, CacheCap: 8, DiskCap: -1, Observer: obs.New(), RestoreLog: io.Discard}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := do(t, s1, "PUT", "/wrappers/parts", tuplePayload(t)); rec.Code != http.StatusCreated {
+		t.Fatalf("register: %d: %s", rec.Code, rec.Body)
+	}
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, s2, "POST", "/extract/tuples/parts", []byte(tuplesPage))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("tuples after restart: %d: %s", rec.Code, rec.Body)
+	}
+	var resp tuplesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 3 {
+		t.Fatalf("restored wrapper found %d records, want 3", resp.Count)
+	}
+}
+
+func TestServeTuplesWrapperKindStable(t *testing.T) {
+	// IsTuplePayload is the kind discriminator the whole serve layer
+	// branches on; a single-pivot payload must not probe as a tuple.
+	if wrapper.IsTuplePayload(trainedPayload(t)) {
+		t.Fatal("single-pivot payload probed as tuple")
+	}
+	if !wrapper.IsTuplePayload(tuplePayload(t)) {
+		t.Fatal("tuple payload not recognized")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sort"
 	"sync/atomic"
 
 	"resilex/internal/machine"
@@ -126,7 +127,7 @@ func (s *Server) gaugeVersions(key string, kv *keyVersions) {
 // a first registration. version, when non-zero, is the version the
 // originating node assigned (replication); zero assigns locally.
 func (s *Server) canaryWrapper(ctx context.Context, key string, body []byte, version uint64) (status int, resp map[string]any, err error) {
-	wr, err := wrapper.LoadCachedCtx(ctx, body, s.opt, s.cache)
+	lw, err := s.loadAny(ctx, body)
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, machine.ErrBudget) || errors.Is(err, machine.ErrDeadline) {
@@ -143,7 +144,7 @@ func (s *Server) canaryWrapper(ctx context.Context, key string, body []byte, ver
 	v := kv.nextVersion(version)
 	kv.canary = &versionedWrapper{Version: v, Payload: append(json.RawMessage(nil), body...)}
 	kv.stats = canaryStats{} // fresh observation window
-	s.canaryFleet.Add(key, wr)
+	s.addCanary(key, lw)
 	s.obs.Counter(obs.WithLabels("refresh_canary_deploy_total", "site", key)).Inc()
 	s.gaugeVersions(key, kv)
 	resp = map[string]any{"key": key, "version": v}
@@ -167,11 +168,11 @@ func (s *Server) promoteWrapper(key string, version uint64) (status int, resp ma
 		return http.StatusConflict, nil, fmt.Errorf("%w: promote names version %d, staged canary is %d",
 			errVersionConflict, version, kv.canary.Version)
 	}
-	wr := s.canaryFleet.Get(key)
-	if wr == nil {
+	lw := loadedWrapper{single: s.canaryFleet.Get(key), tuple: s.canaryTupleFleet.Get(key)}
+	if lw.single == nil && lw.tuple == nil {
 		// The compiled canary should be resident; recompile from the payload
 		// if it is not (e.g. a replica that restarted between ops).
-		if wr, err = wrapper.LoadCached(kv.canary.Payload, s.opt, s.cache); err != nil {
+		if lw, err = s.loadAny(context.Background(), kv.canary.Payload); err != nil {
 			return http.StatusInternalServerError, nil, fmt.Errorf("recompiling canary for promote: %w", err)
 		}
 	}
@@ -179,8 +180,9 @@ func (s *Server) promoteWrapper(key string, version uint64) (status int, resp ma
 	kv.active = kv.canary
 	kv.canary = nil
 	kv.lastOutcome = "promoted"
-	s.fleet.Add(key, wr)
+	s.addActive(key, lw)
 	s.canaryFleet.Remove(key)
+	s.canaryTupleFleet.Remove(key)
 	s.obs.Counter(obs.WithLabels("refresh_promote_total", "site", key)).Inc()
 	s.gaugeVersions(key, kv)
 	resp = map[string]any{"key": key, "version": kv.active.Version, "outcome": "promoted"}
@@ -211,6 +213,7 @@ func (s *Server) rollbackWrapper(key string, version uint64) (status int, resp m
 		kv.canary = nil
 		kv.lastOutcome = "rolled-back"
 		s.canaryFleet.Remove(key)
+		s.canaryTupleFleet.Remove(key)
 		s.obs.Counter(obs.WithLabels("refresh_rollback_total", "site", key)).Inc()
 		s.gaugeVersions(key, kv)
 		resp = map[string]any{"key": key, "version": rolled, "outcome": "rolled-back"}
@@ -219,7 +222,7 @@ func (s *Server) rollbackWrapper(key string, version uint64) (status int, resp m
 			return http.StatusConflict, nil, fmt.Errorf("%w: rollback names version %d, active is %d",
 				errVersionConflict, version, kv.active.Version)
 		}
-		wr, err := wrapper.LoadCached(kv.prior.Payload, s.opt, s.cache)
+		lw, err := s.loadAny(context.Background(), kv.prior.Payload)
 		if err != nil {
 			return http.StatusInternalServerError, nil, fmt.Errorf("recompiling prior version for rollback: %w", err)
 		}
@@ -227,7 +230,7 @@ func (s *Server) rollbackWrapper(key string, version uint64) (status int, resp m
 		kv.active = kv.prior
 		kv.prior = nil
 		kv.lastOutcome = "rolled-back"
-		s.fleet.Add(key, wr)
+		s.addActive(key, lw)
 		s.obs.Counter(obs.WithLabels("refresh_rollback_total", "site", key)).Inc()
 		s.gaugeVersions(key, kv)
 		resp = map[string]any{"key": key, "version": rolled, "restored": kv.active.Version, "outcome": "rolled-back"}
@@ -277,8 +280,12 @@ func (s *Server) versionsStatus(key string) (map[string]any, bool) {
 // Deployment surface for the refresh controller (refresh.Deployment is
 // satisfied structurally — serve does not import refresh).
 
-// Sites lists every key with an active wrapper.
-func (s *Server) Sites() []string { return s.fleet.Keys() }
+// Sites lists every key with an active wrapper, either kind.
+func (s *Server) Sites() []string {
+	keys := append(s.fleet.Keys(), s.tupleFleet.Keys()...)
+	sort.Strings(keys)
+	return keys
+}
 
 // ActivePayload returns the persisted JSON of the key's active version (nil
 // when the key has none recorded — e.g. it came from a deploy-time fleet
@@ -337,8 +344,19 @@ func (s *Server) Rollback(key string, version uint64) error {
 }
 
 // Extract runs the key's active wrapper over html — the probe the refresh
-// controller scores sampled pages with.
+// controller scores sampled pages with. Tuple keys probe as record
+// extraction: a page yielding no records is a miss.
 func (s *Server) Extract(key, html string) error {
+	if tw := s.tupleFleet.Get(key); tw != nil {
+		records, err := tw.ExtractAll(html)
+		if err != nil {
+			return err
+		}
+		if len(records) == 0 {
+			return wrapper.ErrNotExtracted
+		}
+		return nil
+	}
 	wr := s.fleet.Get(key)
 	if wr == nil {
 		return fmt.Errorf("no wrapper registered for %q", key)

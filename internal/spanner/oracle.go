@@ -1,0 +1,40 @@
+package spanner
+
+import (
+	"resilex/internal/extract"
+	"resilex/internal/symtab"
+)
+
+// NaiveTuples is the k-nested reference oracle: it enumerates every
+// extraction vector of word under the tuple by trying each candidate
+// position for each pivot in turn and checking every gap against the
+// segment language directly — O(n^k) candidate vectors, each verified by k+1
+// DFA runs. Exponentially slower than a compiled Program but obviously
+// correct, which is the point: the differential tests, the seqfuzz op, and
+// FuzzSpannerOracleEquiv all compare Program.Run against it. Vectors come
+// out in lexicographic order, matching Matches.Next.
+func NaiveTuples(t *extract.Tuple, word []symtab.Symbol) [][]int {
+	k := t.Arity()
+	marks := t.Marks()
+	var out [][]int
+	var rec func(j, prev int, acc []int)
+	rec = func(j, prev int, acc []int) {
+		if j == k {
+			if t.Segment(k).Contains(word[prev+1:]) {
+				out = append(out, append([]int(nil), acc...))
+			}
+			return
+		}
+		for i := prev + 1; i < len(word); i++ {
+			if word[i] != marks[j] {
+				continue
+			}
+			if !t.Segment(j).Contains(word[prev+1 : i]) {
+				continue
+			}
+			rec(j+1, i, append(acc, i))
+		}
+	}
+	rec(0, -1, nil)
+	return out
+}

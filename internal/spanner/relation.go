@@ -1,0 +1,412 @@
+package spanner
+
+import (
+	"fmt"
+	"strconv"
+
+	"resilex/internal/machine"
+	"resilex/internal/symtab"
+)
+
+// Tuple is one row of a span relation: column j holds the token position of
+// pivot j (the extracted region anchors; wrapper layers resolve positions
+// to byte spans).
+type Tuple []int
+
+// Iterator enumerates a relation's tuples one at a time. Leaf iterators
+// over compiled programs are constant-delay (O(k) per call); each operator
+// documents what it adds on top. Returned tuples must not be mutated.
+type Iterator interface {
+	Next() (Tuple, bool, error)
+}
+
+// Relation is a named-column set of extraction tuples with on-demand
+// enumeration. Open returns a fresh cursor; a Relation itself is reusable
+// and stateless. The algebra (Union, Project, Select, NaturalJoin) composes
+// Relations without materializing intermediates, with deduplication and
+// join state bounded by the machine.Options budget taxonomy.
+type Relation interface {
+	Schema() []string
+	Open() (Iterator, error)
+}
+
+// funcRelation adapts a (schema, open) pair.
+type funcRelation struct {
+	schema []string
+	open   func() (Iterator, error)
+}
+
+func (r funcRelation) Schema() []string        { return r.schema }
+func (r funcRelation) Open() (Iterator, error) { return r.open() }
+
+type sliceIterator struct {
+	rows []Tuple
+	i    int
+	opt  machine.Options
+}
+
+func (it *sliceIterator) Next() (Tuple, bool, error) {
+	if err := it.opt.Err(); err != nil {
+		return nil, false, fmt.Errorf("spanner: relation scan: %w", err)
+	}
+	if it.i >= len(it.rows) {
+		return nil, false, nil
+	}
+	t := it.rows[it.i]
+	it.i++
+	return t, true, nil
+}
+
+// Rows builds a materialized relation from explicit tuples — the leaf for
+// tests and for callers that already hold extracted vectors. Every row must
+// have len(schema) columns.
+func Rows(schema []string, rows []Tuple, opt machine.Options) (Relation, error) {
+	for i, r := range rows {
+		if len(r) != len(schema) {
+			return nil, fmt.Errorf("spanner: row %d has %d columns, schema has %d", i, len(r), len(schema))
+		}
+	}
+	return funcRelation{schema: schema, open: func() (Iterator, error) {
+		return &sliceIterator{rows: rows, opt: opt}, nil
+	}}, nil
+}
+
+type matchesIterator struct{ m *Matches }
+
+func (it *matchesIterator) Next() (Tuple, bool, error) {
+	v, ok, err := it.m.Next()
+	return Tuple(v), ok, err
+}
+
+// Extracted lifts a compiled program over a document into a relation with
+// one named column per pivot. Each Open runs the program's forward/backward
+// pass once; enumeration from the resulting cursor is constant-delay.
+func Extracted(schema []string, p *Program, word []symtab.Symbol) (Relation, error) {
+	if len(schema) != p.Arity() {
+		return nil, fmt.Errorf("spanner: schema has %d columns, program arity is %d", len(schema), p.Arity())
+	}
+	return funcRelation{schema: schema, open: func() (Iterator, error) {
+		m, err := p.Run(word)
+		if err != nil {
+			return nil, err
+		}
+		return &matchesIterator{m: m}, nil
+	}}, nil
+}
+
+// key renders a tuple for set semantics (dedup and join probes).
+func key(t Tuple) string {
+	out := make([]byte, 0, len(t)*4)
+	for _, v := range t {
+		out = strconv.AppendInt(out, int64(v), 10)
+		out = append(out, ',')
+	}
+	return string(out)
+}
+
+// dedupIterator drops repeated tuples, charging each distinct retained
+// tuple against the Options budget — set semantics can hold the whole
+// output in memory, so it is bounded like any other state-building loop.
+type dedupIterator struct {
+	in   Iterator
+	seen map[string]bool
+	opt  machine.Options
+	what string
+}
+
+func (it *dedupIterator) Next() (Tuple, bool, error) {
+	for {
+		t, ok, err := it.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		k := key(t)
+		if it.seen[k] {
+			continue
+		}
+		it.seen[k] = true
+		if len(it.seen) > budgetLimit(it.opt) {
+			return nil, false, fmt.Errorf("spanner: %s exceeds %d distinct tuples: %w",
+				it.what, budgetLimit(it.opt), machine.ErrBudget)
+		}
+		return t, true, nil
+	}
+}
+
+// Union returns a ∪ b under set semantics. Schemas must match exactly.
+// Delay is constant per emitted tuple except for skips over duplicates; the
+// dedup set is budget-bounded.
+func Union(a, b Relation, opt machine.Options) (Relation, error) {
+	if !equalSchemas(a.Schema(), b.Schema()) {
+		return nil, fmt.Errorf("spanner: union schemas differ: %v vs %v", a.Schema(), b.Schema())
+	}
+	return funcRelation{schema: a.Schema(), open: func() (Iterator, error) {
+		ia, err := a.Open()
+		if err != nil {
+			return nil, err
+		}
+		return &dedupIterator{
+			in:   &chainIterator{rels: []Relation{b}, cur: ia},
+			seen: map[string]bool{}, opt: opt, what: "union",
+		}, nil
+	}}, nil
+}
+
+// chainIterator drains cur, then opens each remaining relation in turn.
+type chainIterator struct {
+	rels []Relation
+	cur  Iterator
+}
+
+func (it *chainIterator) Next() (Tuple, bool, error) {
+	for {
+		if it.cur != nil {
+			t, ok, err := it.cur.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return t, true, nil
+			}
+			it.cur = nil
+		}
+		if len(it.rels) == 0 {
+			return nil, false, nil
+		}
+		next, err := it.rels[0].Open()
+		if err != nil {
+			return nil, false, err
+		}
+		it.rels = it.rels[1:]
+		it.cur = next
+	}
+}
+
+// Project returns r restricted to cols, in the given order, under set
+// semantics (duplicates introduced by dropping columns are removed, budget-
+// bounded like Union's).
+func Project(r Relation, opt machine.Options, cols ...string) (Relation, error) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j := indexOf(r.Schema(), c)
+		if j < 0 {
+			return nil, fmt.Errorf("spanner: project: no column %q in schema %v", c, r.Schema())
+		}
+		idx[i] = j
+	}
+	return funcRelation{schema: append([]string(nil), cols...), open: func() (Iterator, error) {
+		in, err := r.Open()
+		if err != nil {
+			return nil, err
+		}
+		return &dedupIterator{
+			in:   &mapIterator{in: in, f: func(t Tuple) Tuple { return pick(t, idx) }},
+			seen: map[string]bool{}, opt: opt, what: "projection",
+		}, nil
+	}}, nil
+}
+
+type mapIterator struct {
+	in Iterator
+	f  func(Tuple) Tuple
+}
+
+func (it *mapIterator) Next() (Tuple, bool, error) {
+	t, ok, err := it.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return it.f(t), true, nil
+}
+
+// Select returns the tuples of r satisfying pred. The predicate sees the
+// tuple in r's schema order. Delay is constant per emitted tuple but
+// unbounded skips can occur over non-matching runs (inherent to selection).
+func Select(r Relation, pred func(Tuple) bool) Relation {
+	return funcRelation{schema: r.Schema(), open: func() (Iterator, error) {
+		in, err := r.Open()
+		if err != nil {
+			return nil, err
+		}
+		return &filterIterator{in: in, pred: pred}, nil
+	}}
+}
+
+type filterIterator struct {
+	in   Iterator
+	pred func(Tuple) bool
+}
+
+func (it *filterIterator) Next() (Tuple, bool, error) {
+	for {
+		t, ok, err := it.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if it.pred(t) {
+			return t, true, nil
+		}
+	}
+}
+
+// NaturalJoin joins a and b on every shared column name — "the same region
+// anchors both tuples". At least one column must be shared (use an explicit
+// cross product elsewhere if that is really wanted; on span relations an
+// unconstrained product is almost always a bug). The right side is hashed
+// once at Open (linear preprocessing, budget-bounded); enumeration then
+// streams the left side with constant delay per emitted tuple, in the
+// Joining-Extractions-of-Regular-Expressions style. Output schema is a's
+// columns followed by b's non-shared columns.
+func NaturalJoin(a, b Relation, opt machine.Options) (Relation, error) {
+	shared, bOnly := splitSchema(a.Schema(), b.Schema())
+	if len(shared) == 0 {
+		return nil, fmt.Errorf("spanner: natural join of %v and %v shares no column", a.Schema(), b.Schema())
+	}
+	aShared := indicesOf(a.Schema(), shared)
+	bShared := indicesOf(b.Schema(), shared)
+	bRest := indicesOf(b.Schema(), bOnly)
+	schema := append(append([]string(nil), a.Schema()...), bOnly...)
+	return funcRelation{schema: schema, open: func() (Iterator, error) {
+		ib, err := b.Open()
+		if err != nil {
+			return nil, err
+		}
+		built := map[string][]Tuple{}
+		n := 0
+		for {
+			t, ok, err := ib.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			n++
+			if n > budgetLimit(opt) {
+				return nil, fmt.Errorf("spanner: join build side exceeds %d tuples: %w",
+					budgetLimit(opt), machine.ErrBudget)
+			}
+			k := key(pick(t, bShared))
+			built[k] = append(built[k], pick(t, bRest))
+		}
+		ia, err := a.Open()
+		if err != nil {
+			return nil, err
+		}
+		return &joinIterator{left: ia, built: built, aShared: aShared, opt: opt}, nil
+	}}, nil
+}
+
+type joinIterator struct {
+	left    Iterator
+	built   map[string][]Tuple
+	aShared []int
+	opt     machine.Options
+
+	cur     Tuple   // current left tuple
+	matches []Tuple // right-side completions for cur
+	mi      int
+}
+
+func (it *joinIterator) Next() (Tuple, bool, error) {
+	for {
+		if it.cur != nil && it.mi < len(it.matches) {
+			rest := it.matches[it.mi]
+			it.mi++
+			out := make(Tuple, 0, len(it.cur)+len(rest))
+			out = append(append(out, it.cur...), rest...)
+			return out, true, nil
+		}
+		if err := it.opt.Err(); err != nil {
+			return nil, false, fmt.Errorf("spanner: join probe: %w", err)
+		}
+		t, ok, err := it.left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.cur = t
+		it.matches = it.built[key(pick(t, it.aShared))]
+		it.mi = 0
+	}
+}
+
+// Drain opens r and collects every tuple — the batch-mode convenience the
+// serve and CLI layers use.
+func Drain(r Relation) ([]Tuple, error) {
+	it, err := r.Open()
+	if err != nil {
+		return nil, err
+	}
+	var out []Tuple
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+func equalSchemas(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func indexOf(schema []string, col string) int {
+	for i, c := range schema {
+		if c == col {
+			return i
+		}
+	}
+	return -1
+}
+
+func indicesOf(schema []string, cols []string) []int {
+	out := make([]int, len(cols))
+	for i, c := range cols {
+		out[i] = indexOf(schema, c)
+	}
+	return out
+}
+
+func pick(t Tuple, idx []int) Tuple {
+	out := make(Tuple, len(idx))
+	for i, j := range idx {
+		out[i] = t[j]
+	}
+	return out
+}
+
+// splitSchema returns the columns of a also in b (in a's order) and the
+// columns only in b (in b's order).
+func splitSchema(a, b []string) (shared, bOnly []string) {
+	inB := map[string]bool{}
+	for _, c := range b {
+		inB[c] = true
+	}
+	for _, c := range a {
+		if inB[c] {
+			shared = append(shared, c)
+		}
+	}
+	inShared := map[string]bool{}
+	for _, c := range shared {
+		inShared[c] = true
+	}
+	for _, c := range b {
+		if !inShared[c] {
+			bOnly = append(bOnly, c)
+		}
+	}
+	return shared, bOnly
+}

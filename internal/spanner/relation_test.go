@@ -1,0 +1,189 @@
+package spanner
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"resilex/internal/machine"
+)
+
+func rows(t *testing.T, schema []string, rs ...Tuple) Relation {
+	t.Helper()
+	r, err := Rows(schema, rs, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func drain(t *testing.T, r Relation) []Tuple {
+	t.Helper()
+	out, err := Drain(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRowsSchemaMismatch(t *testing.T) {
+	if _, err := Rows([]string{"a", "b"}, []Tuple{{1}}, machine.Options{}); err == nil {
+		t.Fatal("Rows with a short tuple succeeded")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := rows(t, []string{"x", "y"}, Tuple{1, 2}, Tuple{3, 4})
+	b := rows(t, []string{"x", "y"}, Tuple{3, 4}, Tuple{5, 6})
+	u, err := Union(a, b, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, u)
+	want := []Tuple{{1, 2}, {3, 4}, {5, 6}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("union = %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(u.Schema(), []string{"x", "y"}) {
+		t.Fatalf("schema = %v", u.Schema())
+	}
+	c := rows(t, []string{"x", "z"})
+	if _, err := Union(a, c, machine.Options{}); err == nil {
+		t.Fatal("union with mismatched schemas succeeded")
+	}
+}
+
+func TestProject(t *testing.T) {
+	a := rows(t, []string{"x", "y"}, Tuple{1, 2}, Tuple{1, 3}, Tuple{4, 2})
+	p, err := Project(a, machine.Options{}, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, p)
+	if want := []Tuple{{1}, {4}}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("projection = %v, want %v (dedup under set semantics)", got, want)
+	}
+	// Reordering columns.
+	p2, err := Project(a, machine.Options{}, "y", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, p2); !reflect.DeepEqual(got[0], Tuple{2, 1}) {
+		t.Fatalf("reordered projection = %v", got)
+	}
+	if _, err := Project(a, machine.Options{}, "nope"); err == nil {
+		t.Fatal("projecting a missing column succeeded")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	a := rows(t, []string{"x", "y"}, Tuple{1, 2}, Tuple{5, 6}, Tuple{3, 9})
+	s := Select(a, func(tp Tuple) bool { return tp[0] >= 3 })
+	got := drain(t, s)
+	if want := []Tuple{{5, 6}, {3, 9}}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("selection = %v, want %v", got, want)
+	}
+}
+
+func TestNaturalJoin(t *testing.T) {
+	a := rows(t, []string{"name", "price"}, Tuple{1, 3}, Tuple{5, 7}, Tuple{9, 11})
+	b := rows(t, []string{"price", "stock"}, Tuple{3, 4}, Tuple{3, 8}, Tuple{11, 12})
+	j, err := NaturalJoin(a, b, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"name", "price", "stock"}; !reflect.DeepEqual(j.Schema(), want) {
+		t.Fatalf("join schema = %v, want %v", j.Schema(), want)
+	}
+	got := drain(t, j)
+	want := []Tuple{{1, 3, 4}, {1, 3, 8}, {9, 11, 12}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("join = %v, want %v", got, want)
+	}
+	// Reopening enumerates again from scratch.
+	if again := drain(t, j); !reflect.DeepEqual(again, want) {
+		t.Fatalf("second open = %v, want %v", again, want)
+	}
+	c := rows(t, []string{"other"})
+	if _, err := NaturalJoin(a, c, machine.Options{}); err == nil {
+		t.Fatal("join with no shared column succeeded")
+	}
+}
+
+func TestJoinBuildBudget(t *testing.T) {
+	a := rows(t, []string{"x"}, Tuple{1})
+	b := rows(t, []string{"x"}, Tuple{1}, Tuple{2}, Tuple{3})
+	j, err := NaturalJoin(a, b, machine.Options{MaxStates: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Drain(j); !errors.Is(err, machine.ErrBudget) {
+		t.Fatalf("join build over budget: err = %v, want ErrBudget", err)
+	}
+}
+
+func TestUnionDedupBudget(t *testing.T) {
+	a := rows(t, []string{"x"}, Tuple{1}, Tuple{2}, Tuple{3})
+	b := rows(t, []string{"x"})
+	u, err := Union(a, b, machine.Options{MaxStates: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Drain(u); !errors.Is(err, machine.ErrBudget) {
+		t.Fatalf("union dedup over budget: err = %v, want ErrBudget", err)
+	}
+}
+
+// TestAlgebraOverExtracted composes the algebra over two live programs: the
+// (p, r) pairs joined with the (r) unary relation on the shared pivot.
+func TestAlgebraOverExtracted(t *testing.T) {
+	e := newSenv()
+	w := e.word(t, "q p q r p r")
+
+	pairs, err := Compile(e.tuple(t, ".* <p> .* <r> .*", machine.Options{}), machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Compile(e.tuple(t, ".* <r> .*", machine.Options{}), machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairRel, err := Extracted([]string{"p", "r"}, pairs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rRel, err := Extracted([]string{"r"}, rs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := NaturalJoin(pairRel, rRel, machine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, j)
+	// Every (p, r) pair joins with exactly the matching unary r tuple, so
+	// the join equals the pair relation.
+	want := drain(t, pairRel)
+	if len(got) != len(want) {
+		t.Fatalf("join = %v, pairs = %v", got, want)
+	}
+	for i := range got {
+		if !reflect.DeepEqual([]int(got[i]), []int(want[i])) {
+			t.Fatalf("join row %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// Projecting the pair relation to its r column matches the unary scan:
+	// on this word every r has some p before it.
+	proj, err := Project(pairRel, machine.Options{}, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotR, wantR := drain(t, proj), drain(t, rRel); !reflect.DeepEqual(gotR, wantR) {
+		t.Fatalf("projection to r = %v, unary scan = %v", gotR, wantR)
+	}
+
+	if _, err := Extracted([]string{"only"}, pairs, w); err == nil {
+		t.Fatal("Extracted with wrong-width schema succeeded")
+	}
+}

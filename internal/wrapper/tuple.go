@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 
 	"resilex/internal/extract"
 	"resilex/internal/htmltok"
 	"resilex/internal/learn"
 	"resilex/internal/machine"
+	"resilex/internal/spanner"
 	"resilex/internal/symtab"
 )
 
@@ -26,6 +28,14 @@ type TupleWrapper struct {
 	// LoadTuple.
 	examples []learn.TupleExample
 	sigma    symtab.Alphabet
+
+	// Lazily compiled multi-split spanner program backing ExtractAll; see
+	// tuplecached.go.
+	prog struct {
+		once sync.Once
+		p    *spanner.Program
+		err  error
+	}
 }
 
 // TrainTuple builds a tuple wrapper from marked samples. Every sample must

@@ -352,6 +352,15 @@ func ExtractWithin(ctx context.Context, w *Wrapper, html string) (r Region, err 
 	return w.ExtractContext(ctx, html)
 }
 
+// ExtractRecordsWithin enumerates every extraction vector of a tuple
+// wrapper over the page — one k-slot record per vector, in document order,
+// computed by the one-pass multi-split spanner — bounded by ctx, with the
+// facade's panic backstop.
+func ExtractRecordsWithin(ctx context.Context, w *TupleWrapper, html string) (records [][]Region, err error) {
+	defer guard(&err)
+	return w.ExtractAllContext(ctx, html)
+}
+
 // RefreshWithin re-trains a wrapper on one more marked sample with the whole
 // induce→maximize→compile pipeline bounded by ctx (and by the wrapper's
 // state budget). On any error the original wrapper is untouched and usable.

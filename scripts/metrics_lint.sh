@@ -13,7 +13,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-PREFIXES='machine|extract|supervisor|wrapper|serve|cluster|refresh|obs'
+PREFIXES='machine|extract|supervisor|wrapper|serve|cluster|refresh|obs|spanner'
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT INT TERM
 
